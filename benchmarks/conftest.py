@@ -1,0 +1,23 @@
+"""Shared bench fixtures.
+
+All benches run against one cached study at scale 0.15 (≈37 Primary
+users) so the expensive generation + matching happens once per session.
+The benches assert the paper's *shape* claims (orderings, rough factors)
+and print the regenerated rows; absolute paper numbers are recorded in
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import cached_study
+
+#: Population scale used by every bench.
+BENCH_SCALE = 0.15
+
+
+@pytest.fixture(scope="session")
+def artifacts():
+    """The shared Primary + Baseline study with validation reports."""
+    return cached_study(BENCH_SCALE)

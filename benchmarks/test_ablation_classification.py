@@ -1,0 +1,82 @@
+"""Ablation — classification thresholds (driveby speed, remote distance).
+
+The paper picks 4 mph for driveby and 500 m for remote.  This ablation
+sweeps both and checks the class masses move the right way, using the
+generator's ground-truth intents to score accuracy at the paper's
+operating point.
+"""
+
+import pytest
+
+from repro.core import ClassifyConfig, classify_dataset
+from repro.geo import units
+from repro.model import CheckinType
+
+
+def counts_at(artifacts, **overrides):
+    config = ClassifyConfig(**overrides)
+    classification = classify_dataset(
+        artifacts.primary, artifacts.primary_report.matching, config
+    )
+    return classification.counts()
+
+
+def test_benchmark_classification(benchmark, artifacts):
+    benchmark(
+        classify_dataset, artifacts.primary, artifacts.primary_report.matching
+    )
+
+
+def test_driveby_speed_sweep(artifacts):
+    speeds = {mph: units.mph(mph) for mph in (2, 4, 8, 16)}
+    driveby = {
+        mph: counts_at(artifacts, driveby_speed_ms=speed)[CheckinType.DRIVEBY]
+        for mph, speed in speeds.items()
+    }
+    print(f"\ndriveby speed sweep (counts): {driveby}")
+    values = [driveby[mph] for mph in sorted(driveby)]
+    assert values == sorted(values, reverse=True)  # stricter speed → fewer drivebys
+    assert driveby[2] > driveby[16]
+
+
+def test_remote_distance_sweep(artifacts):
+    remote = {
+        meters: counts_at(artifacts, remote_distance_m=meters)[CheckinType.REMOTE]
+        for meters in (250, 500, 1000, 2000)
+    }
+    print(f"\nremote distance sweep (counts): {remote}")
+    values = [remote[m] for m in sorted(remote)]
+    assert values == sorted(values, reverse=True)  # larger threshold → fewer remotes
+
+
+def test_accuracy_at_paper_thresholds(artifacts):
+    """Ground-truth intents validate the paper's operating point."""
+    classification = artifacts.primary_report.classification
+    agree = total = 0
+    for checkin in artifacts.primary.all_checkins:
+        total += 1
+        if classification.labels[checkin.checkin_id] is checkin.intent:
+            agree += 1
+    accuracy = agree / total
+    print(f"\nclassification accuracy vs ground truth: {accuracy:.3f}")
+    assert accuracy > 0.9
+
+
+def test_paper_thresholds_maximize_accuracy_locally(artifacts):
+    """Moving the driveby threshold well away from 4 mph hurts accuracy."""
+
+    def accuracy(config):
+        classification = classify_dataset(
+            artifacts.primary, artifacts.primary_report.matching, config
+        )
+        agree = sum(
+            1
+            for c in artifacts.primary.all_checkins
+            if classification.labels[c.checkin_id] is c.intent
+        )
+        return agree / len(artifacts.primary.all_checkins)
+
+    at_paper = accuracy(ClassifyConfig())
+    at_crazy = accuracy(ClassifyConfig(driveby_speed_ms=units.mph(40)))
+    print(f"\naccuracy at 4 mph: {at_paper:.3f}; at 40 mph: {at_crazy:.3f}")
+    assert at_paper > at_crazy

@@ -1,0 +1,66 @@
+"""Bench — downstream application impact beyond the MANET study.
+
+The paper's §1 and §6 name two other application families built on
+geosocial traces: human movement prediction and proximity-based
+friendship inference.  This bench quantifies the damage on both:
+
+* a next-place predictor trained on checkin data barely predicts *real*
+  movement (missing checkins hide 89% of places; extraneous checkins
+  corrupt transitions);
+* co-location evidence from the full checkin trace fabricates meetings
+  that never happened (remote checkins), while even honest checkins
+  recover only a sliver of true meetings.
+"""
+
+import pytest
+
+from repro.apps import evaluate_friendship_inference, evaluate_training_traces
+from repro.geo import units
+
+
+def test_benchmark_prediction(benchmark, artifacts):
+    honest = artifacts.primary_report.matching.honest_checkins
+    scores = benchmark.pedantic(
+        lambda: evaluate_training_traces(artifacts.primary, honest, units.days(9)),
+        rounds=2,
+        iterations=1,
+    )
+    assert len(scores) == 3
+
+
+def test_prediction_impact(artifacts):
+    honest = artifacts.primary_report.matching.honest_checkins
+    scores = {
+        s.name: s
+        for s in evaluate_training_traces(artifacts.primary, honest, units.days(9))
+    }
+    print("\nnext-place top-2 accuracy on true movement:")
+    for score in scores.values():
+        print(f"  {score.name:<16} {score.accuracy:.3f} ({score.n_predictions} transitions)")
+    gps = scores["GPS visits"].accuracy
+    # Checkin-trained predictors collapse against ground truth movement.
+    assert gps > 3 * scores["All checkins"].accuracy
+    assert gps > 3 * scores["Honest checkins"].accuracy
+    assert gps > 0.1
+
+
+def test_friendship_impact(artifacts):
+    honest = artifacts.primary_report.matching.honest_checkins
+    all_cmp, honest_cmp = evaluate_friendship_inference(artifacts.primary, honest)
+    print("\nco-location friendship inference vs GPS ground truth:")
+    for comparison in (all_cmp, honest_cmp):
+        print(
+            f"  {comparison.name:<16} claimed {comparison.claimed_pairs:>4} "
+            f"(false {comparison.false_pairs:>3})  precision {comparison.precision:.2f}  "
+            f"recall {comparison.recall:.2f}"
+        )
+    # Fake checkins manufacture meetings that never happened.
+    assert all_cmp.false_pairs > 0
+    assert all_cmp.precision < 0.9
+    # Honest evidence is clean but sparse: high precision, low recall.
+    if honest_cmp.claimed_pairs:
+        assert honest_cmp.precision > all_cmp.precision
+    assert honest_cmp.recall < 0.3
+    # Both fall far short of the true meeting graph — missing checkins
+    # hide most real proximity (the paper's closing argument).
+    assert all_cmp.recall < 0.5

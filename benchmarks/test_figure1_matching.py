@@ -1,0 +1,30 @@
+"""Bench F1 — Figure 1: the matching Venn diagram.
+
+Paper: 3,525 honest / 10,772 extraneous (75% of checkins) / 27,310
+missing (89% of visits).  The bench asserts the two fractions and times
+the matching algorithm.
+"""
+
+import pytest
+
+from repro.core import match_dataset
+from repro.experiments import figure1
+
+
+def test_benchmark_matching(benchmark, artifacts):
+    result = benchmark(match_dataset, artifacts.primary)
+    assert result.n_checkins > 0
+
+
+def test_figure1_shape(artifacts):
+    result = figure1.run(artifacts)
+    print("\n" + result.format_report())
+
+    # Paper: ~75% of checkins extraneous.
+    assert result.extraneous_fraction == pytest.approx(0.75, abs=0.10)
+    # Paper: ~89% of visits missing; checkins cover ~11%.
+    assert result.missing_fraction == pytest.approx(0.886, abs=0.06)
+    # Extraneous checkins outnumber honest ones by roughly 3x.
+    assert result.n_extraneous > 2 * result.n_honest
+    # Missing visits dwarf matched ones.
+    assert result.n_missing > 5 * result.n_honest

@@ -1,0 +1,48 @@
+"""Bench F2 — Figure 2: inter-arrival time CDFs across five trace variants.
+
+Paper claims: GPS curves of both datasets "match up near perfectly";
+Baseline checkins match the honest Primary subset "perfectly"; the full
+Primary checkin trace "shows significant differences".  We quantify each
+claim with two-sample KS distances.
+"""
+
+import pytest
+
+from repro.experiments import figure2
+
+
+def test_benchmark_figure2(benchmark, artifacts):
+    result = benchmark(figure2.run, artifacts)
+    assert len(result.curves) == 5
+
+
+def test_figure2_shape(artifacts):
+    result = figure2.run(artifacts)
+    print("\n" + result.format_report())
+
+    # GPS mobility is population-independent.
+    assert result.gps_agreement < 0.15
+    # Honest Primary checkins behave like the honest-by-construction baseline.
+    assert result.honest_agreement < 0.25
+    # The full checkin trace is a different animal.
+    assert result.all_checkin_divergence > 0.30
+    assert result.all_checkin_divergence > 2 * result.gps_agreement
+
+    # Burstiness direction: all-checkin inter-arrivals are much shorter.
+    all_median = result.curves["All Checkin, Primary"].median()
+    honest_median = result.curves["Honest, Primary"].median()
+    assert all_median < 0.5 * honest_median
+
+
+def test_figure2_other_metrics(artifacts):
+    """The omitted-for-space metrics tell the same story (Section 4.1)."""
+    comparison = figure2.full_metric_comparison(artifacts)
+    print("\nKS per metric:")
+    for name, metrics in comparison.items():
+        cells = ", ".join(f"{k}={v:.2f}" for k, v in sorted(metrics.items()))
+        print(f"  {name:<20} {cells}")
+    for metric in ("interarrival", "events_per_day"):
+        assert (
+            comparison["all_vs_honest"][metric]
+            > comparison["gps_vs_gps"][metric]
+        )

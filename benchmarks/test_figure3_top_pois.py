@@ -1,0 +1,34 @@
+"""Bench F3 — Figure 3: missing-checkin concentration at top POIs.
+
+Paper: for ~60% of users the top-5 POIs hold over half of their missing
+checkins; for ~20% of users one POI holds over 40%.
+"""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+def test_benchmark_figure3(benchmark, artifacts):
+    result = benchmark(figure3.run, artifacts)
+    assert result.ratios.ratios[5]
+
+
+def test_figure3_shape(artifacts):
+    result = figure3.run(artifacts)
+    print("\n" + result.format_report())
+
+    # Paper's headline: ~60% of users half-covered by their top-5 POIs.
+    assert result.users_half_covered_by_top5 == pytest.approx(0.60, abs=0.20)
+
+    # Concentration grows monotonically with n for the median user.
+    medians = [result.curve(n).median() for n in (1, 2, 3, 4, 5)]
+    assert medians == sorted(medians)
+
+    # The single top POI already explains a sizeable chunk.
+    assert result.curve(1).median() > 0.10
+
+    # Some users are dominated by one routine place (the paper's 20% at
+    # >40% is the loosest of our reproduction targets — the synthetic
+    # population is more homogeneous than real Foursquare users).
+    assert result.curve(1).quantile(0.9) > 0.25

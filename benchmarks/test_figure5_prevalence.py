@@ -1,0 +1,35 @@
+"""Bench F5 — Figure 5: per-user extraneous checkin prevalence.
+
+Paper: nearly all users produce extraneous checkins; for ~20% of users
+extraneous checkins reach ~80% of their events; filtering the users
+behind 80% of extraneous checkins also removes ~53% of honest checkins.
+"""
+
+import pytest
+
+from repro.experiments import figure5
+from repro.model import CheckinType
+
+
+def test_benchmark_figure5(benchmark, artifacts):
+    result = benchmark(figure5.run, artifacts)
+    assert result.prevalence.n_users > 0
+
+
+def test_figure5_shape(artifacts):
+    result = figure5.run(artifacts)
+    print("\n" + result.format_report())
+
+    # Extraneous checkins are endemic, not confined to a few users.
+    assert result.users_with_any_extraneous > 0.85
+    # A sizeable user fraction is mostly-extraneous (paper: 20% at ~0.8).
+    assert result.all_extraneous.quantile(0.8) > 0.6
+    # Remote is the most prevalent extraneous behaviour per user.
+    remote_median = result.curve(CheckinType.REMOTE).median()
+    assert remote_median >= result.curve(CheckinType.SUPERFLUOUS).median() - 0.05
+
+    # The filtering trade-off: killing the heavy extraneous users costs a
+    # large share of honest checkins (paper: 80% -> 53%).
+    assert result.tradeoff.extraneous_removed >= 0.8
+    assert result.tradeoff.honest_lost > 0.3
+    assert result.tradeoff.users_filtered < result.tradeoff.n_users

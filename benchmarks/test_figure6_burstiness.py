@@ -1,0 +1,41 @@
+"""Bench F6 — Figure 6: burstiness of extraneous checkins.
+
+Paper: the majority of extraneous checkins arrive within 10 minutes of
+the previous same-class checkin, 35% within one minute; honest checkins
+are spaced more than 10 minutes apart.
+"""
+
+import pytest
+
+from repro.experiments import figure6
+from repro.geo import units
+from repro.model import CheckinType
+
+
+def test_benchmark_figure6(benchmark, artifacts):
+    result = benchmark(figure6.run, artifacts)
+    assert CheckinType.HONEST in result.curves
+
+
+def test_figure6_shape(artifacts):
+    result = figure6.run(artifacts)
+    print("\n" + result.format_report())
+
+    one_minute = units.minutes(1)
+    ten_minutes = units.minutes(10)
+
+    # Paper: ~35% of remote checkins arrive within one minute.
+    assert result.fraction_within(CheckinType.REMOTE, one_minute) == pytest.approx(
+        0.35, abs=0.15
+    )
+    # Majorities of remote and superfluous arrive within ten minutes.
+    assert result.fraction_within(CheckinType.REMOTE, ten_minutes) > 0.5
+    assert result.fraction_within(CheckinType.SUPERFLUOUS, ten_minutes) > 0.5
+    # Honest checkins are spread out: well under 10% within ten minutes.
+    assert result.fraction_within(CheckinType.HONEST, ten_minutes) < 0.10
+    # Ordering: remote and superfluous are burstier than honest everywhere
+    # that matters.
+    for threshold in (one_minute, ten_minutes):
+        honest = result.fraction_within(CheckinType.HONEST, threshold)
+        assert result.fraction_within(CheckinType.REMOTE, threshold) > honest
+        assert result.fraction_within(CheckinType.SUPERFLUOUS, threshold) > honest

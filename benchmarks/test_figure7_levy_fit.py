@@ -1,0 +1,54 @@
+"""Bench F7 — Figure 7: Levy-walk fitting on the three trace variants.
+
+Paper shape claims: the checkin-trained models deviate substantially
+from the GPS ground truth; extraneous checkins add short flights and
+fast segments relative to the honest subset; checkin traces yield slow
+implied motion because the only available "movement time" is the
+inter-checkin gap.
+"""
+
+import pytest
+
+from repro.experiments import figure7
+
+
+def test_benchmark_figure7(benchmark, artifacts):
+    result = benchmark(figure7.run, artifacts)
+    assert len(result.models) == 3
+
+
+def test_figure7_shape(artifacts):
+    result = figure7.run(artifacts)
+    print("\n" + result.format_report())
+
+    gps = result.model("GPS")
+    all_model = result.model("All-Checkin")
+    honest = result.model("Honest-Checkin")
+
+    # Pause distributions: checkin models borrow the GPS fit (the paper's
+    # conservative choice).
+    assert all_model.pause == gps.pause
+    assert honest.pause == gps.pause
+
+    # Honest-checkin motion is dramatically slower than ground truth.
+    assert honest.mean_speed(1000.0) < 0.3 * gps.mean_speed(1000.0)
+
+    # Extraneous checkins add many short flights: the all-checkin flight
+    # scale sits at or below GPS, and its long-range speed exceeds the
+    # honest model's (the paper's "many more fast moving segments").
+    assert all_model.flight.xm <= gps.flight.xm
+    assert all_model.mean_speed(5000.0) > 3 * honest.mean_speed(5000.0)
+
+    # All fits are proper distributions over positive support.
+    for model in (gps, all_model, honest):
+        assert model.flight.alpha > 0
+        assert model.pause.alpha > 0
+        assert model.n_flights >= 10
+
+    # Panel curves are well-formed.
+    for name in ("GPS", "All-Checkin", "Honest-Checkin"):
+        centers, density = result.flight_pdf(name)
+        assert len(centers) == len(density)
+        assert (density >= 0).all()
+    centers, density = result.pause_pdf()
+    assert (density >= 0).all()

@@ -1,0 +1,44 @@
+"""Bench T1 — Table 1: dataset statistics.
+
+Regenerates both Table 1 rows and checks the scale-free per-user-day
+rates against the paper (Primary: 4.1 checkins and 8.9 visits per user
+per day; Baseline: 0.68 and 6.4).  The benchmark times dataset
+generation itself, the most expensive substrate.
+"""
+
+import pytest
+
+from repro.experiments import table1
+from repro.synth import generate_dataset, primary_config
+
+
+def test_benchmark_generation(benchmark):
+    dataset = benchmark.pedantic(
+        lambda: generate_dataset(primary_config(seed=1).scaled(0.05)),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(dataset) > 0
+
+
+def test_table1_rows(artifacts):
+    result = table1.run(artifacts)
+    print("\n" + result.format_table())
+
+    primary = result.row("Primary")
+    baseline = result.row("Baseline")
+
+    # Scale-free rates land near the paper's Table 1.
+    assert primary.checkins_per_user_day == pytest.approx(4.1, rel=0.35)
+    assert primary.visits_per_user_day == pytest.approx(8.9, rel=0.35)
+    assert primary.gps_per_user_day == pytest.approx(750, rel=0.35)
+    assert baseline.checkins_per_user_day == pytest.approx(0.68, rel=0.6)
+    assert baseline.visits_per_user_day == pytest.approx(6.4, rel=0.4)
+
+    # Primary users are both more numerous and far more checkin-happy.
+    assert primary.stats.n_users > baseline.stats.n_users
+    assert primary.checkins_per_user_day > 3 * baseline.checkins_per_user_day
+
+    # Study lengths follow the paper's averages (14.2 vs 20.8 days).
+    assert primary.stats.avg_days_per_user == pytest.approx(14.2, rel=0.2)
+    assert baseline.stats.avg_days_per_user == pytest.approx(20.8, rel=0.2)

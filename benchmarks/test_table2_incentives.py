@@ -1,0 +1,54 @@
+"""Bench T2 — Table 2: checkin-type ratios vs profile features.
+
+Paper's load-bearing cells: remote/badges = 0.49, superfluous/mayorships
+= 0.34, honest row uniformly negative, driveby not reward-driven.
+"""
+
+import pytest
+
+from repro.experiments import cached_study, table2
+from repro.model import CheckinType
+
+
+@pytest.fixture(scope="session")
+def table2_artifacts():
+    """Correlations need more users than the default bench scale: at ~35
+    users a Pearson cell has a standard error of ~0.17, swamping the
+    paper's smaller coefficients.  Build a 30%-scale study (73 users)."""
+    return cached_study(0.3)
+
+
+def test_benchmark_table2(benchmark, table2_artifacts):
+    result = benchmark(table2.run, table2_artifacts)
+    assert result.correlations.n_users >= 3
+
+
+def test_table2_shape(table2_artifacts):
+    result = table2.run(table2_artifacts)
+    print("\n" + result.format_report())
+
+    # Remote checkins chase badges (paper 0.49).
+    assert result.get(CheckinType.REMOTE, "badges") > 0.30
+    # Superfluous checkins chase mayorships (paper 0.34).
+    assert result.get(CheckinType.SUPERFLUOUS, "mayorships") > 0.15
+    # Remote correlates more with badges than with mayorships, and
+    # superfluous more with mayorships than remote does.
+    assert result.get(CheckinType.REMOTE, "badges") > result.get(
+        CheckinType.REMOTE, "mayorships"
+    )
+    assert result.get(CheckinType.SUPERFLUOUS, "mayorships") > result.get(
+        CheckinType.REMOTE, "mayorships"
+    )
+
+    # Honest users are the least reward-driven.  Badges and checkins/day
+    # are the high-signal cells; friends/mayorships sit in sampling noise
+    # at the bench scale (~35 users) and are asserted loosely (the
+    # full-scale run is uniformly negative, see EXPERIMENTS.md).
+    assert result.get(CheckinType.HONEST, "badges") < 0.0
+    assert result.get(CheckinType.HONEST, "checkins_per_day") < 0.0
+    assert result.get(CheckinType.HONEST, "friends") < 0.2
+    assert result.get(CheckinType.HONEST, "mayorships") < 0.45
+
+    # Driveby checkins are not badge/mayor seeking (paper −0.21, −0.08).
+    assert result.get(CheckinType.DRIVEBY, "badges") < 0.0
+    assert result.get(CheckinType.DRIVEBY, "mayorships") < 0.25

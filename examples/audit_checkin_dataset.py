@@ -1,0 +1,93 @@
+"""Audit a geosocial checkin dataset against GPS ground truth.
+
+The scenario the paper motivates: you plan to use a checkin trace as a
+mobility dataset.  Given a study with matched GPS ground truth, this
+audit quantifies exactly what you would be trusting:
+
+* how much real mobility the checkins cover (missing checkins),
+* where the missing mass sits (top POIs, categories),
+* how much of the trace is fabricated (extraneous classes),
+* whether you could fix it by dropping bad users (filter trade-off),
+* how far the trace's mobility statistics drift from ground truth.
+
+The dataset is persisted to and reloaded from disk along the way, the
+workflow a real audit of an exported dataset would follow.
+
+Run::
+
+    python examples/audit_checkin_dataset.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import generate_primary, validate
+from repro.core import (
+    checkin_metrics,
+    filter_tradeoff,
+    missing_category_breakdown,
+    prevalence_cdfs,
+    top_poi_missing_ratios,
+    visit_metrics,
+)
+from repro.io import load_dataset, save_dataset
+from repro.model import CheckinType
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "study"
+        print(f"Generating and persisting a study at scale {scale:g} ...")
+        save_dataset(generate_primary(scale=scale), path)
+        dataset = load_dataset(path)
+
+    report = validate(dataset)
+    matching, classification = report.matching, report.classification
+
+    print()
+    print("=" * 64)
+    print("CHECKIN VALIDITY AUDIT")
+    print("=" * 64)
+    print(report.summary())
+
+    print()
+    print("-- Where are the missing checkins? --")
+    ratios = top_poi_missing_ratios(dataset, matching)
+    print(f"  median user: top-5 POIs hold {100 * ratios.ecdf(5).median():.0f}% "
+          "of their missing checkins")
+    print("  by category:")
+    for label, fraction in missing_category_breakdown(dataset, matching)[:5]:
+        print(f"    {label:<14} {100 * fraction:5.1f}%")
+
+    print()
+    print("-- Can we just drop the bad users? --")
+    prevalence = prevalence_cdfs(dataset, classification)
+    print(f"  users with extraneous checkins: "
+          f"{100 * prevalence.users_above(0.0):.0f}%")
+    tradeoff = filter_tradeoff(dataset, classification, 0.8)
+    print(f"  dropping the {tradeoff.users_filtered} users behind "
+          f"{100 * tradeoff.extraneous_removed:.0f}% of extraneous checkins "
+          f"also loses {100 * tradeoff.honest_lost:.0f}% of honest checkins")
+
+    print()
+    print("-- How far is the trace from real mobility? --")
+    truth = visit_metrics(dataset)
+    all_checkins = checkin_metrics(dataset, name="all checkins")
+    honest = checkin_metrics(
+        dataset, matching.honest_checkins, name="honest checkins"
+    )
+    for metrics in (all_checkins, honest):
+        ks = metrics.compare(truth)
+        print(f"  {metrics.name:<16} KS vs GPS visits: "
+              + ", ".join(f"{k}={v:.2f}" for k, v in sorted(ks.items())))
+    print("  (even the honest subset under-samples routine mobility — the")
+    print("   paper's case for *recovering* missing checkins, not just filtering)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Detect extraneous checkins from the checkin trace alone (paper §7).
+
+The paper's first open problem: on a *real* geosocial dataset there is
+no GPS ground truth, so extraneous checkins must be detected from the
+checkin trace itself.  This example trains the detectors on one group of
+study users (where matching supplies labels) and applies them to
+held-out users, then shows how detector-based filtering moves the
+trace's mobility statistics towards ground truth.
+
+Run::
+
+    python examples/detect_extraneous.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import generate_primary, validate
+from repro.core import (
+    BurstinessDetector,
+    GaussianNBDetector,
+    checkin_metrics,
+    evaluate_detector,
+    extract_features,
+    split_users,
+    truth_labels,
+    visit_metrics,
+)
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+
+    print(f"Generating and validating the Primary study at scale {scale:g} ...")
+    dataset = generate_primary(scale=scale)
+    report = validate(dataset)
+    features = extract_features(dataset.all_checkins)
+    truth = truth_labels(report.classification.labels)
+
+    rng = np.random.default_rng(2013)
+    train_users, test_users = split_users(dataset, 0.6, rng)
+    user_of = {c.checkin_id: c.user_id for c in dataset.all_checkins}
+    train = [f for f in features.values() if user_of[f.checkin_id] in set(train_users)]
+    test = [f for f in features.values() if user_of[f.checkin_id] in set(test_users)]
+    print(f"  {len(train)} training checkins ({len(train_users)} users), "
+          f"{len(test)} held-out checkins ({len(test_users)} users)")
+
+    print("\nDetector performance on held-out users (positive = extraneous):")
+    burst = BurstinessDetector()
+    nb = GaussianNBDetector().fit(train, truth)
+    for name, detector in (("burstiness-10min", burst), ("gaussian-nb", nb)):
+        metrics = evaluate_detector(detector.predict_many(test), truth)
+        print(f"  {name:<18} precision {metrics.precision:.2f}  "
+              f"recall {metrics.recall:.2f}  f1 {metrics.f1:.2f}  "
+              f"accuracy {metrics.accuracy:.2f}")
+
+    print("\nDoes filtering help the trace look like real mobility?")
+    predictions = nb.predict_many(features.values())
+    kept = [c for c in dataset.all_checkins if not predictions.get(c.checkin_id, False)]
+    truth_metrics = visit_metrics(dataset)
+    rows = [
+        ("all checkins", checkin_metrics(dataset, name="all")),
+        ("nb-filtered", checkin_metrics(dataset, kept, name="filtered")),
+        ("oracle honest", checkin_metrics(
+            dataset, report.matching.honest_checkins, name="honest")),
+    ]
+    for name, metrics in rows:
+        ks = metrics.compare(truth_metrics)
+        print(f"  {name:<14} KS(inter-arrival) vs GPS = {ks['interarrival']:.2f}")
+    print("  The trained filter tracks the oracle honest subset closely.")
+    print("  Note the trap the paper warns about: the *raw* trace can sit")
+    print("  nearer the GPS curve on this metric, because bursty extraneous")
+    print("  checkins fake short inter-arrivals that mimic real visit cadence")
+    print("  without reflecting true movement. Filtering restores honesty,")
+    print("  not fidelity — the missing checkins still have to be recovered.")
+
+
+if __name__ == "__main__":
+    main()

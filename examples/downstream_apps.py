@@ -1,0 +1,52 @@
+"""Downstream application impact: prediction and friendship inference.
+
+The paper's introduction lists the applications already consuming
+geosocial traces: predicting human movement and inferring friendships
+from visited locations.  Its §6 warns both will be misled.  This example
+measures the damage with the library's application modules.
+
+Run::
+
+    python examples/downstream_apps.py [scale]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import generate_primary, validate
+from repro.apps import evaluate_friendship_inference, evaluate_training_traces
+from repro.geo import units
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.15
+
+    print(f"Generating and validating the Primary study at scale {scale:g} ...")
+    dataset = generate_primary(scale=scale)
+    report = validate(dataset)
+    honest = report.matching.honest_checkins
+
+    print("\n1. Next-place prediction (train on each trace, test on true movement)")
+    split = units.days(9)
+    for score in evaluate_training_traces(dataset, honest, split):
+        print(f"   {score.name:<16} top-2 accuracy {score.accuracy:.3f} "
+              f"over {score.n_predictions} real transitions")
+    print("   A predictor trained on checkins knows almost nothing about where")
+    print("   people actually go — 89% of visited places never appear in the")
+    print("   training data, and fake checkins corrupt the transitions that do.")
+
+    print("\n2. Friendship inference from co-location evidence")
+    all_cmp, honest_cmp = evaluate_friendship_inference(dataset, honest)
+    for comparison in (all_cmp, honest_cmp):
+        print(f"   {comparison.name:<16} claimed {comparison.claimed_pairs} pairs, "
+              f"{comparison.false_pairs} never actually met "
+              f"(precision {comparison.precision:.2f}, recall {comparison.recall:.2f})")
+    print("   Remote checkins put strangers 'at the same place at the same")
+    print("   time', producing friend suggestions between people who never met —")
+    print("   exactly the incorrect inferences the paper predicts. And even the")
+    print("   honest subset surfaces only a fraction of true meetings.")
+
+
+if __name__ == "__main__":
+    main()

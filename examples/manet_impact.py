@@ -1,0 +1,65 @@
+"""Application-level impact: MANET simulation driven by checkin mobility.
+
+Section 6 of the paper: train a Levy-walk mobility model from three
+traces (GPS ground truth, all checkins, honest checkins only) and feed
+each into a mobile ad hoc network simulation with AODV routing.  The
+deviations in route change frequency, availability and routing overhead
+are the cost of treating geosocial traces as mobility data.
+
+Run::
+
+    python examples/manet_impact.py [scale]
+
+Uses the scaled bench arena (70 nodes, 8 km, 30 CBR pairs); pass the
+paper's full arena via repro-study manet --full instead.
+"""
+
+from __future__ import annotations
+
+import statistics
+import sys
+
+from repro import generate_primary, validate
+from repro.levy import fit_three_models
+from repro.manet import bench_config, run_three_models
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+
+    print(f"Generating and validating the Primary study at scale {scale:g} ...")
+    dataset = generate_primary(scale=scale)
+    report = validate(dataset)
+
+    print("Fitting Levy-walk models on the three trace variants ...")
+    models = fit_three_models(dataset, report.matching.honest_checkins)
+    for model in models:
+        print(f"  {model.describe()}")
+
+    config = bench_config()
+    print(f"\nSimulating AODV: {config.n_nodes} nodes, "
+          f"{config.arena_m / 1000:.0f} km arena, {config.n_pairs} CBR pairs, "
+          f"{config.duration_s / 60:.0f} simulated minutes per model ...")
+    results = run_three_models(list(models), config)
+
+    print()
+    header = f"{'model':<16}{'chg/min (med)':>15}{'availability':>15}{'overhead':>12}"
+    print(header)
+    print("-" * len(header))
+    for result in results:
+        changes = statistics.median(result.route_changes_per_minute())
+        avail = statistics.mean(result.availability_ratios())
+        overhead = statistics.median(result.overheads())
+        print(f"{result.name:<16}{changes:>15.3f}{avail:>15.3f}{overhead:>12.2f}")
+
+    gps, _, honest = results
+    print()
+    print("Paper's takeaway, reproduced: the honest-checkin model looks far")
+    print("more benign than reality — routes change "
+          f"{statistics.median(gps.route_changes_per_minute()) / max(1e-9, statistics.median(honest.route_changes_per_minute())):.1f}x "
+          "less often and overhead all but disappears. Filtering extraneous")
+    print("checkins is not enough; missing checkins must be recovered too.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Recover missing checkins by routine up-sampling (paper §7).
+
+The paper's second open problem: missing checkins (home, work, routine
+errands) are the *majority* of real mobility, so filtering extraneous
+checkins is not enough — the gaps must be filled.  This example runs the
+anchor-inference + routine up-sampling recovery on the checkin trace
+alone (no GPS), then scores the recovered event stream against GPS
+ground truth.
+
+Run::
+
+    python examples/recover_missing.py [scale]
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+
+from repro import generate_primary, validate
+from repro.core import infer_home, infer_work, recovery_gain
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+
+    print(f"Generating and validating the Primary study at scale {scale:g} ...")
+    dataset = generate_primary(scale=scale)
+    report = validate(dataset)
+
+    print("\nInferring anchor locations from the checkin trace alone:")
+    errors = []
+    inferred_work = 0
+    for user_id, data in dataset.users.items():
+        home = infer_home(dataset, data.checkins)
+        if infer_work(dataset, data.checkins) is not None:
+            inferred_work += 1
+        true_home = dataset.pois[f"home-{user_id}"]
+        if home is not None:
+            errors.append(math.hypot(home.x - true_home.x, home.y - true_home.y))
+    errors.sort()
+    print(f"  home inferred for {len(errors)}/{len(dataset.users)} users "
+          f"(median error {errors[len(errors) // 2] / 1000:.1f} km — users rarely")
+    print("   check in at home, so the anchor is approximate; the paper only")
+    print("   asks for approximations of key locations)")
+    print(f"  work inferred for {inferred_work}/{len(dataset.users)} users")
+
+    print("\nUp-sampling the raw checkin trace with routine events:")
+    gain = recovery_gain(dataset)
+    print(gain.format_report())
+
+    print("\nSame, starting from the honest (matched) subset:")
+    gain_honest = recovery_gain(dataset, report.matching.honest_checkins)
+    print(gain_honest.format_report())
+
+    print("\nTakeaway: recovery closes most of the event-frequency gap and a")
+    print("large share of the inter-arrival gap — the 'long way' the paper")
+    print("predicted approximate key locations would go. Place diversity")
+    print("(POI entropy) needs the richer statistical models the paper lists")
+    print("as future work.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Configuration lives in pyproject.toml; this file only enables the legacy
+``pip install -e . --no-use-pep517`` editable path on offline machines
+whose setuptools cannot build wheels.
+"""
+
+from setuptools import setup
+
+setup()

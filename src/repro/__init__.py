@@ -1,0 +1,45 @@
+"""repro — reproduction of "On the Validity of Geosocial Mobility Traces".
+
+Zhang et al., HotNets 2013.  The package provides:
+
+* :mod:`repro.synth` — a synthetic geosocial user study (GPS + checkin
+  traces for the paper's Primary and Baseline populations);
+* :mod:`repro.core` — the paper's analysis pipeline: visit extraction,
+  checkin-to-visit matching, extraneous checkin classification,
+  missing-checkin / incentive / burstiness analyses, and detection;
+* :mod:`repro.levy` — Levy-walk mobility model fitting and generation;
+* :mod:`repro.manet` — a mobile ad hoc network simulator with AODV
+  routing for the application-impact experiments;
+* :mod:`repro.experiments` — one driver per table/figure of the paper.
+
+Quickstart::
+
+    from repro import generate_primary, validate
+
+    dataset = generate_primary(scale=0.1)
+    report = validate(dataset)
+    print(report.summary())
+"""
+
+from .core import ValidationReport, validate
+from .model import Checkin, CheckinType, Dataset, GpsPoint, Poi, PoiCategory, UserProfile, Visit
+from .synth import generate_baseline, generate_dataset, generate_primary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Checkin",
+    "CheckinType",
+    "Dataset",
+    "GpsPoint",
+    "Poi",
+    "PoiCategory",
+    "UserProfile",
+    "ValidationReport",
+    "Visit",
+    "__version__",
+    "generate_baseline",
+    "generate_dataset",
+    "generate_primary",
+    "validate",
+]

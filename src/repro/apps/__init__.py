@@ -1,0 +1,31 @@
+"""Downstream applications the paper warns about (§1, §6)."""
+
+from .friendship import (
+    ColocationComparison,
+    ColocationConfig,
+    colocated_pairs,
+    compare_colocation,
+    evaluate_friendship_inference,
+)
+from .prediction import (
+    MarkovPredictor,
+    PredictionScore,
+    checkin_sequences,
+    evaluate_training_traces,
+    next_place_accuracy,
+    visit_sequences,
+)
+
+__all__ = [
+    "ColocationComparison",
+    "ColocationConfig",
+    "MarkovPredictor",
+    "PredictionScore",
+    "checkin_sequences",
+    "colocated_pairs",
+    "compare_colocation",
+    "evaluate_friendship_inference",
+    "evaluate_training_traces",
+    "next_place_accuracy",
+    "visit_sequences",
+]

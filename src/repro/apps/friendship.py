@@ -1,0 +1,148 @@
+"""Co-location based friendship inference — the paper's second warning.
+
+§6: *"friendship recommendation applications leverage user physical
+proximity to suggest social connections.  Using data including fake
+checkins will lead to wrong inferences on user proximity, and lead to
+incorrect suggestions."*
+
+This module implements the standard co-location primitive those systems
+build on (two users at the same place within a time window), computes it
+from both GPS visits (true meetings) and checkins (claimed meetings),
+and scores the claimed set against the true one.  Remote checkins place
+users where they never were, manufacturing meetings that never happened.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..geo import units
+from ..model import Checkin, Dataset
+
+#: (t, x, y, user) — one presence event.
+Presence = Tuple[float, float, float, str]
+
+
+@dataclass(frozen=True)
+class ColocationConfig:
+    """What counts as two users 'meeting'."""
+
+    #: Maximum separation, metres (same venue / same block).
+    radius_m: float = 400.0
+    #: Maximum time offset, seconds.
+    window_s: float = units.hours(1)
+
+    def __post_init__(self) -> None:
+        if self.radius_m <= 0 or self.window_s <= 0:
+            raise ValueError("colocation thresholds must be positive")
+
+
+def _presences_from_visits(dataset: Dataset) -> List[Presence]:
+    return [
+        (v.t_start, v.x, v.y, v.user_id)
+        for data in dataset.users.values()
+        for v in data.require_visits()
+    ]
+
+
+def _presences_from_checkins(checkins: Sequence[Checkin]) -> List[Presence]:
+    return [(c.t, c.x, c.y, c.user_id) for c in checkins]
+
+
+def colocated_pairs(
+    presences: Sequence[Presence], config: Optional[ColocationConfig] = None
+) -> Set[FrozenSet[str]]:
+    """Unordered user pairs with at least one co-location event.
+
+    Uses a coarse space-time bucketing (cells of the radius, buckets of
+    the window) and checks exact thresholds within neighbouring buckets,
+    so the scan is near-linear in the number of presence events.
+    """
+    config = config or ColocationConfig()
+    buckets: Dict[Tuple[int, int, int], List[Presence]] = defaultdict(list)
+
+    def key(t: float, x: float, y: float) -> Tuple[int, int, int]:
+        return (
+            int(t // config.window_s),
+            int(x // config.radius_m),
+            int(y // config.radius_m),
+        )
+
+    for presence in presences:
+        buckets[key(presence[0], presence[1], presence[2])].append(presence)
+
+    pairs: Set[FrozenSet[str]] = set()
+    for (bt, bx, by), bucket in buckets.items():
+        neighbours: List[Presence] = []
+        for dt in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    neighbours.extend(buckets.get((bt + dt, bx + dx, by + dy), []))
+        for t1, x1, y1, u1 in bucket:
+            for t2, x2, y2, u2 in neighbours:
+                if u1 >= u2:
+                    continue
+                if abs(t1 - t2) > config.window_s:
+                    continue
+                if math.hypot(x1 - x2, y1 - y2) > config.radius_m:
+                    continue
+                pairs.add(frozenset((u1, u2)))
+    return pairs
+
+
+@dataclass(frozen=True)
+class ColocationComparison:
+    """Claimed (checkin-based) vs true (GPS-based) meeting pairs."""
+
+    name: str
+    true_pairs: int
+    claimed_pairs: int
+    correct_pairs: int
+
+    @property
+    def precision(self) -> float:
+        """Share of claimed pairs that truly met."""
+        return self.correct_pairs / self.claimed_pairs if self.claimed_pairs else 0.0
+
+    @property
+    def recall(self) -> float:
+        """Share of true meeting pairs that the checkins surface."""
+        return self.correct_pairs / self.true_pairs if self.true_pairs else 0.0
+
+    @property
+    def false_pairs(self) -> int:
+        """Claimed pairs that never met — the 'incorrect suggestions'."""
+        return self.claimed_pairs - self.correct_pairs
+
+
+def compare_colocation(
+    dataset: Dataset,
+    checkins: Sequence[Checkin],
+    name: str,
+    config: Optional[ColocationConfig] = None,
+) -> ColocationComparison:
+    """Score checkin-implied meetings against GPS ground truth."""
+    config = config or ColocationConfig()
+    truth = colocated_pairs(_presences_from_visits(dataset), config)
+    claimed = colocated_pairs(_presences_from_checkins(checkins), config)
+    return ColocationComparison(
+        name=name,
+        true_pairs=len(truth),
+        claimed_pairs=len(claimed),
+        correct_pairs=len(truth & claimed),
+    )
+
+
+def evaluate_friendship_inference(
+    dataset: Dataset,
+    honest_checkins: Sequence[Checkin],
+    config: Optional[ColocationConfig] = None,
+) -> List[ColocationComparison]:
+    """The paper's comparison: all checkins vs honest checkins as evidence."""
+    return [
+        compare_colocation(dataset, dataset.all_checkins, "All checkins", config),
+        compare_colocation(dataset, list(honest_checkins), "Honest checkins", config),
+    ]

@@ -1,0 +1,156 @@
+"""Next-place prediction — the first downstream application the paper warns about.
+
+Researchers "are already relying on geosocial mobility traces to predict
+human movement" (§1, citing Cho et al., Noulas et al., Scellato et al.).
+This module implements the canonical baseline those works build on — an
+order-1 Markov chain over places with a popularity fallback — and the
+evaluation the paper implies: train on a checkin-derived place sequence,
+test against the user's *true* movement (GPS visit sequence).
+
+Extraneous checkins insert places the user never went between places she
+did, corrupting transition counts; missing checkins thin the sequences.
+The application bench quantifies both effects.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model import Dataset
+
+
+@dataclass
+class MarkovPredictor:
+    """Order-1 Markov model over place ids with a popularity fallback."""
+
+    transitions: Dict[str, Counter] = field(default_factory=lambda: defaultdict(Counter))
+    popularity: Counter = field(default_factory=Counter)
+
+    def fit(self, sequences: Iterable[Sequence[str]]) -> "MarkovPredictor":
+        """Accumulate transition and popularity counts from place sequences."""
+        for sequence in sequences:
+            for place in sequence:
+                self.popularity[place] += 1
+            for current, following in zip(sequence, sequence[1:]):
+                self.transitions[current][following] += 1
+        return self
+
+    def predict(self, current: str, top_k: int = 1) -> List[str]:
+        """The ``top_k`` most likely next places from ``current``.
+
+        Falls back to global popularity when the current place was never
+        seen (or has no outgoing transitions), which is what keeps the
+        predictor usable on sparse checkin training data.
+        """
+        if top_k <= 0:
+            raise ValueError(f"top_k must be positive, got {top_k!r}")
+        ranked: List[str] = []
+        outgoing = self.transitions.get(current)
+        if outgoing:
+            ranked.extend(place for place, _ in outgoing.most_common(top_k))
+        if len(ranked) < top_k:
+            for place, _ in self.popularity.most_common():
+                if place not in ranked:
+                    ranked.append(place)
+                if len(ranked) == top_k:
+                    break
+        return ranked
+
+    @property
+    def n_transitions(self) -> int:
+        """Total observed transitions."""
+        return sum(sum(c.values()) for c in self.transitions.values())
+
+
+def visit_sequences(
+    dataset: Dataset, before_t: Optional[float] = None, after_t: Optional[float] = None
+) -> Dict[str, List[str]]:
+    """Per-user POI-id sequences from extracted visits (unannotated skipped).
+
+    ``before_t``/``after_t`` restrict to visits starting before/after the
+    split time — the train/test split used by the evaluation.
+    """
+    out: Dict[str, List[str]] = {}
+    for data in dataset.users.values():
+        sequence = [
+            v.poi_id
+            for v in sorted(data.require_visits(), key=lambda v: v.t_start)
+            if v.poi_id is not None
+            and (before_t is None or v.t_start < before_t)
+            and (after_t is None or v.t_start >= after_t)
+        ]
+        out[data.user_id] = sequence
+    return out
+
+
+def checkin_sequences(
+    dataset: Dataset,
+    checkins=None,
+    before_t: Optional[float] = None,
+) -> Dict[str, List[str]]:
+    """Per-user POI-id sequences from checkins (optionally a subset)."""
+    pool = list(checkins) if checkins is not None else dataset.all_checkins
+    out: Dict[str, List[str]] = {user_id: [] for user_id in dataset.users}
+    for checkin in sorted(pool, key=lambda c: c.t):
+        if before_t is None or checkin.t < before_t:
+            out[checkin.user_id].append(checkin.poi_id)
+    return out
+
+
+@dataclass(frozen=True)
+class PredictionScore:
+    """Next-place accuracy of one trained model on true movement."""
+
+    name: str
+    accuracy: float
+    n_predictions: int
+
+
+def next_place_accuracy(
+    predictor: MarkovPredictor,
+    test_sequences: Dict[str, List[str]],
+    top_k: int = 1,
+) -> Tuple[float, int]:
+    """Share of true visit transitions whose next place is predicted.
+
+    For every consecutive pair (a → b) in the test sequences, the
+    prediction from ``a`` counts as a hit when ``b`` is in the top-k.
+    Returns ``(accuracy, n_transitions)``.
+    """
+    hits = 0
+    total = 0
+    for sequence in test_sequences.values():
+        for current, actual in zip(sequence, sequence[1:]):
+            total += 1
+            if actual in predictor.predict(current, top_k):
+                hits += 1
+    if total == 0:
+        raise ValueError("no test transitions to score")
+    return hits / total, total
+
+
+def evaluate_training_traces(
+    dataset: Dataset,
+    honest_checkins,
+    split_t: float,
+    top_k: int = 2,
+) -> List[PredictionScore]:
+    """Train on GPS / all-checkin / honest-checkin data; test on true movement.
+
+    Training uses events before ``split_t``; testing scores next-place
+    prediction on GPS visit transitions after it.
+    """
+    test = visit_sequences(dataset, after_t=split_t)
+    variants = [
+        ("GPS visits", visit_sequences(dataset, before_t=split_t)),
+        ("All checkins", checkin_sequences(dataset, before_t=split_t)),
+        ("Honest checkins", checkin_sequences(dataset, honest_checkins, before_t=split_t)),
+    ]
+    scores = []
+    for name, training in variants:
+        predictor = MarkovPredictor().fit(training.values())
+        accuracy, n = next_place_accuracy(predictor, test, top_k=top_k)
+        scores.append(PredictionScore(name=name, accuracy=accuracy, n_predictions=n))
+    return scores

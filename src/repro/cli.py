@@ -1,0 +1,182 @@
+"""Command-line interface: ``repro-study``.
+
+Subcommands::
+
+    repro-study generate --dataset primary --scale 0.15 --out data/primary
+    repro-study validate --data data/primary          # or --scale 0.15
+    repro-study report --scale 0.15 [--only table1,figure1]
+    repro-study manet --scale 0.15 [--full]
+
+``report`` regenerates every table and figure of the paper;
+``manet --full`` runs the paper's 200-node, 100 km arena configuration
+(slow — minutes, not seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import validate
+from .experiments import (
+    build_study,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table1,
+    table2,
+)
+from .io import load_dataset, save_dataset
+from .manet import bench_config, paper_config
+from .synth import baseline_config, generate_dataset, primary_config
+
+#: Experiment registry: name -> module with a run(artifacts) function.
+EXPERIMENTS = {
+    "table1": table1,
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "table2": table2,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-study",
+        description="Reproduction of 'On the Validity of Geosocial Mobility Traces'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic study dataset")
+    gen.add_argument("--dataset", choices=["primary", "baseline"], default="primary")
+    gen.add_argument("--scale", type=float, default=1.0, help="population scale (0, 1]")
+    gen.add_argument("--seed", type=int, default=None, help="override the preset seed")
+    gen.add_argument("--out", required=True, help="output directory")
+
+    val = sub.add_parser("validate", help="run the checkin-validity pipeline")
+    val.add_argument("--data", help="dataset directory written by 'generate'")
+    val.add_argument("--scale", type=float, default=0.15,
+                     help="generate a Primary dataset at this scale instead")
+
+    rep = sub.add_parser("report", help="regenerate the paper's tables and figures")
+    rep.add_argument("--scale", type=float, default=0.15)
+    rep.add_argument(
+        "--only",
+        help=f"comma-separated subset of: {', '.join(EXPERIMENTS)}",
+    )
+
+    man = sub.add_parser("manet", help="run the Figure 8 MANET comparison")
+    man.add_argument("--scale", type=float, default=0.15)
+    man.add_argument(
+        "--full",
+        action="store_true",
+        help="use the paper's 200-node, 100 km configuration (slow)",
+    )
+
+    exp = sub.add_parser("export", help="export every table/figure's data to CSV")
+    exp.add_argument("--scale", type=float, default=0.15)
+    exp.add_argument("--out", required=True, help="output directory for CSV files")
+    exp.add_argument("--no-manet", action="store_true",
+                     help="skip the (slow) Figure 8 simulation")
+
+    rec = sub.add_parser(
+        "recover", help="up-sample missing checkins (§7) and report the gain"
+    )
+    rec.add_argument("--scale", type=float, default=0.15)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    preset = primary_config if args.dataset == "primary" else baseline_config
+    config = preset() if args.seed is None else preset(seed=args.seed)
+    dataset = generate_dataset(config.scaled(args.scale))
+    save_dataset(dataset, args.out)
+    stats = dataset.stats()
+    print(f"wrote {stats.name}: {stats.n_users} users, {stats.n_checkins} checkins, "
+          f"{stats.n_gps_points} GPS points -> {args.out}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    if args.data:
+        dataset = load_dataset(args.data)
+    else:
+        dataset = generate_dataset(primary_config().scaled(args.scale))
+    report = validate(dataset)
+    print(report.summary())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    names = list(EXPERIMENTS)
+    if args.only:
+        names = [n.strip() for n in args.only.split(",") if n.strip()]
+        unknown = [n for n in names if n not in EXPERIMENTS]
+        if unknown:
+            print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    artifacts = build_study(scale=args.scale)
+    for name in names:
+        result = EXPERIMENTS[name].run(artifacts)
+        text = (
+            result.format_table() if hasattr(result, "format_table")
+            else result.format_report()
+        )
+        print(text)
+        print()
+    return 0
+
+
+def _cmd_manet(args: argparse.Namespace) -> int:
+    artifacts = build_study(scale=args.scale)
+    config = paper_config() if args.full else bench_config()
+    result = figure8.run(artifacts, config)
+    print(result.format_report())
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .experiments.export import export_all
+
+    artifacts = build_study(scale=args.scale)
+    paths = export_all(artifacts, args.out, include_manet=not args.no_manet)
+    print(f"wrote {len(paths)} CSV files to {args.out}")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from .core import recovery_gain
+
+    artifacts = build_study(scale=args.scale)
+    gain = recovery_gain(artifacts.primary)
+    print(gain.format_report())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "validate": _cmd_validate,
+        "report": _cmd_report,
+        "manet": _cmd_manet,
+        "export": _cmd_export,
+        "recover": _cmd_recover,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,164 @@
+"""Distinguishing characteristics of extraneous checkins (Section 5.3).
+
+Two analyses feed Figures 5 and 6 and the filtering discussion:
+
+* **per-user prevalence** — the CDF across users of the share of their
+  checkins that is extraneous (per class and overall).  The paper finds
+  extraneous checkins widespread, so filtering *users* is lossy; the
+  :func:`filter_tradeoff` helper quantifies exactly that ("removing the
+  users behind 80% of extraneous checkins also removes 53% of honest
+  checkins").
+* **burstiness** — inter-arrival time CDFs per checkin class; honest
+  checkins are spread out, extraneous ones arrive in bursts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..model import Checkin, CheckinType, Dataset
+from ..stats import Ecdf
+from .classify import ClassificationResult
+
+
+def interarrival_times(checkins: Sequence[Checkin]) -> List[float]:
+    """Per-user consecutive gaps (seconds) within one list of checkins.
+
+    Checkins are grouped by user and sorted by time; gaps never span
+    users.
+    """
+    by_user: Dict[str, List[float]] = {}
+    for checkin in checkins:
+        by_user.setdefault(checkin.user_id, []).append(checkin.t)
+    gaps: List[float] = []
+    for times in by_user.values():
+        times.sort()
+        gaps.extend(b - a for a, b in zip(times, times[1:]))
+    return gaps
+
+
+def interarrival_by_type(
+    classification: ClassificationResult,
+    kinds: Optional[Iterable[CheckinType]] = None,
+) -> Dict[CheckinType, Ecdf]:
+    """Figure 6: inter-arrival ECDF per checkin class.
+
+    Gaps are computed *within* each class (consecutive checkins of the
+    same class by the same user), which is what makes bursts visible.
+    Classes with fewer than two checkins for every user are omitted.
+    """
+    kinds = list(kinds) if kinds is not None else list(CheckinType)
+    out: Dict[CheckinType, Ecdf] = {}
+    for kind in kinds:
+        gaps = interarrival_times(classification.of_type(kind))
+        if gaps:
+            out[kind] = Ecdf.from_sample(gaps)
+    return out
+
+
+@dataclass(frozen=True)
+class PrevalenceCdfs:
+    """Figure 5: per-user extraneous ratio distributions."""
+
+    per_type: Dict[CheckinType, Ecdf]
+    all_extraneous: Ecdf
+    n_users: int
+
+    def users_above(self, threshold: float) -> float:
+        """Share of users with overall extraneous ratio above ``threshold``."""
+        return 1.0 - self.all_extraneous.evaluate(threshold)
+
+
+def user_type_ratios(
+    dataset: Dataset,
+    classification: ClassificationResult,
+    min_checkins: int = 1,
+) -> Dict[str, Dict[CheckinType, float]]:
+    """Per-user ratio of each class among her checkins."""
+    out: Dict[str, Dict[CheckinType, float]] = {}
+    for data in dataset.users.values():
+        n = len(data.checkins)
+        if n < min_checkins:
+            continue
+        counts = {kind: 0 for kind in CheckinType}
+        for label in classification.user_labels(data.user_id).values():
+            counts[label] += 1
+        out[data.user_id] = {kind: counts[kind] / n for kind in CheckinType}
+    return out
+
+
+def prevalence_cdfs(
+    dataset: Dataset,
+    classification: ClassificationResult,
+    min_checkins: int = 1,
+) -> PrevalenceCdfs:
+    """Figure 5: CDFs across users of extraneous checkin ratios."""
+    ratios = user_type_ratios(dataset, classification, min_checkins)
+    if not ratios:
+        raise ValueError("no users with enough checkins for prevalence analysis")
+    per_type: Dict[CheckinType, Ecdf] = {}
+    for kind in (CheckinType.SUPERFLUOUS, CheckinType.REMOTE, CheckinType.DRIVEBY):
+        per_type[kind] = Ecdf.from_sample([r[kind] for r in ratios.values()])
+    all_extraneous = Ecdf.from_sample(
+        [1.0 - r[CheckinType.HONEST] for r in ratios.values()]
+    )
+    return PrevalenceCdfs(
+        per_type=per_type, all_extraneous=all_extraneous, n_users=len(ratios)
+    )
+
+
+@dataclass(frozen=True)
+class FilterTradeoff:
+    """Cost of filtering users to suppress extraneous checkins."""
+
+    #: Target share of extraneous checkins removed.
+    extraneous_removed: float
+    #: Share of honest checkins lost as collateral.
+    honest_lost: float
+    #: Number of users filtered out.
+    users_filtered: int
+    n_users: int
+
+
+def filter_tradeoff(
+    dataset: Dataset,
+    classification: ClassificationResult,
+    target_extraneous_fraction: float = 0.8,
+) -> FilterTradeoff:
+    """Quantify the paper's user-filtering thought experiment.
+
+    Remove users in decreasing order of extraneous checkin count until
+    the removed users account for ``target_extraneous_fraction`` of all
+    extraneous checkins; report how many honest checkins went with them.
+    """
+    if not 0 < target_extraneous_fraction <= 1:
+        raise ValueError("target fraction must be in (0, 1]")
+    per_user: List[Tuple[str, int, int]] = []
+    total_extraneous = 0
+    total_honest = 0
+    for data in dataset.users.values():
+        labels = classification.user_labels(data.user_id)
+        extraneous = sum(1 for label in labels.values() if label.is_extraneous)
+        honest = sum(1 for label in labels.values() if label is CheckinType.HONEST)
+        per_user.append((data.user_id, extraneous, honest))
+        total_extraneous += extraneous
+        total_honest += honest
+    if total_extraneous == 0:
+        return FilterTradeoff(0.0, 0.0, 0, len(per_user))
+    per_user.sort(key=lambda row: row[1], reverse=True)
+    removed_extraneous = 0
+    removed_honest = 0
+    removed_users = 0
+    for _, extraneous, honest in per_user:
+        if removed_extraneous >= target_extraneous_fraction * total_extraneous:
+            break
+        removed_extraneous += extraneous
+        removed_honest += honest
+        removed_users += 1
+    return FilterTradeoff(
+        extraneous_removed=removed_extraneous / total_extraneous,
+        honest_lost=(removed_honest / total_honest) if total_honest else 0.0,
+        users_filtered=removed_users,
+        n_users=len(per_user),
+    )

@@ -1,0 +1,220 @@
+"""Extraneous checkin classification (Section 5.1).
+
+The paper manually inspected its 10,772 extraneous checkins and sorted
+90% of them into three behaviours; this module automates that taxonomy
+using the GPS trace as ground truth for where the user really was:
+
+* **remote** — the checkin's POI lies more than 500 m from the user's
+  physical position at checkin time ("beyond any reasonable GPS or POI
+  location errors, the user is clearly falsifying her location");
+* **driveby** — the POI is nearby but the user was moving faster than
+  4 mph;
+* **superfluous** — the user was stationary at a real visit within the
+  matching thresholds, but this checkin did not win the match (extra
+  checkins fired from one physical location);
+* **other** — the residual: stationary, nearby, but no qualifying visit
+  (e.g. stops shorter than the 6-minute dwell), or no usable GPS fix.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geo import GridIndex, units
+from ..model import (
+    EXTRANEOUS_TYPES,
+    Checkin,
+    CheckinType,
+    Dataset,
+    GpsPoint,
+    Visit,
+)
+from .matching import MatchingResult
+
+
+@dataclass(frozen=True)
+class ClassifyConfig:
+    """Thresholds of the extraneous taxonomy."""
+
+    #: Remote threshold, metres (the paper's 500 m).
+    remote_distance_m: float = 500.0
+    #: Driveby speed threshold, m/s (the paper's 4 mph).
+    driveby_speed_ms: float = units.mph(4.0)
+    #: Spatial threshold for the superfluous test, metres (matching α).
+    alpha_m: float = 500.0
+    #: Temporal threshold for the superfluous test, seconds (matching β).
+    beta_s: float = units.minutes(30)
+    #: A GPS fix further than this from the checkin time is unusable.
+    max_fix_age_s: float = units.minutes(5)
+    #: Half-width of the speed estimation window, seconds.
+    speed_window_s: float = 90.0
+
+
+class GpsLocator:
+    """Physical position/speed lookup from one user's GPS trace."""
+
+    def __init__(self, points: Sequence[GpsPoint]) -> None:
+        pts = sorted(points, key=lambda p: p.t)
+        self._t = [p.t for p in pts]
+        self._x = [p.x for p in pts]
+        self._y = [p.y for p in pts]
+
+    def __len__(self) -> int:
+        return len(self._t)
+
+    def locate(self, t: float, max_fix_age_s: float) -> Optional[Tuple[float, float]]:
+        """Interpolated position at time ``t``, or None without a fresh fix.
+
+        Interpolates linearly between the bracketing samples when both
+        are within the fix-age bound; otherwise snaps to the nearest
+        sample if *it* is fresh enough.
+        """
+        if not self._t:
+            return None
+        idx = bisect.bisect_left(self._t, t)
+        lo = idx - 1
+        hi = idx
+        if lo >= 0 and hi < len(self._t):
+            gap_lo = t - self._t[lo]
+            gap_hi = self._t[hi] - t
+            if gap_lo <= max_fix_age_s and gap_hi <= max_fix_age_s:
+                span = self._t[hi] - self._t[lo]
+                frac = 0.0 if span == 0 else (t - self._t[lo]) / span
+                return (
+                    self._x[lo] + frac * (self._x[hi] - self._x[lo]),
+                    self._y[lo] + frac * (self._y[hi] - self._y[lo]),
+                )
+        # Fall back to the nearest single sample.
+        best = None
+        for i in (lo, hi):
+            if 0 <= i < len(self._t):
+                age = abs(self._t[i] - t)
+                if best is None or age < best[0]:
+                    best = (age, i)
+        if best is None or best[0] > max_fix_age_s:
+            return None
+        i = best[1]
+        return self._x[i], self._y[i]
+
+    def speed(self, t: float, window_s: float) -> Optional[float]:
+        """Mean speed (m/s) over the samples bracketing ``t ± window``.
+
+        Uses the widest pair of samples inside the window; None when the
+        trace has no two samples there.
+        """
+        if len(self._t) < 2:
+            return None
+        lo_idx = bisect.bisect_left(self._t, t - window_s)
+        hi_idx = bisect.bisect_right(self._t, t + window_s) - 1
+        if hi_idx <= lo_idx:
+            # Fewer than two samples inside the window; widen to the
+            # nearest neighbours if they are close enough to be meaningful.
+            idx = bisect.bisect_left(self._t, t)
+            lo_idx, hi_idx = max(0, idx - 1), min(len(self._t) - 1, idx)
+            if hi_idx <= lo_idx:
+                return None
+            if self._t[hi_idx] - self._t[lo_idx] > 4 * window_s:
+                return None
+        dt = self._t[hi_idx] - self._t[lo_idx]
+        if dt <= 0:
+            return None
+        dist = math.hypot(
+            self._x[hi_idx] - self._x[lo_idx], self._y[hi_idx] - self._y[lo_idx]
+        )
+        return dist / dt
+
+
+@dataclass
+class ClassificationResult:
+    """Labels for every checkin in a dataset (honest + extraneous taxonomy)."""
+
+    config: ClassifyConfig
+    labels: Dict[str, CheckinType] = field(default_factory=dict)
+    checkins: Dict[str, Checkin] = field(default_factory=dict)
+
+    def of_type(self, kind: CheckinType) -> List[Checkin]:
+        """All checkins labelled ``kind``, in time order."""
+        out = [
+            self.checkins[cid] for cid, label in self.labels.items() if label is kind
+        ]
+        return sorted(out, key=lambda c: (c.user_id, c.t))
+
+    def counts(self) -> Dict[CheckinType, int]:
+        """Checkin count per label."""
+        out = {kind: 0 for kind in CheckinType}
+        for label in self.labels.values():
+            out[label] += 1
+        return out
+
+    @property
+    def n_extraneous(self) -> int:
+        """Total checkins in any extraneous class."""
+        return sum(1 for label in self.labels.values() if label.is_extraneous)
+
+    def fractions_of_extraneous(self) -> Dict[CheckinType, float]:
+        """Each extraneous class's share of all extraneous checkins."""
+        total = self.n_extraneous
+        counts = self.counts()
+        return {
+            kind: (counts[kind] / total if total else 0.0) for kind in EXTRANEOUS_TYPES
+        }
+
+    def user_labels(self, user_id: str) -> Dict[str, CheckinType]:
+        """Labels restricted to one user's checkins."""
+        return {
+            cid: label
+            for cid, label in self.labels.items()
+            if self.checkins[cid].user_id == user_id
+        }
+
+
+def classify_extraneous_checkin(
+    checkin: Checkin,
+    locator: GpsLocator,
+    visit_index: GridIndex,
+    config: ClassifyConfig,
+) -> CheckinType:
+    """Assign one extraneous checkin to the Section 5.1 taxonomy."""
+    fix = locator.locate(checkin.t, config.max_fix_age_s)
+    if fix is None:
+        return CheckinType.OTHER
+    distance = math.hypot(checkin.x - fix[0], checkin.y - fix[1])
+    if distance > config.remote_distance_m:
+        return CheckinType.REMOTE
+    speed = locator.speed(checkin.t, config.speed_window_s)
+    if speed is not None and speed > config.driveby_speed_ms:
+        return CheckinType.DRIVEBY
+    for _, visit in visit_index.within(checkin.x, checkin.y, config.alpha_m):
+        if visit.time_distance(checkin.t) <= config.beta_s:
+            return CheckinType.SUPERFLUOUS
+    return CheckinType.OTHER
+
+
+def classify_dataset(
+    dataset: Dataset,
+    matching: MatchingResult,
+    config: Optional[ClassifyConfig] = None,
+) -> ClassificationResult:
+    """Label every checkin: HONEST for matches, taxonomy for the rest."""
+    config = config or ClassifyConfig()
+    result = ClassificationResult(config=config)
+    for data in dataset.users.values():
+        user_match = matching.per_user.get(data.user_id)
+        if user_match is None:
+            raise ValueError(f"matching result lacks user {data.user_id!r}")
+        locator = GpsLocator(data.gps)
+        visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
+        for visit in data.require_visits():
+            visit_index.insert(visit.x, visit.y, visit)
+        for checkin, _ in user_match.matches:
+            result.labels[checkin.checkin_id] = CheckinType.HONEST
+            result.checkins[checkin.checkin_id] = checkin
+        for checkin in user_match.extraneous:
+            result.labels[checkin.checkin_id] = classify_extraneous_checkin(
+                checkin, locator, visit_index, config
+            )
+            result.checkins[checkin.checkin_id] = checkin
+    return result

@@ -1,0 +1,248 @@
+"""Extraneous checkin detection (the paper's first open problem, §7).
+
+The paper identifies temporal burstiness as a candidate feature for
+detecting extraneous checkins and suggests machine learning as future
+work.  This module implements that future work on checkin-trace-only
+features — usable on a real geosocial dataset where no GPS ground truth
+exists:
+
+* per-checkin features: gap to the user's previous/next checkin,
+  displacement from the previous checkin, and implied travel speed
+  (displacement / gap — a remote checkin right after an honest one
+  implies an impossible speed);
+* a burstiness threshold detector (the paper's §5.3 observation);
+* a Gaussian naive Bayes classifier over the features, trained on
+  labelled data (e.g. a matched study dataset) and applied to unlabelled
+  traces.
+
+Evaluation uses matching-derived labels as ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo import units
+from ..model import Checkin, CheckinType, Dataset
+
+#: Cap for undefined gaps (first/last checkin of a user), seconds.
+GAP_CAP_S = units.days(2)
+
+
+@dataclass(frozen=True)
+class CheckinFeatures:
+    """Trace-only features of one checkin."""
+
+    checkin_id: str
+    #: Gap to the same user's previous checkin, seconds (capped).
+    gap_prev_s: float
+    #: Gap to the same user's next checkin, seconds (capped).
+    gap_next_s: float
+    #: Distance from the previous checkin, metres (0 for the first).
+    hop_m: float
+    #: Implied speed from the previous checkin, m/s (0 for the first).
+    implied_speed: float
+
+    @property
+    def min_gap_s(self) -> float:
+        """Burstiness: the smaller of the two neighbouring gaps."""
+        return min(self.gap_prev_s, self.gap_next_s)
+
+    def vector(self) -> np.ndarray:
+        """Numeric feature vector (log-compressed where heavy-tailed)."""
+        return np.array(
+            [
+                math.log1p(self.min_gap_s),
+                math.log1p(self.hop_m),
+                math.log1p(self.implied_speed),
+            ]
+        )
+
+
+def extract_features(checkins: Sequence[Checkin]) -> Dict[str, CheckinFeatures]:
+    """Features for every checkin, grouped per user internally."""
+    by_user: Dict[str, List[Checkin]] = {}
+    for checkin in checkins:
+        by_user.setdefault(checkin.user_id, []).append(checkin)
+    out: Dict[str, CheckinFeatures] = {}
+    for user_checkins in by_user.values():
+        user_checkins.sort(key=lambda c: c.t)
+        for i, checkin in enumerate(user_checkins):
+            gap_prev = (
+                checkin.t - user_checkins[i - 1].t if i > 0 else GAP_CAP_S
+            )
+            gap_next = (
+                user_checkins[i + 1].t - checkin.t
+                if i + 1 < len(user_checkins)
+                else GAP_CAP_S
+            )
+            if i > 0:
+                prev = user_checkins[i - 1]
+                hop = math.hypot(checkin.x - prev.x, checkin.y - prev.y)
+                speed = hop / max(1.0, gap_prev)
+            else:
+                hop = 0.0
+                speed = 0.0
+            out[checkin.checkin_id] = CheckinFeatures(
+                checkin_id=checkin.checkin_id,
+                gap_prev_s=min(gap_prev, GAP_CAP_S),
+                gap_next_s=min(gap_next, GAP_CAP_S),
+                hop_m=hop,
+                implied_speed=speed,
+            )
+    return out
+
+
+class BurstinessDetector:
+    """Flag a checkin as extraneous when its nearest gap is below a threshold.
+
+    This is exactly the paper's §5.3 observation operationalised: "the
+    majority of extraneous checkins arrive within a small interval (less
+    than 10 minutes) ... the interarrival time for honest checkins is
+    more than 10 minutes".
+    """
+
+    def __init__(self, gap_threshold_s: float = units.minutes(10)) -> None:
+        if gap_threshold_s <= 0:
+            raise ValueError("gap threshold must be positive")
+        self.gap_threshold_s = gap_threshold_s
+
+    def predict(self, features: CheckinFeatures) -> bool:
+        """True when the checkin looks extraneous."""
+        return features.min_gap_s < self.gap_threshold_s
+
+    def predict_many(self, features: Iterable[CheckinFeatures]) -> Dict[str, bool]:
+        """Batch :meth:`predict`, keyed by checkin id."""
+        return {f.checkin_id: self.predict(f) for f in features}
+
+
+class GaussianNBDetector:
+    """Gaussian naive Bayes over trace-only features.
+
+    A deliberately simple, dependency-free classifier — the point is to
+    show the features carry signal, not to chase accuracy.
+    """
+
+    def __init__(self) -> None:
+        self._means: Optional[np.ndarray] = None  # shape (2, n_features)
+        self._vars: Optional[np.ndarray] = None
+        self._log_priors: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """True once :meth:`fit` has run."""
+        return self._means is not None
+
+    def fit(
+        self,
+        features: Iterable[CheckinFeatures],
+        labels: Mapping[str, bool],
+    ) -> "GaussianNBDetector":
+        """Train on features with boolean labels (True = extraneous)."""
+        xs: List[np.ndarray] = []
+        ys: List[int] = []
+        for f in features:
+            if f.checkin_id not in labels:
+                continue
+            xs.append(f.vector())
+            ys.append(int(labels[f.checkin_id]))
+        if not xs:
+            raise ValueError("no labelled examples to fit on")
+        x = np.vstack(xs)
+        y = np.array(ys)
+        if len(np.unique(y)) < 2:
+            raise ValueError("training data must contain both classes")
+        means = np.zeros((2, x.shape[1]))
+        variances = np.zeros((2, x.shape[1]))
+        priors = np.zeros(2)
+        for cls in (0, 1):
+            rows = x[y == cls]
+            means[cls] = rows.mean(axis=0)
+            variances[cls] = rows.var(axis=0) + 1e-6
+            priors[cls] = len(rows) / len(x)
+        self._means = means
+        self._vars = variances
+        self._log_priors = np.log(priors)
+        return self
+
+    def _log_likelihood(self, vector: np.ndarray) -> np.ndarray:
+        assert self._means is not None and self._vars is not None
+        diff = vector[None, :] - self._means
+        return -0.5 * np.sum(
+            np.log(2 * np.pi * self._vars) + diff**2 / self._vars, axis=1
+        )
+
+    def predict(self, features: CheckinFeatures) -> bool:
+        """True when the checkin looks extraneous."""
+        if not self.is_fitted:
+            raise ValueError("detector is not fitted")
+        scores = self._log_likelihood(features.vector()) + self._log_priors
+        return bool(scores[1] > scores[0])
+
+    def predict_many(self, features: Iterable[CheckinFeatures]) -> Dict[str, bool]:
+        """Batch :meth:`predict`, keyed by checkin id."""
+        return {f.checkin_id: self.predict(f) for f in features}
+
+
+@dataclass(frozen=True)
+class DetectionMetrics:
+    """Binary classification quality (positive class = extraneous)."""
+
+    precision: float
+    recall: float
+    f1: float
+    accuracy: float
+    n: int
+
+
+def evaluate_detector(
+    predictions: Mapping[str, bool], truth: Mapping[str, bool]
+) -> DetectionMetrics:
+    """Score predictions against ground-truth labels (shared keys only)."""
+    keys = [k for k in predictions if k in truth]
+    if not keys:
+        raise ValueError("no overlapping checkins between predictions and truth")
+    tp = fp = fn = tn = 0
+    for key in keys:
+        predicted, actual = predictions[key], truth[key]
+        if predicted and actual:
+            tp += 1
+        elif predicted and not actual:
+            fp += 1
+        elif not predicted and actual:
+            fn += 1
+        else:
+            tn += 1
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = (
+        2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    )
+    return DetectionMetrics(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        accuracy=(tp + tn) / len(keys),
+        n=len(keys),
+    )
+
+
+def truth_labels(labels: Mapping[str, CheckinType]) -> Dict[str, bool]:
+    """Ground truth for detection: True when the checkin is extraneous."""
+    return {cid: kind.is_extraneous for cid, kind in labels.items()}
+
+
+def split_users(
+    dataset: Dataset, train_fraction: float, rng: np.random.Generator
+) -> Tuple[List[str], List[str]]:
+    """Random user-level train/test split (no user leaks across sides)."""
+    if not 0 < train_fraction < 1:
+        raise ValueError("train_fraction must be in (0, 1)")
+    user_ids = sorted(dataset.users)
+    rng.shuffle(user_ids)
+    cut = max(1, min(len(user_ids) - 1, round(train_fraction * len(user_ids))))
+    return user_ids[:cut], user_ids[cut:]

@@ -1,0 +1,117 @@
+"""Incentive analysis (Section 5.2, Table 2).
+
+For each user, compute the ratio of each checkin class among her
+checkins, and four profile features: number of friends, badges,
+mayorships, and checkins per day.  Table 2 is the Pearson correlation of
+each (class ratio, feature) pair across users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..model import CheckinType, Dataset
+from ..stats import pearson
+from .classify import ClassificationResult
+
+#: The checkin classes reported in Table 2, in the paper's row order.
+TABLE2_TYPES: Tuple[CheckinType, ...] = (
+    CheckinType.SUPERFLUOUS,
+    CheckinType.REMOTE,
+    CheckinType.DRIVEBY,
+    CheckinType.HONEST,
+)
+
+#: The profile features of Table 2, in the paper's column order.
+TABLE2_FEATURES: Tuple[str, ...] = ("friends", "badges", "mayorships", "checkins_per_day")
+
+
+@dataclass(frozen=True)
+class UserFeatureRow:
+    """One user's ratios and features — one observation of the correlation."""
+
+    user_id: str
+    ratios: Dict[CheckinType, float]
+    features: Dict[str, float]
+
+
+@dataclass(frozen=True)
+class IncentiveCorrelations:
+    """Table 2: correlation of checkin-type ratio vs profile feature."""
+
+    table: Dict[CheckinType, Dict[str, float]]
+    n_users: int
+
+    def get(self, kind: CheckinType, feature: str) -> float:
+        """One cell of Table 2."""
+        return self.table[kind][feature]
+
+    def format_table(self) -> str:
+        """Render in the paper's Table 2 layout."""
+        header = f"{'Checkin Type':<14}" + "".join(
+            f"{name:>18}" for name in TABLE2_FEATURES
+        )
+        lines = [header]
+        for kind in TABLE2_TYPES:
+            cells = "".join(f"{self.table[kind][f]:>18.2f}" for f in TABLE2_FEATURES)
+            lines.append(f"{kind.value.capitalize():<14}{cells}")
+        return "\n".join(lines)
+
+
+def user_feature_rows(
+    dataset: Dataset,
+    classification: ClassificationResult,
+    min_checkins: int = 5,
+) -> List[UserFeatureRow]:
+    """Per-user observations for the Table 2 correlations.
+
+    Users with fewer than ``min_checkins`` checkins are dropped: a ratio
+    over two checkins is noise, and the paper's population averaged 59
+    checkins per user.
+    """
+    rows: List[UserFeatureRow] = []
+    for data in dataset.users.values():
+        n = len(data.checkins)
+        if n < min_checkins:
+            continue
+        labels = classification.user_labels(data.user_id)
+        counts = {kind: 0 for kind in CheckinType}
+        for label in labels.values():
+            counts[label] += 1
+        ratios = {kind: counts[kind] / n for kind in CheckinType}
+        profile = data.profile
+        rows.append(
+            UserFeatureRow(
+                user_id=data.user_id,
+                ratios=ratios,
+                features={
+                    "friends": float(profile.friends),
+                    "badges": float(profile.badges),
+                    "mayorships": float(profile.mayorships),
+                    "checkins_per_day": profile.checkins_per_day(n),
+                },
+            )
+        )
+    return rows
+
+
+def incentive_correlations(
+    dataset: Dataset,
+    classification: ClassificationResult,
+    min_checkins: int = 5,
+) -> IncentiveCorrelations:
+    """Compute Table 2 for a dataset."""
+    rows = user_feature_rows(dataset, classification, min_checkins)
+    if len(rows) < 3:
+        raise ValueError(
+            f"need at least 3 eligible users for correlations, got {len(rows)}"
+        )
+    table: Dict[CheckinType, Dict[str, float]] = {}
+    for kind in TABLE2_TYPES:
+        ratios = [row.ratios[kind] for row in rows]
+        table[kind] = {
+            feature: pearson(ratios, [row.features[feature] for row in rows])
+            for feature in TABLE2_FEATURES
+        }
+    return IncentiveCorrelations(table=table, n_users=len(rows))

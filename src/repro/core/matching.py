@@ -1,0 +1,219 @@
+"""The paper's checkin-to-visit matching algorithm (Section 4.1).
+
+For each checkin, Step 1 gathers the user's visits within α metres of
+the checkin's location; Step 2 picks the candidate closest in time and
+accepts it when the time distance (footnote 2: zero inside the visit,
+else distance to the nearer endpoint) is at most β.  When several
+checkins claim the same visit, the *geographically closest* checkin
+wins.  The paper's values α = 500 m, β = 30 min are the defaults.
+
+The paper runs a single resolution round (each checkin has at most one
+candidate match, losers become extraneous).  ``rematch_losers`` enables
+an iterative variant used by the ablation bench: losers re-compete for
+still-unclaimed visits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..geo import GridIndex, euclidean, units
+from ..model import Checkin, Dataset, Visit
+
+
+@dataclass(frozen=True)
+class MatchConfig:
+    """Matching thresholds."""
+
+    #: Spatial threshold α, metres.
+    alpha_m: float = 500.0
+    #: Temporal threshold β, seconds.
+    beta_s: float = units.minutes(30)
+    #: Let checkins that lose a tie-break re-compete for other visits.
+    rematch_losers: bool = False
+
+    def __post_init__(self) -> None:
+        if self.alpha_m <= 0 or self.beta_s <= 0:
+            raise ValueError("matching thresholds must be positive")
+
+
+@dataclass
+class UserMatching:
+    """Per-user matching outcome."""
+
+    user_id: str
+    matches: List[Tuple[Checkin, Visit]] = field(default_factory=list)
+    extraneous: List[Checkin] = field(default_factory=list)
+    missing: List[Visit] = field(default_factory=list)
+
+    @property
+    def honest(self) -> List[Checkin]:
+        """Checkins that matched a visit."""
+        return [c for c, _ in self.matches]
+
+
+@dataclass
+class MatchingResult:
+    """Dataset-wide matching outcome — the data behind Figure 1."""
+
+    config: MatchConfig
+    per_user: Dict[str, UserMatching]
+
+    @property
+    def honest_checkins(self) -> List[Checkin]:
+        """All matched checkins across users."""
+        return [c for m in self.per_user.values() for c, _ in m.matches]
+
+    @property
+    def extraneous_checkins(self) -> List[Checkin]:
+        """All unmatched checkins across users."""
+        return [c for m in self.per_user.values() for c in m.extraneous]
+
+    @property
+    def missing_visits(self) -> List[Visit]:
+        """All unmatched visits across users (the 'missing checkins')."""
+        return [v for m in self.per_user.values() for v in m.missing]
+
+    @property
+    def matched_pairs(self) -> List[Tuple[Checkin, Visit]]:
+        """All (checkin, visit) matches across users."""
+        return [pair for m in self.per_user.values() for pair in m.matches]
+
+    @property
+    def n_honest(self) -> int:
+        """Count of honest checkins (Venn intersection)."""
+        return sum(len(m.matches) for m in self.per_user.values())
+
+    @property
+    def n_extraneous(self) -> int:
+        """Count of extraneous checkins (checkin-only region)."""
+        return sum(len(m.extraneous) for m in self.per_user.values())
+
+    @property
+    def n_missing(self) -> int:
+        """Count of missing checkins / unmatched visits (GPS-only region)."""
+        return sum(len(m.missing) for m in self.per_user.values())
+
+    @property
+    def n_checkins(self) -> int:
+        """Total checkins considered."""
+        return self.n_honest + self.n_extraneous
+
+    @property
+    def n_visits(self) -> int:
+        """Total visits considered."""
+        return self.n_honest + self.n_missing
+
+    def extraneous_fraction(self) -> float:
+        """Share of checkins that are extraneous (the paper's ≈75%)."""
+        return self.n_extraneous / self.n_checkins if self.n_checkins else 0.0
+
+    def coverage_fraction(self) -> float:
+        """Share of visits covered by checkins (the paper's ≈10%)."""
+        return self.n_honest / self.n_visits if self.n_visits else 0.0
+
+
+def _best_visit(
+    checkin: Checkin,
+    index: GridIndex,
+    config: MatchConfig,
+    exclude: Optional[set] = None,
+) -> Optional[Tuple[Visit, float]]:
+    """Step 1 + Step 2 for one checkin: the temporally closest visit in range."""
+    candidates = index.within(checkin.x, checkin.y, config.alpha_m)
+    best: Optional[Tuple[Visit, float]] = None
+    for _, visit in candidates:
+        if exclude and visit.visit_id in exclude:
+            continue
+        dt = visit.time_distance(checkin.t)
+        if dt > config.beta_s:
+            continue
+        if best is None or dt < best[1] or (
+            dt == best[1] and visit.t_start < best[0].t_start
+        ):
+            best = (visit, dt)
+    return best
+
+
+def match_user(
+    checkins: Sequence[Checkin],
+    visits: Sequence[Visit],
+    config: Optional[MatchConfig] = None,
+    user_id: Optional[str] = None,
+) -> UserMatching:
+    """Run the matching algorithm for one user."""
+    config = config or MatchConfig()
+    if user_id is None:
+        if checkins:
+            user_id = checkins[0].user_id
+        elif visits:
+            user_id = visits[0].user_id
+        else:
+            user_id = "unknown"
+    index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
+    for visit in visits:
+        index.insert(visit.x, visit.y, visit)
+
+    assigned: Dict[str, Tuple[Checkin, Visit]] = {}
+    losers: List[Checkin] = []
+    pending = list(checkins)
+    rounds = 0
+    while pending:
+        rounds += 1
+        # Tentative claims this round: visit_id -> list of (checkin, geo distance).
+        claims: Dict[str, List[Tuple[float, Checkin, Visit]]] = {}
+        unmatched: List[Checkin] = []
+        for checkin in pending:
+            if config.rematch_losers:
+                # Later rounds re-compete only for still-free visits.
+                best = _best_visit(checkin, index, config, exclude=set(assigned))
+            else:
+                # Paper behaviour: a single Step-2 choice per checkin.
+                best = _best_visit(checkin, index, config)
+                if best is not None and best[0].visit_id in assigned:
+                    best = None
+            if best is None:
+                unmatched.append(checkin)
+                continue
+            visit = best[0]
+            geo = euclidean(checkin.x, checkin.y, visit.x, visit.y)
+            claims.setdefault(visit.visit_id, []).append((geo, checkin, visit))
+        round_losers: List[Checkin] = []
+        for contenders in claims.values():
+            contenders.sort(key=lambda item: (item[0], item[1].checkin_id))
+            _, winner, visit = contenders[0]
+            assigned[visit.visit_id] = (winner, visit)
+            round_losers.extend(c for _, c, _ in contenders[1:])
+        if not config.rematch_losers or rounds >= 10 or not claims:
+            losers.extend(round_losers)
+            losers.extend(unmatched)
+            break
+        losers.extend(unmatched)
+        pending = round_losers
+        # Claimed visits are excluded in _best_visit via `assigned`, so the
+        # next round only considers still-free visits.
+        if not pending:
+            break
+
+    matched_visit_ids = set(assigned)
+    matches = sorted(assigned.values(), key=lambda pair: pair[0].t)
+    missing = [v for v in visits if v.visit_id not in matched_visit_ids]
+    return UserMatching(
+        user_id=user_id,
+        matches=matches,
+        extraneous=sorted(losers, key=lambda c: c.t),
+        missing=sorted(missing, key=lambda v: v.t_start),
+    )
+
+
+def match_dataset(dataset: Dataset, config: Optional[MatchConfig] = None) -> MatchingResult:
+    """Run matching for every user in a dataset with extracted visits."""
+    config = config or MatchConfig()
+    per_user = {
+        data.user_id: match_user(
+            data.checkins, data.require_visits(), config, user_id=data.user_id
+        )
+        for data in dataset.users.values()
+    }
+    return MatchingResult(config=config, per_user=per_user)

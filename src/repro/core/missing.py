@@ -1,0 +1,114 @@
+"""Missing-checkin analysis (Section 4.2, Figures 3 and 4).
+
+Missing checkins are GPS visits with no matching checkin.  The paper
+asks *which* places users fail to check in at: (a) are they concentrated
+at each user's few most-visited POIs (home, office — Figure 3), and
+(b) what POI categories do they fall into (Figure 4)?
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..model import Dataset, PoiCategory, Visit
+from ..stats import Ecdf, category_pdf
+from .matching import MatchingResult
+
+
+@dataclass(frozen=True)
+class TopPoiMissingRatios:
+    """Per-user share of missing checkins at the top-n most visited POIs."""
+
+    #: ratios[n] maps top-n (1-based) to the per-user ratio list.
+    ratios: Dict[int, List[float]]
+
+    def ecdf(self, n: int) -> Ecdf:
+        """CDF across users of the missing ratio at the top-n POIs."""
+        if n not in self.ratios:
+            raise KeyError(f"top-{n} ratios were not computed")
+        return Ecdf.from_sample(self.ratios[n])
+
+    def fraction_of_users_above(self, n: int, threshold: float) -> float:
+        """Share of users whose top-n POIs hold more than ``threshold`` of their missing checkins."""
+        values = self.ratios[n]
+        if not values:
+            return 0.0
+        return sum(1 for v in values if v > threshold) / len(values)
+
+
+def _user_top_poi_ratios(
+    visits: Sequence[Visit], missing: Sequence[Visit], max_n: int
+) -> Optional[List[float]]:
+    """Missing-checkin ratio at the user's top-1..max_n POIs.
+
+    Top POIs are ranked by *total* visit count (the user's most visited
+    places); the ratio is the share of the user's missing checkins that
+    happened at those POIs.  Users with no missing checkins or no
+    POI-attributable visits yield None.
+    """
+    visit_counts = Counter(v.poi_id for v in visits if v.poi_id is not None)
+    if not visit_counts or not missing:
+        return None
+    top = [poi_id for poi_id, _ in visit_counts.most_common(max_n)]
+    missing_total = len(missing)
+    ratios: List[float] = []
+    covered = 0
+    missing_by_poi = Counter(v.poi_id for v in missing if v.poi_id is not None)
+    for rank in range(max_n):
+        if rank < len(top):
+            covered += missing_by_poi.get(top[rank], 0)
+        ratios.append(covered / missing_total)
+    return ratios
+
+
+def top_poi_missing_ratios(
+    dataset: Dataset, matching: MatchingResult, max_n: int = 5
+) -> TopPoiMissingRatios:
+    """Figure 3: distribution across users of missing-checkin concentration."""
+    if max_n <= 0:
+        raise ValueError(f"max_n must be positive, got {max_n!r}")
+    ratios: Dict[int, List[float]] = {n: [] for n in range(1, max_n + 1)}
+    for data in dataset.users.values():
+        user_match = matching.per_user[data.user_id]
+        user_ratios = _user_top_poi_ratios(
+            data.require_visits(), user_match.missing, max_n
+        )
+        if user_ratios is None:
+            continue
+        for n in range(1, max_n + 1):
+            ratios[n].append(user_ratios[n - 1])
+    return TopPoiMissingRatios(ratios=ratios)
+
+
+def missing_category_breakdown(
+    dataset: Dataset, matching: MatchingResult
+) -> List[tuple]:
+    """Figure 4: share of missing checkins per POI category.
+
+    Visits that could not be attributed to any POI are excluded, as the
+    paper's breakdown relies on Foursquare's POI classification.
+    Returns (label, fraction) pairs sorted by descending fraction.
+    """
+    labels: List[str] = []
+    for visit in matching.missing_visits:
+        if visit.poi_id is None:
+            continue
+        poi = dataset.pois.get(visit.poi_id)
+        if poi is not None:
+            labels.append(poi.category.value)
+    if not labels:
+        raise ValueError("no missing visits could be attributed to a POI")
+    return category_pdf(labels)
+
+
+def missing_fraction_by_user(dataset: Dataset, matching: MatchingResult) -> Dict[str, float]:
+    """Per-user share of visits that lack a checkin."""
+    out: Dict[str, float] = {}
+    for data in dataset.users.values():
+        user_match = matching.per_user[data.user_id]
+        n_visits = len(data.require_visits())
+        if n_visits:
+            out[data.user_id] = len(user_match.missing) / n_visits
+    return out

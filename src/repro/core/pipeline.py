@@ -1,0 +1,88 @@
+"""End-to-end validation pipeline: the paper's Sections 4–5 in one call.
+
+``validate(dataset)`` runs visit extraction, checkin-to-visit matching,
+and extraneous classification, and bundles the results with the headline
+numbers (Figure 1's Venn regions, the class breakdown) into a single
+:class:`ValidationReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..model import CheckinType, Dataset
+from .classify import ClassificationResult, ClassifyConfig, classify_dataset
+from .matching import MatchConfig, MatchingResult, match_dataset
+from .visits import VisitConfig, extract_dataset_visits
+
+
+@dataclass
+class ValidationReport:
+    """Everything the paper's core analysis produces for one dataset."""
+
+    dataset: Dataset
+    matching: MatchingResult
+    classification: ClassificationResult
+
+    @property
+    def n_honest(self) -> int:
+        """Checkins matching a GPS visit (Figure 1 intersection)."""
+        return self.matching.n_honest
+
+    @property
+    def n_extraneous(self) -> int:
+        """Checkins without a matching visit (Figure 1 left region)."""
+        return self.matching.n_extraneous
+
+    @property
+    def n_missing(self) -> int:
+        """Visits without a matching checkin (Figure 1 right region)."""
+        return self.matching.n_missing
+
+    def type_counts(self) -> Dict[CheckinType, int]:
+        """Checkin count per class (honest + the extraneous taxonomy)."""
+        return self.classification.counts()
+
+    def summary(self) -> str:
+        """Human-readable report mirroring the paper's headline numbers."""
+        counts = self.type_counts()
+        lines = [
+            f"Dataset: {self.dataset.name}",
+            f"  checkins: {self.matching.n_checkins}   visits: {self.matching.n_visits}",
+            f"  honest checkins:     {self.n_honest}"
+            f" ({100 * (1 - self.matching.extraneous_fraction()):.0f}% of checkins)",
+            f"  extraneous checkins: {self.n_extraneous}"
+            f" ({100 * self.matching.extraneous_fraction():.0f}% of checkins)",
+            f"  missing checkins:    {self.n_missing}"
+            f" ({100 * (1 - self.matching.coverage_fraction()):.0f}% of visits)",
+            "  extraneous breakdown:",
+        ]
+        for kind in (
+            CheckinType.SUPERFLUOUS,
+            CheckinType.REMOTE,
+            CheckinType.DRIVEBY,
+            CheckinType.OTHER,
+        ):
+            share = counts[kind] / self.n_extraneous if self.n_extraneous else 0.0
+            lines.append(f"    {kind.value:<12} {counts[kind]:>7}  ({100 * share:.0f}% of extraneous)")
+        return "\n".join(lines)
+
+
+def validate(
+    dataset: Dataset,
+    visit_config: Optional[VisitConfig] = None,
+    match_config: Optional[MatchConfig] = None,
+    classify_config: Optional[ClassifyConfig] = None,
+) -> ValidationReport:
+    """Run the full checkin-validity pipeline on a dataset.
+
+    Visit extraction runs only for users whose visits are not yet
+    populated, so pre-extracted datasets are not recomputed.
+    """
+    extract_dataset_visits(dataset, visit_config)
+    matching = match_dataset(dataset, match_config)
+    classification = classify_dataset(dataset, matching, classify_config)
+    return ValidationReport(
+        dataset=dataset, matching=matching, classification=classification
+    )

@@ -1,0 +1,22 @@
+"""One driver per table/figure of the paper's evaluation."""
+
+from . import figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8
+from . import export, table1, table2
+from .common import StudyArtifacts, build_study, cached_study
+
+__all__ = [
+    "StudyArtifacts",
+    "build_study",
+    "cached_study",
+    "export",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table1",
+    "table2",
+]

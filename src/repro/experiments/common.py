@@ -1,0 +1,49 @@
+"""Shared experiment context: build both datasets and run the pipeline once.
+
+Every table/figure driver takes a :class:`StudyArtifacts`; benches share
+one cached build per scale so the (comparatively expensive) generation
+and matching run only once per session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from ..core import ValidationReport, validate
+from ..model import Dataset
+from ..synth import baseline_config, generate_dataset, primary_config
+
+
+@dataclass
+class StudyArtifacts:
+    """Both datasets with their full validation reports."""
+
+    primary: Dataset
+    baseline: Dataset
+    primary_report: ValidationReport
+    baseline_report: ValidationReport
+    scale: float
+
+
+def build_study(
+    scale: float = 1.0,
+    primary_seed: int = 20131121,
+    baseline_seed: int = 20131122,
+) -> StudyArtifacts:
+    """Generate Primary + Baseline and run the validation pipeline on both."""
+    primary = generate_dataset(primary_config(primary_seed).scaled(scale))
+    baseline = generate_dataset(baseline_config(baseline_seed).scaled(scale))
+    return StudyArtifacts(
+        primary=primary,
+        baseline=baseline,
+        primary_report=validate(primary),
+        baseline_report=validate(baseline),
+        scale=scale,
+    )
+
+
+@lru_cache(maxsize=4)
+def cached_study(scale: float = 0.15) -> StudyArtifacts:
+    """Memoised :func:`build_study` for benches and examples."""
+    return build_study(scale=scale)

@@ -1,0 +1,245 @@
+"""Export every table/figure's underlying data to CSV files.
+
+The paper's figures are CDFs and log-binned PDFs; this module writes the
+exact series a plotting tool would need, one CSV per curve, plus the
+tables.  Used by ``repro-study report --export DIR`` and by downstream
+users who want the raw reproduction data.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from ..manet import ManetConfig
+from ..model import CheckinType
+from ..stats import Ecdf
+from . import figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8
+from . import table1, table2
+from .common import StudyArtifacts
+
+
+def _write_rows(path: Path, header: Sequence[str], rows) -> Path:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        writer.writerows(rows)
+    return path
+
+
+def _slug(name: str) -> str:
+    return (
+        name.lower().replace(",", "").replace(" ", "_").replace("/", "-")
+    )
+
+
+def _write_ecdf(path: Path, ecdf: Ecdf, points: int = 200) -> Path:
+    xs, fs = ecdf.curve(points=points)
+    return _write_rows(path, ("x", "cdf"), zip(xs, fs))
+
+
+def export_table1(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Table 1 rows."""
+    result = table1.run(artifacts)
+    rows = [
+        (
+            row.stats.name,
+            row.stats.n_users,
+            f"{row.stats.avg_days_per_user:.2f}",
+            row.stats.n_checkins,
+            row.stats.n_visits,
+            row.stats.n_gps_points,
+            f"{row.checkins_per_user_day:.3f}",
+            f"{row.visits_per_user_day:.3f}",
+        )
+        for row in result.rows
+    ]
+    return [
+        _write_rows(
+            out / "table1.csv",
+            ("dataset", "users", "days_per_user", "checkins", "visits",
+             "gps_points", "checkins_per_user_day", "visits_per_user_day"),
+            rows,
+        )
+    ]
+
+
+def export_figure1(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 1 Venn counts."""
+    result = figure1.run(artifacts)
+    return [
+        _write_rows(
+            out / "figure1.csv",
+            ("region", "count", "fraction"),
+            [
+                ("honest", result.n_honest, ""),
+                ("extraneous", result.n_extraneous,
+                 f"{result.extraneous_fraction:.4f}"),
+                ("missing", result.n_missing, f"{result.missing_fraction:.4f}"),
+            ],
+        )
+    ]
+
+
+def export_figure2(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 2: one CSV per inter-arrival series."""
+    result = figure2.run(artifacts)
+    return [
+        _write_ecdf(out / f"figure2_{_slug(name)}.csv", ecdf)
+        for name, ecdf in result.curves.items()
+    ]
+
+
+def export_figure3(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 3: one CSV per top-n curve."""
+    result = figure3.run(artifacts)
+    return [
+        _write_ecdf(out / f"figure3_top{n}.csv", result.curve(n))
+        for n in sorted(result.ratios.ratios)
+    ]
+
+
+def export_figure4(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 4 category breakdown."""
+    result = figure4.run(artifacts)
+    return [
+        _write_rows(
+            out / "figure4.csv",
+            ("category", "fraction"),
+            [(name, f"{fraction:.4f}") for name, fraction in result.breakdown],
+        )
+    ]
+
+
+def export_table2(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Table 2 correlations (measured and paper)."""
+    result = table2.run(artifacts)
+    rows = []
+    for kind in table2.PAPER_TABLE2:
+        for feature in ("friends", "badges", "mayorships", "checkins_per_day"):
+            rows.append(
+                (
+                    kind.value,
+                    feature,
+                    f"{result.get(kind, feature):.3f}",
+                    f"{result.paper(kind, feature):.2f}",
+                )
+            )
+    return [
+        _write_rows(
+            out / "table2.csv", ("checkin_type", "feature", "measured", "paper"), rows
+        )
+    ]
+
+
+def export_figure5(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 5 prevalence curves."""
+    result = figure5.run(artifacts)
+    paths = [
+        _write_ecdf(out / f"figure5_{kind.value}.csv", ecdf)
+        for kind, ecdf in result.prevalence.per_type.items()
+    ]
+    paths.append(_write_ecdf(out / "figure5_all_extraneous.csv", result.all_extraneous))
+    return paths
+
+
+def export_figure6(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 6 burstiness curves."""
+    result = figure6.run(artifacts)
+    return [
+        _write_ecdf(out / f"figure6_{kind.value}.csv", ecdf)
+        for kind, ecdf in result.curves.items()
+    ]
+
+
+def export_figure7(artifacts: StudyArtifacts, out: Path) -> List[Path]:
+    """Figure 7: flight/pause PDFs plus fitted model parameters."""
+    result = figure7.run(artifacts)
+    paths: List[Path] = []
+    for name in result.models:
+        centers, density = result.flight_pdf(name)
+        paths.append(
+            _write_rows(
+                out / f"figure7_flight_{_slug(name)}.csv",
+                ("distance_m", "pdf"),
+                zip(centers, density),
+            )
+        )
+    centers, density = result.pause_pdf()
+    paths.append(
+        _write_rows(out / "figure7_pause_gps.csv", ("pause_s", "pdf"),
+                    zip(centers, density))
+    )
+    paths.append(
+        _write_rows(
+            out / "figure7_fits.csv",
+            ("model", "flight_xm_m", "flight_alpha", "pause_xm_s", "pause_alpha",
+             "k", "rho", "n_flights"),
+            [
+                (
+                    model.name,
+                    f"{model.flight.xm:.2f}",
+                    f"{model.flight.alpha:.4f}",
+                    f"{model.pause.xm:.2f}",
+                    f"{model.pause.alpha:.4f}",
+                    f"{model.k:.4g}",
+                    f"{model.rho:.4f}",
+                    model.n_flights,
+                )
+                for model in result.models.values()
+            ],
+        )
+    )
+    return paths
+
+
+def export_figure8(
+    artifacts: StudyArtifacts, out: Path, config: Optional[ManetConfig] = None
+) -> List[Path]:
+    """Figure 8: per-flow metric CDFs for each mobility model."""
+    result = figure8.run(artifacts, config)
+    paths: List[Path] = []
+    for name, manet in result.results.items():
+        slug = _slug(name)
+        paths.append(
+            _write_ecdf(out / f"figure8_changes_{slug}.csv", manet.route_change_ecdf())
+        )
+        paths.append(
+            _write_ecdf(out / f"figure8_availability_{slug}.csv", manet.availability_ecdf())
+        )
+        paths.append(
+            _write_ecdf(out / f"figure8_overhead_{slug}.csv", manet.overhead_ecdf())
+        )
+    return paths
+
+
+#: Exporters in paper order (figure8 excluded: it takes a config).
+EXPORTERS = (
+    export_table1,
+    export_figure1,
+    export_figure2,
+    export_figure3,
+    export_figure4,
+    export_table2,
+    export_figure5,
+    export_figure6,
+    export_figure7,
+)
+
+
+def export_all(
+    artifacts: StudyArtifacts,
+    out_dir,
+    manet_config: Optional[ManetConfig] = None,
+    include_manet: bool = True,
+) -> List[Path]:
+    """Export every table and figure; returns the written file paths."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    paths: List[Path] = []
+    for exporter in EXPORTERS:
+        paths.extend(exporter(artifacts, out))
+    if include_manet:
+        paths.extend(export_figure8(artifacts, out, manet_config))
+    return paths

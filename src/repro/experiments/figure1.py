@@ -1,0 +1,75 @@
+"""Figure 1 — the matching Venn diagram for the Primary dataset.
+
+Paper values: 3,525 honest checkins, 10,772 extraneous checkins (75% of
+all checkins), 27,310 missing checkins (89% of all visits; checkins
+cover only ~11% of visits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .common import StudyArtifacts
+
+#: The paper's Figure 1 shares.
+PAPER_EXTRANEOUS_FRACTION = 10772 / 14297  # ≈ 0.753
+PAPER_MISSING_FRACTION = 27310 / 30835  # ≈ 0.886
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The three Venn regions and their shares."""
+
+    n_honest: int
+    n_extraneous: int
+    n_missing: int
+
+    @property
+    def n_checkins(self) -> int:
+        """All checkins considered by the matcher."""
+        return self.n_honest + self.n_extraneous
+
+    @property
+    def n_visits(self) -> int:
+        """All visits considered by the matcher."""
+        return self.n_honest + self.n_missing
+
+    @property
+    def extraneous_fraction(self) -> float:
+        """Share of checkins that are extraneous (paper ≈ 0.75)."""
+        return self.n_extraneous / self.n_checkins if self.n_checkins else 0.0
+
+    @property
+    def missing_fraction(self) -> float:
+        """Share of visits lacking a checkin (paper ≈ 0.89)."""
+        return self.n_missing / self.n_visits if self.n_visits else 0.0
+
+    @property
+    def coverage_fraction(self) -> float:
+        """Share of visits covered by checkins (paper ≈ 0.11)."""
+        return 1.0 - self.missing_fraction
+
+    def format_report(self) -> str:
+        """Venn counts alongside the paper's shares."""
+        return "\n".join(
+            [
+                "Figure 1: matching results (Primary)",
+                f"  honest     {self.n_honest:>8}",
+                f"  extraneous {self.n_extraneous:>8}"
+                f"  ({100 * self.extraneous_fraction:.0f}% of checkins; paper"
+                f" {100 * PAPER_EXTRANEOUS_FRACTION:.0f}%)",
+                f"  missing    {self.n_missing:>8}"
+                f"  ({100 * self.missing_fraction:.0f}% of visits; paper"
+                f" {100 * PAPER_MISSING_FRACTION:.0f}%)",
+            ]
+        )
+
+
+def run(artifacts: StudyArtifacts) -> Figure1Result:
+    """Compute Figure 1 from the Primary matching result."""
+    matching = artifacts.primary_report.matching
+    return Figure1Result(
+        n_honest=matching.n_honest,
+        n_extraneous=matching.n_extraneous,
+        n_missing=matching.n_missing,
+    )

@@ -1,0 +1,109 @@
+"""Figure 2 — inter-arrival time CDFs across five trace variants.
+
+The paper's validation of the honest-checkin set: GPS visit
+inter-arrivals from Primary and Baseline should coincide; the honest
+subset of Primary checkins should coincide with the (honest-by-
+construction) Baseline checkins; the *full* Primary checkin trace should
+differ markedly from both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core import interarrival_times
+from ..core.validation import events_from_checkins, events_from_visits
+from ..stats import Ecdf, ks_distance
+from .common import StudyArtifacts
+
+#: Figure 2 series names, paper legend order.
+SERIES = (
+    "All Checkin, Primary",
+    "GPS, Primary",
+    "GPS, Baseline",
+    "Honest, Primary",
+    "All Checkin, Baseline",
+)
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Inter-arrival ECDF per series plus headline KS distances."""
+
+    curves: Dict[str, Ecdf]
+
+    def ks(self, a: str, b: str) -> float:
+        """KS distance between two named series."""
+        return ks_distance(self.curves[a], self.curves[b])
+
+    @property
+    def gps_agreement(self) -> float:
+        """GPS Primary vs GPS Baseline (paper: 'match up near perfectly')."""
+        return self.ks("GPS, Primary", "GPS, Baseline")
+
+    @property
+    def honest_agreement(self) -> float:
+        """Honest Primary vs all Baseline checkins (paper: 'perfect match')."""
+        return self.ks("Honest, Primary", "All Checkin, Baseline")
+
+    @property
+    def all_checkin_divergence(self) -> float:
+        """All Primary checkins vs honest subset (paper: 'significant differences')."""
+        return self.ks("All Checkin, Primary", "Honest, Primary")
+
+    def format_report(self) -> str:
+        """Medians per series and the three KS comparisons."""
+        lines = ["Figure 2: inter-arrival time CDFs (minutes at median)"]
+        for name in SERIES:
+            ecdf = self.curves[name]
+            lines.append(f"  {name:<24} median {ecdf.median() / 60:8.1f} min  (n={len(ecdf)})")
+        lines.append(f"  KS(GPS primary, GPS baseline)        = {self.gps_agreement:.3f}")
+        lines.append(f"  KS(honest primary, baseline checkins)= {self.honest_agreement:.3f}")
+        lines.append(f"  KS(all primary, honest primary)      = {self.all_checkin_divergence:.3f}")
+        return "\n".join(lines)
+
+
+def full_metric_comparison(artifacts: StudyArtifacts) -> Dict[str, Dict[str, float]]:
+    """The paper's "other metrics led to the same conclusions" claim.
+
+    Besides inter-arrival time, Section 4.1 lists movement distance,
+    event frequency and POI entropy.  Returns KS distances per metric
+    for the three headline comparisons: GPS-vs-GPS, honest-vs-baseline,
+    and all-checkin-vs-honest.
+    """
+    from ..core.validation import checkin_metrics, visit_metrics
+
+    gps_primary = visit_metrics(artifacts.primary)
+    gps_baseline = visit_metrics(artifacts.baseline)
+    honest = checkin_metrics(
+        artifacts.primary, artifacts.primary_report.matching.honest_checkins
+    )
+    baseline_checkins = checkin_metrics(artifacts.baseline)
+    all_primary = checkin_metrics(artifacts.primary)
+    return {
+        "gps_vs_gps": gps_primary.compare(gps_baseline),
+        "honest_vs_baseline": honest.compare(baseline_checkins),
+        "all_vs_honest": all_primary.compare(honest),
+    }
+
+
+def _visit_gaps(dataset) -> Ecdf:
+    gaps = []
+    for events in events_from_visits(dataset).values():
+        gaps.extend(b[0] - a[0] for a, b in zip(events, events[1:]))
+    return Ecdf.from_sample(gaps)
+
+
+def run(artifacts: StudyArtifacts) -> Figure2Result:
+    """Compute the five Figure 2 series."""
+    primary, baseline = artifacts.primary, artifacts.baseline
+    honest = artifacts.primary_report.matching.honest_checkins
+    curves = {
+        "All Checkin, Primary": Ecdf.from_sample(interarrival_times(primary.all_checkins)),
+        "GPS, Primary": _visit_gaps(primary),
+        "GPS, Baseline": _visit_gaps(baseline),
+        "Honest, Primary": Ecdf.from_sample(interarrival_times(honest)),
+        "All Checkin, Baseline": Ecdf.from_sample(interarrival_times(baseline.all_checkins)),
+    }
+    return Figure2Result(curves=curves)

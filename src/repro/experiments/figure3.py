@@ -1,0 +1,60 @@
+"""Figure 3 — CDF of the missing-checkin share at each user's top POIs.
+
+Paper findings: for ~60% of users, their 5 most-visited POIs hold more
+than half of their missing checkins; for 20% of users a *single* POI
+holds more than 40%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core import TopPoiMissingRatios, top_poi_missing_ratios
+from ..stats import Ecdf
+from .common import StudyArtifacts
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Top-n concentration CDFs and the paper's two headline fractions."""
+
+    ratios: TopPoiMissingRatios
+
+    def curve(self, n: int) -> Ecdf:
+        """CDF across users for top-n."""
+        return self.ratios.ecdf(n)
+
+    @property
+    def users_half_covered_by_top5(self) -> float:
+        """Share of users whose top-5 POIs hold > 50% of their missing checkins."""
+        return self.ratios.fraction_of_users_above(5, 0.5)
+
+    @property
+    def users_heavily_covered_by_top1(self) -> float:
+        """Share of users whose single top POI holds > 40% of their missing checkins."""
+        return self.ratios.fraction_of_users_above(1, 0.4)
+
+    def format_report(self) -> str:
+        """Median per top-n plus the two headline numbers."""
+        lines = ["Figure 3: missing-checkin concentration at top POIs"]
+        for n in sorted(self.ratios.ratios):
+            lines.append(f"  top-{n}: median share {self.curve(n).median():.2f}")
+        lines.append(
+            f"  users with top-5 share > 0.5: {100 * self.users_half_covered_by_top5:.0f}%"
+            " (paper ~60%)"
+        )
+        lines.append(
+            f"  users with top-1 share > 0.4: {100 * self.users_heavily_covered_by_top1:.0f}%"
+            " (paper ~20%)"
+        )
+        return "\n".join(lines)
+
+
+def run(artifacts: StudyArtifacts, max_n: int = 5) -> Figure3Result:
+    """Compute Figure 3 on the Primary dataset."""
+    return Figure3Result(
+        ratios=top_poi_missing_ratios(
+            artifacts.primary, artifacts.primary_report.matching, max_n=max_n
+        )
+    )

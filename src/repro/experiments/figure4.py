@@ -1,0 +1,57 @@
+"""Figure 4 — breakdown of missing checkins by POI category.
+
+Paper finding: the three categories with the most missing checkins are
+Professional, Shop and Food — the routine places (work, groceries,
+meals) people do not bother checking in at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core import missing_category_breakdown
+from .common import StudyArtifacts
+
+#: Categories the paper calls routine, expected to dominate the breakdown.
+ROUTINE_CATEGORIES = ("Professional", "Shop", "Food", "Residence")
+
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """Category shares, descending."""
+
+    breakdown: List[Tuple[str, float]]
+
+    def share(self, label: str) -> float:
+        """Share for one category (0 when absent)."""
+        for name, fraction in self.breakdown:
+            if name == label:
+                return fraction
+        return 0.0
+
+    @property
+    def top3(self) -> List[str]:
+        """The three categories with the most missing checkins."""
+        return [name for name, _ in self.breakdown[:3]]
+
+    def routine_share(self) -> float:
+        """Combined share of the routine categories."""
+        return sum(self.share(label) for label in ROUTINE_CATEGORIES)
+
+    def format_report(self) -> str:
+        """PDF-style listing like the paper's bar chart."""
+        lines = ["Figure 4: missing checkins by POI category"]
+        for name, fraction in self.breakdown:
+            lines.append(f"  {name:<14} {100 * fraction:5.1f}%")
+        lines.append(f"  top-3: {', '.join(self.top3)} (paper: Professional, Shop, Food)")
+        return "\n".join(lines)
+
+
+def run(artifacts: StudyArtifacts) -> Figure4Result:
+    """Compute Figure 4 on the Primary dataset."""
+    return Figure4Result(
+        breakdown=missing_category_breakdown(
+            artifacts.primary, artifacts.primary_report.matching
+        )
+    )

@@ -1,0 +1,86 @@
+"""Figure 7 — Levy-walk model fitting on the three trace variants.
+
+Panels: (a) movement-distance PDF with Pareto fits, (b) movement time
+vs distance with the ``t = k·d^(1−ρ)`` law, (c) pause-time PDF (GPS
+only; checkin variants borrow the GPS pause fit, as in the paper).
+
+Paper findings: honest-checkin and all-checkin models deviate from the
+GPS model; extraneous checkins add many short flights and fast-moving
+segments relative to the honest subset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..levy import FlightSample, LevyWalkModel, fit_three_models
+from ..levy.fit import flights_from_checkins, flights_from_visits
+from ..stats import log_binned_pdf
+from .common import StudyArtifacts
+
+#: Variant names in the paper's legend order.
+VARIANTS = ("GPS", "All-Checkin", "Honest-Checkin")
+
+
+@dataclass(frozen=True)
+class Figure7Result:
+    """Fitted models plus the raw flight samples behind the PDFs."""
+
+    models: Dict[str, LevyWalkModel]
+    samples: Dict[str, FlightSample]
+
+    def model(self, name: str) -> LevyWalkModel:
+        """Fitted model for one variant."""
+        return self.models[name]
+
+    def flight_pdf(self, name: str, bins: int = 25) -> Tuple[np.ndarray, np.ndarray]:
+        """Panel (a): log-binned movement-distance PDF of one variant."""
+        return log_binned_pdf(self.samples[name].distances, bins=bins)
+
+    def pause_pdf(self, bins: int = 25) -> Tuple[np.ndarray, np.ndarray]:
+        """Panel (c): log-binned pause-time PDF (GPS variant)."""
+        return log_binned_pdf(self.samples["GPS"].pauses, bins=bins)
+
+    def movement_time_curve(
+        self, name: str, distances_m: List[float]
+    ) -> List[float]:
+        """Panel (b): fitted movement time at the given distances."""
+        model = self.models[name]
+        return [model.movement_time(d) for d in distances_m]
+
+    def median_flight(self, name: str) -> float:
+        """Median flight length of one variant, metres."""
+        return float(np.median(self.samples[name].distances))
+
+    def format_report(self) -> str:
+        """Fit parameters and implied speeds per variant."""
+        lines = ["Figure 7: Levy-walk fits (flight / pause / movement-time law)"]
+        for name in VARIANTS:
+            model = self.models[name]
+            lines.append(f"  {model.describe()}")
+            lines.append(
+                "    implied speed at 1 km: "
+                f"{model.mean_speed(1000.0):.2f} m/s; median flight "
+                f"{self.median_flight(name):.0f} m"
+            )
+        return "\n".join(lines)
+
+
+def run(artifacts: StudyArtifacts) -> Figure7Result:
+    """Fit the three variants on the Primary dataset."""
+    dataset = artifacts.primary
+    honest = artifacts.primary_report.matching.honest_checkins
+    gps, all_model, honest_model = fit_three_models(dataset, honest)
+    visits_by_user = {d.user_id: d.require_visits() for d in dataset.users.values()}
+    samples = {
+        "GPS": flights_from_visits(visits_by_user),
+        "All-Checkin": flights_from_checkins(dataset.all_checkins),
+        "Honest-Checkin": flights_from_checkins(honest),
+    }
+    return Figure7Result(
+        models={"GPS": gps, "All-Checkin": all_model, "Honest-Checkin": honest_model},
+        samples=samples,
+    )

@@ -1,0 +1,96 @@
+"""Table 1 — statistics of the Primary and Baseline datasets.
+
+Paper values (full scale):
+
+==========  ======  ===========  =========  =======  ==========
+Dataset     users   days/user    checkins   visits   GPS points
+==========  ======  ===========  =========  =======  ==========
+Primary     244     14.2         14,297     30,835   2.6 M
+Baseline    47      20.8         665        6,300    558 K
+==========  ======  ===========  =========  =======  ==========
+
+At reduced scale the aggregate counts shrink by the user-count factor;
+the per-user-day rates are the scale-free quantities to compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..model import DatasetStats
+from .common import StudyArtifacts
+
+#: Per-user-day rates implied by the paper's Table 1.
+PAPER_RATES = {
+    "Primary": {"checkins_per_user_day": 4.1, "visits_per_user_day": 8.9,
+                "gps_per_user_day": 750.0},
+    "Baseline": {"checkins_per_user_day": 0.68, "visits_per_user_day": 6.4,
+                 "gps_per_user_day": 571.0},
+}
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One dataset's Table 1 row plus scale-free per-user-day rates."""
+
+    stats: DatasetStats
+    checkins_per_user_day: float
+    visits_per_user_day: float
+    gps_per_user_day: float
+
+
+@dataclass(frozen=True)
+class Table1Result:
+    """Both rows of Table 1."""
+
+    rows: List[Table1Row]
+    scale: float
+
+    def row(self, name: str) -> Table1Row:
+        """Row lookup by dataset name."""
+        for row in self.rows:
+            if row.stats.name == name:
+                return row
+        raise KeyError(f"no Table 1 row named {name!r}")
+
+    def format_table(self) -> str:
+        """Render both rows alongside the paper's per-user-day rates."""
+        lines = [
+            f"Table 1 (scale={self.scale:g})",
+            f"{'Dataset':<10}{'users':>7}{'days/u':>8}{'checkins':>10}"
+            f"{'visits':>9}{'GPS pts':>10}{'ck/u/d':>8}{'v/u/d':>7}",
+        ]
+        for row in self.rows:
+            s = row.stats
+            lines.append(
+                f"{s.name:<10}{s.n_users:>7}{s.avg_days_per_user:>8.1f}"
+                f"{s.n_checkins:>10}{s.n_visits:>9}{s.n_gps_points:>10}"
+                f"{row.checkins_per_user_day:>8.2f}{row.visits_per_user_day:>7.2f}"
+            )
+            paper = PAPER_RATES.get(s.name)
+            if paper:
+                lines.append(
+                    f"{'  (paper)':<10}{'':>7}{'':>8}{'':>10}{'':>9}{'':>10}"
+                    f"{paper['checkins_per_user_day']:>8.2f}"
+                    f"{paper['visits_per_user_day']:>7.2f}"
+                )
+        return "\n".join(lines)
+
+
+def _row(stats: DatasetStats) -> Table1Row:
+    user_days = stats.n_users * stats.avg_days_per_user
+    return Table1Row(
+        stats=stats,
+        checkins_per_user_day=stats.n_checkins / user_days if user_days else 0.0,
+        visits_per_user_day=stats.n_visits / user_days if user_days else 0.0,
+        gps_per_user_day=stats.n_gps_points / user_days if user_days else 0.0,
+    )
+
+
+def run(artifacts: StudyArtifacts) -> Table1Result:
+    """Compute Table 1 from the generated study."""
+    return Table1Result(
+        rows=[_row(artifacts.primary.stats()), _row(artifacts.baseline.stats())],
+        scale=artifacts.scale,
+    )

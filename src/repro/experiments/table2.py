@@ -1,0 +1,78 @@
+"""Table 2 — correlations between checkin-type ratios and profile features.
+
+Paper values:
+
+=============  ========  ========  ========  =============
+Checkin type   #Friends  #Badges   #Mayors   #Checkins/day
+=============  ========  ========  ========  =============
+Superfluous    0.22      0.07      0.34      0.15
+Remote         0.18      0.49      0.16      0.15
+Driveby        −0.10     −0.21     −0.08     0.21
+Honest         −0.09     −0.42     −0.23     −0.40
+=============  ========  ========  ========  =============
+
+The load-bearing claims: remote correlates strongly with badges,
+superfluous with mayorships, and honest negatively with everything.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core import IncentiveCorrelations, incentive_correlations
+from ..model import CheckinType
+from .common import StudyArtifacts
+
+#: The paper's Table 2, for side-by-side reporting.
+PAPER_TABLE2: Dict[CheckinType, Dict[str, float]] = {
+    CheckinType.SUPERFLUOUS: {
+        "friends": 0.22, "badges": 0.07, "mayorships": 0.34, "checkins_per_day": 0.15,
+    },
+    CheckinType.REMOTE: {
+        "friends": 0.18, "badges": 0.49, "mayorships": 0.16, "checkins_per_day": 0.15,
+    },
+    CheckinType.DRIVEBY: {
+        "friends": -0.10, "badges": -0.21, "mayorships": -0.08, "checkins_per_day": 0.21,
+    },
+    CheckinType.HONEST: {
+        "friends": -0.09, "badges": -0.42, "mayorships": -0.23, "checkins_per_day": -0.40,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """Measured correlations with paper reference."""
+
+    correlations: IncentiveCorrelations
+
+    def get(self, kind: CheckinType, feature: str) -> float:
+        """One measured cell."""
+        return self.correlations.get(kind, feature)
+
+    def paper(self, kind: CheckinType, feature: str) -> float:
+        """The paper's value for the same cell."""
+        return PAPER_TABLE2[kind][feature]
+
+    def format_report(self) -> str:
+        """Measured table with the paper's values beneath."""
+        lines = ["Table 2: checkin-type ratio vs profile feature (Pearson)"]
+        lines.append(self.correlations.format_table())
+        lines.append("(paper)")
+        header_types = list(PAPER_TABLE2)
+        for kind in header_types:
+            row = PAPER_TABLE2[kind]
+            cells = "".join(f"{row[f]:>18.2f}" for f in
+                            ("friends", "badges", "mayorships", "checkins_per_day"))
+            lines.append(f"{kind.value.capitalize():<14}{cells}")
+        return "\n".join(lines)
+
+
+def run(artifacts: StudyArtifacts, min_checkins: int = 5) -> Table2Result:
+    """Compute Table 2 on the Primary dataset."""
+    return Table2Result(
+        correlations=incentive_correlations(
+            artifacts.primary, artifacts.primary_report.classification, min_checkins
+        )
+    )

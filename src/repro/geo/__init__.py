@@ -1,0 +1,27 @@
+"""Geodesy primitives: distances, local projection, spatial index, units."""
+
+from .distance import (
+    EARTH_RADIUS_M,
+    bearing,
+    destination,
+    euclidean,
+    euclidean_many,
+    haversine,
+    haversine_many,
+)
+from .grid import GridIndex
+from .projection import LocalProjection
+from . import units
+
+__all__ = [
+    "EARTH_RADIUS_M",
+    "GridIndex",
+    "LocalProjection",
+    "bearing",
+    "destination",
+    "euclidean",
+    "euclidean_many",
+    "haversine",
+    "haversine_many",
+    "units",
+]

@@ -1,0 +1,65 @@
+"""Distance computations on the plane and on the sphere.
+
+Core pipeline code works in a local tangent plane (metres), so the hot
+path is plain Euclidean distance.  Haversine is provided for converting
+raw latitude/longitude traces (as a real deployment of the paper's app
+would record) into the planar frame and for sanity-checking projections.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+#: Mean Earth radius in metres (IUGG).
+EARTH_RADIUS_M = 6_371_008.8
+
+
+def euclidean(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Euclidean distance between two planar points, in the input unit."""
+    return math.hypot(x2 - x1, y2 - y1)
+
+
+def euclidean_many(
+    xs1: np.ndarray, ys1: np.ndarray, xs2: np.ndarray, ys2: np.ndarray
+) -> np.ndarray:
+    """Vectorised Euclidean distance between paired planar points."""
+    return np.hypot(np.asarray(xs2) - np.asarray(xs1), np.asarray(ys2) - np.asarray(ys1))
+
+
+def haversine(lat1: float, lon1: float, lat2: float, lon2: float) -> float:
+    """Great-circle distance in metres between two (lat, lon) points in degrees.
+
+    Uses the haversine formula, which is numerically stable for the small
+    separations (metres to a few kilometres) that dominate mobility traces.
+    """
+    phi1 = math.radians(lat1)
+    phi2 = math.radians(lat2)
+    dphi = math.radians(lat2 - lat1)
+    dlam = math.radians(lon2 - lon1)
+    a = math.sin(dphi / 2.0) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * math.asin(min(1.0, math.sqrt(a)))
+
+
+def haversine_many(
+    lats1: np.ndarray, lons1: np.ndarray, lats2: np.ndarray, lons2: np.ndarray
+) -> np.ndarray:
+    """Vectorised haversine distance in metres between paired points in degrees."""
+    phi1 = np.radians(np.asarray(lats1, dtype=float))
+    phi2 = np.radians(np.asarray(lats2, dtype=float))
+    dphi = phi2 - phi1
+    dlam = np.radians(np.asarray(lons2, dtype=float) - np.asarray(lons1, dtype=float))
+    a = np.sin(dphi / 2.0) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlam / 2.0) ** 2
+    return 2.0 * EARTH_RADIUS_M * np.arcsin(np.minimum(1.0, np.sqrt(a)))
+
+
+def bearing(x1: float, y1: float, x2: float, y2: float) -> float:
+    """Planar heading in radians from point 1 to point 2 (atan2 convention)."""
+    return math.atan2(y2 - y1, x2 - x1)
+
+
+def destination(x: float, y: float, heading: float, distance: float) -> Tuple[float, float]:
+    """Planar point reached from (x, y) travelling ``distance`` along ``heading``."""
+    return x + distance * math.cos(heading), y + distance * math.sin(heading)

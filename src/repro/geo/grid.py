@@ -1,0 +1,129 @@
+"""Uniform grid spatial index for planar radius queries.
+
+The matching algorithm (Section 4.1 of the paper) repeatedly asks "which
+visits lie within α metres of this checkin?", and the MANET simulator asks
+"which nodes lie within radio range of this node?".  Both are radius
+queries over a few thousand points, for which a uniform grid hashed by
+cell is simple, dependency-free, and O(points in nearby cells) per query.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Generic, Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+_Cell = Tuple[int, int]
+
+
+class GridIndex(Generic[T]):
+    """Point index over the plane supporting radius and nearest queries.
+
+    Parameters
+    ----------
+    cell_size:
+        Edge length of each square cell in metres.  Choose it close to
+        the typical query radius; queries scan ``ceil(r / cell_size) + 1``
+        rings of cells around the query point.
+    """
+
+    def __init__(self, cell_size: float) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size!r}")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[_Cell, List[Tuple[float, float, T]]] = defaultdict(list)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[Tuple[float, float, T]]:
+        for bucket in self._cells.values():
+            yield from bucket
+
+    def _cell_of(self, x: float, y: float) -> _Cell:
+        return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
+
+    def insert(self, x: float, y: float, item: T) -> None:
+        """Insert ``item`` at planar position (x, y) metres."""
+        self._cells[self._cell_of(x, y)].append((x, y, item))
+        self._count += 1
+
+    def extend(self, points: Iterable[Tuple[float, float, T]]) -> None:
+        """Insert many ``(x, y, item)`` triples."""
+        for x, y, item in points:
+            self.insert(x, y, item)
+
+    def clear(self) -> None:
+        """Remove all points."""
+        self._cells.clear()
+        self._count = 0
+
+    def within(self, x: float, y: float, radius: float) -> List[Tuple[float, T]]:
+        """All items within ``radius`` metres of (x, y), as (distance, item).
+
+        Results are unordered; callers needing the nearest first should
+        sort or use :meth:`nearest`.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius!r}")
+        reach = math.ceil(radius / self.cell_size)
+        cx, cy = self._cell_of(x, y)
+        r2 = radius * radius
+        found: List[Tuple[float, T]] = []
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                bucket = self._cells.get((gx, gy))
+                if not bucket:
+                    continue
+                for px, py, item in bucket:
+                    d2 = (px - x) ** 2 + (py - y) ** 2
+                    if d2 <= r2:
+                        found.append((math.sqrt(d2), item))
+        return found
+
+    def nearest(self, x: float, y: float, max_radius: float = math.inf):
+        """Nearest item to (x, y) within ``max_radius``, or ``None``.
+
+        Returns ``(distance, item)``.  Searches expanding rings of cells,
+        stopping as soon as the best candidate provably beats anything in
+        unexplored rings.
+        """
+        if self._count == 0:
+            return None
+        cx, cy = self._cell_of(x, y)
+        best: Tuple[float, T] | None = None
+        ring = 0
+        # Largest useful ring: everything is within this many cells.
+        max_ring = max(
+            (max(abs(gx - cx), abs(gy - cy)) for gx, gy in self._cells),
+            default=0,
+        )
+        while ring <= max_ring:
+            for gx in range(cx - ring, cx + ring + 1):
+                for gy in range(cy - ring, cy + ring + 1):
+                    if max(abs(gx - cx), abs(gy - cy)) != ring:
+                        continue
+                    bucket = self._cells.get((gx, gy))
+                    if not bucket:
+                        continue
+                    for px, py, item in bucket:
+                        d = math.hypot(px - x, py - y)
+                        if d <= max_radius and (best is None or d < best[0]):
+                            best = (d, item)
+            if best is not None and best[0] <= ring * self.cell_size:
+                # No unexplored cell can hold a closer point.
+                break
+            ring += 1
+        return best
+
+    @classmethod
+    def from_points(
+        cls, points: Sequence[Tuple[float, float, T]], cell_size: float
+    ) -> "GridIndex[T]":
+        """Build an index directly from ``(x, y, item)`` triples."""
+        index: GridIndex[T] = cls(cell_size)
+        index.extend(points)
+        return index

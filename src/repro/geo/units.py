@@ -1,0 +1,65 @@
+"""Unit conversion helpers.
+
+All internal computation in :mod:`repro` uses SI units: metres, seconds,
+and metres per second.  The paper, however, states its thresholds in a mix
+of units (500 m, 30 min, 6 min, 4 mph, 1 km radio range, 100 km arena).
+These helpers make the conversions explicit at the point of use so that
+constants in the code read exactly like the paper's text.
+"""
+
+from __future__ import annotations
+
+#: Number of seconds in one minute.
+SECONDS_PER_MINUTE = 60.0
+
+#: Number of seconds in one hour.
+SECONDS_PER_HOUR = 3600.0
+
+#: Number of seconds in one day.
+SECONDS_PER_DAY = 86400.0
+
+#: Metres in one kilometre.
+METERS_PER_KM = 1000.0
+
+#: Metres in one statute mile.
+METERS_PER_MILE = 1609.344
+
+
+def minutes(value: float) -> float:
+    """Convert minutes to seconds."""
+    return value * SECONDS_PER_MINUTE
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def km(value: float) -> float:
+    """Convert kilometres to metres."""
+    return value * METERS_PER_KM
+
+
+def mph(value: float) -> float:
+    """Convert miles per hour to metres per second."""
+    return value * METERS_PER_MILE / SECONDS_PER_HOUR
+
+
+def to_minutes(seconds: float) -> float:
+    """Convert seconds to minutes."""
+    return seconds / SECONDS_PER_MINUTE
+
+
+def to_km(meters: float) -> float:
+    """Convert metres to kilometres."""
+    return meters / METERS_PER_KM
+
+
+def to_mph(meters_per_second: float) -> float:
+    """Convert metres per second to miles per hour."""
+    return meters_per_second * SECONDS_PER_HOUR / METERS_PER_MILE

@@ -1,0 +1,32 @@
+"""Dataset persistence: JSON-lines directories and GeoJSON export."""
+
+from .geojson import dataset_to_geojson, save_geojson
+from .snap import load_snap_checkins
+from .jsonl import (
+    decode_checkin,
+    decode_poi,
+    decode_profile,
+    decode_visit,
+    encode_checkin,
+    encode_poi,
+    encode_profile,
+    encode_visit,
+    load_dataset,
+    save_dataset,
+)
+
+__all__ = [
+    "dataset_to_geojson",
+    "decode_checkin",
+    "decode_poi",
+    "decode_profile",
+    "decode_visit",
+    "encode_checkin",
+    "encode_poi",
+    "encode_profile",
+    "encode_visit",
+    "load_dataset",
+    "load_snap_checkins",
+    "save_dataset",
+    "save_geojson",
+]

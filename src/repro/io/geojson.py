@@ -1,0 +1,123 @@
+"""GeoJSON export of study data.
+
+The internal frame is a local tangent plane in metres; real geosocial
+datasets speak latitude/longitude.  These helpers project a dataset's
+POIs, checkins or visits into a GeoJSON ``FeatureCollection`` anchored
+at a reference coordinate, so reproduction output can be inspected in
+any GIS tool (or diffed against a real Foursquare export).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from ..geo import LocalProjection
+from ..model import Checkin, Dataset, Poi, Visit
+
+#: Default anchor: the paper's institution (UC Santa Barbara).
+DEFAULT_ANCHOR = (34.4140, -119.8489)
+
+
+def _feature(
+    projection: LocalProjection, x: float, y: float, properties: Dict[str, Any]
+) -> Dict[str, Any]:
+    lat, lon = projection.to_geo(x, y)
+    return {
+        "type": "Feature",
+        "geometry": {"type": "Point", "coordinates": [lon, lat]},
+        "properties": properties,
+    }
+
+
+def poi_features(
+    pois: Iterable[Poi], projection: LocalProjection
+) -> List[Dict[str, Any]]:
+    """GeoJSON features for POIs."""
+    return [
+        _feature(
+            projection,
+            poi.x,
+            poi.y,
+            {"kind": "poi", "poi_id": poi.poi_id, "name": poi.name,
+             "category": poi.category.value},
+        )
+        for poi in pois
+    ]
+
+
+def checkin_features(
+    checkins: Iterable[Checkin], projection: LocalProjection
+) -> List[Dict[str, Any]]:
+    """GeoJSON features for checkins (intent included when present)."""
+    features = []
+    for checkin in checkins:
+        properties: Dict[str, Any] = {
+            "kind": "checkin",
+            "checkin_id": checkin.checkin_id,
+            "user_id": checkin.user_id,
+            "poi_id": checkin.poi_id,
+            "t": checkin.t,
+            "category": checkin.category.value,
+        }
+        if checkin.intent is not None:
+            properties["intent"] = checkin.intent.value
+        features.append(_feature(projection, checkin.x, checkin.y, properties))
+    return features
+
+
+def visit_features(
+    visits: Iterable[Visit], projection: LocalProjection
+) -> List[Dict[str, Any]]:
+    """GeoJSON features for visits."""
+    return [
+        _feature(
+            projection,
+            visit.x,
+            visit.y,
+            {
+                "kind": "visit",
+                "visit_id": visit.visit_id,
+                "user_id": visit.user_id,
+                "t_start": visit.t_start,
+                "t_end": visit.t_end,
+                "poi_id": visit.poi_id,
+            },
+        )
+        for visit in visits
+    ]
+
+
+def feature_collection(features: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Wrap features in a GeoJSON FeatureCollection."""
+    return {"type": "FeatureCollection", "features": list(features)}
+
+
+def dataset_to_geojson(
+    dataset: Dataset,
+    anchor: Optional[tuple] = None,
+    include_visits: bool = True,
+) -> Dict[str, Any]:
+    """The whole dataset (POIs + checkins [+ visits]) as one collection."""
+    lat, lon = anchor or DEFAULT_ANCHOR
+    projection = LocalProjection(lat, lon)
+    features = poi_features(dataset.pois.values(), projection)
+    features += checkin_features(dataset.all_checkins, projection)
+    if include_visits and dataset.has_visits():
+        features += visit_features(dataset.all_visits, projection)
+    return feature_collection(features)
+
+
+def save_geojson(
+    dataset: Dataset,
+    path: Path | str,
+    anchor: Optional[tuple] = None,
+    include_visits: bool = True,
+) -> Path:
+    """Write the dataset as a ``.geojson`` file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    collection = dataset_to_geojson(dataset, anchor, include_visits)
+    path.write_text(json.dumps(collection), encoding="utf-8")
+    return path

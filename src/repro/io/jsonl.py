@@ -1,0 +1,225 @@
+"""JSON-lines persistence for study datasets.
+
+A dataset is stored as a directory of newline-delimited JSON files, one
+per record kind — the layout a real deployment of the paper's collection
+app would export, and friendly to streaming tools:
+
+``meta.json``      dataset name
+``pois.jsonl``     one POI per line
+``profiles.jsonl`` one user profile per line
+``gps.jsonl``      one GPS sample per line
+``checkins.jsonl`` one checkin per line
+``visits.jsonl``   one visit per line (only when extraction has run)
+
+Round-tripping is exact for every field, including the synthetic
+ground-truth ``intent`` label on checkins.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List
+
+from ..model import (
+    Checkin,
+    CheckinType,
+    Dataset,
+    GpsPoint,
+    Poi,
+    PoiCategory,
+    UserData,
+    UserProfile,
+    Visit,
+)
+
+_FILES = ("meta.json", "pois.jsonl", "profiles.jsonl", "gps.jsonl", "checkins.jsonl")
+
+
+def _write_jsonl(path: Path, records: Iterable[Dict[str, Any]]) -> None:
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, separators=(",", ":")))
+            handle.write("\n")
+
+
+def _read_jsonl(path: Path) -> Iterator[Dict[str, Any]]:
+    with path.open("r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+
+
+def encode_poi(poi: Poi) -> Dict[str, Any]:
+    """POI record → JSON-safe dict."""
+    return {
+        "poi_id": poi.poi_id,
+        "name": poi.name,
+        "category": poi.category.value,
+        "x": poi.x,
+        "y": poi.y,
+    }
+
+
+def decode_poi(record: Dict[str, Any]) -> Poi:
+    """JSON dict → POI record."""
+    return Poi(
+        poi_id=record["poi_id"],
+        name=record["name"],
+        category=PoiCategory.from_label(record["category"]),
+        x=float(record["x"]),
+        y=float(record["y"]),
+    )
+
+
+def encode_profile(profile: UserProfile) -> Dict[str, Any]:
+    """User profile → JSON-safe dict."""
+    return {
+        "user_id": profile.user_id,
+        "friends": profile.friends,
+        "badges": profile.badges,
+        "mayorships": profile.mayorships,
+        "study_days": profile.study_days,
+    }
+
+
+def decode_profile(record: Dict[str, Any]) -> UserProfile:
+    """JSON dict → user profile."""
+    return UserProfile(
+        user_id=record["user_id"],
+        friends=int(record["friends"]),
+        badges=int(record["badges"]),
+        mayorships=int(record["mayorships"]),
+        study_days=float(record["study_days"]),
+    )
+
+
+def encode_checkin(checkin: Checkin) -> Dict[str, Any]:
+    """Checkin → JSON-safe dict (ground-truth intent preserved when present)."""
+    record = {
+        "checkin_id": checkin.checkin_id,
+        "user_id": checkin.user_id,
+        "poi_id": checkin.poi_id,
+        "x": checkin.x,
+        "y": checkin.y,
+        "t": checkin.t,
+        "category": checkin.category.value,
+    }
+    if checkin.intent is not None:
+        record["intent"] = checkin.intent.value
+    return record
+
+
+def decode_checkin(record: Dict[str, Any]) -> Checkin:
+    """JSON dict → checkin."""
+    intent = record.get("intent")
+    return Checkin(
+        checkin_id=record["checkin_id"],
+        user_id=record["user_id"],
+        poi_id=record["poi_id"],
+        x=float(record["x"]),
+        y=float(record["y"]),
+        t=float(record["t"]),
+        category=PoiCategory.from_label(record["category"]),
+        intent=None if intent is None else CheckinType(intent),
+    )
+
+
+def encode_visit(visit: Visit) -> Dict[str, Any]:
+    """Visit → JSON-safe dict."""
+    return {
+        "visit_id": visit.visit_id,
+        "user_id": visit.user_id,
+        "x": visit.x,
+        "y": visit.y,
+        "t_start": visit.t_start,
+        "t_end": visit.t_end,
+        "poi_id": visit.poi_id,
+    }
+
+
+def decode_visit(record: Dict[str, Any]) -> Visit:
+    """JSON dict → visit."""
+    return Visit(
+        visit_id=record["visit_id"],
+        user_id=record["user_id"],
+        x=float(record["x"]),
+        y=float(record["y"]),
+        t_start=float(record["t_start"]),
+        t_end=float(record["t_end"]),
+        poi_id=record.get("poi_id"),
+    )
+
+
+def save_dataset(dataset: Dataset, directory: Path | str) -> None:
+    """Write ``dataset`` to ``directory`` (created if absent)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "meta.json").write_text(
+        json.dumps({"name": dataset.name, "format": 1}), encoding="utf-8"
+    )
+    _write_jsonl(directory / "pois.jsonl", (encode_poi(p) for p in dataset.pois.values()))
+    _write_jsonl(
+        directory / "profiles.jsonl",
+        (encode_profile(d.profile) for d in dataset.users.values()),
+    )
+    _write_jsonl(
+        directory / "gps.jsonl",
+        (
+            {"user_id": d.user_id, "t": p.t, "x": p.x, "y": p.y}
+            for d in dataset.users.values()
+            for p in d.gps
+        ),
+    )
+    _write_jsonl(
+        directory / "checkins.jsonl",
+        (encode_checkin(c) for d in dataset.users.values() for c in d.checkins),
+    )
+    if dataset.has_visits():
+        _write_jsonl(
+            directory / "visits.jsonl",
+            (encode_visit(v) for d in dataset.users.values() for v in d.visits or []),
+        )
+
+
+def load_dataset(directory: Path | str) -> Dataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    directory = Path(directory)
+    for name in _FILES:
+        if not (directory / name).exists():
+            raise FileNotFoundError(f"dataset directory {directory} is missing {name}")
+    meta = json.loads((directory / "meta.json").read_text(encoding="utf-8"))
+    pois = {p.poi_id: p for p in map(decode_poi, _read_jsonl(directory / "pois.jsonl"))}
+    users: Dict[str, UserData] = {}
+    for record in _read_jsonl(directory / "profiles.jsonl"):
+        profile = decode_profile(record)
+        users[profile.user_id] = UserData(profile=profile)
+
+    def user_of(record: Dict[str, Any], kind: str) -> UserData:
+        user_id = record["user_id"]
+        if user_id not in users:
+            raise ValueError(f"{kind} record references unknown user {user_id!r}")
+        return users[user_id]
+
+    for record in _read_jsonl(directory / "gps.jsonl"):
+        user_of(record, "gps").gps.append(
+            GpsPoint(t=float(record["t"]), x=float(record["x"]), y=float(record["y"]))
+        )
+    for record in _read_jsonl(directory / "checkins.jsonl"):
+        checkin = decode_checkin(record)
+        user_of(record, "checkin").checkins.append(checkin)
+    visits_path = directory / "visits.jsonl"
+    if visits_path.exists():
+        per_user: Dict[str, List[Visit]] = {user_id: [] for user_id in users}
+        for record in _read_jsonl(visits_path):
+            visit = decode_visit(record)
+            user_of(record, "visit")
+            per_user[visit.user_id].append(visit)
+        for user_id, visits in per_user.items():
+            users[user_id].visits = visits
+    return Dataset(name=meta["name"], pois=pois, users=users)

@@ -1,0 +1,32 @@
+"""Levy-walk mobility model: trace fitting and synthetic generation."""
+
+from .fit import (
+    FlightSample,
+    LevyWalkModel,
+    fit_from_checkins,
+    fit_from_dataset_visits,
+    fit_levy_model,
+    fit_three_models,
+    flights_from_checkins,
+    flights_from_visits,
+)
+from .baselines import RandomWaypointConfig, generate_rwp_fleet, generate_rwp_trace
+from .generate import NodeTrace, Waypoint, generate_fleet, generate_node_trace
+
+__all__ = [
+    "FlightSample",
+    "LevyWalkModel",
+    "NodeTrace",
+    "RandomWaypointConfig",
+    "Waypoint",
+    "fit_from_checkins",
+    "fit_from_dataset_visits",
+    "fit_levy_model",
+    "fit_three_models",
+    "flights_from_checkins",
+    "flights_from_visits",
+    "generate_fleet",
+    "generate_node_trace",
+    "generate_rwp_fleet",
+    "generate_rwp_trace",
+]

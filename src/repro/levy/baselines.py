@@ -1,0 +1,86 @@
+"""Baseline synthetic mobility models.
+
+The paper motivates geosocial traces as a replacement for classic
+synthetic models — above all **random waypoint** (Johnson & Maltz,
+cited as [14]).  This module implements that baseline with the same
+:class:`~repro.levy.generate.NodeTrace` output as the Levy generator, so
+the MANET ablation bench can compare trace-trained mobility against the
+model the field used before traces were available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..geo import units
+from .generate import NodeTrace, Waypoint
+
+
+@dataclass(frozen=True)
+class RandomWaypointConfig:
+    """Classic random waypoint parameters."""
+
+    #: Uniform speed range, m/s.
+    speed_range: tuple = (1.0, 15.0)
+    #: Uniform pause range at each waypoint, seconds.
+    pause_range: tuple = (0.0, units.minutes(2))
+
+    def __post_init__(self) -> None:
+        lo, hi = self.speed_range
+        if not 0 < lo <= hi:
+            raise ValueError(f"invalid speed range: {self.speed_range!r}")
+        plo, phi = self.pause_range
+        if not 0 <= plo <= phi:
+            raise ValueError(f"invalid pause range: {self.pause_range!r}")
+
+
+def generate_rwp_trace(
+    config: RandomWaypointConfig,
+    arena_m: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> NodeTrace:
+    """One node's random-waypoint trajectory.
+
+    The node repeatedly picks a uniform destination in the arena, moves
+    there in a straight line at a uniform random speed, then pauses.
+    """
+    if arena_m <= 0 or duration_s <= 0:
+        raise ValueError("arena and duration must be positive")
+    x = float(rng.uniform(0, arena_m))
+    y = float(rng.uniform(0, arena_m))
+    t = 0.0
+    waypoints: List[Waypoint] = [Waypoint(t=0.0, x=x, y=y)]
+    while t < duration_s:
+        pause = float(rng.uniform(*config.pause_range))
+        if pause > 0:
+            t += pause
+            waypoints.append(Waypoint(t=t, x=x, y=y))
+            if t >= duration_s:
+                break
+        nx = float(rng.uniform(0, arena_m))
+        ny = float(rng.uniform(0, arena_m))
+        speed = float(rng.uniform(*config.speed_range))
+        distance = float(np.hypot(nx - x, ny - y))
+        t += distance / speed if distance > 0 else 1.0
+        x, y = nx, ny
+        waypoints.append(Waypoint(t=t, x=x, y=y))
+    return NodeTrace(waypoints)
+
+
+def generate_rwp_fleet(
+    config: RandomWaypointConfig,
+    n_nodes: int,
+    arena_m: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> List[NodeTrace]:
+    """Independent random-waypoint traces for ``n_nodes`` nodes."""
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes!r}")
+    return [
+        generate_rwp_trace(config, arena_m, duration_s, rng) for _ in range(n_nodes)
+    ]

@@ -1,0 +1,188 @@
+"""Levy-walk mobility model fitting (Section 6.1, Figure 7).
+
+Following the paper (and Rhee et al.), a trace is reduced to a sequence
+of *flights* (displacement d, movement time t) separated by *pauses*:
+
+* movement distance d  ~ Pareto(xm, alpha_flight)
+* pause time p         ~ Pareto(xm, alpha_pause)
+* movement time law    t = k · d^(1−ρ)
+
+For the GPS trace, flights run between consecutive extracted visits and
+pauses are visit durations.  Checkin traces carry no pause information,
+so — exactly as the paper does — checkin-trained models borrow the pause
+distribution fitted from GPS, and a flight's movement time is the gap
+between consecutive checkins (all a checkin trace can offer; this is
+what drags checkin-trained models towards unrealistically slow motion,
+one of the paper's key points).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..geo import units
+from ..model import Checkin, Dataset, Visit
+from ..stats import ParetoFit, fit_pareto, fit_power_law
+
+
+@dataclass(frozen=True)
+class FlightSample:
+    """Flights and pauses extracted from one trace."""
+
+    #: Flight displacements, metres.
+    distances: List[float]
+    #: Movement time per flight, seconds (same length as distances).
+    times: List[float]
+    #: Pause durations, seconds (empty for checkin traces).
+    pauses: List[float]
+
+    def __post_init__(self) -> None:
+        if len(self.distances) != len(self.times):
+            raise ValueError("distances and times must pair up")
+
+
+@dataclass(frozen=True)
+class LevyWalkModel:
+    """A fitted Levy-walk model, ready for synthetic trace generation."""
+
+    name: str
+    flight: ParetoFit
+    pause: ParetoFit
+    #: Movement-time law coefficients: t = k · d^(1−rho).
+    k: float
+    rho: float
+    n_flights: int
+
+    def movement_time(self, distance: float) -> float:
+        """Movement time implied by the fitted law for one flight."""
+        if distance <= 0:
+            raise ValueError("distance must be positive")
+        return self.k * distance ** (1.0 - self.rho)
+
+    def mean_speed(self, distance: float) -> float:
+        """Implied speed (m/s) of a flight of ``distance`` metres."""
+        return distance / self.movement_time(distance)
+
+    def describe(self) -> str:
+        """One-line fit summary for reports."""
+        return (
+            f"{self.name}: flight Pareto(xm={self.flight.xm:.0f} m, "
+            f"alpha={self.flight.alpha:.2f}), pause Pareto(xm={self.pause.xm:.0f} s, "
+            f"alpha={self.pause.alpha:.2f}), t = {self.k:.3g} * d^{1 - self.rho:.2f} "
+            f"({self.n_flights} flights)"
+        )
+
+
+#: Ignore hops shorter than this when extracting flights, metres —
+#: below it, "movement" is GPS noise or same-building transitions.
+MIN_FLIGHT_M = 50.0
+
+#: Checkin gaps longer than this are breaks, not movements, seconds.
+MAX_CHECKIN_GAP_S = units.hours(8)
+
+
+def flights_from_visits(visits_by_user: Dict[str, Sequence[Visit]]) -> FlightSample:
+    """Flights between consecutive visits; pauses are visit durations."""
+    distances: List[float] = []
+    times: List[float] = []
+    pauses: List[float] = []
+    for visits in visits_by_user.values():
+        ordered = sorted(visits, key=lambda v: v.t_start)
+        for visit in ordered:
+            if visit.duration > 0:
+                pauses.append(visit.duration)
+        for a, b in zip(ordered, ordered[1:]):
+            d = math.hypot(b.x - a.x, b.y - a.y)
+            t = b.t_start - a.t_end
+            if d >= MIN_FLIGHT_M and t > 0:
+                distances.append(d)
+                times.append(t)
+    return FlightSample(distances=distances, times=times, pauses=pauses)
+
+
+def flights_from_checkins(checkins: Sequence[Checkin]) -> FlightSample:
+    """Flights between consecutive checkins of each user.
+
+    A checkin trace records no pause durations and no true travel times;
+    the inter-checkin gap is the only available movement time.
+    """
+    by_user: Dict[str, List[Checkin]] = {}
+    for checkin in checkins:
+        by_user.setdefault(checkin.user_id, []).append(checkin)
+    distances: List[float] = []
+    times: List[float] = []
+    for user_checkins in by_user.values():
+        user_checkins.sort(key=lambda c: c.t)
+        for a, b in zip(user_checkins, user_checkins[1:]):
+            d = math.hypot(b.x - a.x, b.y - a.y)
+            t = b.t - a.t
+            if d >= MIN_FLIGHT_M and 0 < t <= MAX_CHECKIN_GAP_S:
+                distances.append(d)
+                times.append(t)
+    return FlightSample(distances=distances, times=times, pauses=[])
+
+
+def fit_levy_model(
+    name: str,
+    sample: FlightSample,
+    pause_fallback: Optional[ParetoFit] = None,
+) -> LevyWalkModel:
+    """Fit a Levy-walk model from a flight sample.
+
+    ``pause_fallback`` supplies the pause distribution when the sample
+    has none (checkin traces) — the paper's "conservative approach" of
+    reusing the GPS pause fit.
+    """
+    if len(sample.distances) < 10:
+        raise ValueError(
+            f"{name}: need at least 10 flights to fit a Levy model, "
+            f"got {len(sample.distances)}"
+        )
+    flight = fit_pareto(sample.distances)
+    if sample.pauses:
+        pause = fit_pareto(sample.pauses)
+    elif pause_fallback is not None:
+        pause = pause_fallback
+    else:
+        raise ValueError(f"{name}: no pause data and no fallback pause fit")
+    law = fit_power_law(sample.distances, sample.times)
+    return LevyWalkModel(
+        name=name,
+        flight=flight,
+        pause=pause,
+        k=law.k,
+        rho=1.0 - law.p,
+        n_flights=len(sample.distances),
+    )
+
+
+def fit_from_dataset_visits(dataset: Dataset, name: str = "GPS") -> LevyWalkModel:
+    """Levy model trained on a dataset's extracted GPS visits."""
+    visits_by_user = {d.user_id: d.require_visits() for d in dataset.users.values()}
+    return fit_levy_model(name, flights_from_visits(visits_by_user))
+
+
+def fit_from_checkins(
+    checkins: Sequence[Checkin],
+    gps_model: LevyWalkModel,
+    name: str,
+) -> LevyWalkModel:
+    """Levy model trained on a checkin trace, borrowing GPS pauses."""
+    sample = flights_from_checkins(checkins)
+    return fit_levy_model(name, sample, pause_fallback=gps_model.pause)
+
+
+def fit_three_models(
+    dataset: Dataset,
+    honest_checkins: Sequence[Checkin],
+) -> Tuple[LevyWalkModel, LevyWalkModel, LevyWalkModel]:
+    """The paper's three training traces: GPS, all-checkin, honest-checkin.
+
+    Returns ``(gps, all_checkin, honest_checkin)`` models.
+    """
+    gps = fit_from_dataset_visits(dataset, name="GPS")
+    all_model = fit_from_checkins(dataset.all_checkins, gps, name="All-Checkin")
+    honest_model = fit_from_checkins(honest_checkins, gps, name="Honest-Checkin")
+    return gps, all_model, honest_model

@@ -1,0 +1,130 @@
+"""Synthetic movement generation from a fitted Levy-walk model.
+
+Produces waypoint traces for arbitrary numbers of nodes in a square
+arena: alternating pauses and straight flights with Pareto-drawn pause
+times and flight lengths, and movement times from the fitted
+``t = k · d^(1−ρ)`` law.  Node positions reflect off the arena walls so
+density stays uniform.  These traces drive the MANET simulation
+(Section 6.2, Figure 8).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..geo import units
+from .fit import LevyWalkModel
+
+#: Clamp bounds keeping generated motion physical.
+MIN_PAUSE_S = 30.0
+MAX_PAUSE_S = units.hours(6)
+MIN_FLIGHT_M = 10.0
+MIN_SPEED = 0.3
+MAX_SPEED = 45.0
+
+
+@dataclass(frozen=True)
+class Waypoint:
+    """A (time, position) anchor; nodes move linearly between waypoints."""
+
+    t: float
+    x: float
+    y: float
+
+
+class NodeTrace:
+    """One node's waypoint trajectory with interpolation."""
+
+    def __init__(self, waypoints: Sequence[Waypoint]) -> None:
+        if len(waypoints) < 1:
+            raise ValueError("a node trace needs at least one waypoint")
+        for a, b in zip(waypoints, waypoints[1:]):
+            if b.t < a.t:
+                raise ValueError("waypoints must be time-ordered")
+        self.waypoints: List[Waypoint] = list(waypoints)
+        self._times = np.array([w.t for w in self.waypoints])
+        self._xs = np.array([w.x for w in self.waypoints])
+        self._ys = np.array([w.y for w in self.waypoints])
+
+    @property
+    def t_end(self) -> float:
+        """Time of the final waypoint."""
+        return float(self._times[-1])
+
+    def position_at(self, t: float) -> Tuple[float, float]:
+        """Linear interpolation along the trajectory at time ``t``.
+
+        Before the first waypoint the node sits at its start; after the
+        last it stays put.
+        """
+        x = float(np.interp(t, self._times, self._xs))
+        y = float(np.interp(t, self._times, self._ys))
+        return x, y
+
+    def positions_at(self, ts: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`position_at`."""
+        return np.interp(ts, self._times, self._xs), np.interp(ts, self._times, self._ys)
+
+
+def _reflect(value: float, size: float) -> float:
+    """Fold ``value`` back into [0, size] by reflecting off the walls."""
+    if size <= 0:
+        raise ValueError("arena size must be positive")
+    period = 2.0 * size
+    value = value % period
+    if value < 0:
+        value += period
+    return value if value <= size else period - value
+
+
+def generate_node_trace(
+    model: LevyWalkModel,
+    arena_m: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> NodeTrace:
+    """One node's Levy-walk trajectory over ``duration_s`` seconds."""
+    x = float(rng.uniform(0, arena_m))
+    y = float(rng.uniform(0, arena_m))
+    t = 0.0
+    waypoints = [Waypoint(t=0.0, x=x, y=y)]
+    max_flight = 0.9 * arena_m
+    while t < duration_s:
+        pause = float(np.clip(model.pause.sample(rng, 1)[0], MIN_PAUSE_S, MAX_PAUSE_S))
+        t += pause
+        waypoints.append(Waypoint(t=t, x=x, y=y))
+        if t >= duration_s:
+            break
+        d = float(model.flight.sample(rng, 1)[0])
+        d = min(max(d, MIN_FLIGHT_M), max_flight)
+        move_t = model.movement_time(d)
+        speed = d / move_t
+        if speed < MIN_SPEED:
+            move_t = d / MIN_SPEED
+        elif speed > MAX_SPEED:
+            move_t = d / MAX_SPEED
+        heading = float(rng.uniform(0, 2 * math.pi))
+        x = _reflect(x + d * math.cos(heading), arena_m)
+        y = _reflect(y + d * math.sin(heading), arena_m)
+        t += move_t
+        waypoints.append(Waypoint(t=t, x=x, y=y))
+    return NodeTrace(waypoints)
+
+
+def generate_fleet(
+    model: LevyWalkModel,
+    n_nodes: int,
+    arena_m: float,
+    duration_s: float,
+    rng: np.random.Generator,
+) -> List[NodeTrace]:
+    """Independent Levy-walk traces for ``n_nodes`` nodes."""
+    if n_nodes <= 0:
+        raise ValueError(f"n_nodes must be positive, got {n_nodes!r}")
+    return [
+        generate_node_trace(model, arena_m, duration_s, rng) for _ in range(n_nodes)
+    ]

@@ -1,0 +1,167 @@
+"""Discrete-time MANET simulation engine.
+
+Each tick the engine (1) moves nodes along their mobility traces,
+(2) delivers the previous tick's transmissions — broadcasts reach all
+current neighbours, unicasts fail (with sender feedback) when the target
+moved out of range, (3) runs per-node housekeeping, (4) lets CBR flows
+emit packets, (5) drains node outboxes into the next tick's air, and
+(6) samples every flow's route state for the availability and
+route-change metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo import GridIndex
+from ..levy import NodeTrace
+from .aodv import AodvNode, Outgoing
+from .config import ManetConfig
+from .metrics import ManetResults, MetricsCollector
+from .packets import DataPacket, Rerr, Rrep, Rreq
+
+
+def make_cbr_pairs(
+    n_nodes: int, n_pairs: int, rng: np.random.Generator
+) -> Dict[int, Tuple[int, int]]:
+    """Random distinct (src, dst) pairs, keyed by flow id."""
+    pairs: Dict[int, Tuple[int, int]] = {}
+    used = set()
+    flow_id = 0
+    while len(pairs) < n_pairs:
+        src = int(rng.integers(n_nodes))
+        dst = int(rng.integers(n_nodes))
+        if src == dst or (src, dst) in used:
+            continue
+        used.add((src, dst))
+        pairs[flow_id] = (src, dst)
+        flow_id += 1
+    return pairs
+
+
+class Simulator:
+    """One MANET simulation run over fixed node mobility traces."""
+
+    def __init__(
+        self,
+        config: ManetConfig,
+        traces: Sequence[NodeTrace],
+        name: str = "manet",
+        pairs: Optional[Dict[int, Tuple[int, int]]] = None,
+    ) -> None:
+        if len(traces) != config.n_nodes:
+            raise ValueError(
+                f"expected {config.n_nodes} node traces, got {len(traces)}"
+            )
+        self.config = config
+        self.traces = list(traces)
+        self.name = name
+        rng = np.random.default_rng(config.seed)
+        self.pairs = pairs if pairs is not None else make_cbr_pairs(
+            config.n_nodes, config.n_pairs, rng
+        )
+        self.metrics = MetricsCollector(self.pairs)
+        self.nodes: List[AodvNode] = [
+            AodvNode(i, config, self.metrics) for i in range(config.n_nodes)
+        ]
+        self._air: List[Outgoing] = []
+        self._positions = np.zeros((config.n_nodes, 2))
+        self._last_route: Dict[int, Optional[tuple]] = {f: None for f in self.pairs}
+        self._data_seq: Dict[int, int] = {f: 0 for f in self.pairs}
+
+    # -- per-tick phases ---------------------------------------------------
+
+    def _update_positions(self, now: float) -> GridIndex:
+        index: GridIndex = GridIndex(cell_size=self.config.radio_range_m)
+        for i, trace in enumerate(self.traces):
+            x, y = trace.position_at(now)
+            self._positions[i, 0] = x
+            self._positions[i, 1] = y
+            index.insert(x, y, i)
+        return index
+
+    def _in_range(self, a: int, b: int) -> bool:
+        dx = self._positions[a, 0] - self._positions[b, 0]
+        dy = self._positions[a, 1] - self._positions[b, 1]
+        return dx * dx + dy * dy <= self.config.radio_range_m**2
+
+    def _deliver(self, index: GridIndex, now: float) -> None:
+        air, self._air = self._air, []
+        for message in air:
+            sender = message.sender
+            if message.is_broadcast:
+                neighbors = index.within(
+                    self._positions[sender, 0],
+                    self._positions[sender, 1],
+                    self.config.radio_range_m,
+                )
+                for _, node_id in neighbors:
+                    if node_id != sender:
+                        self.nodes[node_id].receive(message.payload, sender, now)
+            else:
+                target = message.to
+                assert target is not None
+                if self._in_range(sender, target):
+                    self.nodes[target].receive(message.payload, sender, now)
+                else:
+                    self.nodes[sender].on_unicast_failed(message.payload, target, now)
+
+    def _emit_traffic(self, tick: int, now: float) -> None:
+        period_ticks = max(1, int(round(self.config.cbr_interval_s / self.config.dt_s)))
+        for flow_id, (src, dst) in self.pairs.items():
+            # Stagger flows so discoveries do not synchronise artificially.
+            if (tick + flow_id) % period_ticks != 0:
+                continue
+            self._data_seq[flow_id] += 1
+            packet = DataPacket(
+                flow_id=flow_id,
+                src=src,
+                dst=dst,
+                seq=self._data_seq[flow_id],
+                created_tick=tick,
+            )
+            self.metrics.data_sent(flow_id)
+            self.nodes[src].originate_data(packet, now)
+
+    def _drain_outboxes(self) -> None:
+        for node in self.nodes:
+            if not node.outbox:
+                continue
+            for message in node.outbox:
+                if isinstance(message.payload, (Rreq, Rrep, Rerr)):
+                    self.metrics.count_control(message.payload.pair_id)
+                self._air.append(message)
+            node.outbox.clear()
+
+    def _sample_routes(self, now: float) -> None:
+        for flow_id, (src, dst) in self.pairs.items():
+            route = self.nodes[src].has_route(dst, now)
+            previous = self._last_route[flow_id]
+            changed = route != previous
+            self._last_route[flow_id] = route
+            self.metrics.sample_route(flow_id, available=route is not None, changed=changed)
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> ManetResults:
+        """Run the simulation to completion and return per-flow metrics."""
+        config = self.config
+        for tick in range(config.n_ticks):
+            now = tick * config.dt_s
+            index = self._update_positions(now)
+            self._deliver(index, now)
+            for node in self.nodes:
+                node.tick(now)
+            self._emit_traffic(tick, now)
+            self._drain_outboxes()
+            self._sample_routes(now)
+        self.metrics.duration_s = config.duration_s
+        return ManetResults(
+            name=self.name,
+            flows=list(self.metrics.flows.values()),
+            duration_s=config.duration_s,
+            total_control=self.metrics.total_control,
+            unattributed_control=self.metrics.unattributed_control,
+        )

@@ -1,0 +1,147 @@
+"""Metric collection for the MANET simulation (Figure 8).
+
+Three per-flow metrics, matching the paper's plots:
+
+* **route change frequency** — changes of the source's route to its
+  destination (establishment with a new next hop / hop count, or loss),
+  per simulated minute;
+* **route availability ratio** — fraction of ticks the source held a
+  usable route;
+* **routing overhead** — AODV control transmissions attributable to the
+  flow per data packet delivered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..stats import Ecdf
+
+
+@dataclass
+class FlowStats:
+    """Counters for one CBR flow."""
+
+    flow_id: int
+    src: int
+    dst: int
+    data_sent: int = 0
+    data_delivered: int = 0
+    data_dropped: int = 0
+    control_transmissions: int = 0
+    availability_samples: int = 0
+    availability_hits: int = 0
+    route_changes: int = 0
+    hop_counts: List[int] = field(default_factory=list)
+
+    def availability_ratio(self) -> float:
+        """Fraction of sampled ticks with a usable route at the source."""
+        if self.availability_samples == 0:
+            return 0.0
+        return self.availability_hits / self.availability_samples
+
+    def overhead_per_data_packet(self) -> float:
+        """Control transmissions per delivered data packet."""
+        return self.control_transmissions / max(1, self.data_delivered)
+
+    def delivery_ratio(self) -> float:
+        """Delivered / sent data packets."""
+        return self.data_delivered / max(1, self.data_sent)
+
+
+class MetricsCollector:
+    """Aggregates counters during a simulation run."""
+
+    def __init__(self, flows: Dict[int, tuple]) -> None:
+        self.flows: Dict[int, FlowStats] = {
+            flow_id: FlowStats(flow_id=flow_id, src=src, dst=dst)
+            for flow_id, (src, dst) in flows.items()
+        }
+        #: Control transmissions not attributable to any flow.
+        self.unattributed_control = 0
+        self.total_control = 0
+        self.duration_s = 0.0
+
+    def count_control(self, pair_id: Optional[int]) -> None:
+        """One control packet transmission (RREQ/RREP/RERR hop)."""
+        self.total_control += 1
+        if pair_id is not None and pair_id in self.flows:
+            self.flows[pair_id].control_transmissions += 1
+        else:
+            self.unattributed_control += 1
+
+    def data_sent(self, flow_id: int) -> None:
+        """Source emitted one CBR packet."""
+        self.flows[flow_id].data_sent += 1
+
+    def data_delivered(self, flow_id: int, hop_count: int) -> None:
+        """A CBR packet reached its destination."""
+        stats = self.flows[flow_id]
+        stats.data_delivered += 1
+        stats.hop_counts.append(hop_count)
+
+    def data_dropped(self, flow_id: int) -> None:
+        """A CBR packet was lost (no route, broken link, buffer overflow)."""
+        self.flows[flow_id].data_dropped += 1
+
+    def sample_route(self, flow_id: int, available: bool, changed: bool) -> None:
+        """Per-tick route snapshot at the flow's source."""
+        stats = self.flows[flow_id]
+        stats.availability_samples += 1
+        if available:
+            stats.availability_hits += 1
+        if changed:
+            stats.route_changes += 1
+
+
+@dataclass(frozen=True)
+class ManetResults:
+    """Final per-flow metrics of one simulation run."""
+
+    name: str
+    flows: List[FlowStats]
+    duration_s: float
+    total_control: int
+    unattributed_control: int
+
+    def route_changes_per_minute(self) -> List[float]:
+        """Per-flow route change frequency (Figure 8a sample)."""
+        minutes = max(1e-9, self.duration_s / 60.0)
+        return [f.route_changes / minutes for f in self.flows]
+
+    def availability_ratios(self) -> List[float]:
+        """Per-flow availability (Figure 8b sample)."""
+        return [f.availability_ratio() for f in self.flows]
+
+    def overheads(self) -> List[float]:
+        """Per-flow routing overhead (Figure 8c sample)."""
+        return [f.overhead_per_data_packet() for f in self.flows]
+
+    def route_change_ecdf(self) -> Ecdf:
+        """CDF across flows of route changes per minute."""
+        return Ecdf.from_sample(self.route_changes_per_minute())
+
+    def availability_ecdf(self) -> Ecdf:
+        """CDF across flows of route availability."""
+        return Ecdf.from_sample(self.availability_ratios())
+
+    def overhead_ecdf(self) -> Ecdf:
+        """CDF across flows of routing overhead."""
+        return Ecdf.from_sample(self.overheads())
+
+    def summary(self) -> str:
+        """Medians of the three Figure 8 metrics plus delivery stats."""
+        import statistics
+
+        changes = statistics.median(self.route_changes_per_minute())
+        avail = statistics.median(self.availability_ratios())
+        overhead = statistics.median(self.overheads())
+        sent = sum(f.data_sent for f in self.flows)
+        delivered = sum(f.data_delivered for f in self.flows)
+        return (
+            f"{self.name}: route-changes/min median={changes:.3f}, "
+            f"availability median={avail:.3f}, overhead median={overhead:.2f}, "
+            f"delivered {delivered}/{sent} data packets, "
+            f"{self.total_control} control transmissions"
+        )

@@ -1,0 +1,87 @@
+"""AODV control and data packet types.
+
+Field names follow RFC 3561 vocabulary.  Every control packet carries an
+optional ``pair_id`` tying it to the traffic flow whose route need
+created it, so the routing-overhead metric (Figure 8c: route packets per
+data packet, per flow) can attribute flooding cost to flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class Rreq:
+    """Route request, flooded hop by hop."""
+
+    origin: int
+    origin_seq: int
+    rreq_id: int
+    dest: int
+    dest_seq: int
+    hop_count: int
+    ttl: int
+    pair_id: Optional[int] = None
+
+    def key(self) -> tuple:
+        """Duplicate-suppression key (origin, rreq_id)."""
+        return (self.origin, self.rreq_id)
+
+    def forwarded(self) -> "Rreq":
+        """Copy for rebroadcast: one more hop, one less TTL."""
+        return Rreq(
+            origin=self.origin,
+            origin_seq=self.origin_seq,
+            rreq_id=self.rreq_id,
+            dest=self.dest,
+            dest_seq=self.dest_seq,
+            hop_count=self.hop_count + 1,
+            ttl=self.ttl - 1,
+            pair_id=self.pair_id,
+        )
+
+
+@dataclass(frozen=True)
+class Rrep:
+    """Route reply, unicast back along the reverse path."""
+
+    #: The destination the route leads to.
+    dest: int
+    dest_seq: int
+    #: The node that originated the RREQ (where this RREP is heading).
+    origin: int
+    hop_count: int
+    pair_id: Optional[int] = None
+
+    def forwarded(self) -> "Rrep":
+        """Copy for the next reverse-path hop."""
+        return Rrep(
+            dest=self.dest,
+            dest_seq=self.dest_seq,
+            origin=self.origin,
+            hop_count=self.hop_count + 1,
+            pair_id=self.pair_id,
+        )
+
+
+@dataclass(frozen=True)
+class Rerr:
+    """Route error: destinations now unreachable via the sender."""
+
+    #: Unreachable destination -> last known sequence number.
+    unreachable: Dict[int, int] = field(default_factory=dict)
+    pair_id: Optional[int] = None
+
+
+@dataclass
+class DataPacket:
+    """One CBR payload packet."""
+
+    flow_id: int
+    src: int
+    dst: int
+    seq: int
+    created_tick: int
+    hop_count: int = 0

@@ -1,0 +1,29 @@
+"""Data model: records for POIs, GPS points, visits, checkins, datasets."""
+
+from .dataset import Dataset, DatasetStats, UserData, rename, study_duration_days
+from .types import (
+    EXTRANEOUS_TYPES,
+    Checkin,
+    CheckinType,
+    GpsPoint,
+    Poi,
+    PoiCategory,
+    UserProfile,
+    Visit,
+)
+
+__all__ = [
+    "Checkin",
+    "CheckinType",
+    "Dataset",
+    "DatasetStats",
+    "EXTRANEOUS_TYPES",
+    "GpsPoint",
+    "Poi",
+    "PoiCategory",
+    "UserData",
+    "UserProfile",
+    "Visit",
+    "rename",
+    "study_duration_days",
+]

@@ -1,0 +1,186 @@
+"""Dataset containers: one user's traces, and a whole study dataset.
+
+A :class:`Dataset` is what the paper calls "Primary" or "Baseline": a POI
+universe plus, per user, a profile, a per-minute GPS trace and a checkin
+trace.  Extracted visits are attached after visit detection runs, so the
+container distinguishes "raw" from "processed" state explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..geo import units
+from .types import Checkin, GpsPoint, Poi, UserProfile, Visit
+
+
+@dataclass
+class UserData:
+    """All data collected for one study participant."""
+
+    profile: UserProfile
+    gps: List[GpsPoint] = field(default_factory=list)
+    checkins: List[Checkin] = field(default_factory=list)
+    visits: Optional[List[Visit]] = None
+
+    @property
+    def user_id(self) -> str:
+        """The participant's identifier."""
+        return self.profile.user_id
+
+    def require_visits(self) -> List[Visit]:
+        """Visits for this user, raising if visit extraction has not run."""
+        if self.visits is None:
+            raise ValueError(
+                f"user {self.user_id}: visits not extracted yet; "
+                "run repro.core.visits.extract_dataset_visits first"
+            )
+        return self.visits
+
+    def sorted(self) -> "UserData":
+        """Copy with GPS, checkins and visits sorted by time."""
+        return UserData(
+            profile=self.profile,
+            gps=sorted(self.gps, key=lambda p: p.t),
+            checkins=sorted(self.checkins, key=lambda c: c.t),
+            visits=None if self.visits is None else sorted(self.visits, key=lambda v: v.t_start),
+        )
+
+
+@dataclass(frozen=True)
+class DatasetStats:
+    """The row shape of Table 1 in the paper."""
+
+    name: str
+    n_users: int
+    avg_days_per_user: float
+    n_checkins: int
+    n_visits: int
+    n_gps_points: int
+
+    def as_row(self) -> str:
+        """Render as a Table 1 style text row."""
+        return (
+            f"{self.name:<10} {self.n_users:>6} {self.avg_days_per_user:>10.1f} "
+            f"{self.n_checkins:>10} {self.n_visits:>8} {self.n_gps_points:>10}"
+        )
+
+
+@dataclass
+class Dataset:
+    """A complete study dataset: POI universe + per-user traces."""
+
+    name: str
+    pois: Dict[str, Poi]
+    users: Dict[str, UserData]
+
+    def __post_init__(self) -> None:
+        for user_id, data in self.users.items():
+            if data.user_id != user_id:
+                raise ValueError(
+                    f"user key {user_id!r} does not match profile id {data.user_id!r}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def __iter__(self) -> Iterator[UserData]:
+        return iter(self.users.values())
+
+    def poi(self, poi_id: str) -> Poi:
+        """Look up a POI, with a clear error for dangling references."""
+        try:
+            return self.pois[poi_id]
+        except KeyError:
+            raise KeyError(f"dataset {self.name!r} has no POI {poi_id!r}") from None
+
+    @property
+    def all_checkins(self) -> List[Checkin]:
+        """Every checkin in the dataset, in user order then time order."""
+        out: List[Checkin] = []
+        for data in self.users.values():
+            out.extend(data.checkins)
+        return out
+
+    @property
+    def all_visits(self) -> List[Visit]:
+        """Every extracted visit; raises if any user lacks visit extraction."""
+        out: List[Visit] = []
+        for data in self.users.values():
+            out.extend(data.require_visits())
+        return out
+
+    @property
+    def all_gps_points(self) -> List[GpsPoint]:
+        """Every GPS sample across users."""
+        out: List[GpsPoint] = []
+        for data in self.users.values():
+            out.extend(data.gps)
+        return out
+
+    def has_visits(self) -> bool:
+        """True when visit extraction has populated every user."""
+        return all(data.visits is not None for data in self.users.values())
+
+    def stats(self) -> DatasetStats:
+        """Compute the Table 1 row for this dataset.
+
+        Visit count is 0 when visits have not been extracted yet, so the
+        method is safe on raw datasets.
+        """
+        n_users = len(self.users)
+        avg_days = (
+            sum(d.profile.study_days for d in self.users.values()) / n_users if n_users else 0.0
+        )
+        n_visits = sum(len(d.visits) for d in self.users.values() if d.visits is not None)
+        return DatasetStats(
+            name=self.name,
+            n_users=n_users,
+            avg_days_per_user=avg_days,
+            n_checkins=sum(len(d.checkins) for d in self.users.values()),
+            n_visits=n_visits,
+            n_gps_points=sum(len(d.gps) for d in self.users.values()),
+        )
+
+    def subset(self, user_ids: Sequence[str], name: Optional[str] = None) -> "Dataset":
+        """New dataset restricted to ``user_ids`` (sharing POI objects)."""
+        missing = [u for u in user_ids if u not in self.users]
+        if missing:
+            raise KeyError(f"unknown users in subset: {missing}")
+        return Dataset(
+            name=name or f"{self.name}-subset",
+            pois=self.pois,
+            users={u: self.users[u] for u in user_ids},
+        )
+
+    def with_checkins_filtered(self, keep, name: Optional[str] = None) -> "Dataset":
+        """New dataset keeping only checkins for which ``keep(checkin)`` is true.
+
+        Used to build the "honest-checkin" trace variant of Section 6.
+        GPS traces and visits are shared unchanged.
+        """
+        users = {
+            user_id: UserData(
+                profile=data.profile,
+                gps=data.gps,
+                checkins=[c for c in data.checkins if keep(c)],
+                visits=data.visits,
+            )
+            for user_id, data in self.users.items()
+        }
+        return Dataset(name=name or f"{self.name}-filtered", pois=self.pois, users=users)
+
+
+def study_duration_days(data: UserData) -> float:
+    """Observed GPS trace span in days for one user (0 for empty traces)."""
+    if not data.gps:
+        return 0.0
+    t0 = min(p.t for p in data.gps)
+    t1 = max(p.t for p in data.gps)
+    return (t1 - t0) / units.SECONDS_PER_DAY
+
+
+def rename(dataset: Dataset, name: str) -> Dataset:
+    """Shallow copy of ``dataset`` under a new name."""
+    return Dataset(name=name, pois=dataset.pois, users=dataset.users)

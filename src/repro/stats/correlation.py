@@ -1,0 +1,33 @@
+"""Pearson correlation, the statistic behind Table 2 of the paper."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def pearson(xs: Iterable[float], ys: Iterable[float]) -> float:
+    """Pearson's product-moment correlation coefficient.
+
+    Returns a value in [−1, 1].  When either series is constant the
+    correlation is undefined; we return 0.0 (no linear association),
+    which is what the paper's analysis would effectively report for a
+    feature that never varies across users.
+    """
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} xs vs {y.size} ys")
+    if x.size < 2:
+        raise ValueError("need at least two observations for a correlation")
+    if not (np.all(np.isfinite(x)) and np.all(np.isfinite(y))):
+        raise ValueError("correlation inputs must be finite")
+    dx = x - x.mean()
+    dy = y - y.mean()
+    denom = float(np.sqrt(np.sum(dx**2) * np.sum(dy**2)))
+    if denom == 0.0:
+        return 0.0
+    r = float(np.sum(dx * dy) / denom)
+    # Clamp tiny floating-point excursions outside [-1, 1].
+    return max(-1.0, min(1.0, r))

@@ -1,0 +1,125 @@
+"""Empirical distribution utilities: ECDFs, binned PDFs, KS distance.
+
+Every figure in the paper is either a CDF (Figures 2, 3, 5, 6, 8) or a
+binned PDF on log axes (Figures 4, 7).  These helpers produce exactly
+those curves as plain arrays so that experiments and benches can print
+and compare them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Ecdf:
+    """Empirical CDF over a sample.
+
+    ``values`` are sorted ascending; ``evaluate(x)`` returns the fraction
+    of the sample ≤ x (right-continuous step function).
+    """
+
+    values: np.ndarray
+
+    @classmethod
+    def from_sample(cls, sample: Iterable[float]) -> "Ecdf":
+        """Build an ECDF from any iterable of finite numbers."""
+        arr = np.asarray(list(sample), dtype=float)
+        if arr.size == 0:
+            raise ValueError("cannot build an ECDF from an empty sample")
+        if not np.all(np.isfinite(arr)):
+            raise ValueError("sample contains non-finite values")
+        return cls(values=np.sort(arr))
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    def evaluate(self, x: float) -> float:
+        """Fraction of the sample ≤ x."""
+        return float(np.searchsorted(self.values, x, side="right")) / self.values.size
+
+    def evaluate_many(self, xs: Sequence[float]) -> np.ndarray:
+        """Vectorised :meth:`evaluate`."""
+        idx = np.searchsorted(self.values, np.asarray(xs, dtype=float), side="right")
+        return idx / self.values.size
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF: the smallest sample value with CDF ≥ q."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if q == 0.0:
+            return float(self.values[0])
+        idx = int(np.ceil(q * self.values.size)) - 1
+        return float(self.values[idx])
+
+    def median(self) -> float:
+        """Sample median via :meth:`quantile`."""
+        return self.quantile(0.5)
+
+    def curve(self, points: int = 200) -> Tuple[np.ndarray, np.ndarray]:
+        """(x, F(x)) arrays suitable for printing or plotting the CDF."""
+        n = self.values.size
+        if n <= points:
+            xs = self.values
+        else:
+            idx = np.linspace(0, n - 1, points).astype(int)
+            xs = self.values[idx]
+        return xs, self.evaluate_many(xs)
+
+
+def ks_distance(a: Ecdf, b: Ecdf) -> float:
+    """Two-sample Kolmogorov–Smirnov statistic between two ECDFs.
+
+    The supremum of |F_a − F_b| over the union of both supports.  Used to
+    quantify "the curves match up" claims from Figure 2 without eyeballs.
+    """
+    grid = np.union1d(a.values, b.values)
+    return float(np.max(np.abs(a.evaluate_many(grid) - b.evaluate_many(grid))))
+
+
+def log_binned_pdf(
+    sample: Iterable[float], bins: int = 30, lo: float | None = None, hi: float | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Density estimate on logarithmically spaced bins.
+
+    Returns ``(centers, density)`` where density integrates to 1 over the
+    binned range.  Values ≤ 0 are rejected (the paper's flight lengths
+    and pause times are strictly positive).
+    """
+    arr = np.asarray(list(sample), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot bin an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("log-binned PDF requires strictly positive values")
+    lo = float(np.min(arr)) if lo is None else float(lo)
+    hi = float(np.max(arr)) if hi is None else float(hi)
+    if not lo < hi:
+        # Degenerate sample: a single spike.
+        return np.array([lo]), np.array([np.inf])
+    edges = np.logspace(np.log10(lo), np.log10(hi), bins + 1)
+    counts, edges = np.histogram(arr, bins=edges)
+    widths = np.diff(edges)
+    density = counts / (arr.size * widths)
+    centers = np.sqrt(edges[:-1] * edges[1:])
+    return centers, density
+
+
+def category_pdf(labels: Iterable[str]) -> List[Tuple[str, float]]:
+    """Probability mass per category label, sorted by descending mass.
+
+    Used for Figure 4 (breakdown of missing checkins by POI category).
+    """
+    counts: dict[str, int] = {}
+    total = 0
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+        total += 1
+    if total == 0:
+        raise ValueError("no labels supplied")
+    return sorted(
+        ((label, count / total) for label, count in counts.items()),
+        key=lambda pair: (-pair[1], pair[0]),
+    )

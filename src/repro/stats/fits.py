@@ -1,0 +1,131 @@
+"""Distribution fitting used by the Levy-walk model (Section 6.1).
+
+Following the paper (and Rhee et al., "On the Levy-walk nature of human
+mobility"), movement distance and pause time are fitted to a Pareto
+distribution, and movement time to the power law ``t = k · d^(1−ρ)``.
+Fits are maximum likelihood (Pareto) and least squares in log space
+(movement-time law), both closed form — no optimiser needed.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ParetoFit:
+    """Pareto(xm, alpha) fit: pdf ∝ x^−(alpha+1) for x ≥ xm."""
+
+    xm: float
+    alpha: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.xm <= 0:
+            raise ValueError(f"Pareto scale xm must be positive, got {self.xm!r}")
+        if self.alpha <= 0:
+            raise ValueError(f"Pareto shape alpha must be positive, got {self.alpha!r}")
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Density at x (0 below the scale parameter)."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        mask = x >= self.xm
+        out[mask] = self.alpha * self.xm**self.alpha / x[mask] ** (self.alpha + 1)
+        return out
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Distribution function at x."""
+        x = np.asarray(x, dtype=float)
+        out = np.zeros_like(x)
+        mask = x >= self.xm
+        out[mask] = 1.0 - (self.xm / x[mask]) ** self.alpha
+        return out
+
+    def mean(self) -> float:
+        """Mean of the fitted distribution (inf when alpha ≤ 1)."""
+        if self.alpha <= 1.0:
+            return math.inf
+        return self.alpha * self.xm / (self.alpha - 1.0)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. values via inverse-CDF sampling."""
+        u = rng.random(size)
+        return self.xm / (1.0 - u) ** (1.0 / self.alpha)
+
+
+def fit_pareto(sample: Iterable[float], xm: float | None = None) -> ParetoFit:
+    """Maximum-likelihood Pareto fit.
+
+    When ``xm`` is omitted the sample minimum is used (its MLE).  The
+    shape MLE is ``n / Σ log(x_i / xm)`` over values ≥ xm; values below
+    an explicit ``xm`` are truncated away, mirroring the standard
+    power-law fitting recipe.
+    """
+    arr = np.asarray(list(sample), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot fit a Pareto to an empty sample")
+    if np.any(arr <= 0):
+        raise ValueError("Pareto fitting requires strictly positive values")
+    if xm is None:
+        xm = float(np.min(arr))
+    arr = arr[arr >= xm]
+    if arr.size == 0:
+        raise ValueError(f"no sample values at or above xm={xm!r}")
+    logs = np.log(arr / xm)
+    total = float(np.sum(logs))
+    if total <= 0:
+        # All values equal xm; shape is unidentifiable — report a large
+        # but finite alpha so downstream sampling degenerates to ~xm.
+        return ParetoFit(xm=xm, alpha=1e6, n=int(arr.size))
+    return ParetoFit(xm=xm, alpha=arr.size / total, n=int(arr.size))
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Fit of ``y = k · x^p`` by least squares on (log x, log y)."""
+
+    k: float
+    p: float
+    n: int
+    r2: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law at x."""
+        return self.k * np.asarray(x, dtype=float) ** self.p
+
+
+def fit_power_law(xs: Iterable[float], ys: Iterable[float]) -> PowerLawFit:
+    """Least-squares power-law fit in log space.
+
+    This implements the paper's movement-time law ``t = k · d^(1−ρ)``:
+    fit with x = distance, y = time, then ``ρ = 1 − p``.
+    """
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size != y.size:
+        raise ValueError(f"length mismatch: {x.size} xs vs {y.size} ys")
+    if x.size < 2:
+        raise ValueError("need at least two points to fit a power law")
+    if np.any(x <= 0) or np.any(y <= 0):
+        raise ValueError("power-law fitting requires strictly positive values")
+    lx = np.log(x)
+    ly = np.log(y)
+    p, logk = np.polyfit(lx, ly, 1)
+    residuals = ly - (p * lx + logk)
+    ss_res = float(np.sum(residuals**2))
+    ss_tot = float(np.sum((ly - np.mean(ly)) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(k=float(np.exp(logk)), p=float(p), n=int(x.size), r2=r2)
+
+
+def fit_movement_time_law(
+    distances: Iterable[float], times: Iterable[float]
+) -> Tuple[float, float]:
+    """Fit the paper's ``t = k · d^(1−ρ)`` law; returns ``(k, rho)``."""
+    fit = fit_power_law(distances, times)
+    return fit.k, 1.0 - fit.p

@@ -1,0 +1,56 @@
+"""Synthetic geosocial user study (substitute for the paper's private data)."""
+
+from .checkins import generate_checkins
+from .config import (
+    BehaviorConfig,
+    MobilityConfig,
+    StudyConfig,
+    WorldConfig,
+    baseline_config,
+    primary_config,
+)
+from .itinerary import Itinerary, ItineraryBuilder, Leg, Stay
+from .mobility import Coverage, CoverageWindow, build_coverage, ground_truth_visits, sample_gps
+from .persona import Persona, build_profile, sample_persona
+from .study import generate_baseline, generate_dataset, generate_primary
+from .world import (
+    BORING_CATEGORIES,
+    CATEGORY_WEIGHTS,
+    ERRAND_CATEGORIES,
+    World,
+    generate_world,
+    make_home_poi,
+    pick_work_poi,
+)
+
+__all__ = [
+    "BORING_CATEGORIES",
+    "BehaviorConfig",
+    "CATEGORY_WEIGHTS",
+    "Coverage",
+    "CoverageWindow",
+    "ERRAND_CATEGORIES",
+    "Itinerary",
+    "ItineraryBuilder",
+    "Leg",
+    "MobilityConfig",
+    "Persona",
+    "Stay",
+    "StudyConfig",
+    "World",
+    "WorldConfig",
+    "baseline_config",
+    "build_coverage",
+    "build_profile",
+    "generate_baseline",
+    "generate_checkins",
+    "generate_dataset",
+    "generate_primary",
+    "generate_world",
+    "ground_truth_visits",
+    "make_home_poi",
+    "pick_work_poi",
+    "primary_config",
+    "sample_gps",
+    "sample_persona",
+]

@@ -1,0 +1,259 @@
+"""Checkin behaviour simulation: honest, superfluous, remote, driveby, other.
+
+Checkins react to the ground-truth itinerary according to the user's
+persona.  Each generated checkin carries its ground-truth ``intent``
+label so tests and detector evaluation can score the analysis pipeline;
+the pipeline itself never reads the label.
+
+Behaviours (Section 5.1 of the paper):
+
+* **honest** — while visiting a POI long enough to count as a visit, the
+  user checks in there, with a category-dependent probability: routine
+  "boring" places (home, office, campus) are rarely checked in at —
+  which is precisely what creates the paper's *missing checkins*.
+* **superfluous** — an honest checkin sparks a burst of additional
+  checkins from the same spot: repeats at the same POI (mayor farming)
+  and nearby venues within the matching radius.
+* **remote** — badge-hunting sessions: short bursts of checkins at POIs
+  far (≫ 500 m) from the user's true position.
+* **driveby** — a checkin at a roadside POI while travelling above the
+  paper's 4 mph threshold.
+* **other** — honest-at-heart checkins during stops too short (< 6 min)
+  to register as visits; they match the paper's residual ~10% of
+  extraneous checkins "without distinctive features".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+import numpy as np
+
+from ..geo import units
+from ..model import Checkin, CheckinType, Poi
+from .itinerary import Itinerary, Leg, Stay
+from .mobility import Coverage
+from .persona import Persona
+from .world import BORING_CATEGORIES, World
+from ..model import PoiCategory
+
+#: Minimum true distance for a generated remote checkin, metres.  Safely
+#: above the paper's 500 m remote threshold plus GPS noise.
+REMOTE_MIN_DISTANCE_M = 700.0
+
+#: Speed above which a leg can host driveby checkins, m/s (> 4 mph).
+DRIVEBY_MIN_SPEED = units.mph(4.0) * 1.2
+
+
+class _CheckinEmitter:
+    """Accumulates checkins with sequential ids for one user."""
+
+    def __init__(self, user_id: str) -> None:
+        self.user_id = user_id
+        self.checkins: List[Checkin] = []
+
+    def emit(self, poi: Poi, t: float, intent: CheckinType) -> None:
+        self.checkins.append(
+            Checkin(
+                checkin_id="",  # assigned after the final time sort
+                user_id=self.user_id,
+                poi_id=poi.poi_id,
+                x=poi.x,
+                y=poi.y,
+                t=t,
+                category=poi.category,
+                intent=intent,
+            )
+        )
+
+    def finish(self) -> List[Checkin]:
+        ordered = sorted(self.checkins, key=lambda c: c.t)
+        return [
+            Checkin(
+                checkin_id=f"{self.user_id}-c{i:05d}",
+                user_id=c.user_id,
+                poi_id=c.poi_id,
+                x=c.x,
+                y=c.y,
+                t=c.t,
+                category=c.category,
+                intent=c.intent,
+            )
+            for i, c in enumerate(ordered)
+        ]
+
+
+def _honest_probability(persona: Persona, poi: Poi) -> float:
+    """Checkin probability for a qualifying visit, by POI 'boringness'."""
+    if poi.category in BORING_CATEGORIES:
+        return persona.honest_boring_p
+    if poi.category is PoiCategory.SHOP:
+        # Groceries and gas stations are routine; boutiques are not.
+        return 0.5 * persona.honest_interesting_p
+    return persona.honest_interesting_p
+
+
+def _stay_checkins(
+    emitter: _CheckinEmitter,
+    stay: Stay,
+    coverage: Coverage,
+    persona: Persona,
+    world: World,
+    dwell_s: float,
+    rng: np.random.Generator,
+) -> None:
+    """Honest checkin at a qualifying stay, plus a superfluous burst."""
+    window_overlap = None
+    for window in coverage:
+        overlap = window.overlap(stay.t_start, stay.t_end)
+        if overlap and overlap[1] - overlap[0] >= dwell_s:
+            window_overlap = overlap
+            break
+    if window_overlap is None:
+        return
+    lo, hi = window_overlap
+    if rng.random() >= _honest_probability(persona, stay.poi):
+        return
+    t = lo + float(rng.uniform(units.minutes(1), min(units.minutes(20), hi - lo)))
+    emitter.emit(stay.poi, t, CheckinType.HONEST)
+    if rng.random() >= persona.superfluous_burst_p:
+        return
+    extras = 1 + int(rng.poisson(persona.superfluous_extra_mean))
+    for _ in range(extras):
+        t += float(rng.uniform(30.0, units.minutes(4)))
+        if t >= hi:
+            break
+        if rng.random() < 0.4:
+            # Mayor farming: re-checkin at the same POI.
+            emitter.emit(stay.poi, t, CheckinType.SUPERFLUOUS)
+            continue
+        nearby = [
+            poi
+            for dist, poi in world.pois_within(stay.poi.x, stay.poi.y, 450.0)
+            if poi.poi_id != stay.poi.poi_id
+        ]
+        if nearby:
+            emitter.emit(nearby[int(rng.integers(len(nearby)))], t, CheckinType.SUPERFLUOUS)
+        else:
+            emitter.emit(stay.poi, t, CheckinType.SUPERFLUOUS)
+
+
+def _short_stop_checkin(
+    emitter: _CheckinEmitter,
+    stay: Stay,
+    coverage: Coverage,
+    persona: Persona,
+    rng: np.random.Generator,
+) -> None:
+    """Checkin at a stop too brief to become a visit (the 'other' class)."""
+    if rng.random() >= persona.shortstop_checkin_p:
+        return
+    for window in coverage:
+        overlap = window.overlap(stay.t_start, stay.t_end)
+        if overlap and overlap[1] - overlap[0] >= 60.0:
+            lo, hi = overlap
+            # Check in near the middle of the stop, while stationary —
+            # at the edges the GPS speed estimate still sees the drive.
+            t = float(rng.uniform(lo + 0.4 * (hi - lo), lo + 0.6 * (hi - lo)))
+            emitter.emit(stay.poi, t, CheckinType.OTHER)
+            return
+
+
+def _driveby_checkins(
+    emitter: _CheckinEmitter,
+    leg: Leg,
+    coverage: Coverage,
+    persona: Persona,
+    world: World,
+    rng: np.random.Generator,
+) -> None:
+    """Checkin at a roadside POI while moving above the driveby speed."""
+    if leg.speed < DRIVEBY_MIN_SPEED or leg.duration < 90.0:
+        return
+    if rng.random() >= persona.driveby_leg_p:
+        return
+    # A checkin-happy passenger may fire several times along one drive,
+    # which is what makes the driveby class mildly bursty in Figure 6.
+    n_attempts = 1 + int(rng.poisson(0.6))
+    for _ in range(n_attempts):
+        t = leg.t_start + float(rng.uniform(0.30, 0.70)) * leg.duration
+        if not coverage.contains(t):
+            continue
+        x, y = leg.position_at(t)
+        # Only POIs well away from both trip endpoints qualify: a "roadside"
+        # checkin next to the departure or arrival POI would land within the
+        # matching radius of a real visit and stop being extraneous.
+        candidates = [
+            poi
+            for _, poi in world.pois_within(x, y, 450.0)
+            if math.hypot(poi.x - leg.x0, poi.y - leg.y0) > 600.0
+            and math.hypot(poi.x - leg.x1, poi.y - leg.y1) > 600.0
+        ]
+        if not candidates:
+            continue
+        emitter.emit(
+            candidates[int(rng.integers(len(candidates)))], t, CheckinType.DRIVEBY
+        )
+
+
+def _remote_sessions(
+    emitter: _CheckinEmitter,
+    itinerary: Itinerary,
+    coverage: Coverage,
+    persona: Persona,
+    world: World,
+    study_days: float,
+    rng: np.random.Generator,
+) -> None:
+    """Badge-hunting sessions: bursts of checkins at far-away POIs."""
+    n_sessions = int(rng.poisson(persona.remote_sessions_per_day * study_days))
+    for _ in range(n_sessions):
+        t = coverage.random_time(rng)
+        if not itinerary.t_start <= t <= itinerary.t_end:
+            continue
+        x, y = itinerary.position_at(t)
+        size = 1 + int(rng.poisson(persona.remote_session_extra_mean))
+        for _ in range(size):
+            poi = _far_poi(world, x, y, rng)
+            if poi is None:
+                break
+            emitter.emit(poi, t, CheckinType.REMOTE)
+            t += float(rng.uniform(15.0, 90.0))
+            if not coverage.contains(t):
+                break
+
+
+def _far_poi(
+    world: World, x: float, y: float, rng: np.random.Generator
+) -> Optional[Poi]:
+    """A POI well beyond the remote threshold from (x, y)."""
+    for _ in range(6):
+        target = float(rng.lognormal(mean=math.log(3000.0), sigma=0.8))
+        poi = world.sample_poi_near(x, y, max(target, REMOTE_MIN_DISTANCE_M * 1.5), rng)
+        if poi is not None and math.hypot(poi.x - x, poi.y - y) >= REMOTE_MIN_DISTANCE_M:
+            return poi
+    return None
+
+
+def generate_checkins(
+    itinerary: Itinerary,
+    coverage: Coverage,
+    persona: Persona,
+    world: World,
+    study_days: float,
+    dwell_s: float,
+    rng: np.random.Generator,
+) -> List[Checkin]:
+    """All checkins for one user over the study, sorted by time."""
+    emitter = _CheckinEmitter(persona.user_id)
+    for segment in itinerary.segments:
+        if isinstance(segment, Stay):
+            if segment.duration >= dwell_s:
+                _stay_checkins(emitter, segment, coverage, persona, world, dwell_s, rng)
+            else:
+                _short_stop_checkin(emitter, segment, coverage, persona, rng)
+        else:
+            _driveby_checkins(emitter, segment, coverage, persona, world, rng)
+    _remote_sessions(emitter, itinerary, coverage, persona, world, study_days, rng)
+    return emitter.finish()

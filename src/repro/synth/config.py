@@ -1,0 +1,193 @@
+"""Configuration for the synthetic geosocial user study.
+
+The paper's inputs — a private IRB-approved user study (per-minute GPS
+from a bespoke smartphone app) and Foursquare API data — are not
+available, so :mod:`repro.synth` generates both from a single generative
+model.  This module holds every knob of that model, with two presets
+matching the paper's Table 1 populations:
+
+* :func:`primary_config` — 244 ordinary Foursquare users, ≈14.2 days
+  each, reward-seeking behaviour mix calibrated to reproduce Figures
+  1, 5, 6 and Table 2 in shape.
+* :func:`baseline_config` — 47 undergraduate volunteers, ≈20.8 days
+  each, participating "to satisfy a research requirement": essentially
+  no reward-seeking behaviour, so nearly all checkins are honest.
+
+Scaled-down variants (for tests and benches) shrink the population but
+keep all behavioural rates, so every distributional shape survives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..geo import units
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """POI universe parameters."""
+
+    #: Edge length of the (square) city region, metres.
+    size_m: float = 30_000.0
+    #: Number of POIs, excluding per-user home POIs.
+    n_pois: int = 3000
+    #: Number of Gaussian POI clusters (downtown, campus, malls, ...).
+    n_clusters: int = 12
+    #: Std-dev of POI scatter around a cluster centre, metres.
+    cluster_sigma_m: float = 600.0
+    #: Fraction of POIs placed in clusters (the rest are uniform).
+    clustered_fraction: float = 0.7
+
+
+@dataclass(frozen=True)
+class BehaviorConfig:
+    """Population-level behaviour parameters (personas are drawn from these)."""
+
+    #: Mean probability of checking in at an "interesting" visit.
+    honest_interesting_p: float = 0.20
+    #: Probability of checking in at a boring/routine visit (home, work, gas).
+    honest_boring_p: float = 0.015
+    #: Beta(a, b) shape of the badge-seeking drive (fuels remote checkins).
+    badge_drive_beta: tuple = (1.3, 3.5)
+    #: Beta(a, b) shape of the mayor-seeking drive (fuels superfluous checkins).
+    mayor_drive_beta: tuple = (1.3, 4.0)
+    #: Beta(a, b) shape of the on-the-go drive (fuels driveby checkins).
+    onthego_drive_beta: tuple = (1.5, 4.0)
+    #: Remote sessions per day = coefficient × badge_drive².
+    remote_session_coeff: float = 4.0
+    #: Mean extra checkins per remote session beyond the first (Poisson).
+    remote_session_extra_mean: float = 1.5
+    #: Probability an honest checkin sparks a superfluous burst = coeff × mayor_drive.
+    superfluous_burst_coeff: float = 1.15
+    #: Mean extra superfluous checkins per burst beyond the first (Poisson).
+    superfluous_extra_mean: float = 1.1
+    #: Driveby checkin probability per (fast) leg = coeff × onthego_drive.
+    driveby_leg_coeff: float = 0.68
+    #: Probability of checking in at a short (<6 min) stop — the "other" class.
+    shortstop_checkin_p: float = 0.45
+
+
+@dataclass(frozen=True)
+class MobilityConfig:
+    """Daily-routine mobility parameters."""
+
+    #: Fraction of users without a commute (students, remote workers);
+    #: their errands run hub-and-spoke from home.
+    homebody_fraction: float = 0.22
+    #: Mean number of evening errand stops on a weekday (Poisson).
+    weekday_errands_mean: float = 3.8
+    #: Mean number of leisure trips on a weekend day (Poisson).
+    weekend_trips_mean: float = 5.0
+    #: Probability of a lunch outing on a work day.
+    lunch_p: float = 0.9
+    #: Probability of an evening nightlife outing.
+    outing_p: float = 0.25
+    #: Mean number of short (<6 min) stops per day (Poisson).
+    shortstops_mean: float = 3.0
+    #: Pareto scale (xm, metres) of errand trip distances.
+    trip_xm_m: float = 400.0
+    #: Pareto shape of errand trip distances (heavy tail → Levy-like flights).
+    trip_alpha: float = 1.55
+    #: Hard cap on errand trip distance, metres.
+    trip_cap_m: float = 15_000.0
+    #: Walking speed, m/s (used below walk_limit_m).
+    walk_speed: float = 1.4
+    #: Trips shorter than this are walked; longer ones are driven.
+    walk_limit_m: float = 600.0
+    #: Driving speed range (lo, hi), m/s.
+    drive_speed: tuple = (8.0, 16.0)
+    #: Fixed per-trip overhead (parking, lights), seconds.
+    trip_overhead_s: float = 90.0
+    #: Daily GPS recording window start, hour-of-day (mean, sd).
+    record_start_hour: tuple = (7.9, 0.6)
+    #: Daily GPS recording duration, hours (mean, sd).
+    record_hours: tuple = (13.5, 1.0)
+    #: GPS sampling period, seconds (the paper's app records per minute).
+    gps_period_s: float = 60.0
+    #: GPS position noise std-dev, metres.
+    gps_noise_m: float = 12.0
+
+
+@dataclass(frozen=True)
+class StudyConfig:
+    """Full study configuration: population, world, mobility, behaviour."""
+
+    name: str
+    n_users: int
+    mean_study_days: float
+    seed: int
+    world: WorldConfig = WorldConfig()
+    mobility: MobilityConfig = MobilityConfig()
+    behavior: BehaviorConfig = BehaviorConfig()
+    #: Dwell threshold for a ground-truth/extracted visit, seconds.
+    visit_dwell_s: float = units.minutes(6)
+
+    def __post_init__(self) -> None:
+        if self.n_users <= 0:
+            raise ValueError(f"n_users must be positive, got {self.n_users!r}")
+        if self.mean_study_days <= 0:
+            raise ValueError(f"mean_study_days must be positive, got {self.mean_study_days!r}")
+
+    def scaled(self, factor: float, seed: int | None = None) -> "StudyConfig":
+        """Shrink the population (and POI universe) by ``factor`` ∈ (0, 1].
+
+        Behavioural rates are untouched, so per-user statistics and all
+        distribution shapes are preserved; only aggregate counts shrink.
+        """
+        if not 0 < factor <= 1:
+            raise ValueError(f"scale factor must be in (0, 1], got {factor!r}")
+        return replace(
+            self,
+            n_users=max(2, round(self.n_users * factor)),
+            world=replace(
+                self.world,
+                n_pois=max(200, round(self.world.n_pois * max(factor, 0.2))),
+            ),
+            seed=self.seed if seed is None else seed,
+        )
+
+
+def primary_config(seed: int = 20131121) -> StudyConfig:
+    """The paper's Primary dataset: 244 ordinary Foursquare users, ≈14.2 days."""
+    return StudyConfig(
+        name="Primary",
+        n_users=244,
+        mean_study_days=14.2,
+        seed=seed,
+    )
+
+
+def baseline_config(seed: int = 20131122) -> StudyConfig:
+    """The paper's Baseline dataset: 47 undergraduate volunteers, ≈20.8 days.
+
+    Volunteers participated for course credit, so their reward drives are
+    near zero and their checkins are honest; mobility is slightly less
+    errand-heavy than the worldwide Foursquare population (6.4 visits/day
+    in Table 1 versus 8.9 for Primary).
+    """
+    return StudyConfig(
+        name="Baseline",
+        n_users=47,
+        mean_study_days=20.8,
+        seed=seed,
+        behavior=BehaviorConfig(
+            honest_interesting_p=0.24,
+            honest_boring_p=0.01,
+            badge_drive_beta=(1.0, 60.0),
+            mayor_drive_beta=(1.0, 60.0),
+            onthego_drive_beta=(1.0, 60.0),
+            remote_session_coeff=0.3,
+            superfluous_burst_coeff=0.1,
+            driveby_leg_coeff=0.05,
+            shortstop_checkin_p=0.02,
+        ),
+        mobility=MobilityConfig(
+            weekday_errands_mean=2.8,
+            weekend_trips_mean=3.4,
+            lunch_p=0.7,
+            outing_p=0.30,
+            shortstops_mean=0.6,
+            record_hours=(11.0, 1.0),
+        ),
+    )

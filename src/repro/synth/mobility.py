@@ -1,0 +1,186 @@
+"""Observable GPS traces and ground-truth visits from an itinerary.
+
+The paper's smartphone app records per-minute GPS positions while the
+phone is in use (2.6 M points over 3465 user-days ≈ 12.5 recorded hours
+per day), so the simulator models an explicit daily *recording window*;
+overnight hours at home are not sampled, exactly as a phone on a bedside
+charger with the app backgrounded would behave.  GPS samples carry
+Gaussian position noise.
+
+Ground-truth visits are the stays of the itinerary, clipped to the
+recording windows and filtered by the paper's 6-minute dwell rule; they
+are what a perfect visit extractor would recover from the GPS trace.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..geo import units
+from ..model import GpsPoint, Visit
+from .config import MobilityConfig
+from .itinerary import Itinerary, Leg
+
+
+@dataclass(frozen=True)
+class CoverageWindow:
+    """One day's GPS recording interval [t_start, t_end], absolute seconds."""
+
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end <= self.t_start:
+            raise ValueError("coverage window must have positive length")
+
+    def overlap(self, t0: float, t1: float) -> Optional[Tuple[float, float]]:
+        """Intersection with [t0, t1], or None when disjoint."""
+        lo = max(self.t_start, t0)
+        hi = min(self.t_end, t1)
+        if hi <= lo:
+            return None
+        return lo, hi
+
+
+class Coverage:
+    """The full set of recording windows for one user."""
+
+    def __init__(self, windows: Sequence[CoverageWindow]) -> None:
+        ordered = sorted(windows, key=lambda w: w.t_start)
+        for prev, curr in zip(ordered, ordered[1:]):
+            if curr.t_start < prev.t_end:
+                raise ValueError("coverage windows overlap")
+        self.windows: List[CoverageWindow] = list(ordered)
+        self._starts = [w.t_start for w in self.windows]
+
+    def __len__(self) -> int:
+        return len(self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def contains(self, t: float) -> bool:
+        """True when ``t`` falls inside a recording window."""
+        idx = bisect.bisect_right(self._starts, t) - 1
+        return idx >= 0 and t <= self.windows[idx].t_end
+
+    def total_seconds(self) -> float:
+        """Total recorded time."""
+        return sum(w.t_end - w.t_start for w in self.windows)
+
+    def random_time(self, rng: np.random.Generator) -> float:
+        """Uniformly random instant within the recorded time."""
+        if not self.windows:
+            raise ValueError("no coverage windows")
+        lengths = np.array([w.t_end - w.t_start for w in self.windows])
+        idx = int(rng.choice(len(self.windows), p=lengths / lengths.sum()))
+        w = self.windows[idx]
+        return float(rng.uniform(w.t_start, w.t_end))
+
+
+def build_coverage(
+    n_days: int, mobility: MobilityConfig, rng: np.random.Generator
+) -> Coverage:
+    """One recording window per study day, drawn from the config."""
+    windows: List[CoverageWindow] = []
+    start_mu, start_sd = mobility.record_start_hour
+    hours_mu, hours_sd = mobility.record_hours
+    for day in range(n_days):
+        day_t0 = units.days(day)
+        start = day_t0 + units.hours(max(5.0, float(rng.normal(start_mu, start_sd))))
+        length = units.hours(max(4.0, float(rng.normal(hours_mu, hours_sd))))
+        end = min(start + length, day_t0 + units.hours(23.9))
+        windows.append(CoverageWindow(t_start=start, t_end=end))
+    return Coverage(windows)
+
+
+def sample_gps(
+    itinerary: Itinerary,
+    coverage: Coverage,
+    mobility: MobilityConfig,
+    rng: np.random.Generator,
+) -> List[GpsPoint]:
+    """Per-minute noisy GPS samples of the itinerary within coverage.
+
+    Vectorised: sample times are generated per window, mapped to
+    itinerary segments in one pass, and interpolated segment by segment.
+    """
+    period = mobility.gps_period_s
+    sigma = mobility.gps_noise_m
+    t_max = itinerary.t_end
+    chunks = []
+    for window in coverage:
+        stop = min(window.t_end, t_max + period / 2)
+        if stop <= window.t_start:
+            continue
+        n = int(math.ceil((stop - window.t_start) / period))
+        ts = window.t_start + period * np.arange(n)
+        chunks.append(ts[(ts < window.t_end) & (ts <= t_max)])
+    if not chunks:
+        return []
+    times = np.concatenate(chunks)
+    if times.size == 0:
+        return []
+
+    starts = np.array([s.t_start for s in itinerary.segments])
+    seg_idx = np.clip(np.searchsorted(starts, times, side="right") - 1, 0, None)
+    xs = np.empty_like(times)
+    ys = np.empty_like(times)
+    for idx in np.unique(seg_idx):
+        segment = itinerary.segments[idx]
+        mask = seg_idx == idx
+        if isinstance(segment, Leg):
+            span = segment.t_end - segment.t_start
+            frac = np.clip((times[mask] - segment.t_start) / span, 0.0, 1.0)
+            xs[mask] = segment.x0 + frac * (segment.x1 - segment.x0)
+            ys[mask] = segment.y0 + frac * (segment.y1 - segment.y0)
+        else:
+            xs[mask] = segment.poi.x
+            ys[mask] = segment.poi.y
+    noise = rng.normal(0.0, sigma, size=(times.size, 2))
+    xs += noise[:, 0]
+    ys += noise[:, 1]
+    return [
+        GpsPoint(t=float(t), x=float(x), y=float(y))
+        for t, x, y in zip(times, xs, ys)
+    ]
+
+
+def ground_truth_visits(
+    itinerary: Itinerary,
+    coverage: Coverage,
+    user_id: str,
+    dwell_s: float,
+) -> List[Visit]:
+    """Stays clipped to coverage and filtered by the dwell threshold.
+
+    A stay only yields a visit for the portion that was actually
+    recorded: the paper's pipeline can only see what the app captured.
+    """
+    visits: List[Visit] = []
+    counter = 0
+    for stay in itinerary.stays():
+        for window in coverage:
+            overlap = window.overlap(stay.t_start, stay.t_end)
+            if overlap is None:
+                continue
+            lo, hi = overlap
+            if hi - lo >= dwell_s:
+                visits.append(
+                    Visit(
+                        visit_id=f"{user_id}-gt{counter:05d}",
+                        user_id=user_id,
+                        x=stay.poi.x,
+                        y=stay.poi.y,
+                        t_start=lo,
+                        t_end=hi,
+                        poi_id=stay.poi.poi_id,
+                    )
+                )
+                counter += 1
+    return visits

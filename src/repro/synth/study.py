@@ -1,0 +1,91 @@
+"""Study assembly: generate complete Primary / Baseline datasets.
+
+This is the top-level entry point of the synthetic user study.  It draws
+a shared POI universe, then for each participant a persona, a routine
+(home + workplace), a multi-day itinerary, GPS/checkin traces, and a
+Foursquare profile — exactly the record types the paper's collection app
+produced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..model import Dataset, Poi, UserData
+from .checkins import generate_checkins
+from .config import StudyConfig, baseline_config, primary_config
+from .itinerary import ItineraryBuilder
+from .mobility import build_coverage, ground_truth_visits, sample_gps
+from .persona import build_profile, sample_persona
+from .world import World, generate_world, make_home_poi, pick_work_poi
+
+
+def _draw_study_days(mean_days: float, rng: np.random.Generator) -> int:
+    """Per-user study length: normal around the mean, at least 4 days."""
+    days = rng.normal(mean_days, 0.25 * mean_days)
+    return int(max(4, min(round(days), round(2 * mean_days))))
+
+
+def generate_dataset(config: StudyConfig, with_ground_truth_visits: bool = False) -> Dataset:
+    """Generate a full study dataset from ``config``.
+
+    Deterministic given ``config.seed``.  When
+    ``with_ground_truth_visits`` is set, each user's ``visits`` field is
+    pre-populated with the generator's ground truth; the normal pipeline
+    leaves it unset and extracts visits from GPS itself
+    (:func:`repro.core.visits.extract_dataset_visits`).
+    """
+    seed_seq = np.random.SeedSequence(config.seed)
+    world_seed, *user_seeds = seed_seq.spawn(config.n_users + 1)
+    world_rng = np.random.default_rng(world_seed)
+
+    base_pois = generate_world(config.world, world_rng)
+    # Homes must exist as POIs before itineraries are built so that home
+    # visits are attributable to a (Residence) POI in the analyses.
+    homes: Dict[str, Poi] = {}
+    user_ids = [f"u{idx:04d}" for idx in range(config.n_users)]
+    for user_id in user_ids:
+        homes[user_id] = make_home_poi(user_id, base_pois, world_rng)
+    pois: Dict[str, Poi] = dict(base_pois.pois)
+    pois.update({p.poi_id: p for p in homes.values()})
+    world = World(size_m=config.world.size_m, pois=pois)
+
+    users: Dict[str, UserData] = {}
+    for user_id, user_seed in zip(user_ids, user_seeds):
+        rng = np.random.default_rng(user_seed)
+        persona = sample_persona(user_id, config.behavior, rng)
+        n_days = _draw_study_days(config.mean_study_days, rng)
+        home = homes[user_id]
+        work = pick_work_poi(world, rng)
+        builder = ItineraryBuilder(
+            world,
+            home,
+            work,
+            config.mobility,
+            errands_mean_scale=persona.activity,
+            employed=bool(rng.random() >= config.mobility.homebody_fraction),
+        )
+        itinerary = builder.build(n_days, rng)
+        coverage = build_coverage(n_days, config.mobility, rng)
+        gps = sample_gps(itinerary, coverage, config.mobility, rng)
+        checkins = generate_checkins(
+            itinerary, coverage, persona, world, float(n_days), config.visit_dwell_s, rng
+        )
+        profile = build_profile(persona, float(n_days), rng)
+        data = UserData(profile=profile, gps=gps, checkins=checkins)
+        if with_ground_truth_visits:
+            data.visits = ground_truth_visits(itinerary, coverage, user_id, config.visit_dwell_s)
+        users[user_id] = data
+    return Dataset(name=config.name, pois=pois, users=users)
+
+
+def generate_primary(scale: float = 1.0, seed: int = 20131121) -> Dataset:
+    """The Primary dataset (244 ordinary Foursquare users at scale 1.0)."""
+    return generate_dataset(primary_config(seed).scaled(scale))
+
+
+def generate_baseline(scale: float = 1.0, seed: int = 20131122) -> Dataset:
+    """The Baseline dataset (47 undergraduate volunteers at scale 1.0)."""
+    return generate_dataset(baseline_config(seed).scaled(scale))

@@ -1,0 +1,37 @@
+"""Shared fixtures: RNGs, tiny hand-built datasets, and a small study.
+
+The small study is session-scoped because generation plus the full
+validation pipeline is the expensive part of the suite; all integration
+tests share one build.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import build_study
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic per-test RNG."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def study():
+    """A small but fully processed Primary + Baseline study."""
+    return build_study(scale=0.08)
+
+
+@pytest.fixture(scope="session")
+def primary(study):
+    """The small Primary dataset (with extracted visits)."""
+    return study.primary
+
+
+@pytest.fixture(scope="session")
+def primary_report(study):
+    """Validation report of the small Primary dataset."""
+    return study.primary_report

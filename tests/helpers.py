@@ -1,0 +1,156 @@
+"""Builders for small hand-constructed datasets used across unit tests."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.model import (
+    Checkin,
+    CheckinType,
+    Dataset,
+    GpsPoint,
+    Poi,
+    PoiCategory,
+    UserData,
+    UserProfile,
+    Visit,
+)
+
+MIN = 60.0
+
+
+def make_poi(
+    poi_id: str = "p0",
+    x: float = 0.0,
+    y: float = 0.0,
+    category: PoiCategory = PoiCategory.FOOD,
+) -> Poi:
+    """A POI at (x, y)."""
+    return Poi(poi_id=poi_id, name=poi_id, category=category, x=x, y=y)
+
+
+def make_profile(
+    user_id: str = "u0",
+    friends: int = 5,
+    badges: int = 3,
+    mayorships: int = 1,
+    study_days: float = 10.0,
+) -> UserProfile:
+    """A user profile with sane defaults."""
+    return UserProfile(
+        user_id=user_id,
+        friends=friends,
+        badges=badges,
+        mayorships=mayorships,
+        study_days=study_days,
+    )
+
+
+def make_visit(
+    visit_id: str = "v0",
+    user_id: str = "u0",
+    x: float = 0.0,
+    y: float = 0.0,
+    t_start: float = 0.0,
+    t_end: float = 600.0,
+    poi_id: Optional[str] = None,
+) -> Visit:
+    """A visit at (x, y) over [t_start, t_end]."""
+    return Visit(
+        visit_id=visit_id,
+        user_id=user_id,
+        x=x,
+        y=y,
+        t_start=t_start,
+        t_end=t_end,
+        poi_id=poi_id,
+    )
+
+
+def make_checkin(
+    checkin_id: str = "c0",
+    user_id: str = "u0",
+    poi_id: str = "p0",
+    x: float = 0.0,
+    y: float = 0.0,
+    t: float = 0.0,
+    category: PoiCategory = PoiCategory.FOOD,
+    intent: Optional[CheckinType] = None,
+) -> Checkin:
+    """A checkin at (x, y) at time t."""
+    return Checkin(
+        checkin_id=checkin_id,
+        user_id=user_id,
+        poi_id=poi_id,
+        x=x,
+        y=y,
+        t=t,
+        category=category,
+        intent=intent,
+    )
+
+
+def stationary_gps(
+    x: float,
+    y: float,
+    t_start: float,
+    t_end: float,
+    period: float = MIN,
+) -> List[GpsPoint]:
+    """Noise-free per-minute samples of a user sitting at (x, y)."""
+    points = []
+    t = t_start
+    while t <= t_end:
+        points.append(GpsPoint(t=t, x=x, y=y))
+        t += period
+    return points
+
+
+def moving_gps(
+    x0: float,
+    y0: float,
+    x1: float,
+    y1: float,
+    t_start: float,
+    t_end: float,
+    period: float = MIN,
+) -> List[GpsPoint]:
+    """Per-minute samples of a user moving linearly from (x0,y0) to (x1,y1)."""
+    points = []
+    t = t_start
+    span = t_end - t_start
+    while t <= t_end:
+        frac = (t - t_start) / span if span else 0.0
+        points.append(GpsPoint(t=t, x=x0 + frac * (x1 - x0), y=y0 + frac * (y1 - y0)))
+        t += period
+    return points
+
+
+def make_dataset(
+    users: Sequence[UserData],
+    pois: Optional[Sequence[Poi]] = None,
+    name: str = "test",
+) -> Dataset:
+    """Assemble a dataset from user data and POIs."""
+    return Dataset(
+        name=name,
+        pois={p.poi_id: p for p in (pois or [])},
+        users={u.user_id: u for u in users},
+    )
+
+
+def make_user(
+    user_id: str = "u0",
+    gps: Optional[List[GpsPoint]] = None,
+    checkins: Optional[List[Checkin]] = None,
+    visits: Optional[List[Visit]] = None,
+    study_days: float = 10.0,
+    **profile_kwargs,
+) -> UserData:
+    """A user with the given traces."""
+    return UserData(
+        profile=make_profile(user_id=user_id, study_days=study_days, **profile_kwargs),
+        gps=gps or [],
+        checkins=checkins or [],
+        visits=visits,
+    )

@@ -1,0 +1,106 @@
+"""Co-location / friendship inference application."""
+
+import pytest
+
+from repro.apps import (
+    ColocationComparison,
+    ColocationConfig,
+    colocated_pairs,
+    compare_colocation,
+    evaluate_friendship_inference,
+)
+from repro.model import CheckinType
+from helpers import make_checkin, make_dataset, make_user, make_visit
+
+
+class TestColocatedPairs:
+    def test_pair_detected(self):
+        presences = [(0.0, 0.0, 0.0, "a"), (100.0, 50.0, 0.0, "b")]
+        assert colocated_pairs(presences) == {frozenset({"a", "b"})}
+
+    def test_too_far_apart_in_space(self):
+        presences = [(0.0, 0.0, 0.0, "a"), (0.0, 5000.0, 0.0, "b")]
+        assert colocated_pairs(presences) == set()
+
+    def test_too_far_apart_in_time(self):
+        presences = [(0.0, 0.0, 0.0, "a"), (90_000.0, 0.0, 0.0, "b")]
+        assert colocated_pairs(presences) == set()
+
+    def test_boundaries_inclusive(self):
+        config = ColocationConfig(radius_m=100.0, window_s=60.0)
+        presences = [(0.0, 0.0, 0.0, "a"), (60.0, 100.0, 0.0, "b")]
+        assert colocated_pairs(presences, config) == {frozenset({"a", "b"})}
+
+    def test_same_user_never_pairs_with_self(self):
+        presences = [(0.0, 0.0, 0.0, "a"), (10.0, 0.0, 0.0, "a")]
+        assert colocated_pairs(presences) == set()
+
+    def test_three_users_all_pairs(self):
+        presences = [
+            (0.0, 0.0, 0.0, "a"),
+            (10.0, 10.0, 0.0, "b"),
+            (20.0, 20.0, 0.0, "c"),
+        ]
+        assert colocated_pairs(presences) == {
+            frozenset({"a", "b"}),
+            frozenset({"a", "c"}),
+            frozenset({"b", "c"}),
+        }
+
+    def test_cross_bucket_detection(self):
+        """Events on opposite sides of a bucket boundary still pair."""
+        config = ColocationConfig(radius_m=100.0, window_s=600.0)
+        presences = [(599.0, 99.0, 0.0, "a"), (601.0, 101.0, 0.0, "b")]
+        assert colocated_pairs(presences, config) == {frozenset({"a", "b"})}
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ColocationConfig(radius_m=0)
+
+
+class TestComparison:
+    def test_metrics(self):
+        comparison = ColocationComparison(
+            name="x", true_pairs=10, claimed_pairs=5, correct_pairs=4
+        )
+        assert comparison.precision == 0.8
+        assert comparison.recall == 0.4
+        assert comparison.false_pairs == 1
+
+    def test_zero_claims(self):
+        comparison = ColocationComparison("x", 10, 0, 0)
+        assert comparison.precision == 0.0
+
+    def test_remote_checkins_create_false_pairs(self):
+        """Two users fake-checkin at the same far POI: a fabricated meeting."""
+        visit_a = make_visit("va", user_id="a", x=0, y=0, t_start=0, t_end=3600)
+        visit_b = make_visit("vb", user_id="b", x=50_000, y=0, t_start=0, t_end=3600)
+        fake_a = make_checkin("ca", user_id="a", poi_id="p", x=20_000, y=20_000,
+                              t=1000.0, intent=CheckinType.REMOTE)
+        fake_b = make_checkin("cb", user_id="b", poi_id="p", x=20_000, y=20_000,
+                              t=1500.0, intent=CheckinType.REMOTE)
+        dataset = make_dataset(
+            [
+                make_user("a", checkins=[fake_a], visits=[visit_a]),
+                make_user("b", checkins=[fake_b], visits=[visit_b]),
+            ]
+        )
+        comparison = compare_colocation(dataset, dataset.all_checkins, "all")
+        assert comparison.true_pairs == 0
+        assert comparison.claimed_pairs == 1
+        assert comparison.false_pairs == 1
+        assert comparison.precision == 0.0
+
+    def test_study_level_story(self, study):
+        """All-checkin evidence fabricates meetings; honest evidence does not."""
+        all_cmp, honest_cmp = evaluate_friendship_inference(
+            study.primary, study.primary_report.matching.honest_checkins
+        )
+        assert all_cmp.true_pairs > 0
+        assert all_cmp.false_pairs > 0  # wrong suggestions from fake checkins
+        # Honest checkins never fabricate: every claimed pair truly met.
+        if honest_cmp.claimed_pairs:
+            assert honest_cmp.precision > all_cmp.precision
+        # Both miss most true meetings (the missing-checkin effect).
+        assert all_cmp.recall < 0.5
+        assert honest_cmp.recall < all_cmp.recall + 0.05

@@ -1,0 +1,95 @@
+"""Next-place prediction application."""
+
+import pytest
+
+from repro.apps import (
+    MarkovPredictor,
+    checkin_sequences,
+    evaluate_training_traces,
+    next_place_accuracy,
+    visit_sequences,
+)
+from repro.geo import units
+
+
+class TestMarkovPredictor:
+    def test_learns_transitions(self):
+        predictor = MarkovPredictor().fit([["a", "b", "a", "b", "a", "c"]])
+        assert predictor.predict("a", top_k=1) == ["b"]
+
+    def test_top_k_ordering(self):
+        predictor = MarkovPredictor().fit([["a", "b"], ["a", "b"], ["a", "c"]])
+        assert predictor.predict("a", top_k=2) == ["b", "c"]
+
+    def test_popularity_fallback(self):
+        predictor = MarkovPredictor().fit([["x", "y", "x", "y", "x"]])
+        assert predictor.predict("never-seen", top_k=1) == ["x"]
+
+    def test_fallback_fills_remaining_slots(self):
+        predictor = MarkovPredictor().fit([["a", "b", "c", "c"]])
+        ranked = predictor.predict("a", top_k=3)
+        assert ranked[0] == "b"
+        assert len(ranked) == 3
+        assert len(set(ranked)) == 3
+
+    def test_rejects_bad_top_k(self):
+        with pytest.raises(ValueError):
+            MarkovPredictor().predict("a", top_k=0)
+
+    def test_n_transitions(self):
+        predictor = MarkovPredictor().fit([["a", "b", "c"], ["a"]])
+        assert predictor.n_transitions == 2
+
+    def test_multiple_sequences_accumulate(self):
+        predictor = MarkovPredictor().fit([["a", "b"]])
+        predictor.fit([["a", "c"], ["a", "c"]])
+        assert predictor.predict("a", top_k=1) == ["c"]
+
+
+class TestSequenceExtraction:
+    def test_visit_sequences_sorted_by_time(self, primary):
+        sequences = visit_sequences(primary)
+        assert sequences
+        some_user = next(iter(primary.users.values()))
+        annotated = [v for v in some_user.require_visits() if v.poi_id is not None]
+        assert len(sequences[some_user.user_id]) == len(annotated)
+
+    def test_visit_sequences_split(self, primary):
+        split = units.days(5)
+        train = visit_sequences(primary, before_t=split)
+        test = visit_sequences(primary, after_t=split)
+        for user_id in primary.users:
+            full = visit_sequences(primary)[user_id]
+            assert len(train[user_id]) + len(test[user_id]) == len(full)
+
+    def test_checkin_sequences_subset(self, primary, primary_report):
+        honest = primary_report.matching.honest_checkins
+        sequences = checkin_sequences(primary, honest)
+        assert sum(len(s) for s in sequences.values()) == len(honest)
+
+
+class TestAccuracy:
+    def test_perfect_on_deterministic_cycle(self):
+        predictor = MarkovPredictor().fit([["a", "b", "c"] * 5])
+        accuracy, n = next_place_accuracy(predictor, {"u": ["a", "b", "c", "a", "b"]})
+        assert accuracy == 1.0
+        assert n == 4
+
+    def test_requires_transitions(self):
+        with pytest.raises(ValueError):
+            next_place_accuracy(MarkovPredictor(), {"u": ["a"]})
+
+    def test_gps_trained_beats_checkin_trained(self, study):
+        """The application-level cost of missing + extraneous checkins."""
+        split = units.days(9)
+        scores = {
+            s.name: s.accuracy
+            for s in evaluate_training_traces(
+                study.primary,
+                study.primary_report.matching.honest_checkins,
+                split,
+            )
+        }
+        assert scores["GPS visits"] > 3 * scores["All checkins"]
+        assert scores["GPS visits"] > 3 * scores["Honest checkins"]
+        assert scores["GPS visits"] > 0.1

@@ -1,0 +1,78 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_generate_and_validate(tmp_path, capsys):
+    out = tmp_path / "ds"
+    assert main(["generate", "--dataset", "primary", "--scale", "0.02",
+                 "--out", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "wrote Primary" in captured
+    assert (out / "checkins.jsonl").exists()
+
+    assert main(["validate", "--data", str(out)]) == 0
+    captured = capsys.readouterr().out
+    assert "extraneous breakdown" in captured
+
+
+def test_generate_baseline(tmp_path, capsys):
+    out = tmp_path / "bl"
+    assert main(["generate", "--dataset", "baseline", "--scale", "0.05",
+                 "--seed", "9", "--out", str(out)]) == 0
+    assert "Baseline" in capsys.readouterr().out
+
+
+def test_validate_generates_when_no_data(capsys):
+    assert main(["validate", "--scale", "0.02"]) == 0
+    assert "honest checkins" in capsys.readouterr().out
+
+
+def test_report_subset(capsys):
+    assert main(["report", "--scale", "0.05", "--only", "table1,figure1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert "Figure 1" in out
+    assert "Figure 4" not in out
+
+
+def test_report_unknown_experiment(capsys):
+    assert main(["report", "--only", "figure99"]) == 2
+    assert "unknown experiments" in capsys.readouterr().err
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_export_subcommand(tmp_path, capsys):
+    out = tmp_path / "csv"
+    assert main(["export", "--scale", "0.05", "--out", str(out), "--no-manet"]) == 0
+    assert "CSV files" in capsys.readouterr().out
+    assert (out / "table1.csv").exists()
+    assert (out / "figure4.csv").exists()
+
+
+def test_recover_subcommand(capsys):
+    assert main(["recover", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Recovery gain" in out
+    assert "events_per_day" in out
+
+
+def test_manet_subcommand(monkeypatch, capsys):
+    from repro.manet import ManetConfig
+    import repro.cli as cli
+
+    tiny = ManetConfig(
+        n_nodes=12, arena_m=3000.0, radio_range_m=1200.0, n_pairs=3,
+        duration_s=180.0, seed=4,
+    )
+    monkeypatch.setattr(cli, "bench_config", lambda: tiny)
+    assert main(["manet", "--scale", "0.05"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 8" in out
+    assert "Honest-Checkin" in out

@@ -1,0 +1,122 @@
+"""Burstiness, prevalence and the user-filtering trade-off (Figures 5, 6)."""
+
+import pytest
+
+from repro.core import (
+    classify_dataset,
+    filter_tradeoff,
+    interarrival_by_type,
+    interarrival_times,
+    match_dataset,
+    prevalence_cdfs,
+    user_type_ratios,
+)
+from repro.geo import units
+from repro.model import CheckinType
+from helpers import make_checkin, make_dataset, make_user
+
+
+class TestInterarrival:
+    def test_gaps_within_user(self):
+        checkins = [make_checkin(f"c{i}", t=i * 100.0) for i in range(4)]
+        assert interarrival_times(checkins) == [100.0, 100.0, 100.0]
+
+    def test_gaps_never_span_users(self):
+        checkins = [
+            make_checkin("c0", user_id="a", t=0),
+            make_checkin("c1", user_id="b", t=50),
+            make_checkin("c2", user_id="a", t=100),
+        ]
+        assert sorted(interarrival_times(checkins)) == [100.0]
+
+    def test_unsorted_input(self):
+        checkins = [make_checkin("c0", t=500), make_checkin("c1", t=100)]
+        assert interarrival_times(checkins) == [400.0]
+
+    def test_empty(self):
+        assert interarrival_times([]) == []
+
+    def test_single_checkin_no_gap(self):
+        assert interarrival_times([make_checkin()]) == []
+
+
+class TestInterarrivalByType:
+    def test_per_class_curves(self, primary_report):
+        curves = interarrival_by_type(primary_report.classification)
+        assert CheckinType.HONEST in curves
+        assert CheckinType.REMOTE in curves
+
+    def test_extraneous_burstier_than_honest(self, primary_report):
+        """The paper's Figure 6 ordering on the synthetic study."""
+        curves = interarrival_by_type(primary_report.classification)
+        ten_min = units.minutes(10)
+        honest_within = curves[CheckinType.HONEST].evaluate(ten_min)
+        remote_within = curves[CheckinType.REMOTE].evaluate(ten_min)
+        superfluous_within = curves[CheckinType.SUPERFLUOUS].evaluate(ten_min)
+        assert remote_within > honest_within + 0.3
+        assert superfluous_within > honest_within + 0.3
+
+    def test_remote_has_subminute_mass(self, primary_report):
+        curves = interarrival_by_type(primary_report.classification)
+        assert curves[CheckinType.REMOTE].evaluate(60.0) > 0.2
+
+    def test_absent_class_omitted(self):
+        user = make_user("u0", checkins=[make_checkin()], visits=[])
+        dataset = make_dataset([user])
+        matching = match_dataset(dataset)
+        classification = classify_dataset(dataset, matching)
+        curves = interarrival_by_type(classification)
+        assert CheckinType.HONEST not in curves  # one checkin → no gaps
+
+
+class TestPrevalence:
+    def test_cdfs_built(self, primary, primary_report):
+        prevalence = prevalence_cdfs(primary, primary_report.classification)
+        assert prevalence.n_users > 0
+        assert 0.0 <= prevalence.all_extraneous.median() <= 1.0
+
+    def test_extraneous_widespread(self, primary, primary_report):
+        """Nearly all users produce extraneous checkins (paper Figure 5)."""
+        prevalence = prevalence_cdfs(primary, primary_report.classification)
+        assert prevalence.users_above(0.0) > 0.8
+
+    def test_heavy_users_exist(self, primary, primary_report):
+        prevalence = prevalence_cdfs(primary, primary_report.classification)
+        assert prevalence.all_extraneous.quantile(0.9) > 0.6
+
+    def test_user_type_ratios_sum_to_one(self, primary, primary_report):
+        ratios = user_type_ratios(primary, primary_report.classification)
+        for per_type in ratios.values():
+            assert sum(per_type.values()) == pytest.approx(1.0)
+
+    def test_raises_without_users(self, primary, primary_report):
+        with pytest.raises(ValueError):
+            prevalence_cdfs(primary, primary_report.classification, min_checkins=10**9)
+
+
+class TestFilterTradeoff:
+    def test_filtering_heavy_users_costs_honest_checkins(self, primary, primary_report):
+        tradeoff = filter_tradeoff(primary, primary_report.classification, 0.8)
+        assert tradeoff.extraneous_removed >= 0.8
+        # The paper's point: the cost in honest checkins is substantial.
+        assert tradeoff.honest_lost > 0.3
+        assert 0 < tradeoff.users_filtered < tradeoff.n_users
+
+    def test_full_removal(self, primary, primary_report):
+        tradeoff = filter_tradeoff(primary, primary_report.classification, 1.0)
+        assert tradeoff.extraneous_removed == pytest.approx(1.0)
+
+    def test_no_extraneous_dataset(self):
+        visit_user = make_user("u0", checkins=[], visits=[])
+        dataset = make_dataset([visit_user])
+        matching = match_dataset(dataset)
+        classification = classify_dataset(dataset, matching)
+        tradeoff = filter_tradeoff(dataset, classification)
+        assert tradeoff.extraneous_removed == 0.0
+        assert tradeoff.users_filtered == 0
+
+    def test_rejects_bad_target(self, primary, primary_report):
+        with pytest.raises(ValueError):
+            filter_tradeoff(primary, primary_report.classification, 0.0)
+        with pytest.raises(ValueError):
+            filter_tradeoff(primary, primary_report.classification, 1.5)

@@ -1,0 +1,148 @@
+"""Extraneous checkin detection (the §7 extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BurstinessDetector,
+    GaussianNBDetector,
+    evaluate_detector,
+    extract_features,
+    split_users,
+    truth_labels,
+)
+from repro.core.detection import GAP_CAP_S, CheckinFeatures
+from repro.geo import units
+from repro.model import CheckinType
+from helpers import make_checkin
+
+
+class TestFeatureExtraction:
+    def test_gap_features(self):
+        checkins = [make_checkin(f"c{i}", t=i * 600.0) for i in range(3)]
+        features = extract_features(checkins)
+        assert features["c1"].gap_prev_s == 600.0
+        assert features["c1"].gap_next_s == 600.0
+        assert features["c0"].gap_prev_s == GAP_CAP_S
+        assert features["c2"].gap_next_s == GAP_CAP_S
+
+    def test_hop_and_speed(self):
+        checkins = [
+            make_checkin("c0", x=0, t=0),
+            make_checkin("c1", x=1000, t=100.0),
+        ]
+        features = extract_features(checkins)
+        assert features["c1"].hop_m == 1000.0
+        assert features["c1"].implied_speed == pytest.approx(10.0)
+
+    def test_per_user_isolation(self):
+        checkins = [
+            make_checkin("c0", user_id="a", t=0),
+            make_checkin("c1", user_id="b", t=10),
+        ]
+        features = extract_features(checkins)
+        assert features["c0"].gap_next_s == GAP_CAP_S
+
+    def test_min_gap(self):
+        f = CheckinFeatures("c", gap_prev_s=50, gap_next_s=500, hop_m=0, implied_speed=0)
+        assert f.min_gap_s == 50
+
+    def test_vector_finite(self):
+        f = CheckinFeatures("c", GAP_CAP_S, GAP_CAP_S, 1e7, 1e4)
+        assert np.all(np.isfinite(f.vector()))
+
+
+class TestBurstinessDetector:
+    def test_flags_bursty(self):
+        detector = BurstinessDetector(units.minutes(10))
+        bursty = CheckinFeatures("c", 30.0, 5000.0, 0, 0)
+        calm = CheckinFeatures("c", 3600.0, 7200.0, 0, 0)
+        assert detector.predict(bursty)
+        assert not detector.predict(calm)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            BurstinessDetector(0)
+
+    def test_performance_on_study(self, primary, primary_report):
+        """Burstiness alone catches a solid share of extraneous checkins."""
+        features = extract_features(primary.all_checkins)
+        truth = truth_labels(primary_report.classification.labels)
+        predictions = BurstinessDetector().predict_many(features.values())
+        metrics = evaluate_detector(predictions, truth)
+        assert metrics.recall > 0.4
+        assert metrics.precision > 0.7
+
+
+class TestGaussianNB:
+    def test_untrained_raises(self):
+        detector = GaussianNBDetector()
+        with pytest.raises(ValueError):
+            detector.predict(CheckinFeatures("c", 1, 1, 1, 1))
+
+    def test_needs_both_classes(self):
+        detector = GaussianNBDetector()
+        features = [CheckinFeatures(f"c{i}", 10, 10, 5, 1) for i in range(5)]
+        labels = {f"c{i}": True for i in range(5)}
+        with pytest.raises(ValueError, match="both classes"):
+            detector.fit(features, labels)
+
+    def test_separable_problem(self):
+        features = [
+            CheckinFeatures(f"p{i}", 30.0, 30.0, 5000.0, 50.0) for i in range(30)
+        ] + [
+            CheckinFeatures(f"n{i}", 7200.0, 7200.0, 500.0, 0.1) for i in range(30)
+        ]
+        labels = {f.checkin_id: f.checkin_id.startswith("p") for f in features}
+        detector = GaussianNBDetector().fit(features, labels)
+        predictions = detector.predict_many(features)
+        metrics = evaluate_detector(predictions, labels)
+        assert metrics.f1 == 1.0
+
+    def test_generalises_across_users(self, primary, primary_report):
+        """Train on one half of users, test on the other."""
+        rng = np.random.default_rng(4)
+        train_ids, test_ids = split_users(primary, 0.6, rng)
+        features = extract_features(primary.all_checkins)
+        truth = truth_labels(primary_report.classification.labels)
+        by_user = {cid: c.user_id for cid, c in
+                   primary_report.classification.checkins.items()}
+        train = [f for f in features.values() if by_user[f.checkin_id] in set(train_ids)]
+        test = [f for f in features.values() if by_user[f.checkin_id] in set(test_ids)]
+        detector = GaussianNBDetector().fit(train, truth)
+        metrics = evaluate_detector(detector.predict_many(test), truth)
+        assert metrics.f1 > 0.6
+        assert metrics.accuracy > 0.6
+
+
+class TestEvaluation:
+    def test_metrics_perfect(self):
+        predictions = {"a": True, "b": False}
+        assert evaluate_detector(predictions, predictions).f1 == 1.0
+
+    def test_metrics_worst(self):
+        predictions = {"a": True, "b": False}
+        truth = {"a": False, "b": True}
+        metrics = evaluate_detector(predictions, truth)
+        assert metrics.precision == 0.0
+        assert metrics.recall == 0.0
+        assert metrics.accuracy == 0.0
+
+    def test_no_overlap_raises(self):
+        with pytest.raises(ValueError):
+            evaluate_detector({"a": True}, {"b": True})
+
+    def test_counts_only_shared_keys(self):
+        metrics = evaluate_detector({"a": True, "z": True}, {"a": True})
+        assert metrics.n == 1
+
+
+class TestSplitUsers:
+    def test_partition(self, primary, rng):
+        train, test = split_users(primary, 0.5, rng)
+        assert set(train) | set(test) == set(primary.users)
+        assert not set(train) & set(test)
+
+    def test_rejects_bad_fraction(self, primary, rng):
+        with pytest.raises(ValueError):
+            split_users(primary, 1.0, rng)

@@ -1,0 +1,77 @@
+"""Incentive correlation analysis (Table 2)."""
+
+import pytest
+
+from repro.core import (
+    TABLE2_FEATURES,
+    TABLE2_TYPES,
+    incentive_correlations,
+    user_feature_rows,
+)
+from repro.model import CheckinType
+
+
+class TestUserFeatureRows:
+    def test_rows_have_unit_ratio_sums(self, primary, primary_report):
+        rows = user_feature_rows(primary, primary_report.classification)
+        assert rows
+        for row in rows:
+            assert sum(row.ratios.values()) == pytest.approx(1.0)
+
+    def test_min_checkins_filter(self, primary, primary_report):
+        all_rows = user_feature_rows(primary, primary_report.classification, 1)
+        strict = user_feature_rows(primary, primary_report.classification, 50)
+        assert len(strict) <= len(all_rows)
+
+    def test_features_present(self, primary, primary_report):
+        rows = user_feature_rows(primary, primary_report.classification)
+        for row in rows:
+            assert set(row.features) == set(TABLE2_FEATURES)
+            assert row.features["checkins_per_day"] > 0
+
+
+class TestCorrelations:
+    def test_table_shape(self, primary, primary_report):
+        table = incentive_correlations(primary, primary_report.classification)
+        for kind in TABLE2_TYPES:
+            for feature in TABLE2_FEATURES:
+                value = table.get(kind, feature)
+                assert -1.0 <= value <= 1.0
+
+    def test_paper_sign_structure(self, primary, primary_report):
+        """The load-bearing Table 2 claims hold on the synthetic study."""
+        table = incentive_correlations(primary, primary_report.classification)
+        # Remote checkins correlate strongly with badge counts.
+        assert table.get(CheckinType.REMOTE, "badges") > 0.3
+        # Superfluous checkins correlate with mayorships.
+        assert table.get(CheckinType.SUPERFLUOUS, "mayorships") > 0.1
+        # Honest ratio correlates negatively with the volume-driven
+        # features.  (At the small test scale of ~20 users the mayorship
+        # cell is within sampling noise; the full-scale run is uniformly
+        # negative, see EXPERIMENTS.md.)
+        assert table.get(CheckinType.HONEST, "badges") < 0.0
+        assert table.get(CheckinType.HONEST, "checkins_per_day") < 0.0
+        assert table.get(CheckinType.HONEST, "friends") < 0.2
+        row_mean = sum(
+            table.get(CheckinType.HONEST, f) for f in TABLE2_FEATURES
+        ) / len(TABLE2_FEATURES)
+        assert row_mean < 0.0
+        # Driveby users are not reward seekers.
+        assert table.get(CheckinType.DRIVEBY, "badges") < 0.0
+
+    def test_requires_enough_users(self, primary, primary_report):
+        with pytest.raises(ValueError, match="at least 3"):
+            incentive_correlations(
+                primary, primary_report.classification, min_checkins=10**9
+            )
+
+    def test_format_table_renders(self, primary, primary_report):
+        table = incentive_correlations(primary, primary_report.classification)
+        text = table.format_table()
+        assert "Superfluous" in text
+        assert "checkins_per_day" in text
+        assert len(text.splitlines()) == 5
+
+    def test_n_users_recorded(self, primary, primary_report):
+        table = incentive_correlations(primary, primary_report.classification)
+        assert 3 <= table.n_users <= len(primary.users)

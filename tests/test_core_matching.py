@@ -1,0 +1,188 @@
+"""The checkin-to-visit matching algorithm."""
+
+import pytest
+
+from repro.core import MatchConfig, match_dataset, match_user
+from helpers import make_checkin, make_dataset, make_user, make_visit
+
+
+def minutes(m):
+    return m * 60.0
+
+
+class TestBasicMatching:
+    def test_exact_match(self):
+        visit = make_visit(t_start=0, t_end=minutes(30))
+        checkin = make_checkin(t=minutes(10))
+        result = match_user([checkin], [visit])
+        assert len(result.matches) == 1
+        assert result.extraneous == []
+        assert result.missing == []
+
+    def test_too_far_in_space(self):
+        visit = make_visit(x=0, y=0, t_start=0, t_end=minutes(30))
+        checkin = make_checkin(x=501, y=0, t=minutes(10))
+        result = match_user([checkin], [visit])
+        assert result.matches == []
+        assert len(result.extraneous) == 1
+        assert len(result.missing) == 1
+
+    def test_alpha_boundary_inclusive(self):
+        visit = make_visit(x=0, y=0, t_start=0, t_end=minutes(30))
+        checkin = make_checkin(x=500, y=0, t=minutes(10))
+        result = match_user([checkin], [visit])
+        assert len(result.matches) == 1
+
+    def test_too_far_in_time(self):
+        visit = make_visit(t_start=0, t_end=minutes(10))
+        checkin = make_checkin(t=minutes(41))
+        result = match_user([checkin], [visit])
+        assert result.matches == []
+
+    def test_beta_boundary_inclusive(self):
+        visit = make_visit(t_start=0, t_end=minutes(10))
+        checkin = make_checkin(t=minutes(40))  # Δt = 30 min exactly
+        result = match_user([checkin], [visit])
+        assert len(result.matches) == 1
+
+    def test_checkin_before_visit_within_beta(self):
+        visit = make_visit(t_start=minutes(60), t_end=minutes(90))
+        checkin = make_checkin(t=minutes(35))
+        result = match_user([checkin], [visit])
+        assert len(result.matches) == 1
+
+
+class TestStep2TemporalChoice:
+    def test_picks_temporally_closest(self):
+        near = make_visit("near", t_start=minutes(9), t_end=minutes(20))
+        far = make_visit("far", t_start=minutes(100), t_end=minutes(120), x=10)
+        checkin = make_checkin(t=minutes(5))
+        result = match_user([checkin], [near, far])
+        assert result.matches[0][1].visit_id == "near"
+
+    def test_inside_visit_beats_outside(self):
+        inside = make_visit("inside", t_start=0, t_end=minutes(30))
+        outside = make_visit("outside", t_start=minutes(31), t_end=minutes(60), x=5)
+        checkin = make_checkin(t=minutes(15))
+        result = match_user([checkin], [inside, outside])
+        assert result.matches[0][1].visit_id == "inside"
+
+
+class TestTieBreaking:
+    def test_geographically_closest_wins(self):
+        visit = make_visit(x=0, y=0, t_start=0, t_end=minutes(30))
+        near = make_checkin("near", x=10, y=0, t=minutes(5))
+        far = make_checkin("far", x=400, y=0, t=minutes(6))
+        result = match_user([near, far], [visit])
+        assert len(result.matches) == 1
+        assert result.matches[0][0].checkin_id == "near"
+        assert [c.checkin_id for c in result.extraneous] == ["far"]
+
+    def test_loser_not_rematched_by_default(self):
+        # Two visits; both checkins prefer visit A (temporally closest);
+        # the loser could match visit B but the paper's single round
+        # leaves it extraneous.
+        visit_a = make_visit("a", x=0, y=0, t_start=minutes(10), t_end=minutes(20))
+        visit_b = make_visit("b", x=450, y=0, t_start=minutes(50), t_end=minutes(60))
+        first = make_checkin("c1", x=0, y=0, t=minutes(12))
+        second = make_checkin("c2", x=200, y=0, t=minutes(14))
+        result = match_user([first, second], [visit_a, visit_b])
+        assert len(result.matches) == 1
+        assert [c.checkin_id for c in result.extraneous] == ["c2"]
+
+    def test_loser_rematches_when_enabled(self):
+        visit_a = make_visit("a", x=0, y=0, t_start=minutes(10), t_end=minutes(20))
+        visit_b = make_visit("b", x=450, y=0, t_start=minutes(30), t_end=minutes(40))
+        first = make_checkin("c1", x=0, y=0, t=minutes(12))
+        second = make_checkin("c2", x=200, y=0, t=minutes(14))
+        result = match_user(
+            [first, second], [visit_a, visit_b], MatchConfig(rematch_losers=True)
+        )
+        assert len(result.matches) == 2
+
+    def test_each_checkin_matches_at_most_one_visit(self):
+        visits = [
+            make_visit(f"v{i}", x=i * 10, t_start=0, t_end=minutes(30))
+            for i in range(5)
+        ]
+        checkin = make_checkin(t=minutes(5))
+        result = match_user([checkin], visits)
+        assert len(result.matches) == 1
+        assert len(result.missing) == 4
+
+
+class TestResultAccounting:
+    def test_counts_are_consistent(self, primary, primary_report):
+        matching = primary_report.matching
+        assert matching.n_checkins == len(primary.all_checkins)
+        assert matching.n_visits == len(primary.all_visits)
+        assert matching.n_honest + matching.n_extraneous == matching.n_checkins
+        assert matching.n_honest + matching.n_missing == matching.n_visits
+
+    def test_fractions(self):
+        visit = make_visit(t_start=0, t_end=minutes(30))
+        good = make_checkin("g", t=minutes(5))
+        bad = make_checkin("b", x=5000, t=minutes(5))
+        user = make_user("u0", checkins=[good, bad], visits=[visit])
+        result = match_dataset(make_dataset([user]))
+        assert result.extraneous_fraction() == 0.5
+        assert result.coverage_fraction() == 1.0
+
+    def test_empty_user(self):
+        result = match_user([], [])
+        assert result.matches == []
+        assert result.extraneous == []
+        assert result.missing == []
+
+    def test_match_dataset_requires_visits(self):
+        user = make_user("u0", checkins=[make_checkin()])
+        with pytest.raises(ValueError, match="visits not extracted"):
+            match_dataset(make_dataset([user]))
+
+    def test_users_never_cross_matched(self):
+        visit = make_visit("v0", user_id="u0", t_start=0, t_end=minutes(30))
+        checkin = make_checkin("c0", user_id="u1", t=minutes(5))
+        users = [
+            make_user("u0", visits=[visit]),
+            make_user("u1", checkins=[checkin], visits=[]),
+        ]
+        result = match_dataset(make_dataset(users))
+        assert result.n_honest == 0
+        assert result.n_extraneous == 1
+        assert result.n_missing == 1
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            MatchConfig(alpha_m=0)
+        with pytest.raises(ValueError):
+            MatchConfig(beta_s=-1)
+
+    def test_matches_sorted_by_time(self, primary_report):
+        for user_match in primary_report.matching.per_user.values():
+            times = [c.t for c, _ in user_match.matches]
+            assert times == sorted(times)
+
+
+class TestAgainstGroundTruth:
+    def test_most_honest_intents_match(self, primary, primary_report):
+        """Matching recovers the overwhelming majority of honest-intent checkins."""
+        from repro.model import CheckinType
+
+        honest_ids = {
+            c.checkin_id
+            for c in primary.all_checkins
+            if c.intent is CheckinType.HONEST
+        }
+        matched_ids = {c.checkin_id for c in primary_report.matching.honest_checkins}
+        recall = len(honest_ids & matched_ids) / len(honest_ids)
+        assert recall > 0.9
+
+    def test_remote_intents_never_match(self, primary, primary_report):
+        from repro.model import CheckinType
+
+        matched_ids = {c.checkin_id for c in primary_report.matching.honest_checkins}
+        remote = [
+            c for c in primary.all_checkins if c.intent is CheckinType.REMOTE
+        ]
+        leaked = sum(1 for c in remote if c.checkin_id in matched_ids)
+        assert leaked / len(remote) < 0.05

@@ -1,0 +1,131 @@
+"""Missing-checkin analyses (Figures 3 and 4)."""
+
+import pytest
+
+from repro.core import (
+    match_dataset,
+    missing_category_breakdown,
+    missing_fraction_by_user,
+    top_poi_missing_ratios,
+)
+from repro.model import PoiCategory
+from helpers import make_checkin, make_dataset, make_poi, make_user, make_visit
+
+MIN = 60.0
+
+
+def build_skewed_user():
+    """A user with 6 home visits, 2 shop visits, 1 honest checkin at the shop."""
+    home = make_poi("home", 0, 0, PoiCategory.RESIDENCE)
+    shop = make_poi("shop", 5000, 0, PoiCategory.SHOP)
+    visits = [
+        make_visit(f"h{i}", x=0, y=0, t_start=i * 7200, t_end=i * 7200 + 1800, poi_id="home")
+        for i in range(6)
+    ] + [
+        make_visit("s0", x=5000, t_start=100_000, t_end=101_800, poi_id="shop"),
+        make_visit("s1", x=5000, t_start=200_000, t_end=201_800, poi_id="shop"),
+    ]
+    checkin = make_checkin("c0", poi_id="shop", x=5000, t=100_500, category=PoiCategory.SHOP)
+    user = make_user("u0", checkins=[checkin], visits=visits)
+    return make_dataset([user], pois=[home, shop])
+
+
+class TestTopPoiRatios:
+    def test_top1_is_home(self):
+        dataset = build_skewed_user()
+        matching = match_dataset(dataset)
+        ratios = top_poi_missing_ratios(dataset, matching, max_n=3)
+        # 7 missing visits: 6 home + 1 shop. Top POI is home: 6/7.
+        assert ratios.ratios[1] == [pytest.approx(6 / 7)]
+
+    def test_ratios_monotone_in_n(self):
+        dataset = build_skewed_user()
+        matching = match_dataset(dataset)
+        ratios = top_poi_missing_ratios(dataset, matching, max_n=3)
+        values = [ratios.ratios[n][0] for n in (1, 2, 3)]
+        assert values == sorted(values)
+        assert values[1] == pytest.approx(1.0)  # home + shop cover everything
+
+    def test_fraction_of_users_above(self):
+        dataset = build_skewed_user()
+        ratios = top_poi_missing_ratios(dataset, match_dataset(dataset))
+        assert ratios.fraction_of_users_above(1, 0.5) == 1.0
+        assert ratios.fraction_of_users_above(1, 0.9) == 0.0
+
+    def test_user_without_missing_excluded(self):
+        visit = make_visit("v0", t_start=0, t_end=1800, poi_id="p0")
+        checkin = make_checkin("c0", t=600)
+        user = make_user("u0", checkins=[checkin], visits=[visit])
+        dataset = make_dataset([user], pois=[make_poi("p0")])
+        ratios = top_poi_missing_ratios(dataset, match_dataset(dataset))
+        assert ratios.ratios[1] == []
+
+    def test_rejects_bad_max_n(self):
+        dataset = build_skewed_user()
+        with pytest.raises(ValueError):
+            top_poi_missing_ratios(dataset, match_dataset(dataset), max_n=0)
+
+    def test_ecdf_accessor(self):
+        dataset = build_skewed_user()
+        ratios = top_poi_missing_ratios(dataset, match_dataset(dataset))
+        assert ratios.ecdf(1).median() == pytest.approx(6 / 7)
+        with pytest.raises(KeyError):
+            ratios.ecdf(99)
+
+    def test_monotone_on_generated_study(self, primary, primary_report):
+        ratios = top_poi_missing_ratios(primary, primary_report.matching)
+        for user_idx in range(len(ratios.ratios[1])):
+            values = [ratios.ratios[n][user_idx] for n in (1, 2, 3, 4, 5)]
+            assert values == sorted(values)
+            assert 0.0 <= values[0] and values[-1] <= 1.0
+
+
+class TestCategoryBreakdown:
+    def test_fractions(self):
+        dataset = build_skewed_user()
+        breakdown = missing_category_breakdown(dataset, match_dataset(dataset))
+        as_dict = dict(breakdown)
+        assert as_dict["Residence"] == pytest.approx(6 / 7)
+        assert as_dict["Shop"] == pytest.approx(1 / 7)
+
+    def test_sums_to_one(self, primary, primary_report):
+        breakdown = missing_category_breakdown(primary, primary_report.matching)
+        assert sum(f for _, f in breakdown) == pytest.approx(1.0)
+
+    def test_unattributed_visits_excluded(self):
+        visit_with = make_visit("v0", poi_id="p0", t_start=0, t_end=1800)
+        visit_without = make_visit("v1", x=9999, t_start=5000, t_end=6800, poi_id=None)
+        user = make_user("u0", visits=[visit_with, visit_without])
+        dataset = make_dataset([user], pois=[make_poi("p0")])
+        breakdown = missing_category_breakdown(dataset, match_dataset(dataset))
+        assert sum(f for _, f in breakdown) == pytest.approx(1.0)
+        assert len(breakdown) == 1
+
+    def test_raises_when_nothing_attributable(self):
+        user = make_user("u0", visits=[make_visit("v0", poi_id=None)])
+        dataset = make_dataset([user])
+        with pytest.raises(ValueError):
+            missing_category_breakdown(dataset, match_dataset(dataset))
+
+    def test_routine_categories_dominate_study(self, primary, primary_report):
+        """Figure 4's shape: routine categories hold most missing checkins."""
+        breakdown = dict(missing_category_breakdown(primary, primary_report.matching))
+        routine = (
+            breakdown.get("Professional", 0)
+            + breakdown.get("Shop", 0)
+            + breakdown.get("Food", 0)
+            + breakdown.get("Residence", 0)
+        )
+        assert routine > 0.6
+
+
+class TestMissingFraction:
+    def test_per_user_values(self):
+        dataset = build_skewed_user()
+        fractions = missing_fraction_by_user(dataset, match_dataset(dataset))
+        assert fractions["u0"] == pytest.approx(7 / 8)
+
+    def test_in_unit_interval(self, primary, primary_report):
+        fractions = missing_fraction_by_user(primary, primary_report.matching)
+        assert fractions
+        assert all(0.0 <= f <= 1.0 for f in fractions.values())

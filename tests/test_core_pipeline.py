@@ -1,0 +1,49 @@
+"""The end-to-end validation pipeline."""
+
+import pytest
+
+from repro.core import validate
+from repro.model import CheckinType
+from repro.synth import generate_dataset, primary_config
+
+
+def test_report_counts_consistent(primary_report):
+    report = primary_report
+    counts = report.type_counts()
+    assert counts[CheckinType.HONEST] == report.n_honest
+    extraneous = sum(
+        counts[kind] for kind in CheckinType if kind is not CheckinType.HONEST
+    )
+    assert extraneous == report.n_extraneous
+
+
+def test_summary_renders(primary_report):
+    text = primary_report.summary()
+    assert "honest checkins" in text
+    assert "extraneous breakdown" in text
+    assert "Primary" in text
+
+
+def test_validate_extracts_visits_once():
+    dataset = generate_dataset(primary_config(seed=91).scaled(0.02))
+    assert not dataset.has_visits()
+    report = validate(dataset)
+    assert dataset.has_visits()
+    first_visits = dataset.users[next(iter(dataset.users))].visits
+    validate(dataset)
+    assert dataset.users[next(iter(dataset.users))].visits is first_visits
+
+
+def test_paper_headline_shapes(primary_report):
+    """The paper's Figure 1 shape claims at small scale."""
+    matching = primary_report.matching
+    assert 0.6 <= matching.extraneous_fraction() <= 0.9  # paper ≈ 0.75
+    assert matching.coverage_fraction() <= 0.25  # paper ≈ 0.11
+
+
+def test_extraneous_breakdown_shape(primary_report):
+    """Remote dominates; every class is present (paper Section 5.1)."""
+    fractions = primary_report.classification.fractions_of_extraneous()
+    assert fractions[CheckinType.REMOTE] == max(fractions.values())
+    for kind, fraction in fractions.items():
+        assert fraction > 0.0, f"no {kind.value} checkins found"

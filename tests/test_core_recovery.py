@@ -1,0 +1,215 @@
+"""Missing-checkin recovery (§7 extension)."""
+
+import pytest
+
+from repro.core.recovery import (
+    RecoveryConfig,
+    infer_home,
+    infer_work,
+    recover_dataset_events,
+    recover_user_events,
+    recovery_gain,
+)
+from repro.geo import units
+from repro.model import PoiCategory
+from helpers import make_checkin, make_dataset, make_poi, make_user
+
+
+def hours(h, day=0):
+    return units.days(day) + units.hours(h)
+
+
+@pytest.fixture
+def anchored_dataset():
+    """A user with clear evening activity near home, midday near work."""
+    home = make_poi("home", 0, 0, PoiCategory.RESIDENCE)
+    office = make_poi("office", 10_000, 0, PoiCategory.PROFESSIONAL)
+    cafe = make_poi("cafe", 9_800, 100, PoiCategory.FOOD)
+    bar = make_poi("bar", 300, 100, PoiCategory.NIGHTLIFE)
+    far_home = make_poi("far-home", 25_000, 25_000, PoiCategory.RESIDENCE)
+    checkins = [
+        # Weekday middays near the office (days 0-1 are weekdays).
+        make_checkin("c0", poi_id="cafe", x=9_800, y=100, t=hours(12, 0),
+                     category=PoiCategory.FOOD),
+        make_checkin("c1", poi_id="cafe", x=9_800, y=100, t=hours(12.5, 1),
+                     category=PoiCategory.FOOD),
+        # Evenings near home.
+        make_checkin("c2", poi_id="bar", x=300, y=100, t=hours(21, 0),
+                     category=PoiCategory.NIGHTLIFE),
+        make_checkin("c3", poi_id="bar", x=300, y=100, t=hours(21, 2),
+                     category=PoiCategory.NIGHTLIFE),
+    ]
+    user = make_user("u0", checkins=checkins)
+    return make_dataset([user], pois=[home, office, cafe, bar, far_home])
+
+
+class TestAnchorInference:
+    def test_home_inferred_from_evenings(self, anchored_dataset):
+        checkins = anchored_dataset.users["u0"].checkins
+        home = infer_home(anchored_dataset, checkins)
+        assert home is not None
+        assert home.poi_id == "home"
+
+    def test_work_inferred_from_middays(self, anchored_dataset):
+        checkins = anchored_dataset.users["u0"].checkins
+        work = infer_work(anchored_dataset, checkins)
+        assert work is not None
+        assert work.poi_id == "office"
+
+    def test_no_checkins_returns_none(self, anchored_dataset):
+        assert infer_home(anchored_dataset, []) is None
+        assert infer_work(anchored_dataset, []) is None
+
+    def test_fallback_to_overall_centroid(self, anchored_dataset):
+        # Only midday checkins: home inference falls back to the overall
+        # centroid and still returns *a* Residence POI.
+        midday_only = [
+            c for c in anchored_dataset.users["u0"].checkins
+            if c.category is PoiCategory.FOOD
+        ]
+        home = infer_home(anchored_dataset, midday_only)
+        assert home is not None
+        assert home.category is PoiCategory.RESIDENCE
+
+    def test_no_residence_pois(self):
+        shop = make_poi("s", 0, 0, PoiCategory.SHOP)
+        user = make_user("u0", checkins=[make_checkin("c0", poi_id="s")])
+        dataset = make_dataset([user], pois=[shop])
+        assert infer_home(dataset, user.checkins) is None
+
+
+class TestRecoveredEvents:
+    def test_adds_routine_events(self, anchored_dataset):
+        checkins = anchored_dataset.users["u0"].checkins
+        events = recover_user_events(anchored_dataset, checkins)
+        assert len(events) > len(checkins)
+        keys = {e[3] for e in events}
+        assert "home" in keys
+        assert "office" in keys
+
+    def test_events_sorted(self, anchored_dataset):
+        checkins = anchored_dataset.users["u0"].checkins
+        events = recover_user_events(anchored_dataset, checkins)
+        times = [e[0] for e in events]
+        assert times == sorted(times)
+
+    def test_home_twice_daily(self, anchored_dataset):
+        checkins = anchored_dataset.users["u0"].checkins
+        events = recover_user_events(anchored_dataset, checkins)
+        home_events = [e for e in events if e[3] == "home"]
+        # Study spans days 0..2 -> 3 days x 2 home events.
+        assert len(home_events) == 6
+
+    def test_work_only_on_weekdays(self, anchored_dataset):
+        checkins = anchored_dataset.users["u0"].checkins
+        config = RecoveryConfig(work_hours=(10.0,))
+        events = recover_user_events(anchored_dataset, checkins, config)
+        work_days = {int(e[0] // units.SECONDS_PER_DAY) for e in events if e[3] == "office"}
+        assert all(day % 7 < 5 for day in work_days)
+
+    def test_empty_user(self, anchored_dataset):
+        assert recover_user_events(anchored_dataset, []) == []
+
+    def test_dataset_wide(self, anchored_dataset):
+        events = recover_dataset_events(anchored_dataset)
+        assert set(events) == {"u0"}
+        assert events["u0"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(home_morning_hour=25.0)
+
+
+class TestRecoveryGain:
+    def test_improves_event_rate_metrics(self, study):
+        """Recovery closes the event-frequency and inter-arrival gaps."""
+        gain = recovery_gain(study.primary)
+        assert gain.improvement("events_per_day") > 0.1
+        assert gain.improvement("interarrival") > 0.05
+
+    def test_report_renders(self, study):
+        text = recovery_gain(study.primary).format_report()
+        assert "before" in text and "after" in text
+
+
+class TestCategoryRateModel:
+    def test_fit_rates_reflect_boringness(self, study):
+        from repro.core import CategoryRateModel
+
+        model = CategoryRateModel.fit(study.primary, study.primary_report.matching)
+        # Routine categories are checked in at far lower per-visit rates.
+        assert model.rate(PoiCategory.RESIDENCE) < 0.1
+        assert model.rate(PoiCategory.PROFESSIONAL) < 0.1
+        assert model.rate(PoiCategory.FOOD) > model.rate(PoiCategory.RESIDENCE)
+        for rate in model.rates.values():
+            assert 0.0 <= rate <= 1.0
+
+    def test_rate_floor_prevents_blowups(self, study):
+        from repro.core import CategoryRateModel
+
+        model = CategoryRateModel.fit(study.primary, study.primary_report.matching)
+        for category in PoiCategory:
+            assert model.rate(category) >= model.rate_floor
+
+    def test_estimate_counts_inverts_rates(self):
+        from repro.core import CategoryRateModel
+
+        model = CategoryRateModel(rates={PoiCategory.FOOD: 0.5})
+        checkins = [
+            make_checkin(f"c{i}", category=PoiCategory.FOOD, t=i * 100.0)
+            for i in range(10)
+        ]
+        counts = model.estimate_visit_counts(checkins)
+        assert counts[PoiCategory.FOOD] == pytest.approx(20.0)
+
+    def test_distribution_sums_to_one(self, study):
+        from repro.core import CategoryRateModel
+
+        model = CategoryRateModel.fit(study.primary, study.primary_report.matching)
+        dist = model.estimate_visit_distribution(study.primary.all_checkins)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_estimate_requires_checkins(self):
+        from repro.core import CategoryRateModel
+
+        model = CategoryRateModel(rates={})
+        with pytest.raises(ValueError):
+            model.estimate_visit_distribution([])
+
+    def test_fit_requires_annotated_visits(self):
+        from repro.core import CategoryRateModel
+        from repro.core import match_dataset
+        from helpers import make_visit as mk_visit
+
+        user = make_user("u0", visits=[mk_visit("v0", poi_id=None)])
+        dataset = make_dataset([user])
+        matching = match_dataset(dataset)
+        with pytest.raises(ValueError):
+            CategoryRateModel.fit(dataset, matching)
+
+
+class TestCategoryCorrection:
+    def test_honest_base_correction_recovers_truth(self, study):
+        """Filter first, then rate-correct: the paper's full programme."""
+        from repro.core import category_correction_error
+
+        honest = study.primary_report.matching.honest_checkins
+        before, after = category_correction_error(
+            study.primary, study.primary_report.matching, honest
+        )
+        assert after < before
+        assert after < 0.25  # near-perfect recovery of the visit mix
+
+    def test_raw_base_correction_backfires(self, study):
+        """Without filtering, extraneous checkins pollute the inversion —
+        recovery *depends on* extraneous removal, the paper's key point."""
+        from repro.core import category_correction_error
+
+        before, after = category_correction_error(
+            study.primary, study.primary_report.matching
+        )
+        honest = study.primary_report.matching.honest_checkins
+        _, honest_after = category_correction_error(
+            study.primary, study.primary_report.matching, honest
+        )
+        assert honest_after < after

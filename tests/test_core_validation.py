@@ -1,0 +1,114 @@
+"""Mobility metric comparison (Figure 2 and Section 4.1 metrics)."""
+
+import pytest
+
+from repro.core import checkin_metrics, gps_speed_sample, visit_metrics
+from repro.core.validation import (
+    MobilityMetrics,
+    events_from_checkins,
+    events_from_visits,
+    study_days_of,
+)
+from helpers import (
+    make_checkin,
+    make_dataset,
+    make_user,
+    make_visit,
+    moving_gps,
+    stationary_gps,
+)
+
+
+class TestEventExtraction:
+    def test_events_from_visits_sorted(self, primary):
+        events = events_from_visits(primary)
+        for user_events in events.values():
+            times = [e[0] for e in user_events]
+            assert times == sorted(times)
+
+    def test_events_from_checkins_subset(self, primary, primary_report):
+        honest = primary_report.matching.honest_checkins
+        events = events_from_checkins(primary, honest)
+        total = sum(len(v) for v in events.values())
+        assert total == len(honest)
+
+    def test_events_from_checkins_default_all(self, primary):
+        events = events_from_checkins(primary)
+        assert sum(len(v) for v in events.values()) == len(primary.all_checkins)
+
+
+class TestMobilityMetrics:
+    def test_from_events_basic(self):
+        events = {
+            "u0": [(0.0, 0.0, 0.0, "a"), (600.0, 100.0, 0.0, "b"), (1200.0, 100.0, 100.0, "a")]
+        }
+        metrics = MobilityMetrics.from_events("t", events, {"u0": 1.0})
+        assert metrics.interarrival.median() == 600.0
+        assert metrics.displacement.median() == 100.0
+        assert metrics.events_per_day.median() == 3.0
+        assert metrics.poi_entropy is not None
+
+    def test_requires_some_gaps(self):
+        with pytest.raises(ValueError):
+            MobilityMetrics.from_events("t", {"u0": [(0.0, 0, 0, None)]}, {"u0": 1.0})
+
+    def test_compare_self_is_zero(self, primary):
+        metrics = visit_metrics(primary)
+        distances = metrics.compare(metrics)
+        assert all(v == 0.0 for v in distances.values())
+
+    def test_entropy_none_without_place_keys(self):
+        events = {"u0": [(0.0, 0, 0, None), (600.0, 1, 1, None)]}
+        metrics = MobilityMetrics.from_events("t", events, {"u0": 1.0})
+        assert metrics.poi_entropy is None
+
+    def test_compare_skips_missing_entropy(self):
+        with_keys = MobilityMetrics.from_events(
+            "a", {"u0": [(0.0, 0, 0, "x"), (600.0, 1, 1, "y")]}, {"u0": 1.0}
+        )
+        without = MobilityMetrics.from_events(
+            "b", {"u0": [(0.0, 0, 0, None), (600.0, 1, 1, None)]}, {"u0": 1.0}
+        )
+        assert "poi_entropy" not in with_keys.compare(without)
+
+
+class TestPaperComparisons:
+    def test_gps_metrics_match_across_datasets(self, study):
+        """Figure 2: GPS traces from both datasets nearly coincide."""
+        ks = visit_metrics(study.primary).compare(visit_metrics(study.baseline))
+        assert ks["interarrival"] < 0.2
+
+    def test_honest_primary_matches_baseline_checkins(self, study):
+        """Figure 2: honest Primary checkins ≈ Baseline checkins."""
+        honest = study.primary_report.matching.honest_checkins
+        ks = checkin_metrics(study.primary, honest).compare(
+            checkin_metrics(study.baseline)
+        )
+        assert ks["interarrival"] < 0.25
+
+    def test_all_primary_checkins_diverge(self, study):
+        """Figure 2: the full Primary checkin trace differs significantly."""
+        honest = study.primary_report.matching.honest_checkins
+        ks = checkin_metrics(study.primary).compare(
+            checkin_metrics(study.primary, honest)
+        )
+        assert ks["interarrival"] > 0.3
+
+
+class TestSpeedSample:
+    def test_stationary_user_contributes_nothing(self):
+        user = make_user("u0", gps=stationary_gps(0, 0, 0, 3600))
+        speeds = gps_speed_sample(make_dataset([user]))
+        assert speeds == []
+
+    def test_moving_user_speed(self):
+        user = make_user("u0", gps=moving_gps(0, 0, 3600, 0, 0, 3600))
+        speeds = gps_speed_sample(make_dataset([user]))
+        assert speeds
+        assert speeds[0] == pytest.approx(1.0, rel=0.01)
+
+    def test_gaps_excluded(self):
+        gps = stationary_gps(0, 0, 0, 600) + stationary_gps(99999, 0, 36000, 36600)
+        user = make_user("u0", gps=gps)
+        speeds = gps_speed_sample(make_dataset([user]))
+        assert all(s < 10 for s in speeds)

@@ -1,0 +1,120 @@
+"""Stay-point visit extraction."""
+
+import pytest
+
+from repro.core import VisitConfig, build_poi_index, extract_dataset_visits, extract_visits
+from repro.model import GpsPoint
+from helpers import make_dataset, make_poi, make_user, moving_gps, stationary_gps
+
+MIN = 60.0
+
+
+def test_single_stay_detected():
+    points = stationary_gps(100, 100, 0, 10 * MIN)
+    [visit] = extract_visits(points, "u0")
+    assert visit.x == pytest.approx(100)
+    assert visit.y == pytest.approx(100)
+    assert visit.t_start == 0
+    assert visit.t_end == 10 * MIN
+    assert visit.duration >= 360
+
+
+def test_short_stay_rejected():
+    points = stationary_gps(0, 0, 0, 4 * MIN)
+    assert extract_visits(points, "u0") == []
+
+
+def test_six_minute_boundary():
+    # Exactly 6 minutes from first to last sample qualifies.
+    points = stationary_gps(0, 0, 0, 6 * MIN)
+    assert len(extract_visits(points, "u0")) == 1
+
+
+def test_movement_breaks_stay():
+    points = (
+        stationary_gps(0, 0, 0, 10 * MIN)
+        + moving_gps(0, 0, 2000, 0, 11 * MIN, 15 * MIN)
+        + stationary_gps(2000, 0, 16 * MIN, 26 * MIN)
+    )
+    visits = extract_visits(points, "u0")
+    assert len(visits) == 2
+    assert visits[0].x == pytest.approx(0, abs=1)
+    assert visits[1].x == pytest.approx(2000, abs=1)
+
+
+def test_noisy_stay_still_detected(rng):
+    base = stationary_gps(500, 500, 0, 20 * MIN)
+    noisy = [GpsPoint(p.t, p.x + rng.normal(0, 12), p.y + rng.normal(0, 12)) for p in base]
+    visits = extract_visits(noisy, "u0")
+    assert len(visits) == 1
+    assert visits[0].x == pytest.approx(500, abs=15)
+
+
+def test_recording_gap_splits_visit():
+    points = stationary_gps(0, 0, 0, 10 * MIN) + stationary_gps(0, 0, 40 * MIN, 50 * MIN)
+    visits = extract_visits(points, "u0", VisitConfig(max_gap_s=600))
+    assert len(visits) == 2
+
+
+def test_unsorted_input_handled():
+    points = list(reversed(stationary_gps(0, 0, 0, 10 * MIN)))
+    assert len(extract_visits(points, "u0")) == 1
+
+
+def test_empty_trace():
+    assert extract_visits([], "u0") == []
+
+
+def test_visit_ids_unique_and_ordered():
+    points = (
+        stationary_gps(0, 0, 0, 10 * MIN)
+        + moving_gps(0, 0, 3000, 0, 11 * MIN, 16 * MIN)
+        + stationary_gps(3000, 0, 17 * MIN, 27 * MIN)
+    )
+    visits = extract_visits(points, "u7")
+    ids = [v.visit_id for v in visits]
+    assert len(set(ids)) == len(ids)
+    assert all(v.user_id == "u7" for v in visits)
+    assert visits[0].t_start < visits[1].t_start
+
+
+def test_poi_annotation():
+    poi = make_poi("p0", 5, 5)
+    index = build_poi_index([poi, make_poi("far", 9999, 9999)])
+    points = stationary_gps(0, 0, 0, 10 * MIN)
+    [visit] = extract_visits(points, "u0", poi_index=index)
+    assert visit.poi_id == "p0"
+
+
+def test_poi_annotation_radius_respected():
+    index = build_poi_index([make_poi("p0", 400, 0)])
+    points = stationary_gps(0, 0, 0, 10 * MIN)
+    [visit] = extract_visits(points, "u0", poi_index=index)
+    assert visit.poi_id is None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        VisitConfig(dwell_s=0)
+
+
+def test_extract_dataset_visits_idempotent():
+    user = make_user("u0", gps=stationary_gps(0, 0, 0, 10 * MIN))
+    dataset = make_dataset([user], pois=[make_poi("p0", 0, 0)])
+    extract_dataset_visits(dataset)
+    first = dataset.users["u0"].visits
+    extract_dataset_visits(dataset)
+    assert dataset.users["u0"].visits is first  # not recomputed
+    extract_dataset_visits(dataset, force=True)
+    assert dataset.users["u0"].visits is not first
+    assert dataset.users["u0"].visits == first
+
+
+def test_dataset_extraction_on_generated_study(primary):
+    """Extraction on the synthetic study finds visits for every user."""
+    for data in primary.users.values():
+        visits = data.require_visits()
+        assert visits, f"user {data.user_id} has no visits"
+        for a, b in zip(visits, visits[1:]):
+            assert a.t_end <= b.t_start  # non-overlapping, ordered
+            assert a.duration >= 360.0

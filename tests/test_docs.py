@@ -1,0 +1,85 @@
+"""Documentation stays consistent with the code it describes."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(scope="module")
+def design_text():
+    return (REPO / "DESIGN.md").read_text(encoding="utf-8")
+
+
+@pytest.fixture(scope="module")
+def experiments_text():
+    return (REPO / "EXPERIMENTS.md").read_text(encoding="utf-8")
+
+
+def test_required_docs_exist():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md"):
+        path = REPO / name
+        assert path.exists(), f"missing {name}"
+        assert path.stat().st_size > 1000
+
+
+def test_design_bench_targets_exist(design_text):
+    """Every bench file DESIGN.md points at is a real file."""
+    for match in re.finditer(r"benchmarks/(test_\w+\.py)", design_text):
+        assert (REPO / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+
+def test_experiments_bench_targets_exist(experiments_text):
+    for match in re.finditer(r"benchmarks/(test_\w+\.py)", experiments_text):
+        assert (REPO / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+
+def test_design_modules_exist(design_text):
+    """Every `repro.x.y` module DESIGN.md names is importable."""
+    import importlib
+
+    for match in set(re.finditer(r"`(repro(?:\.\w+)+)`", design_text)):
+        importlib.import_module(match.group(1))
+
+
+def test_every_table_and_figure_has_a_bench():
+    """One bench per paper artefact: Table 1, 2 and Figures 1-8."""
+    bench_names = {p.name for p in (REPO / "benchmarks").glob("test_*.py")}
+    expected = {
+        "test_table1_datasets.py",
+        "test_table2_incentives.py",
+        "test_figure1_matching.py",
+        "test_figure2_interarrival.py",
+        "test_figure3_top_pois.py",
+        "test_figure4_categories.py",
+        "test_figure5_prevalence.py",
+        "test_figure6_burstiness.py",
+        "test_figure7_levy_fit.py",
+        "test_figure8_manet.py",
+    }
+    assert expected <= bench_names
+
+
+def test_examples_exist_and_have_docstrings():
+    examples = list((REPO / "examples").glob("*.py"))
+    assert len(examples) >= 3
+    for path in examples:
+        text = path.read_text(encoding="utf-8")
+        assert text.startswith('"""'), f"{path.name} lacks a module docstring"
+        assert "__main__" in text, f"{path.name} is not runnable"
+
+
+def test_readme_cli_commands_are_real():
+    """Every repro-study subcommand the README shows exists in the CLI."""
+    from repro.cli import _build_parser
+
+    readme = (REPO / "README.md").read_text(encoding="utf-8")
+    parser = _build_parser()
+    subcommands = set()
+    for action in parser._actions:  # noqa: SLF001 - argparse introspection
+        if hasattr(action, "choices") and action.choices:
+            subcommands |= set(action.choices)
+    for match in re.finditer(r"repro-study (\w+)", readme):
+        assert match.group(1) in subcommands, match.group(0)

@@ -1,0 +1,199 @@
+"""Experiment drivers: every table and figure runs and matches paper shapes."""
+
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    table1,
+    table2,
+)
+from repro.model import CheckinType
+
+
+class TestTable1:
+    def test_rows(self, study):
+        result = table1.run(study)
+        primary_row = result.row("Primary")
+        baseline_row = result.row("Baseline")
+        assert primary_row.stats.n_users > baseline_row.stats.n_users
+        # Primary users check in far more often than baseline volunteers.
+        assert primary_row.checkins_per_user_day > 2 * baseline_row.checkins_per_user_day
+
+    def test_rates_near_paper(self, study):
+        result = table1.run(study)
+        row = result.row("Primary")
+        assert row.checkins_per_user_day == pytest.approx(4.1, rel=0.4)
+        assert row.visits_per_user_day == pytest.approx(8.9, rel=0.4)
+        assert row.gps_per_user_day == pytest.approx(750, rel=0.3)
+
+    def test_unknown_row(self, study):
+        with pytest.raises(KeyError):
+            table1.run(study).row("nope")
+
+    def test_format(self, study):
+        text = table1.run(study).format_table()
+        assert "Primary" in text and "Baseline" in text and "(paper)" in text
+
+
+class TestFigure1:
+    def test_shapes(self, study):
+        result = figure1.run(study)
+        assert result.n_checkins == result.n_honest + result.n_extraneous
+        # Paper: ~75% extraneous, ~89% missing.
+        assert 0.6 <= result.extraneous_fraction <= 0.9
+        assert 0.8 <= result.missing_fraction <= 0.97
+        assert result.coverage_fraction == pytest.approx(1 - result.missing_fraction)
+
+    def test_format(self, study):
+        assert "Figure 1" in figure1.run(study).format_report()
+
+
+class TestFigure2:
+    def test_agreements(self, study):
+        result = figure2.run(study)
+        # GPS curves coincide; honest matches baseline; all-checkin diverges.
+        assert result.gps_agreement < 0.2
+        assert result.honest_agreement < 0.3
+        assert result.all_checkin_divergence > result.honest_agreement
+        assert result.all_checkin_divergence > 0.3
+
+    def test_all_series_present(self, study):
+        result = figure2.run(study)
+        assert set(result.curves) == set(figure2.SERIES)
+
+    def test_format(self, study):
+        assert "KS" in figure2.run(study).format_report()
+
+
+class TestFigure3:
+    def test_concentration(self, study):
+        result = figure3.run(study)
+        # A majority-ish of users have half their missing checkins at 5 POIs.
+        assert result.users_half_covered_by_top5 > 0.35
+        # Monotone medians.
+        medians = [result.curve(n).median() for n in (1, 2, 3, 4, 5)]
+        assert medians == sorted(medians)
+
+    def test_format(self, study):
+        assert "top-5" in figure3.run(study).format_report()
+
+
+class TestFigure4:
+    def test_routine_dominates(self, study):
+        result = figure4.run(study)
+        assert result.routine_share() > 0.6
+        assert "Professional" in result.top3
+
+    def test_shares_sum(self, study):
+        result = figure4.run(study)
+        assert sum(f for _, f in result.breakdown) == pytest.approx(1.0)
+
+    def test_format(self, study):
+        assert "Figure 4" in figure4.run(study).format_report()
+
+
+class TestTable2:
+    def test_key_cells(self, study):
+        result = table2.run(study)
+        assert result.get(CheckinType.REMOTE, "badges") > 0.3
+        assert result.get(CheckinType.SUPERFLUOUS, "mayorships") > 0.1
+        # The robust honest cells (badges, checkins/day); the remaining
+        # cells are sampling noise at ~20 users.
+        assert result.get(CheckinType.HONEST, "badges") < 0
+        assert result.get(CheckinType.HONEST, "checkins_per_day") < 0
+
+    def test_paper_reference(self, study):
+        result = table2.run(study)
+        assert result.paper(CheckinType.REMOTE, "badges") == 0.49
+
+    def test_format(self, study):
+        assert "(paper)" in table2.run(study).format_report()
+
+
+class TestFigure5:
+    def test_prevalence(self, study):
+        result = figure5.run(study)
+        assert result.users_with_any_extraneous > 0.8
+        assert result.all_extraneous.quantile(0.8) > 0.5
+        assert result.tradeoff.honest_lost > 0.2
+
+    def test_format(self, study):
+        assert "extraneous" in figure5.run(study).format_report()
+
+
+class TestFigure6:
+    def test_burstiness_ordering(self, study):
+        result = figure6.run(study)
+        one_min = result.fraction_within(CheckinType.REMOTE, 60.0)
+        honest_10 = result.fraction_within(CheckinType.HONEST, 600.0)
+        remote_10 = result.fraction_within(CheckinType.REMOTE, 600.0)
+        superfluous_10 = result.fraction_within(CheckinType.SUPERFLUOUS, 600.0)
+        # Paper: ~35% of extraneous within a minute; honest spread out.
+        assert one_min > 0.2
+        assert remote_10 > honest_10
+        assert superfluous_10 > honest_10
+
+    def test_format(self, study):
+        assert "burstiness" in figure6.run(study).format_report()
+
+
+class TestFigure7:
+    def test_models_fit(self, study):
+        result = figure7.run(study)
+        assert set(result.models) == {"GPS", "All-Checkin", "Honest-Checkin"}
+        # Honest-checkin motion is much slower than GPS ground truth.
+        gps_speed = result.model("GPS").mean_speed(1000.0)
+        honest_speed = result.model("Honest-Checkin").mean_speed(1000.0)
+        assert honest_speed < 0.5 * gps_speed
+
+    def test_all_checkin_has_more_short_flights(self, study):
+        result = figure7.run(study)
+        # Extraneous checkins add many short flights (superfluous bursts).
+        assert result.model("All-Checkin").flight.xm <= result.model("GPS").flight.xm
+
+    def test_pdf_curves(self, study):
+        result = figure7.run(study)
+        centers, density = result.flight_pdf("GPS")
+        assert len(centers) == len(density)
+        assert all(d >= 0 for d in density)
+        centers, density = result.pause_pdf()
+        assert len(centers) == len(density)
+
+    def test_movement_time_curve(self, study):
+        result = figure7.run(study)
+        times = result.movement_time_curve("GPS", [100.0, 1000.0, 10000.0])
+        assert times == sorted(times)
+
+    def test_format(self, study):
+        assert "Levy" in figure7.run(study).format_report()
+
+
+class TestFigure2OtherMetrics:
+    def test_full_metric_comparison_shape(self, study):
+        """Section 4.1: 'the other metrics led to the same conclusions'."""
+        comparison = figure2.full_metric_comparison(study)
+        assert set(comparison) == {"gps_vs_gps", "honest_vs_baseline", "all_vs_honest"}
+        for metrics in comparison.values():
+            assert "interarrival" in metrics
+            assert "displacement" in metrics
+            assert "events_per_day" in metrics
+
+    def test_divergence_ordering_holds_on_other_metrics(self, study):
+        comparison = figure2.full_metric_comparison(study)
+        # On event frequency the all-checkin trace diverges from the
+        # honest subset far more than the two GPS traces diverge.
+        assert (
+            comparison["all_vs_honest"]["events_per_day"]
+            > comparison["gps_vs_gps"]["events_per_day"]
+        )
+        # Inter-arrival tells the same story as the headline figure.
+        assert (
+            comparison["all_vs_honest"]["interarrival"]
+            > comparison["gps_vs_gps"]["interarrival"]
+        )

@@ -1,0 +1,47 @@
+"""Experiment context building."""
+
+import pytest
+
+from repro.experiments import StudyArtifacts, build_study, cached_study
+
+
+def test_build_study_shapes(study):
+    assert isinstance(study, StudyArtifacts)
+    assert study.primary.name == "Primary"
+    assert study.baseline.name == "Baseline"
+    assert study.scale == 0.08
+
+
+def test_reports_attached(study):
+    assert study.primary_report.matching.n_checkins == len(study.primary.all_checkins)
+    assert study.baseline_report.matching.n_checkins == len(
+        study.baseline.all_checkins
+    )
+
+
+def test_visits_extracted_on_both(study):
+    assert study.primary.has_visits()
+    assert study.baseline.has_visits()
+
+
+def test_baseline_population_smaller(study):
+    assert len(study.baseline) < len(study.primary)
+
+
+def test_baseline_mostly_honest(study):
+    """The control group barely produces extraneous checkins."""
+    matching = study.baseline_report.matching
+    assert matching.extraneous_fraction() < 0.15
+
+
+def test_cached_study_is_memoised():
+    a = cached_study(0.05)
+    b = cached_study(0.05)
+    assert a is b
+
+
+def test_build_study_deterministic():
+    a = build_study(scale=0.03)
+    b = build_study(scale=0.03)
+    assert a.primary.stats() == b.primary.stats()
+    assert a.primary_report.n_honest == b.primary_report.n_honest

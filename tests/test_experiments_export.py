@@ -1,0 +1,71 @@
+"""CSV export of every table/figure."""
+
+import csv
+
+import pytest
+
+from repro.experiments.export import (
+    export_all,
+    export_figure1,
+    export_figure2,
+    export_figure7,
+    export_table1,
+    export_table2,
+)
+
+
+def read_csv(path):
+    with path.open() as handle:
+        return list(csv.reader(handle))
+
+
+def test_table1_csv(tmp_path, study):
+    [path] = export_table1(study, tmp_path)
+    rows = read_csv(path)
+    assert rows[0][0] == "dataset"
+    assert {r[0] for r in rows[1:]} == {"Primary", "Baseline"}
+
+
+def test_figure1_csv(tmp_path, study):
+    [path] = export_figure1(study, tmp_path)
+    rows = read_csv(path)
+    regions = {r[0]: r for r in rows[1:]}
+    assert set(regions) == {"honest", "extraneous", "missing"}
+    assert int(regions["honest"][1]) > 0
+
+
+def test_figure2_one_file_per_series(tmp_path, study):
+    paths = export_figure2(study, tmp_path)
+    assert len(paths) == 5
+    for path in paths:
+        rows = read_csv(path)
+        assert rows[0] == ["x", "cdf"]
+        cdf_values = [float(r[1]) for r in rows[1:]]
+        assert cdf_values == sorted(cdf_values)
+        assert cdf_values[-1] == 1.0
+
+
+def test_table2_includes_paper_column(tmp_path, study):
+    [path] = export_table2(study, tmp_path)
+    rows = read_csv(path)
+    assert rows[0] == ["checkin_type", "feature", "measured", "paper"]
+    assert len(rows) == 1 + 16  # 4 types x 4 features
+
+
+def test_figure7_fit_parameters(tmp_path, study):
+    paths = export_figure7(study, tmp_path)
+    fits = next(p for p in paths if p.name == "figure7_fits.csv")
+    rows = read_csv(fits)
+    assert {r[0] for r in rows[1:]} == {"GPS", "All-Checkin", "Honest-Checkin"}
+
+
+def test_export_all_without_manet(tmp_path, study):
+    paths = export_all(study, tmp_path / "out", include_manet=False)
+    assert len(paths) >= 20
+    for path in paths:
+        assert path.exists()
+        assert path.stat().st_size > 0
+    names = {p.name for p in paths}
+    assert "table1.csv" in names
+    assert "figure4.csv" in names
+    assert not any(name.startswith("figure8") for name in names)

@@ -1,0 +1,65 @@
+"""Figure 8 driver: MANET comparison across the three mobility models.
+
+Separated from the other experiment tests because it runs three AODV
+simulations (tens of seconds at the scaled bench configuration).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import figure8
+from repro.manet import bench_config
+
+
+@pytest.fixture(scope="module")
+def result(study):
+    # Slightly denser than the bench arena: the tiny test-scale study
+    # (~20 users) yields a noisier honest-checkin Levy fit, and a single
+    # born-partitioned CBR pair would otherwise dominate the static
+    # honest model's availability.
+    config = replace(bench_config(), duration_s=1800.0, radio_range_m=1600.0)
+    return figure8.run(study, config)
+
+
+def test_three_models_simulated(result):
+    assert set(result.results) == {"GPS", "All-Checkin", "Honest-Checkin"}
+
+
+def test_paper_ordering_route_changes(result):
+    """Honest-checkin routes change far less often than GPS ground truth."""
+    assert result.median_route_changes("Honest-Checkin") < result.median_route_changes("GPS")
+
+
+def test_paper_ordering_overhead(result):
+    """Honest-checkin incurs much less routing overhead than GPS."""
+    assert result.median_overhead("Honest-Checkin") < result.median_overhead("GPS")
+
+
+def test_paper_ordering_availability(result):
+    """Honest-checkin availability exceeds the GPS ground truth."""
+    assert result.mean_availability("Honest-Checkin") > result.mean_availability("GPS")
+
+
+def test_all_checkin_deviates_from_gps(result):
+    """The all-checkin model does not reproduce ground-truth behaviour."""
+    gps = result.result("GPS")
+    all_checkin = result.result("All-Checkin")
+    control_ratio = all_checkin.total_control / max(1, gps.total_control)
+    changes_differ = (
+        abs(result.median_route_changes("All-Checkin") - result.median_route_changes("GPS"))
+        > 0.01
+    )
+    assert control_ratio > 1.2 or control_ratio < 0.8 or changes_differ
+
+
+def test_flows_carried_traffic(result):
+    for manet in result.results.values():
+        delivered = sum(f.data_delivered for f in manet.flows)
+        assert delivered > 0
+
+
+def test_format(result):
+    text = result.format_report()
+    assert "Figure 8" in text
+    assert "Honest-Checkin" in text

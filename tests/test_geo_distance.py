@@ -1,0 +1,83 @@
+"""Planar and spherical distance computations."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo import (
+    bearing,
+    destination,
+    euclidean,
+    euclidean_many,
+    haversine,
+    haversine_many,
+)
+
+
+def test_euclidean_pythagoras():
+    assert euclidean(0, 0, 3, 4) == 5.0
+
+
+def test_euclidean_zero():
+    assert euclidean(1.5, -2.5, 1.5, -2.5) == 0.0
+
+
+def test_euclidean_many_matches_scalar():
+    xs1 = np.array([0.0, 1.0])
+    ys1 = np.array([0.0, 1.0])
+    xs2 = np.array([3.0, 4.0])
+    ys2 = np.array([4.0, 5.0])
+    out = euclidean_many(xs1, ys1, xs2, ys2)
+    for i in range(2):
+        assert out[i] == pytest.approx(euclidean(xs1[i], ys1[i], xs2[i], ys2[i]))
+
+
+def test_haversine_zero():
+    assert haversine(34.4, -119.8, 34.4, -119.8) == 0.0
+
+
+def test_haversine_one_degree_latitude():
+    # One degree of latitude ≈ 111.2 km everywhere.
+    d = haversine(10.0, 20.0, 11.0, 20.0)
+    assert d == pytest.approx(111_195, rel=0.01)
+
+
+def test_haversine_symmetry():
+    a = haversine(34.4, -119.8, 34.5, -119.7)
+    b = haversine(34.5, -119.7, 34.4, -119.8)
+    assert a == pytest.approx(b)
+
+
+def test_haversine_small_distance_matches_planar():
+    # 100 m north of a reference point.
+    lat0, lon0 = 34.0, -118.0
+    dlat = 100.0 / 111_195
+    d = haversine(lat0, lon0, lat0 + dlat, lon0)
+    assert d == pytest.approx(100.0, rel=1e-3)
+
+
+def test_haversine_many_matches_scalar():
+    lats1 = np.array([34.0, 40.0])
+    lons1 = np.array([-118.0, -74.0])
+    lats2 = np.array([34.1, 40.1])
+    lons2 = np.array([-118.1, -74.1])
+    out = haversine_many(lats1, lons1, lats2, lons2)
+    for i in range(2):
+        assert out[i] == pytest.approx(
+            haversine(lats1[i], lons1[i], lats2[i], lons2[i]), rel=1e-9
+        )
+
+
+def test_bearing_east():
+    assert bearing(0, 0, 10, 0) == pytest.approx(0.0)
+
+
+def test_bearing_north():
+    assert bearing(0, 0, 0, 10) == pytest.approx(math.pi / 2)
+
+
+def test_destination_roundtrip():
+    x, y = destination(5.0, -3.0, 1.1, 250.0)
+    assert euclidean(5.0, -3.0, x, y) == pytest.approx(250.0)
+    assert bearing(5.0, -3.0, x, y) == pytest.approx(1.1)

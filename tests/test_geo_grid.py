@@ -1,0 +1,124 @@
+"""Grid spatial index."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo import GridIndex
+
+
+def test_empty_index():
+    index = GridIndex(cell_size=100.0)
+    assert len(index) == 0
+    assert index.within(0, 0, 1000) == []
+    assert index.nearest(0, 0) is None
+
+
+def test_insert_and_len():
+    index = GridIndex(cell_size=100.0)
+    index.insert(0, 0, "a")
+    index.insert(5000, 5000, "b")
+    assert len(index) == 2
+
+
+def test_within_radius():
+    index = GridIndex(cell_size=100.0)
+    index.insert(0, 0, "near")
+    index.insert(150, 0, "mid")
+    index.insert(1000, 0, "far")
+    found = {item for _, item in index.within(0, 0, 200)}
+    assert found == {"near", "mid"}
+
+
+def test_within_is_inclusive_at_boundary():
+    index = GridIndex(cell_size=100.0)
+    index.insert(100, 0, "edge")
+    assert {item for _, item in index.within(0, 0, 100)} == {"edge"}
+
+
+def test_within_returns_distances():
+    index = GridIndex(cell_size=50.0)
+    index.insert(3, 4, "x")
+    [(dist, item)] = index.within(0, 0, 10)
+    assert item == "x"
+    assert dist == pytest.approx(5.0)
+
+
+def test_within_negative_radius_rejected():
+    index = GridIndex(cell_size=100.0)
+    with pytest.raises(ValueError):
+        index.within(0, 0, -1)
+
+
+def test_nearest_simple():
+    index = GridIndex(cell_size=100.0)
+    index.insert(10, 0, "a")
+    index.insert(500, 0, "b")
+    dist, item = index.nearest(0, 0)
+    assert item == "a"
+    assert dist == pytest.approx(10.0)
+
+
+def test_nearest_respects_max_radius():
+    index = GridIndex(cell_size=100.0)
+    index.insert(500, 0, "b")
+    assert index.nearest(0, 0, max_radius=100) is None
+
+
+def test_nearest_crosses_cells():
+    # The nearest point can be in a non-adjacent cell.
+    index = GridIndex(cell_size=10.0)
+    index.insert(95, 0, "far_in_cells")
+    dist, item = index.nearest(0, 0)
+    assert item == "far_in_cells"
+    assert dist == pytest.approx(95.0)
+
+
+def test_nearest_matches_bruteforce(rng):
+    points = rng.uniform(0, 1000, size=(200, 2))
+    index = GridIndex(cell_size=80.0)
+    for i, (x, y) in enumerate(points):
+        index.insert(float(x), float(y), i)
+    for _ in range(25):
+        qx, qy = rng.uniform(-100, 1100, size=2)
+        dist, item = index.nearest(float(qx), float(qy))
+        brute = min(
+            (math.hypot(x - qx, y - qy), i) for i, (x, y) in enumerate(points)
+        )
+        assert dist == pytest.approx(brute[0])
+
+
+def test_within_matches_bruteforce(rng):
+    points = rng.uniform(0, 1000, size=(300, 2))
+    index = GridIndex(cell_size=120.0)
+    for i, (x, y) in enumerate(points):
+        index.insert(float(x), float(y), i)
+    for _ in range(25):
+        qx, qy = rng.uniform(0, 1000, size=2)
+        radius = float(rng.uniform(10, 400))
+        got = sorted(item for _, item in index.within(float(qx), float(qy), radius))
+        expected = sorted(
+            i
+            for i, (x, y) in enumerate(points)
+            if math.hypot(x - qx, y - qy) <= radius
+        )
+        assert got == expected
+
+
+def test_iteration_and_clear():
+    index = GridIndex(cell_size=10.0)
+    index.extend([(0, 0, "a"), (1, 1, "b")])
+    assert sorted(item for _, _, item in index) == ["a", "b"]
+    index.clear()
+    assert len(index) == 0
+
+
+def test_from_points():
+    index = GridIndex.from_points([(0, 0, 1), (10, 10, 2)], cell_size=5.0)
+    assert len(index) == 2
+
+
+def test_rejects_bad_cell_size():
+    with pytest.raises(ValueError):
+        GridIndex(cell_size=0.0)

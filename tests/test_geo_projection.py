@@ -1,0 +1,67 @@
+"""Local tangent-plane projection."""
+
+import numpy as np
+import pytest
+
+from repro.geo import LocalProjection
+
+
+@pytest.fixture
+def proj():
+    return LocalProjection(origin_lat=34.41, origin_lon=-119.85)  # Santa Barbara
+
+
+def test_origin_maps_to_zero(proj):
+    assert proj.to_plane(34.41, -119.85) == (pytest.approx(0.0), pytest.approx(0.0))
+
+
+def test_roundtrip_exact(proj):
+    lat, lon = proj.to_geo(1234.5, -678.9)
+    x, y = proj.to_plane(lat, lon)
+    assert x == pytest.approx(1234.5, abs=1e-6)
+    assert y == pytest.approx(-678.9, abs=1e-6)
+
+
+def test_north_is_positive_y(proj):
+    _, y = proj.to_plane(34.42, -119.85)
+    assert y > 0
+
+
+def test_east_is_positive_x(proj):
+    x, _ = proj.to_plane(34.41, -119.84)
+    assert x > 0
+
+
+def test_projection_error_small_at_city_scale(proj):
+    # 20 km from the origin the equirectangular error stays well under
+    # the paper's 500 m matching threshold.
+    err = proj.projection_error(34.55, -119.70)
+    assert err < 50.0
+
+
+def test_vectorized_matches_scalar(proj):
+    lats = np.array([34.42, 34.39])
+    lons = np.array([-119.80, -119.90])
+    xs, ys = proj.to_plane_many(lats, lons)
+    for i in range(2):
+        x, y = proj.to_plane(lats[i], lons[i])
+        assert xs[i] == pytest.approx(x)
+        assert ys[i] == pytest.approx(y)
+    back_lat, back_lon = proj.to_geo_many(xs, ys)
+    assert np.allclose(back_lat, lats)
+    assert np.allclose(back_lon, lons)
+
+
+def test_rejects_polar_origin():
+    with pytest.raises(ValueError):
+        LocalProjection(origin_lat=89.0, origin_lon=0.0)
+
+
+def test_rejects_out_of_range_latitude():
+    with pytest.raises(ValueError):
+        LocalProjection(origin_lat=95.0, origin_lon=0.0)
+
+
+def test_rejects_out_of_range_longitude():
+    with pytest.raises(ValueError):
+        LocalProjection(origin_lat=0.0, origin_lon=181.0)

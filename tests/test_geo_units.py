@@ -1,0 +1,42 @@
+"""Unit conversions."""
+
+import pytest
+
+from repro.geo import units
+
+
+def test_minutes():
+    assert units.minutes(6) == 360.0
+
+
+def test_hours():
+    assert units.hours(2) == 7200.0
+
+
+def test_days():
+    assert units.days(1) == 86400.0
+
+
+def test_km():
+    assert units.km(1.5) == 1500.0
+
+
+def test_mph_is_meters_per_second():
+    # 4 mph ≈ 1.79 m/s, the paper's driveby threshold.
+    assert units.mph(4.0) == pytest.approx(1.78816, abs=1e-4)
+
+
+def test_mph_roundtrip():
+    assert units.to_mph(units.mph(37.2)) == pytest.approx(37.2)
+
+
+def test_to_minutes_roundtrip():
+    assert units.to_minutes(units.minutes(12.5)) == pytest.approx(12.5)
+
+
+def test_to_km_roundtrip():
+    assert units.to_km(units.km(3.25)) == pytest.approx(3.25)
+
+
+def test_seconds_per_day_consistent():
+    assert units.SECONDS_PER_DAY == 24 * units.SECONDS_PER_HOUR

@@ -1,0 +1,108 @@
+"""Cross-module integration invariants on a small end-to-end study.
+
+These tests cut across subsystem boundaries: generator → persistence →
+pipeline → analyses → Levy → MANET, checking invariants no single-module
+test can see.
+"""
+
+import math
+
+import pytest
+
+from repro.core import (
+    checkin_metrics,
+    extract_features,
+    recover_dataset_events,
+    truth_labels,
+    visit_metrics,
+)
+from repro.io import load_dataset, save_dataset
+from repro.model import CheckinType
+from repro.core import validate
+
+
+class TestPipelineConsistency:
+    def test_labels_cover_exactly_the_checkins(self, primary, primary_report):
+        label_ids = set(primary_report.classification.labels)
+        checkin_ids = {c.checkin_id for c in primary.all_checkins}
+        assert label_ids == checkin_ids
+
+    def test_matching_and_classification_agree_on_honest(self, primary_report):
+        matched = {c.checkin_id for c in primary_report.matching.honest_checkins}
+        labelled_honest = {
+            cid
+            for cid, kind in primary_report.classification.labels.items()
+            if kind is CheckinType.HONEST
+        }
+        assert matched == labelled_honest
+
+    def test_every_visit_accounted_once(self, primary, primary_report):
+        for data in primary.users.values():
+            user_match = primary_report.matching.per_user[data.user_id]
+            matched = {v.visit_id for _, v in user_match.matches}
+            missing = {v.visit_id for v in user_match.missing}
+            assert matched | missing == {v.visit_id for v in data.require_visits()}
+            assert not matched & missing
+
+    def test_matched_pairs_satisfy_thresholds(self, primary_report):
+        config = primary_report.matching.config
+        for checkin, visit in primary_report.matching.matched_pairs:
+            assert checkin.user_id == visit.user_id
+            distance = math.hypot(checkin.x - visit.x, checkin.y - visit.y)
+            assert distance <= config.alpha_m
+            assert visit.time_distance(checkin.t) <= config.beta_s
+
+
+class TestPersistencePipelineEquivalence:
+    def test_pipeline_equal_after_roundtrip(self, tmp_path, primary):
+        """Validating a reloaded dataset reproduces the same Venn counts."""
+        save_dataset(primary, tmp_path / "ds")
+        reloaded = load_dataset(tmp_path / "ds")
+        original = validate(primary)
+        fresh = validate(reloaded)
+        assert fresh.n_honest == original.n_honest
+        assert fresh.n_extraneous == original.n_extraneous
+        assert fresh.n_missing == original.n_missing
+
+
+class TestTraceVariants:
+    def test_honest_filtered_dataset_matches_honest_subset(self, primary, primary_report):
+        """with_checkins_filtered(honest) == the matcher's honest list."""
+        honest_ids = {c.checkin_id for c in primary_report.matching.honest_checkins}
+        filtered = primary.with_checkins_filtered(
+            lambda c: c.checkin_id in honest_ids, name="honest-only"
+        )
+        assert {c.checkin_id for c in filtered.all_checkins} == honest_ids
+
+    def test_variant_event_counts_ordered(self, primary, primary_report):
+        """visits > all checkins > honest checkins, per the paper's Venn."""
+        n_visits = len(primary.all_visits)
+        n_checkins = len(primary.all_checkins)
+        n_honest = len(primary_report.matching.honest_checkins)
+        assert n_visits > n_checkins > n_honest
+
+    def test_recovered_events_superset_of_base(self, primary):
+        recovered = recover_dataset_events(primary)
+        for data in primary.users.values():
+            assert len(recovered[data.user_id]) >= len(data.checkins)
+
+
+class TestFeatureLabelAlignment:
+    def test_features_exist_for_every_label(self, primary, primary_report):
+        features = extract_features(primary.all_checkins)
+        truth = truth_labels(primary_report.classification.labels)
+        assert set(features) == set(truth)
+
+
+class TestMetricSanity:
+    def test_visit_metrics_denser_than_checkin_metrics(self, primary):
+        """GPS visits happen far more often than checkins (missing mass)."""
+        visits = visit_metrics(primary)
+        checkins = checkin_metrics(primary)
+        assert visits.events_per_day.median() > 1.5 * checkins.events_per_day.median()
+
+    def test_intent_composition_matches_paper_story(self, primary):
+        """Ground truth: honest intents are a minority of all checkins."""
+        intents = [c.intent for c in primary.all_checkins]
+        honest_share = intents.count(CheckinType.HONEST) / len(intents)
+        assert 0.1 <= honest_share <= 0.4

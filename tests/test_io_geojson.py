@@ -1,0 +1,93 @@
+"""GeoJSON export."""
+
+import json
+
+import pytest
+
+from repro.geo import LocalProjection, haversine
+from repro.io.geojson import (
+    DEFAULT_ANCHOR,
+    checkin_features,
+    dataset_to_geojson,
+    poi_features,
+    save_geojson,
+    visit_features,
+)
+from repro.model import CheckinType, PoiCategory
+from helpers import make_checkin, make_dataset, make_poi, make_user, make_visit
+
+
+@pytest.fixture
+def projection():
+    return LocalProjection(*DEFAULT_ANCHOR)
+
+
+def test_poi_feature_shape(projection):
+    [feature] = poi_features([make_poi("p0", 100, 200, PoiCategory.ARTS)], projection)
+    assert feature["type"] == "Feature"
+    assert feature["geometry"]["type"] == "Point"
+    assert feature["properties"]["category"] == "Arts"
+    lon, lat = feature["geometry"]["coordinates"]
+    assert -180 <= lon <= 180 and -90 <= lat <= 90
+
+
+def test_coordinates_roundtrip_distance(projection):
+    """A POI 1 km east projects to a lat/lon 1 km from the anchor."""
+    [feature] = poi_features([make_poi("p0", 1000, 0)], projection)
+    lon, lat = feature["geometry"]["coordinates"]
+    assert haversine(*DEFAULT_ANCHOR, lat, lon) == pytest.approx(1000, rel=0.01)
+
+
+def test_checkin_features_include_intent(projection):
+    checkins = [
+        make_checkin("c0", intent=CheckinType.REMOTE),
+        make_checkin("c1"),
+    ]
+    features = checkin_features(checkins, projection)
+    assert features[0]["properties"]["intent"] == "remote"
+    assert "intent" not in features[1]["properties"]
+
+
+def test_visit_features(projection):
+    [feature] = visit_features([make_visit("v0", poi_id="p0")], projection)
+    assert feature["properties"]["kind"] == "visit"
+    assert feature["properties"]["poi_id"] == "p0"
+
+
+def test_dataset_collection_counts():
+    user = make_user(
+        "u0",
+        checkins=[make_checkin("c0")],
+        visits=[make_visit("v0")],
+    )
+    dataset = make_dataset([user], pois=[make_poi("p0")])
+    collection = dataset_to_geojson(dataset)
+    kinds = [f["properties"]["kind"] for f in collection["features"]]
+    assert kinds.count("poi") == 1
+    assert kinds.count("checkin") == 1
+    assert kinds.count("visit") == 1
+
+
+def test_visits_skipped_when_not_extracted():
+    user = make_user("u0", checkins=[make_checkin("c0")])
+    dataset = make_dataset([user], pois=[make_poi("p0")])
+    collection = dataset_to_geojson(dataset)
+    kinds = {f["properties"]["kind"] for f in collection["features"]}
+    assert "visit" not in kinds
+
+
+def test_save_geojson_valid_json(tmp_path):
+    user = make_user("u0", checkins=[make_checkin("c0")], visits=[])
+    dataset = make_dataset([user], pois=[make_poi("p0")])
+    path = save_geojson(dataset, tmp_path / "deep" / "study.geojson")
+    parsed = json.loads(path.read_text())
+    assert parsed["type"] == "FeatureCollection"
+
+
+def test_custom_anchor():
+    user = make_user("u0", checkins=[make_checkin("c0", x=0, y=0)], visits=[])
+    dataset = make_dataset([user], pois=[make_poi("p0")])
+    collection = dataset_to_geojson(dataset, anchor=(48.85, 2.35))  # Paris
+    lon, lat = collection["features"][0]["geometry"]["coordinates"]
+    assert lat == pytest.approx(48.85, abs=0.01)
+    assert lon == pytest.approx(2.35, abs=0.01)

@@ -1,0 +1,111 @@
+"""JSON-lines dataset persistence."""
+
+import json
+
+import pytest
+
+from repro.io import load_dataset, save_dataset
+from repro.model import CheckinType, PoiCategory
+from helpers import (
+    make_checkin,
+    make_dataset,
+    make_poi,
+    make_user,
+    make_visit,
+    stationary_gps,
+)
+
+
+@pytest.fixture
+def dataset():
+    pois = [
+        make_poi("p0", 0, 0, PoiCategory.FOOD),
+        make_poi("p1", 100, 200, PoiCategory.SHOP),
+    ]
+    users = [
+        make_user(
+            "u0",
+            gps=stationary_gps(0, 0, 0, 300),
+            checkins=[
+                make_checkin("c0", "u0", "p0", t=60, intent=CheckinType.HONEST),
+                make_checkin("c1", "u0", "p1", x=100, y=200, t=120,
+                             category=PoiCategory.SHOP),
+            ],
+            visits=[make_visit("v0", "u0", poi_id="p0")],
+        ),
+        make_user("u1", gps=[], checkins=[], visits=[]),
+    ]
+    return make_dataset(users, pois=pois, name="roundtrip")
+
+
+def test_roundtrip_exact(tmp_path, dataset):
+    save_dataset(dataset, tmp_path / "ds")
+    loaded = load_dataset(tmp_path / "ds")
+    assert loaded.name == "roundtrip"
+    assert set(loaded.pois) == {"p0", "p1"}
+    assert set(loaded.users) == {"u0", "u1"}
+    original = dataset.users["u0"]
+    restored = loaded.users["u0"]
+    assert restored.profile == original.profile
+    assert restored.gps == original.gps
+    assert restored.checkins == original.checkins
+    assert restored.visits == original.visits
+    # Intent labels survive the round trip (compare= is False on intent).
+    assert restored.checkins[0].intent is CheckinType.HONEST
+    assert restored.checkins[1].intent is None
+
+
+def test_roundtrip_without_visits(tmp_path, dataset):
+    for user in dataset.users.values():
+        user.visits = None
+    save_dataset(dataset, tmp_path / "ds")
+    loaded = load_dataset(tmp_path / "ds")
+    assert not (tmp_path / "ds" / "visits.jsonl").exists()
+    assert all(u.visits is None for u in loaded.users.values())
+
+
+def test_missing_file_raises(tmp_path, dataset):
+    save_dataset(dataset, tmp_path / "ds")
+    (tmp_path / "ds" / "checkins.jsonl").unlink()
+    with pytest.raises(FileNotFoundError, match="checkins.jsonl"):
+        load_dataset(tmp_path / "ds")
+
+
+def test_corrupt_json_reports_line(tmp_path, dataset):
+    save_dataset(dataset, tmp_path / "ds")
+    path = tmp_path / "ds" / "pois.jsonl"
+    path.write_text(path.read_text() + "{not json\n")
+    with pytest.raises(ValueError, match="invalid JSON"):
+        load_dataset(tmp_path / "ds")
+
+
+def test_unknown_user_reference_rejected(tmp_path, dataset):
+    save_dataset(dataset, tmp_path / "ds")
+    path = tmp_path / "ds" / "gps.jsonl"
+    with path.open("a") as handle:
+        handle.write(json.dumps({"user_id": "ghost", "t": 0, "x": 0, "y": 0}) + "\n")
+    with pytest.raises(ValueError, match="unknown user"):
+        load_dataset(tmp_path / "ds")
+
+
+def test_blank_lines_tolerated(tmp_path, dataset):
+    save_dataset(dataset, tmp_path / "ds")
+    path = tmp_path / "ds" / "profiles.jsonl"
+    path.write_text(path.read_text() + "\n\n")
+    loaded = load_dataset(tmp_path / "ds")
+    assert len(loaded.users) == 2
+
+
+def test_save_creates_directory(tmp_path, dataset):
+    target = tmp_path / "deep" / "nested" / "ds"
+    save_dataset(dataset, target)
+    assert (target / "meta.json").exists()
+
+
+def test_synthetic_roundtrip(tmp_path, primary):
+    """The generated study survives persistence byte-for-value."""
+    save_dataset(primary, tmp_path / "primary")
+    loaded = load_dataset(tmp_path / "primary")
+    assert loaded.stats() == primary.stats()
+    user_id = next(iter(primary.users))
+    assert loaded.users[user_id].checkins == primary.users[user_id].checkins

@@ -1,0 +1,87 @@
+"""Random-waypoint baseline mobility."""
+
+import numpy as np
+import pytest
+
+from repro.levy import RandomWaypointConfig, generate_rwp_fleet, generate_rwp_trace
+
+
+@pytest.fixture
+def config():
+    return RandomWaypointConfig(speed_range=(2.0, 10.0), pause_range=(0.0, 60.0))
+
+
+def test_covers_duration(config, rng):
+    trace = generate_rwp_trace(config, 5000.0, 3600.0, rng)
+    assert trace.t_end >= 3600.0
+
+
+def test_stays_in_arena(config, rng):
+    trace = generate_rwp_trace(config, 5000.0, 7200.0, rng)
+    for w in trace.waypoints:
+        assert 0.0 <= w.x <= 5000.0
+        assert 0.0 <= w.y <= 5000.0
+
+
+def test_speeds_in_range(config, rng):
+    trace = generate_rwp_trace(config, 5000.0, 7200.0, rng)
+    for a, b in zip(trace.waypoints, trace.waypoints[1:]):
+        dt = b.t - a.t
+        if dt <= 0:
+            continue
+        dist = np.hypot(b.x - a.x, b.y - a.y)
+        if dist == 0:
+            continue  # pause
+        speed = dist / dt
+        assert 2.0 * 0.99 <= speed <= 10.0 * 1.01
+
+
+def test_node_keeps_moving(config, rng):
+    """Random waypoint has no heavy pause tail — the node roams the arena."""
+    trace = generate_rwp_trace(config, 5000.0, 7200.0, rng)
+    xs = [w.x for w in trace.waypoints]
+    assert max(xs) - min(xs) > 1000.0
+
+
+def test_fleet(config, rng):
+    fleet = generate_rwp_fleet(config, 5, 5000.0, 600.0, rng)
+    assert len(fleet) == 5
+    assert fleet[0].position_at(0) != fleet[1].position_at(0)
+
+
+def test_deterministic(config):
+    a = generate_rwp_trace(config, 5000.0, 600.0, np.random.default_rng(3))
+    b = generate_rwp_trace(config, 5000.0, 600.0, np.random.default_rng(3))
+    assert a.waypoints == b.waypoints
+
+
+def test_zero_pause_allowed(rng):
+    config = RandomWaypointConfig(pause_range=(0.0, 0.0))
+    trace = generate_rwp_trace(config, 2000.0, 600.0, rng)
+    assert trace.t_end >= 600.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RandomWaypointConfig(speed_range=(0.0, 1.0))
+    with pytest.raises(ValueError):
+        RandomWaypointConfig(pause_range=(-1.0, 1.0))
+    config = RandomWaypointConfig()
+    with pytest.raises(ValueError):
+        generate_rwp_trace(config, 0.0, 100.0, np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        generate_rwp_fleet(config, 0, 100.0, 100.0, np.random.default_rng(0))
+
+
+def test_works_with_manet():
+    """RWP traces plug straight into the AODV simulator."""
+    from repro.manet import ManetConfig, Simulator
+
+    rng = np.random.default_rng(5)
+    config = ManetConfig(
+        n_nodes=10, arena_m=3000.0, radio_range_m=1200.0, n_pairs=3,
+        duration_s=300.0, seed=5,
+    )
+    fleet = generate_rwp_fleet(RandomWaypointConfig(), 10, 3000.0, 300.0, rng)
+    results = Simulator(config, fleet, name="rwp").run()
+    assert sum(f.data_delivered for f in results.flows) > 0

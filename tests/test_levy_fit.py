@@ -1,0 +1,135 @@
+"""Levy-walk model fitting."""
+
+import pytest
+
+from repro.levy import (
+    FlightSample,
+    fit_from_checkins,
+    fit_from_dataset_visits,
+    fit_levy_model,
+    fit_three_models,
+    flights_from_checkins,
+    flights_from_visits,
+)
+from repro.stats import ParetoFit
+from helpers import make_checkin, make_visit
+
+
+class TestFlightExtraction:
+    def test_flights_from_visits(self):
+        visits = {
+            "u0": [
+                make_visit("v0", x=0, t_start=0, t_end=600),
+                make_visit("v1", x=1000, t_start=1200, t_end=2400),
+                make_visit("v2", x=1000, y=3000, t_start=3000, t_end=3600),
+            ]
+        }
+        sample = flights_from_visits(visits)
+        assert sample.distances == [1000.0, 3000.0]
+        assert sample.times == [600.0, 600.0]
+        assert sample.pauses == [600.0, 1200.0, 600.0]
+
+    def test_tiny_hops_skipped(self):
+        visits = {
+            "u0": [
+                make_visit("v0", x=0, t_start=0, t_end=600),
+                make_visit("v1", x=20, t_start=1200, t_end=1800),
+            ]
+        }
+        sample = flights_from_visits(visits)
+        assert sample.distances == []
+
+    def test_flights_from_checkins_gap_cap(self):
+        checkins = [
+            make_checkin("c0", x=0, t=0),
+            make_checkin("c1", x=1000, t=600),
+            make_checkin("c2", x=5000, t=600 + 9 * 3600),  # 9 h gap: skipped
+        ]
+        sample = flights_from_checkins(checkins)
+        assert sample.distances == [1000.0]
+        assert sample.pauses == []
+
+    def test_checkin_users_isolated(self):
+        checkins = [
+            make_checkin("c0", user_id="a", x=0, t=0),
+            make_checkin("c1", user_id="b", x=9000, t=60),
+        ]
+        assert flights_from_checkins(checkins).distances == []
+
+    def test_mismatched_sample_rejected(self):
+        with pytest.raises(ValueError):
+            FlightSample(distances=[1.0], times=[], pauses=[])
+
+
+class TestModelFitting:
+    def test_needs_enough_flights(self):
+        sample = FlightSample(distances=[100.0] * 5, times=[60.0] * 5, pauses=[60.0] * 5)
+        with pytest.raises(ValueError, match="at least 10"):
+            fit_levy_model("x", sample)
+
+    def test_fits_and_describes(self, rng):
+        flight = ParetoFit(xm=100, alpha=1.5, n=0)
+        pause = ParetoFit(xm=60, alpha=0.8, n=0)
+        ds = flight.sample(rng, 500)
+        ts = 3.0 * ds**0.6
+        sample = FlightSample(list(ds), list(ts), list(pause.sample(rng, 500)))
+        model = fit_levy_model("test", sample)
+        assert model.flight.alpha == pytest.approx(1.5, rel=0.15)
+        assert model.rho == pytest.approx(0.4, abs=0.02)
+        assert "test" in model.describe()
+
+    def test_pause_fallback_used(self, rng):
+        flight = ParetoFit(xm=100, alpha=1.5, n=0)
+        ds = flight.sample(rng, 100)
+        sample = FlightSample(list(ds), list(3.0 * ds**0.6), [])
+        fallback = ParetoFit(xm=42.0, alpha=1.1, n=9)
+        model = fit_levy_model("x", sample, pause_fallback=fallback)
+        assert model.pause is fallback
+
+    def test_no_pause_no_fallback_raises(self, rng):
+        flight = ParetoFit(xm=100, alpha=1.5, n=0)
+        ds = flight.sample(rng, 100)
+        sample = FlightSample(list(ds), list(ds), [])
+        with pytest.raises(ValueError, match="no pause"):
+            fit_levy_model("x", sample)
+
+    def test_movement_time_positive(self, rng):
+        flight = ParetoFit(xm=100, alpha=1.5, n=0)
+        ds = flight.sample(rng, 200)
+        sample = FlightSample(list(ds), list(2.0 * ds**0.5), list(ds))
+        model = fit_levy_model("x", sample)
+        assert model.movement_time(1000.0) > 0
+        assert model.mean_speed(1000.0) > 0
+        with pytest.raises(ValueError):
+            model.movement_time(0.0)
+
+
+class TestStudyFits:
+    def test_three_models(self, study):
+        gps, all_model, honest_model = fit_three_models(
+            study.primary, study.primary_report.matching.honest_checkins
+        )
+        assert gps.name == "GPS"
+        assert all_model.name == "All-Checkin"
+        assert honest_model.name == "Honest-Checkin"
+        # Checkin models borrow the GPS pause fit.
+        assert all_model.pause == gps.pause
+        assert honest_model.pause == gps.pause
+
+    def test_honest_model_is_slower(self, study):
+        """The key Figure 7 consequence: checkin-trained motion is slow."""
+        gps, _, honest_model = fit_three_models(
+            study.primary, study.primary_report.matching.honest_checkins
+        )
+        assert honest_model.mean_speed(1000.0) < 0.5 * gps.mean_speed(1000.0)
+
+    def test_fit_from_dataset_visits(self, primary):
+        model = fit_from_dataset_visits(primary)
+        assert model.n_flights > 100
+        assert model.flight.alpha > 0
+
+    def test_fit_from_checkins(self, study):
+        gps = fit_from_dataset_visits(study.primary)
+        model = fit_from_checkins(study.primary.all_checkins, gps, "All")
+        assert model.name == "All"
+        assert model.n_flights > 50

@@ -1,0 +1,128 @@
+"""Synthetic Levy-walk trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.levy import NodeTrace, Waypoint, generate_fleet, generate_node_trace
+from repro.levy.generate import MAX_SPEED, MIN_PAUSE_S, _reflect
+from repro.stats import ParetoFit
+from repro.levy.fit import LevyWalkModel
+
+
+@pytest.fixture
+def model():
+    return LevyWalkModel(
+        name="test",
+        flight=ParetoFit(xm=200.0, alpha=1.4, n=100),
+        pause=ParetoFit(xm=120.0, alpha=0.9, n=100),
+        k=3.0,
+        rho=0.4,
+        n_flights=100,
+    )
+
+
+class TestReflect:
+    def test_inside_unchanged(self):
+        assert _reflect(500.0, 1000.0) == 500.0
+
+    def test_reflects_over_edge(self):
+        assert _reflect(1100.0, 1000.0) == 900.0
+
+    def test_reflects_below_zero(self):
+        assert _reflect(-100.0, 1000.0) == 100.0
+
+    def test_multiple_folds(self):
+        assert _reflect(2300.0, 1000.0) == pytest.approx(300.0)
+
+    def test_boundaries(self):
+        assert _reflect(0.0, 1000.0) == 0.0
+        assert _reflect(1000.0, 1000.0) == 1000.0
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            _reflect(1.0, 0.0)
+
+
+class TestNodeTrace:
+    def test_interpolation(self):
+        trace = NodeTrace([Waypoint(0, 0, 0), Waypoint(10, 100, 0)])
+        assert trace.position_at(5) == (50.0, 0.0)
+
+    def test_clamped_outside(self):
+        trace = NodeTrace([Waypoint(0, 0, 0), Waypoint(10, 100, 0)])
+        assert trace.position_at(-5) == (0.0, 0.0)
+        assert trace.position_at(50) == (100.0, 0.0)
+
+    def test_vectorised(self):
+        trace = NodeTrace([Waypoint(0, 0, 0), Waypoint(10, 100, 200)])
+        xs, ys = trace.positions_at(np.array([0.0, 5.0, 10.0]))
+        assert list(xs) == [0.0, 50.0, 100.0]
+        assert list(ys) == [0.0, 100.0, 200.0]
+
+    def test_rejects_unordered(self):
+        with pytest.raises(ValueError):
+            NodeTrace([Waypoint(10, 0, 0), Waypoint(0, 0, 0)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NodeTrace([])
+
+
+class TestGeneration:
+    def test_covers_duration(self, model, rng):
+        trace = generate_node_trace(model, 10_000.0, 3600.0, rng)
+        assert trace.t_end >= 3600.0
+
+    def test_stays_in_arena(self, model, rng):
+        trace = generate_node_trace(model, 5000.0, 7200.0, rng)
+        for w in trace.waypoints:
+            assert 0.0 <= w.x <= 5000.0
+            assert 0.0 <= w.y <= 5000.0
+
+    def test_speeds_clamped(self, model, rng):
+        trace = generate_node_trace(model, 10_000.0, 7200.0, rng)
+        for a, b in zip(trace.waypoints, trace.waypoints[1:]):
+            if b.t == a.t:
+                continue
+            dist = np.hypot(b.x - a.x, b.y - a.y)
+            speed = dist / (b.t - a.t)
+            assert speed <= MAX_SPEED * 1.01
+
+    def test_alternates_pause_and_flight(self, model, rng):
+        trace = generate_node_trace(model, 10_000.0, 7200.0, rng)
+        pauses = 0
+        for a, b in zip(trace.waypoints, trace.waypoints[1:]):
+            if (a.x, a.y) == (b.x, b.y) and b.t - a.t >= MIN_PAUSE_S:
+                pauses += 1
+        assert pauses >= 1
+
+    def test_fleet_size(self, model, rng):
+        fleet = generate_fleet(model, 7, 5000.0, 600.0, rng)
+        assert len(fleet) == 7
+
+    def test_fleet_nodes_differ(self, model, rng):
+        fleet = generate_fleet(model, 2, 5000.0, 600.0, rng)
+        assert fleet[0].position_at(0) != fleet[1].position_at(0)
+
+    def test_fleet_rejects_zero_nodes(self, model, rng):
+        with pytest.raises(ValueError):
+            generate_fleet(model, 0, 5000.0, 600.0, rng)
+
+    def test_deterministic(self, model):
+        a = generate_node_trace(model, 5000.0, 600.0, np.random.default_rng(1))
+        b = generate_node_trace(model, 5000.0, 600.0, np.random.default_rng(1))
+        assert a.waypoints == b.waypoints
+
+    def test_slow_model_barely_moves(self, rng):
+        slow = LevyWalkModel(
+            name="slow",
+            flight=ParetoFit(xm=100.0, alpha=2.0, n=10),
+            pause=ParetoFit(xm=3600.0, alpha=3.0, n=10),
+            k=500.0,
+            rho=0.3,
+            n_flights=10,
+        )
+        trace = generate_node_trace(slow, 10_000.0, 3600.0, rng)
+        x0, y0 = trace.position_at(0)
+        x1, y1 = trace.position_at(3600)
+        assert np.hypot(x1 - x0, y1 - y0) < 2500.0

@@ -1,0 +1,221 @@
+"""AODV node-level protocol behaviour."""
+
+import pytest
+
+from repro.manet import (
+    AodvNode,
+    DataPacket,
+    ManetConfig,
+    MetricsCollector,
+    Rerr,
+    Rrep,
+    Rreq,
+)
+
+
+@pytest.fixture
+def config():
+    return ManetConfig(n_nodes=5, n_pairs=1, arena_m=1000, radio_range_m=100,
+                       duration_s=10, seed=1)
+
+
+@pytest.fixture
+def metrics():
+    return MetricsCollector({0: (0, 4)})
+
+
+def make_node(node_id, config, metrics):
+    return AodvNode(node_id, config, metrics)
+
+
+def outbox_payloads(node):
+    return [m.payload for m in node.outbox]
+
+
+class TestRouteDiscovery:
+    def test_data_without_route_triggers_rreq(self, config, metrics):
+        node = make_node(0, config, metrics)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.originate_data(packet, now=0.0)
+        [rreq] = outbox_payloads(node)
+        assert isinstance(rreq, Rreq)
+        assert rreq.dest == 4
+        assert rreq.origin == 0
+        assert node.outbox[0].is_broadcast
+
+    def test_data_with_route_forwards(self, config, metrics):
+        node = make_node(0, config, metrics)
+        node.table.update(4, next_hop=2, hop_count=2, dest_seq=1, now=0.0)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.originate_data(packet, now=0.0)
+        [message] = node.outbox
+        assert message.to == 2
+        assert message.payload is packet
+        assert packet.hop_count == 1
+
+    def test_destination_replies(self, config, metrics):
+        node = make_node(4, config, metrics)
+        rreq = Rreq(origin=0, origin_seq=1, rreq_id=1, dest=4, dest_seq=0,
+                    hop_count=1, ttl=10, pair_id=0)
+        node.receive(rreq, sender=3, now=0.0)
+        replies = [p for p in outbox_payloads(node) if isinstance(p, Rrep)]
+        assert len(replies) == 1
+        assert replies[0].origin == 0
+        assert replies[0].dest == 4
+        # Reverse route towards the originator was installed.
+        assert node.table.usable(0, 0.0).next_hop == 3
+
+    def test_intermediate_rebroadcasts(self, config, metrics):
+        node = make_node(2, config, metrics)
+        rreq = Rreq(origin=0, origin_seq=1, rreq_id=1, dest=4, dest_seq=0,
+                    hop_count=0, ttl=10, pair_id=0)
+        node.receive(rreq, sender=0, now=0.0)
+        forwarded = [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+        assert len(forwarded) == 1
+        assert forwarded[0].hop_count == 1
+        assert forwarded[0].ttl == 9
+
+    def test_duplicate_rreq_suppressed(self, config, metrics):
+        node = make_node(2, config, metrics)
+        rreq = Rreq(origin=0, origin_seq=1, rreq_id=1, dest=4, dest_seq=0,
+                    hop_count=0, ttl=10)
+        node.receive(rreq, sender=0, now=0.0)
+        node.outbox.clear()
+        node.receive(rreq, sender=1, now=0.0)
+        assert not [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+
+    def test_ttl_zero_not_rebroadcast(self, config, metrics):
+        node = make_node(2, config, metrics)
+        rreq = Rreq(origin=0, origin_seq=1, rreq_id=1, dest=4, dest_seq=0,
+                    hop_count=5, ttl=0)
+        node.receive(rreq, sender=0, now=0.0)
+        assert not [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+
+    def test_intermediate_with_fresh_route_replies(self, config, metrics):
+        node = make_node(2, config, metrics)
+        node.table.update(4, next_hop=3, hop_count=1, dest_seq=7, now=0.0)
+        rreq = Rreq(origin=0, origin_seq=1, rreq_id=1, dest=4, dest_seq=5,
+                    hop_count=0, ttl=10)
+        node.receive(rreq, sender=0, now=0.0)
+        payloads = outbox_payloads(node)
+        assert any(isinstance(p, Rrep) for p in payloads)
+        assert not any(isinstance(p, Rreq) for p in payloads)
+
+
+class TestRrepHandling:
+    def test_originator_installs_route_and_flushes(self, config, metrics):
+        node = make_node(0, config, metrics)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.originate_data(packet, now=0.0)
+        node.outbox.clear()
+        rrep = Rrep(dest=4, dest_seq=2, origin=0, hop_count=1, pair_id=0)
+        node.receive(rrep, sender=1, now=0.0)
+        node.tick(now=1.0)
+        # Buffered packet flushed towards next hop 1.
+        data = [m for m in node.outbox if isinstance(m.payload, DataPacket)]
+        assert len(data) == 1
+        assert data[0].to == 1
+
+    def test_relay_forwards_rrep_on_reverse_route(self, config, metrics):
+        node = make_node(2, config, metrics)
+        # Reverse route to originator 0 via node 1.
+        node.table.update(0, next_hop=1, hop_count=1, dest_seq=1, now=0.0)
+        rrep = Rrep(dest=4, dest_seq=2, origin=0, hop_count=0)
+        node.receive(rrep, sender=3, now=0.0)
+        forwarded = [m for m in node.outbox if isinstance(m.payload, Rrep)]
+        assert len(forwarded) == 1
+        assert forwarded[0].to == 1
+        assert forwarded[0].payload.hop_count == 1
+        # Forward route to 4 installed via sender 3.
+        assert node.table.usable(4, 0.0).next_hop == 3
+
+    def test_rrep_without_reverse_route_dropped(self, config, metrics):
+        node = make_node(2, config, metrics)
+        rrep = Rrep(dest=4, dest_seq=2, origin=0, hop_count=0)
+        node.receive(rrep, sender=3, now=0.0)
+        assert not [m for m in node.outbox if isinstance(m.payload, Rrep)]
+
+
+class TestDataPlane:
+    def test_destination_counts_delivery(self, config, metrics):
+        node = make_node(4, config, metrics)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0, hop_count=3)
+        node.receive(packet, sender=3, now=0.0)
+        assert metrics.flows[0].data_delivered == 1
+        assert metrics.flows[0].hop_counts == [3]
+
+    def test_relay_without_route_sends_rerr(self, config, metrics):
+        node = make_node(2, config, metrics)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.receive(packet, sender=1, now=0.0)
+        rerrs = [m for m in node.outbox if isinstance(m.payload, Rerr)]
+        assert len(rerrs) == 1
+        assert rerrs[0].to == 1
+        assert 4 in rerrs[0].payload.unreachable
+        assert metrics.flows[0].data_dropped == 1
+
+
+class TestLinkFailure:
+    def test_unicast_failure_invalidates_and_rerrs(self, config, metrics):
+        node = make_node(2, config, metrics)
+        node.table.update(4, next_hop=3, hop_count=1, dest_seq=1, now=0.0)
+        node.table.update(5, next_hop=3, hop_count=2, dest_seq=1, now=0.0)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.on_unicast_failed(packet, next_hop=3, now=0.0)
+        assert node.table.usable(4, 0.0) is None
+        assert node.table.usable(5, 0.0) is None
+        rerrs = [p for p in outbox_payloads(node) if isinstance(p, Rerr)]
+        assert rerrs and set(rerrs[0].unreachable) == {4, 5}
+        # A relay drops the packet.
+        assert metrics.flows[0].data_dropped == 1
+
+    def test_source_rebuffers_on_failure(self, config, metrics):
+        node = make_node(0, config, metrics)
+        node.table.update(4, next_hop=3, hop_count=1, dest_seq=1, now=0.0)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.on_unicast_failed(packet, next_hop=3, now=0.0)
+        assert metrics.flows[0].data_dropped == 0
+        rreqs = [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+        assert len(rreqs) == 1
+
+    def test_rerr_propagates_to_precursors(self, config, metrics):
+        node = make_node(2, config, metrics)
+        node.table.update(4, next_hop=3, hop_count=1, dest_seq=1, now=0.0)
+        node.table.add_precursor(4, 1)
+        node.receive(Rerr(unreachable={4: 2}), sender=3, now=0.0)
+        assert node.table.usable(4, 0.0) is None
+        rerrs = [p for p in outbox_payloads(node) if isinstance(p, Rerr)]
+        assert len(rerrs) == 1
+
+    def test_rerr_from_wrong_neighbor_ignored(self, config, metrics):
+        node = make_node(2, config, metrics)
+        node.table.update(4, next_hop=3, hop_count=1, dest_seq=1, now=0.0)
+        node.receive(Rerr(unreachable={4: 2}), sender=9, now=0.0)
+        assert node.table.usable(4, 0.0) is not None
+
+
+class TestDiscoveryLifecycle:
+    def test_retry_then_drop(self, config, metrics):
+        node = make_node(0, config, metrics)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.originate_data(packet, now=0.0)
+        rreq_count = sum(1 for p in outbox_payloads(node) if isinstance(p, Rreq))
+        node.outbox.clear()
+        now = 0.0
+        for _ in range(20):
+            now += config.discovery_timeout_s * 8
+            node.tick(now)
+            rreq_count += sum(
+                1 for p in outbox_payloads(node) if isinstance(p, Rreq)
+            )
+            node.outbox.clear()
+        assert rreq_count == 1 + config.rreq_retries
+        assert metrics.flows[0].data_dropped == 1
+
+    def test_buffer_overflow_drops(self, config, metrics):
+        node = make_node(0, config, metrics)
+        for seq in range(config.buffer_limit + 5):
+            node.originate_data(
+                DataPacket(flow_id=0, src=0, dst=4, seq=seq, created_tick=0), now=0.0
+            )
+        assert metrics.flows[0].data_dropped == 5

@@ -1,0 +1,98 @@
+"""AODV expanding-ring search option."""
+
+import pytest
+
+from repro.levy import NodeTrace, Waypoint
+from repro.manet import (
+    AodvNode,
+    DataPacket,
+    ManetConfig,
+    MetricsCollector,
+    Rreq,
+    Simulator,
+)
+
+
+def ring_config(**overrides):
+    defaults = dict(
+        n_nodes=6, arena_m=100_000.0, radio_range_m=1000.0, n_pairs=1,
+        duration_s=120.0, dt_s=1.0, cbr_interval_s=5.0, seed=3,
+        expanding_ring=True, ring_start_ttl=2,
+    )
+    defaults.update(overrides)
+    return ManetConfig(**defaults)
+
+
+def first_rreq(node):
+    return next(m.payload for m in node.outbox if isinstance(m.payload, Rreq))
+
+
+def test_initial_ttl_is_small():
+    config = ring_config()
+    node = AodvNode(0, config, MetricsCollector({0: (0, 5)}))
+    node.originate_data(DataPacket(flow_id=0, src=0, dst=5, seq=1, created_tick=0), 0.0)
+    assert first_rreq(node).ttl == 2
+
+
+def test_retry_escalates_ttl():
+    config = ring_config()
+    node = AodvNode(0, config, MetricsCollector({0: (0, 5)}))
+    node.originate_data(DataPacket(flow_id=0, src=0, dst=5, seq=1, created_tick=0), 0.0)
+    node.outbox.clear()
+    node.tick(now=config.discovery_timeout_s * 4)
+    assert first_rreq(node).ttl == 4
+    node.outbox.clear()
+    node.tick(now=config.discovery_timeout_s * 40)
+    assert first_rreq(node).ttl == 8
+
+
+def test_ttl_capped_at_network_diameter():
+    config = ring_config(ring_start_ttl=25, rreq_ttl=30)
+    node = AodvNode(0, config, MetricsCollector({0: (0, 5)}))
+    node.originate_data(DataPacket(flow_id=0, src=0, dst=5, seq=1, created_tick=0), 0.0)
+    node.outbox.clear()
+    node.tick(now=config.discovery_timeout_s * 4)
+    assert first_rreq(node).ttl == 30
+
+
+def test_disabled_by_default():
+    config = ManetConfig(n_nodes=6, n_pairs=1)
+    node = AodvNode(0, config, MetricsCollector({0: (0, 5)}))
+    node.originate_data(DataPacket(flow_id=0, src=0, dst=5, seq=1, created_tick=0), 0.0)
+    assert first_rreq(node).ttl == config.rreq_ttl
+
+
+def line_traces(n, spacing=800.0):
+    return [NodeTrace([Waypoint(0.0, i * spacing, 0.0)]) for i in range(n)]
+
+
+def test_nearby_destination_still_found():
+    """A 2-hop destination is reachable within the initial ring."""
+    config = ring_config(duration_s=200.0)
+    sim = Simulator(config, line_traces(6), pairs={0: (0, 2)})
+    results = sim.run()
+    assert results.flows[0].data_delivered > 20
+
+
+def test_far_destination_found_after_escalation():
+    """A 5-hop destination needs TTL escalation but is eventually reached."""
+    config = ring_config(duration_s=300.0)
+    sim = Simulator(config, line_traces(6), pairs={0: (0, 5)})
+    results = sim.run()
+    assert results.flows[0].data_delivered > 10
+
+
+def test_ring_reduces_control_for_near_pairs():
+    """Expanding ring floods fewer transmissions for short routes."""
+    pairs = {0: (0, 2)}
+    base = Simulator(
+        ring_config(expanding_ring=False, duration_s=200.0),
+        line_traces(6),
+        pairs=pairs,
+    ).run()
+    ring = Simulator(
+        ring_config(expanding_ring=True, duration_s=200.0),
+        line_traces(6),
+        pairs=pairs,
+    ).run()
+    assert ring.total_control <= base.total_control

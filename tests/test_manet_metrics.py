@@ -1,0 +1,95 @@
+"""MANET metric collection and aggregation."""
+
+import pytest
+
+from repro.manet import FlowStats, ManetResults, MetricsCollector
+
+
+@pytest.fixture
+def collector():
+    return MetricsCollector({0: (0, 1), 1: (2, 3)})
+
+
+def test_control_attribution(collector):
+    collector.count_control(0)
+    collector.count_control(0)
+    collector.count_control(None)
+    collector.count_control(99)  # unknown pair -> unattributed
+    assert collector.flows[0].control_transmissions == 2
+    assert collector.unattributed_control == 2
+    assert collector.total_control == 4
+
+
+def test_data_counters(collector):
+    collector.data_sent(0)
+    collector.data_delivered(0, hop_count=3)
+    collector.data_dropped(1)
+    assert collector.flows[0].data_sent == 1
+    assert collector.flows[0].data_delivered == 1
+    assert collector.flows[0].hop_counts == [3]
+    assert collector.flows[1].data_dropped == 1
+
+
+def test_route_sampling(collector):
+    collector.sample_route(0, available=True, changed=True)
+    collector.sample_route(0, available=True, changed=False)
+    collector.sample_route(0, available=False, changed=True)
+    stats = collector.flows[0]
+    assert stats.availability_samples == 3
+    assert stats.availability_hits == 2
+    assert stats.route_changes == 2
+    assert stats.availability_ratio() == pytest.approx(2 / 3)
+
+
+def test_flow_stats_defaults():
+    stats = FlowStats(flow_id=0, src=0, dst=1)
+    assert stats.availability_ratio() == 0.0
+    assert stats.overhead_per_data_packet() == 0.0
+    assert stats.delivery_ratio() == 0.0
+
+
+def test_overhead_per_packet():
+    stats = FlowStats(flow_id=0, src=0, dst=1, control_transmissions=30, data_delivered=10)
+    assert stats.overhead_per_data_packet() == 3.0
+
+
+def make_results():
+    flows = [
+        FlowStats(flow_id=0, src=0, dst=1, route_changes=6, availability_samples=10,
+                  availability_hits=9, control_transmissions=20, data_delivered=10,
+                  data_sent=12),
+        FlowStats(flow_id=1, src=2, dst=3, route_changes=0, availability_samples=10,
+                  availability_hits=0, control_transmissions=5, data_delivered=0,
+                  data_sent=12),
+    ]
+    return ManetResults(
+        name="test", flows=flows, duration_s=120.0, total_control=25,
+        unattributed_control=0,
+    )
+
+
+def test_route_changes_per_minute():
+    results = make_results()
+    assert results.route_changes_per_minute() == [3.0, 0.0]
+
+
+def test_availability_ratios():
+    assert make_results().availability_ratios() == [0.9, 0.0]
+
+
+def test_overheads():
+    assert make_results().overheads() == [2.0, 5.0]
+
+
+def test_ecdfs():
+    results = make_results()
+    assert results.route_change_ecdf().median() in (0.0, 3.0)
+    assert 0.0 <= results.availability_ecdf().median() <= 1.0
+    assert results.overhead_ecdf().evaluate(5.0) == 1.0
+
+
+def test_summary_renders():
+    text = make_results().summary()
+    assert "test" in text
+    assert "availability" in text
+    assert "control transmissions" in text

@@ -1,0 +1,47 @@
+"""AODV packet types."""
+
+import pytest
+
+from repro.manet import DataPacket, Rerr, Rrep, Rreq
+
+
+class TestRreq:
+    def test_key(self):
+        rreq = Rreq(origin=1, origin_seq=5, rreq_id=9, dest=2, dest_seq=0,
+                    hop_count=0, ttl=10)
+        assert rreq.key() == (1, 9)
+
+    def test_forwarded_increments_and_decrements(self):
+        rreq = Rreq(origin=1, origin_seq=5, rreq_id=9, dest=2, dest_seq=3,
+                    hop_count=4, ttl=10, pair_id=7)
+        forwarded = rreq.forwarded()
+        assert forwarded.hop_count == 5
+        assert forwarded.ttl == 9
+        assert forwarded.key() == rreq.key()
+        assert forwarded.pair_id == 7
+        # The original is immutable and unchanged.
+        assert rreq.hop_count == 4
+
+
+class TestRrep:
+    def test_forwarded(self):
+        rrep = Rrep(dest=2, dest_seq=6, origin=1, hop_count=0, pair_id=3)
+        forwarded = rrep.forwarded()
+        assert forwarded.hop_count == 1
+        assert forwarded.dest == 2
+        assert forwarded.origin == 1
+        assert forwarded.pair_id == 3
+
+
+class TestRerr:
+    def test_defaults(self):
+        rerr = Rerr()
+        assert rerr.unreachable == {}
+        assert rerr.pair_id is None
+
+
+class TestDataPacket:
+    def test_mutable_hop_count(self):
+        packet = DataPacket(flow_id=0, src=1, dst=2, seq=3, created_tick=4)
+        packet.hop_count += 1
+        assert packet.hop_count == 1

@@ -1,0 +1,106 @@
+"""AODV routing table semantics."""
+
+import pytest
+
+from repro.manet import RoutingTable
+
+
+@pytest.fixture
+def table():
+    return RoutingTable(owner=0, active_route_timeout=100.0)
+
+
+def test_empty_lookup(table):
+    assert table.get(5) is None
+    assert table.usable(5, now=0.0) is None
+
+
+def test_install_and_use(table):
+    assert table.update(5, next_hop=1, hop_count=2, dest_seq=3, now=0.0)
+    entry = table.usable(5, now=0.0)
+    assert entry is not None
+    assert entry.next_hop == 1
+    assert entry.hop_count == 2
+
+
+def test_expiry(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    assert table.usable(5, now=99.0) is not None
+    assert table.usable(5, now=101.0) is None
+
+
+def test_refresh_extends_lifetime(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    table.refresh(5, now=90.0)
+    assert table.usable(5, now=150.0) is not None
+
+
+def test_fresher_sequence_wins(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    assert table.update(5, 9, 5, 4, now=0.0)  # higher seq, longer path: wins
+    assert table.get(5).next_hop == 9
+
+
+def test_stale_sequence_rejected(table):
+    table.update(5, 1, 2, 10, now=0.0)
+    assert not table.update(5, 9, 1, 4, now=0.0)
+    assert table.get(5).next_hop == 1
+
+
+def test_equal_seq_shorter_path_wins(table):
+    table.update(5, 1, 4, 3, now=0.0)
+    assert table.update(5, 2, 2, 3, now=0.0)
+    assert table.get(5).hop_count == 2
+
+
+def test_equal_seq_longer_path_rejected(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    assert not table.update(5, 2, 4, 3, now=0.0)
+
+
+def test_unusable_entry_always_replaceable(table):
+    table.update(5, 1, 2, 10, now=0.0)
+    table.invalidate(5)
+    assert table.update(5, 2, 3, 4, now=1.0)  # lower seq but old route invalid
+    assert table.usable(5, now=1.0) is not None
+
+
+def test_invalidate_bumps_sequence(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    entry = table.invalidate(5)
+    assert entry is not None
+    assert not entry.valid
+    assert entry.dest_seq == 4
+
+
+def test_invalidate_missing_is_noop(table):
+    assert table.invalidate(5) is None
+
+
+def test_invalidate_via(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    table.update(6, 1, 3, 3, now=0.0)
+    table.update(7, 2, 1, 3, now=0.0)
+    broken = table.invalidate_via(1)
+    assert set(broken) == {5, 6}
+    assert table.usable(7, now=0.0) is not None
+
+
+def test_precursors(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    table.add_precursor(5, 8)
+    table.add_precursor(5, 9)
+    assert table.get(5).precursors == {8, 9}
+    table.add_precursor(42, 1)  # unknown dest: silently ignored
+
+
+def test_iteration_and_len(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    table.update(6, 1, 2, 3, now=0.0)
+    assert len(table) == 2
+    assert {e.dest for e in table} == {5, 6}
+
+
+def test_rejects_bad_timeout():
+    with pytest.raises(ValueError):
+        RoutingTable(owner=0, active_route_timeout=0.0)

@@ -1,0 +1,87 @@
+"""High-level MANET runner."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.levy import LevyWalkModel
+from repro.manet import ManetConfig, bench_config, paper_config, run_model, run_three_models
+from repro.stats import ParetoFit
+
+
+@pytest.fixture(scope="module")
+def model():
+    return LevyWalkModel(
+        name="toy",
+        flight=ParetoFit(xm=300.0, alpha=1.3, n=50),
+        pause=ParetoFit(xm=120.0, alpha=0.9, n=50),
+        k=2.0,
+        rho=0.4,
+        n_flights=50,
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ManetConfig(
+        n_nodes=12,
+        arena_m=3000.0,
+        radio_range_m=1200.0,
+        n_pairs=4,
+        duration_s=240.0,
+        seed=9,
+    )
+
+
+def test_run_model_produces_metrics(model, tiny_config):
+    results = run_model(model, tiny_config)
+    assert results.name == "toy"
+    assert len(results.flows) == 4
+    assert results.duration_s == 240.0
+
+
+def test_run_model_deterministic(model, tiny_config):
+    a = run_model(model, tiny_config)
+    b = run_model(model, tiny_config)
+    assert a.total_control == b.total_control
+    assert [f.data_delivered for f in a.flows] == [f.data_delivered for f in b.flows]
+
+
+def test_run_model_seed_changes_outcome(model, tiny_config):
+    a = run_model(model, tiny_config)
+    b = run_model(model, tiny_config, seed=123)
+    assert a.total_control != b.total_control or [
+        f.data_delivered for f in a.flows
+    ] != [f.data_delivered for f in b.flows]
+
+
+def test_run_three_models_shares_pairs(model, tiny_config):
+    slow = LevyWalkModel(
+        name="slow",
+        flight=model.flight,
+        pause=ParetoFit(xm=3600.0, alpha=2.0, n=50),
+        k=500.0,
+        rho=0.2,
+        n_flights=50,
+    )
+    results = run_three_models([model, slow], tiny_config)
+    assert [r.name for r in results] == ["toy", "slow"]
+    pairs_a = {(f.src, f.dst) for f in results[0].flows}
+    pairs_b = {(f.src, f.dst) for f in results[1].flows}
+    assert pairs_a == pairs_b
+
+
+def test_presets():
+    paper = paper_config()
+    assert paper.n_nodes == 200
+    assert paper.arena_m == 100_000.0
+    assert paper.radio_range_m == 1000.0
+    assert paper.n_pairs == 100
+    bench = bench_config()
+    assert bench.n_nodes < paper.n_nodes
+    assert bench.arena_m < paper.arena_m
+    # The bench arena must actually support multi-hop routing.
+    import math
+
+    degree = bench.n_nodes * math.pi * bench.radio_range_m**2 / bench.arena_m**2
+    assert degree > 4.0

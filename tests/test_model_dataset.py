@@ -1,0 +1,131 @@
+"""Dataset containers."""
+
+import pytest
+
+from repro.model import Dataset, UserData, rename, study_duration_days
+from helpers import (
+    make_checkin,
+    make_dataset,
+    make_poi,
+    make_user,
+    make_visit,
+    stationary_gps,
+)
+
+
+@pytest.fixture
+def tiny_dataset():
+    poi = make_poi("p0")
+    users = [
+        make_user(
+            "u0",
+            gps=stationary_gps(0, 0, 0, 600),
+            checkins=[make_checkin("c0", "u0", t=100)],
+            visits=[make_visit("v0", "u0")],
+            study_days=5.0,
+        ),
+        make_user(
+            "u1",
+            gps=stationary_gps(10, 10, 0, 1200),
+            checkins=[make_checkin("c1", "u1", t=50), make_checkin("c2", "u1", t=500)],
+            visits=[make_visit("v1", "u1"), make_visit("v2", "u1", t_start=700, t_end=1400)],
+            study_days=15.0,
+        ),
+    ]
+    return make_dataset(users, pois=[poi])
+
+
+def test_len_and_iter(tiny_dataset):
+    assert len(tiny_dataset) == 2
+    assert {d.user_id for d in tiny_dataset} == {"u0", "u1"}
+
+
+def test_poi_lookup(tiny_dataset):
+    assert tiny_dataset.poi("p0").poi_id == "p0"
+    with pytest.raises(KeyError):
+        tiny_dataset.poi("missing")
+
+
+def test_all_checkins(tiny_dataset):
+    assert len(tiny_dataset.all_checkins) == 3
+
+
+def test_all_visits(tiny_dataset):
+    assert len(tiny_dataset.all_visits) == 3
+
+
+def test_all_gps_points(tiny_dataset):
+    assert len(tiny_dataset.all_gps_points) == 11 + 21
+
+
+def test_has_visits(tiny_dataset):
+    assert tiny_dataset.has_visits()
+
+
+def test_require_visits_raises_when_missing():
+    user = make_user("u0")
+    with pytest.raises(ValueError, match="visits not extracted"):
+        user.require_visits()
+
+
+def test_stats(tiny_dataset):
+    stats = tiny_dataset.stats()
+    assert stats.n_users == 2
+    assert stats.avg_days_per_user == 10.0
+    assert stats.n_checkins == 3
+    assert stats.n_visits == 3
+    assert stats.n_gps_points == 32
+
+
+def test_stats_row_renders(tiny_dataset):
+    assert "test" in tiny_dataset.stats().as_row()
+
+
+def test_subset(tiny_dataset):
+    sub = tiny_dataset.subset(["u1"], name="one")
+    assert len(sub) == 1
+    assert sub.name == "one"
+    assert "u1" in sub.users
+
+
+def test_subset_unknown_user(tiny_dataset):
+    with pytest.raises(KeyError):
+        tiny_dataset.subset(["nope"])
+
+
+def test_with_checkins_filtered(tiny_dataset):
+    filtered = tiny_dataset.with_checkins_filtered(lambda c: c.t < 200)
+    assert len(filtered.all_checkins) == 2
+    # GPS and visits are untouched.
+    assert len(filtered.all_visits) == 3
+    # The original is untouched.
+    assert len(tiny_dataset.all_checkins) == 3
+
+
+def test_user_key_mismatch_rejected():
+    user = make_user("u0")
+    with pytest.raises(ValueError, match="does not match"):
+        Dataset(name="bad", pois={}, users={"other": user})
+
+
+def test_user_data_sorted():
+    user = make_user(
+        "u0",
+        gps=list(reversed(stationary_gps(0, 0, 0, 300))),
+        checkins=[make_checkin("c1", "u0", t=500), make_checkin("c0", "u0", t=100)],
+    )
+    ordered = user.sorted()
+    assert [p.t for p in ordered.gps] == sorted(p.t for p in user.gps)
+    assert [c.t for c in ordered.checkins] == [100, 500]
+
+
+def test_study_duration_days():
+    user = make_user("u0", gps=stationary_gps(0, 0, 0, 86400))
+    assert study_duration_days(user) == pytest.approx(1.0)
+    assert study_duration_days(make_user("u1")) == 0.0
+
+
+def test_rename(tiny_dataset):
+    renamed = rename(tiny_dataset, "fresh")
+    assert renamed.name == "fresh"
+    assert renamed.users is tiny_dataset.users

@@ -1,0 +1,218 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MatchConfig, match_user
+from repro.core.visits import VisitConfig, extract_visits
+from repro.geo import GridIndex, LocalProjection, haversine
+from repro.levy.generate import _reflect
+from repro.model import GpsPoint
+from repro.stats import Ecdf, entropy_from_counts, fit_pareto, ks_distance, pearson
+from helpers import make_checkin, make_visit
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+# Millimetre-quantised coordinates: subnormal-magnitude values make the
+# naive squared-distance brute force underflow, disagreeing with the
+# index over distances of 1e-243 m — noise with no physical meaning.
+coords = st.floats(min_value=-50_000, max_value=50_000, allow_nan=False).map(
+    lambda v: round(v, 3)
+)
+
+
+@st.composite
+def point_sets(draw):
+    n = draw(st.integers(min_value=1, max_value=60))
+    return [
+        (draw(coords), draw(coords), i)
+        for i in range(n)
+    ]
+
+
+class TestGridIndexProperties:
+    @given(points=point_sets(), qx=coords, qy=coords,
+           radius=st.floats(min_value=0, max_value=100_000).map(lambda v: round(v, 3)))
+    @settings(max_examples=60, deadline=None)
+    def test_within_matches_bruteforce(self, points, qx, qy, radius):
+        index = GridIndex(cell_size=1500.0)
+        for x, y, item in points:
+            index.insert(x, y, item)
+        got = sorted(item for _, item in index.within(qx, qy, radius))
+        expected = sorted(
+            item
+            for x, y, item in points
+            if (x - qx) ** 2 + (y - qy) ** 2 <= radius * radius
+        )
+        assert got == expected
+
+    @given(points=point_sets(), qx=coords, qy=coords)
+    @settings(max_examples=60, deadline=None)
+    def test_nearest_matches_bruteforce(self, points, qx, qy):
+        index = GridIndex(cell_size=1500.0)
+        for x, y, item in points:
+            index.insert(x, y, item)
+        dist, _ = index.nearest(qx, qy)
+        best = min(math.hypot(x - qx, y - qy) for x, y, _ in points)
+        assert math.isclose(dist, best, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestProjectionProperties:
+    @given(
+        lat=st.floats(min_value=-80, max_value=80),
+        lon=st.floats(min_value=-179, max_value=179),
+        dx=st.floats(min_value=-30_000, max_value=30_000),
+        dy=st.floats(min_value=-30_000, max_value=30_000),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip(self, lat, lon, dx, dy):
+        proj = LocalProjection(lat, lon)
+        back = proj.to_plane(*proj.to_geo(dx, dy))
+        assert math.isclose(back[0], dx, abs_tol=1e-6)
+        assert math.isclose(back[1], dy, abs_tol=1e-6)
+
+
+class TestEcdfProperties:
+    @given(st.lists(finite, min_size=1, max_size=200))
+    @settings(max_examples=80, deadline=None)
+    def test_monotone_and_bounded(self, sample):
+        ecdf = Ecdf.from_sample(sample)
+        xs = sorted(sample)
+        values = ecdf.evaluate_many(xs)
+        assert all(0 <= v <= 1 for v in values)
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert ecdf.evaluate(max(sample)) == 1.0
+
+    @given(st.lists(finite, min_size=1, max_size=100),
+           st.lists(finite, min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_ks_is_a_metric_ish(self, a, b):
+        ea, eb = Ecdf.from_sample(a), Ecdf.from_sample(b)
+        d = ks_distance(ea, eb)
+        assert 0.0 <= d <= 1.0
+        assert math.isclose(d, ks_distance(eb, ea))
+        assert ks_distance(ea, ea) == 0.0
+
+    @given(st.lists(finite, min_size=1, max_size=100),
+           st.floats(min_value=0, max_value=1))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_evaluate_consistency(self, sample, q):
+        ecdf = Ecdf.from_sample(sample)
+        value = ecdf.quantile(q)
+        assert ecdf.evaluate(value) >= q - 1e-12
+
+
+class TestStatsProperties:
+    @given(st.lists(st.floats(min_value=1e-3, max_value=1e6), min_size=2, max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_pareto_fit_valid(self, sample):
+        fit = fit_pareto(sample)
+        assert fit.xm == min(sample)
+        assert fit.alpha > 0
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+    @settings(max_examples=60, deadline=None)
+    def test_entropy_bounds(self, counts):
+        positive = [c for c in counts if c > 0]
+        if not positive:
+            return
+        h = entropy_from_counts(positive)
+        assert 0.0 <= h <= math.log2(len(positive)) + 1e-9
+
+    @given(st.lists(st.tuples(finite, finite), min_size=2, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_pearson_bounded(self, pairs):
+        xs = [a for a, _ in pairs]
+        ys = [b for _, b in pairs]
+        assert -1.0 <= pearson(xs, ys) <= 1.0
+
+
+class TestReflectProperties:
+    @given(value=st.floats(min_value=-1e7, max_value=1e7, allow_nan=False),
+           size=st.floats(min_value=1.0, max_value=1e5))
+    @settings(max_examples=100, deadline=None)
+    def test_always_in_bounds(self, value, size):
+        folded = _reflect(value, size)
+        assert 0.0 <= folded <= size
+
+
+@st.composite
+def matching_scenarios(draw):
+    n_visits = draw(st.integers(min_value=0, max_value=12))
+    n_checkins = draw(st.integers(min_value=0, max_value=12))
+    visits = []
+    t = 0.0
+    for i in range(n_visits):
+        t += draw(st.floats(min_value=60, max_value=7200))
+        dur = draw(st.floats(min_value=360, max_value=7200))
+        visits.append(
+            make_visit(
+                f"v{i}",
+                x=draw(st.floats(min_value=0, max_value=5000)),
+                y=draw(st.floats(min_value=0, max_value=5000)),
+                t_start=t,
+                t_end=t + dur,
+            )
+        )
+        t += dur
+    checkins = [
+        make_checkin(
+            f"c{i}",
+            x=draw(st.floats(min_value=0, max_value=5000)),
+            y=draw(st.floats(min_value=0, max_value=5000)),
+            t=draw(st.floats(min_value=0, max_value=t + 3600)),
+        )
+        for i in range(n_checkins)
+    ]
+    return checkins, visits
+
+
+class TestMatchingProperties:
+    @given(scenario=matching_scenarios(), rematch=st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_conservation_and_validity(self, scenario, rematch):
+        checkins, visits = scenario
+        result = match_user(checkins, visits, MatchConfig(rematch_losers=rematch))
+        # Every checkin lands in exactly one bucket; every visit too.
+        assert len(result.matches) + len(result.extraneous) == len(checkins)
+        assert len(result.matches) + len(result.missing) == len(visits)
+        matched_visits = [v.visit_id for _, v in result.matches]
+        assert len(matched_visits) == len(set(matched_visits))
+        matched_checkins = [c.checkin_id for c, _ in result.matches]
+        assert len(matched_checkins) == len(set(matched_checkins))
+        # Every match satisfies the α/β thresholds.
+        for checkin, visit in result.matches:
+            assert math.hypot(checkin.x - visit.x, checkin.y - visit.y) <= 500.0
+            assert visit.time_distance(checkin.t) <= 1800.0
+
+
+@st.composite
+def gps_traces(draw):
+    n = draw(st.integers(min_value=0, max_value=120))
+    t = 0.0
+    x = draw(st.floats(min_value=0, max_value=10_000))
+    y = draw(st.floats(min_value=0, max_value=10_000))
+    points = []
+    for _ in range(n):
+        t += 60.0
+        x += draw(st.floats(min_value=-500, max_value=500))
+        y += draw(st.floats(min_value=-500, max_value=500))
+        points.append(GpsPoint(t=t, x=x, y=y))
+    return points
+
+
+class TestVisitExtractionProperties:
+    @given(points=gps_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_visits_well_formed(self, points):
+        visits = extract_visits(points, "u0", VisitConfig())
+        for visit in visits:
+            assert visit.duration >= 360.0
+        for a, b in zip(visits, visits[1:]):
+            assert a.t_end <= b.t_start
+        times = {p.t for p in points}
+        for visit in visits:
+            assert visit.t_start in times
+            assert visit.t_end in times

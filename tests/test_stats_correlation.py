@@ -1,0 +1,57 @@
+"""Pearson correlation."""
+
+import numpy as np
+import pytest
+
+from repro.stats import pearson
+
+
+def test_perfect_positive():
+    assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+
+def test_perfect_negative():
+    assert pearson([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+
+def test_independent_near_zero(rng):
+    x = rng.normal(size=5000)
+    y = rng.normal(size=5000)
+    assert abs(pearson(x, y)) < 0.05
+
+
+def test_constant_series_returns_zero():
+    assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+def test_matches_numpy(rng):
+    x = rng.normal(size=100)
+    y = 0.4 * x + rng.normal(size=100)
+    assert pearson(x, y) == pytest.approx(np.corrcoef(x, y)[0, 1])
+
+
+def test_clamped_to_unit_interval():
+    r = pearson([1e-9, 2e-9, 3e-9], [1e-9, 2e-9, 3e-9])
+    assert -1.0 <= r <= 1.0
+
+
+def test_rejects_mismatched_lengths():
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1, 2, 3])
+
+
+def test_rejects_single_observation():
+    with pytest.raises(ValueError):
+        pearson([1], [2])
+
+
+def test_rejects_non_finite():
+    with pytest.raises(ValueError):
+        pearson([1.0, float("inf")], [1.0, 2.0])
+
+
+def test_invariant_under_affine_transform(rng):
+    x = rng.normal(size=200)
+    y = rng.normal(size=200)
+    base = pearson(x, y)
+    assert pearson(3 * x + 7, -1 * y + 2) == pytest.approx(-base)

@@ -1,0 +1,148 @@
+"""ECDF, KS distance, binned PDFs, category PDF."""
+
+import numpy as np
+import pytest
+
+from repro.stats import Ecdf, category_pdf, ks_distance, log_binned_pdf
+
+
+class TestEcdf:
+    def test_simple_evaluation(self):
+        ecdf = Ecdf.from_sample([1, 2, 3, 4])
+        assert ecdf.evaluate(0) == 0.0
+        assert ecdf.evaluate(1) == 0.25
+        assert ecdf.evaluate(2.5) == 0.5
+        assert ecdf.evaluate(4) == 1.0
+        assert ecdf.evaluate(100) == 1.0
+
+    def test_right_continuity(self):
+        ecdf = Ecdf.from_sample([1.0, 1.0, 2.0])
+        assert ecdf.evaluate(1.0) == pytest.approx(2 / 3)
+
+    def test_evaluate_many(self):
+        ecdf = Ecdf.from_sample([1, 2, 3, 4])
+        out = ecdf.evaluate_many([0, 2, 5])
+        assert list(out) == [0.0, 0.5, 1.0]
+
+    def test_quantile(self):
+        ecdf = Ecdf.from_sample([10, 20, 30, 40])
+        assert ecdf.quantile(0.25) == 10
+        assert ecdf.quantile(0.5) == 20
+        assert ecdf.quantile(1.0) == 40
+        assert ecdf.quantile(0.0) == 10
+
+    def test_median_even(self):
+        assert Ecdf.from_sample([1, 2, 3, 4]).median() == 2
+
+    def test_quantile_out_of_range(self):
+        ecdf = Ecdf.from_sample([1])
+        with pytest.raises(ValueError):
+            ecdf.quantile(1.5)
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_sample([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ValueError):
+            Ecdf.from_sample([1.0, float("nan")])
+
+    def test_len(self):
+        assert len(Ecdf.from_sample([5, 6, 7])) == 3
+
+    def test_curve_subsamples(self):
+        ecdf = Ecdf.from_sample(np.arange(1000.0))
+        xs, fs = ecdf.curve(points=50)
+        assert len(xs) == 50
+        assert fs[-1] == 1.0
+        assert np.all(np.diff(fs) >= 0)
+
+    def test_curve_small_sample_uses_all(self):
+        ecdf = Ecdf.from_sample([1, 2, 3])
+        xs, _ = ecdf.curve(points=100)
+        assert len(xs) == 3
+
+
+class TestKsDistance:
+    def test_identical(self):
+        a = Ecdf.from_sample([1, 2, 3])
+        assert ks_distance(a, a) == 0.0
+
+    def test_disjoint_supports(self):
+        a = Ecdf.from_sample([1, 2, 3])
+        b = Ecdf.from_sample([10, 20, 30])
+        assert ks_distance(a, b) == 1.0
+
+    def test_symmetry(self, rng):
+        a = Ecdf.from_sample(rng.normal(0, 1, 100))
+        b = Ecdf.from_sample(rng.normal(0.5, 1, 80))
+        assert ks_distance(a, b) == pytest.approx(ks_distance(b, a))
+
+    def test_matches_scipy(self, rng):
+        from scipy import stats as sps
+
+        x = rng.normal(0, 1, 200)
+        y = rng.normal(0.3, 1.2, 150)
+        ours = ks_distance(Ecdf.from_sample(x), Ecdf.from_sample(y))
+        theirs = sps.ks_2samp(x, y).statistic
+        assert ours == pytest.approx(theirs, abs=1e-12)
+
+
+class TestLogBinnedPdf:
+    def test_density_integrates_to_one(self, rng):
+        sample = rng.pareto(1.5, 5000) + 1.0
+        centers, density = log_binned_pdf(sample, bins=40)
+        edges_ratio = centers[1] / centers[0]
+        # Reconstruct bin widths from geometric centers.
+        lo = centers / np.sqrt(edges_ratio)
+        hi = centers * np.sqrt(edges_ratio)
+        total = float(np.sum(density * (hi - lo)))
+        assert total == pytest.approx(1.0, rel=0.05)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log_binned_pdf([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            log_binned_pdf([])
+
+    def test_degenerate_sample(self):
+        centers, density = log_binned_pdf([2.0, 2.0, 2.0])
+        assert len(centers) == 1
+
+    def test_centers_are_increasing(self, rng):
+        centers, _ = log_binned_pdf(rng.uniform(1, 100, 500), bins=20)
+        assert np.all(np.diff(centers) > 0)
+
+
+class TestCategoryPdf:
+    def test_fractions(self):
+        out = category_pdf(["a", "a", "b", "c"])
+        assert out[0] == ("a", 0.5)
+        assert dict(out)["b"] == 0.25
+
+    def test_sorted_descending(self):
+        out = category_pdf(["x"] * 5 + ["y"] * 3 + ["z"] * 2)
+        assert [name for name, _ in out] == ["x", "y", "z"]
+
+    def test_ties_sorted_by_name(self):
+        out = category_pdf(["b", "a"])
+        assert [name for name, _ in out] == ["a", "b"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            category_pdf([])
+
+
+class TestLogBinnedPdfBounds:
+    def test_explicit_bounds_clip_range(self, rng):
+        sample = rng.uniform(1, 1000, 2000)
+        centers, _ = log_binned_pdf(sample, bins=10, lo=10.0, hi=100.0)
+        assert centers[0] >= 10.0
+        assert centers[-1] <= 100.0
+
+    def test_bounds_must_be_ordered(self):
+        # lo == hi degenerates into the single-spike case.
+        centers, density = log_binned_pdf([5.0, 5.0], lo=5.0, hi=5.0)
+        assert len(centers) == 1

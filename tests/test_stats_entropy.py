@@ -1,0 +1,68 @@
+"""Shannon entropy helpers."""
+
+import math
+
+import pytest
+
+from repro.stats import entropy_from_counts, entropy_of_labels, normalized_entropy
+
+
+def test_uniform_two_categories_is_one_bit():
+    assert entropy_from_counts([5, 5]) == pytest.approx(1.0)
+
+
+def test_single_category_is_zero():
+    assert entropy_from_counts([7]) == 0.0
+
+
+def test_uniform_k_categories():
+    assert entropy_from_counts([3, 3, 3, 3]) == pytest.approx(2.0)
+
+
+def test_mapping_input():
+    assert entropy_from_counts({"home": 5, "work": 5}) == pytest.approx(1.0)
+
+
+def test_zero_counts_ignored():
+    assert entropy_from_counts([4, 0, 4]) == pytest.approx(1.0)
+
+
+def test_skewed_less_than_uniform():
+    assert entropy_from_counts([9, 1]) < entropy_from_counts([5, 5])
+
+
+def test_rejects_negative():
+    with pytest.raises(ValueError):
+        entropy_from_counts([-1, 2])
+
+
+def test_rejects_empty():
+    with pytest.raises(ValueError):
+        entropy_from_counts([])
+
+
+def test_rejects_all_zero():
+    with pytest.raises(ValueError):
+        entropy_from_counts([0, 0])
+
+
+def test_entropy_of_labels():
+    assert entropy_of_labels(["a", "b", "a", "b"]) == pytest.approx(1.0)
+
+
+def test_entropy_of_labels_empty():
+    with pytest.raises(ValueError):
+        entropy_of_labels([])
+
+
+def test_normalized_entropy_uniform_is_one():
+    assert normalized_entropy([2, 2, 2]) == pytest.approx(1.0)
+
+
+def test_normalized_entropy_single_is_zero():
+    assert normalized_entropy([10]) == 0.0
+
+
+def test_normalized_entropy_in_unit_interval():
+    value = normalized_entropy([10, 3, 1])
+    assert 0.0 < value < 1.0

@@ -1,0 +1,118 @@
+"""Pareto and power-law fitting."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.stats import (
+    ParetoFit,
+    fit_movement_time_law,
+    fit_pareto,
+    fit_power_law,
+)
+
+
+class TestParetoFit:
+    def test_recovers_parameters(self, rng):
+        truth = ParetoFit(xm=100.0, alpha=1.7, n=0)
+        sample = truth.sample(rng, 20000)
+        fit = fit_pareto(sample)
+        assert fit.xm == pytest.approx(100.0, rel=0.02)
+        assert fit.alpha == pytest.approx(1.7, rel=0.05)
+
+    def test_explicit_xm_truncates(self, rng):
+        sample = np.concatenate([rng.uniform(1, 9, 50), 10.0 * (rng.pareto(2.0, 500) + 1)])
+        fit = fit_pareto(sample, xm=10.0)
+        assert fit.xm == 10.0
+        assert fit.n == 500
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            fit_pareto([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_pareto([1.0, -2.0])
+
+    def test_rejects_xm_above_sample(self):
+        with pytest.raises(ValueError):
+            fit_pareto([1.0, 2.0], xm=5.0)
+
+    def test_degenerate_sample_gets_huge_alpha(self):
+        fit = fit_pareto([3.0, 3.0, 3.0])
+        assert fit.alpha > 1e5
+
+    def test_pdf_zero_below_xm(self):
+        fit = ParetoFit(xm=10.0, alpha=2.0, n=1)
+        assert fit.pdf(np.array([5.0]))[0] == 0.0
+        assert fit.pdf(np.array([10.0]))[0] > 0.0
+
+    def test_cdf_limits(self):
+        fit = ParetoFit(xm=10.0, alpha=2.0, n=1)
+        assert fit.cdf(np.array([10.0]))[0] == 0.0
+        assert fit.cdf(np.array([1e9]))[0] == pytest.approx(1.0)
+
+    def test_mean_finite_and_infinite(self):
+        assert ParetoFit(xm=1.0, alpha=2.0, n=1).mean() == 2.0
+        assert math.isinf(ParetoFit(xm=1.0, alpha=0.9, n=1).mean())
+
+    def test_sample_above_xm(self, rng):
+        fit = ParetoFit(xm=50.0, alpha=1.2, n=1)
+        sample = fit.sample(rng, 1000)
+        assert np.all(sample >= 50.0)
+
+    def test_sample_matches_cdf(self, rng):
+        fit = ParetoFit(xm=1.0, alpha=1.5, n=1)
+        sample = fit.sample(rng, 50000)
+        # Empirical median vs analytic median xm * 2^(1/alpha).
+        assert np.median(sample) == pytest.approx(2 ** (1 / 1.5), rel=0.03)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoFit(xm=0.0, alpha=1.0, n=1)
+        with pytest.raises(ValueError):
+            ParetoFit(xm=1.0, alpha=0.0, n=1)
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_law(self):
+        xs = np.array([1.0, 10.0, 100.0, 1000.0])
+        ys = 3.0 * xs**0.6
+        fit = fit_power_law(xs, ys)
+        assert fit.k == pytest.approx(3.0, rel=1e-9)
+        assert fit.p == pytest.approx(0.6, rel=1e-9)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_recovers_noisy_law(self, rng):
+        xs = rng.uniform(1, 1000, 2000)
+        ys = 2.0 * xs**0.5 * np.exp(rng.normal(0, 0.1, 2000))
+        fit = fit_power_law(xs, ys)
+        assert fit.k == pytest.approx(2.0, rel=0.1)
+        assert fit.p == pytest.approx(0.5, abs=0.03)
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 10.0], [2.0, 20.0])
+        assert fit.predict(np.array([100.0]))[0] == pytest.approx(200.0)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0, 2.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0], [1.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, -1.0], [1.0, 2.0])
+
+
+class TestMovementTimeLaw:
+    def test_paper_parameterisation(self):
+        # t = k * d^(1-rho): generate with k=5, rho=0.4.
+        ds = np.array([100.0, 1000.0, 10000.0])
+        ts = 5.0 * ds ** (1 - 0.4)
+        k, rho = fit_movement_time_law(ds, ts)
+        assert k == pytest.approx(5.0, rel=1e-9)
+        assert rho == pytest.approx(0.4, abs=1e-9)

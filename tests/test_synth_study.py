@@ -1,0 +1,82 @@
+"""Full study generation."""
+
+import numpy as np
+import pytest
+
+from repro.model import CheckinType, PoiCategory
+from repro.synth import generate_dataset, primary_config
+
+
+@pytest.fixture(scope="module")
+def small():
+    return generate_dataset(primary_config(seed=77).scaled(0.04))
+
+
+def test_user_count(small):
+    assert len(small) == 10
+
+
+def test_every_user_has_home_poi(small):
+    for user_id in small.users:
+        home = small.pois[f"home-{user_id}"]
+        assert home.category is PoiCategory.RESIDENCE
+
+
+def test_gps_traces_nonempty_and_sorted(small):
+    for data in small.users.values():
+        assert len(data.gps) > 500
+        times = [p.t for p in data.gps]
+        assert times == sorted(times)
+
+
+def test_checkins_reference_known_pois(small):
+    for checkin in small.all_checkins:
+        assert checkin.poi_id in small.pois
+
+
+def test_checkins_have_ground_truth_intents(small):
+    checkins = small.all_checkins
+    assert checkins
+    assert all(c.intent is not None for c in checkins)
+    kinds = {c.intent for c in checkins}
+    assert CheckinType.HONEST in kinds
+    assert CheckinType.REMOTE in kinds
+
+
+def test_visits_not_extracted_by_default(small):
+    assert not small.has_visits()
+
+
+def test_ground_truth_visits_option():
+    ds = generate_dataset(
+        primary_config(seed=78).scaled(0.02), with_ground_truth_visits=True
+    )
+    assert ds.has_visits()
+    for visit in ds.all_visits:
+        assert visit.duration >= 360.0
+        assert visit.poi_id in ds.pois
+
+
+def test_study_days_positive_and_plausible(small):
+    days = [d.profile.study_days for d in small.users.values()]
+    assert all(4 <= d <= 29 for d in days)
+
+
+def test_deterministic_generation():
+    a = generate_dataset(primary_config(seed=5).scaled(0.02))
+    b = generate_dataset(primary_config(seed=5).scaled(0.02))
+    assert a.stats() == b.stats()
+    ua = next(iter(a.users.values()))
+    ub = next(iter(b.users.values()))
+    assert ua.checkins == ub.checkins
+    assert ua.gps == ub.gps
+
+
+def test_different_seeds_differ():
+    a = generate_dataset(primary_config(seed=5).scaled(0.02))
+    b = generate_dataset(primary_config(seed=6).scaled(0.02))
+    assert a.stats() != b.stats()
+
+
+def test_dataset_name(small):
+    assert small.name == "Primary"
