@@ -1,0 +1,19 @@
+# Developer entry points.  PYTHONPATH is set so no editable install is
+# needed; `repro-study bench` wraps the same pytest invocations.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick bench-scaling
+
+test:            ## tier-1 suite (fast; what CI gates on)
+	$(PYTHON) -m pytest -x -q
+
+bench:           ## full benchmark suite, including slow MANET runs
+	$(PYTHON) -m pytest benchmarks -q
+
+bench-quick:     ## benchmarks without the slow MANET simulations
+	$(PYTHON) -m pytest benchmarks -q -m "not slow"
+
+bench-scaling:   ## just the runtime scaling record (BENCH_runtime_scaling.json)
+	$(PYTHON) -m pytest benchmarks/test_runtime_scaling.py -q -s

@@ -24,6 +24,9 @@ from repro.levy import (
 )
 from repro.manet import Simulator, bench_config, make_cbr_pairs, run_model
 
+#: NS-2-style simulation: minutes of discrete-event work, not seconds.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def gps_model(artifacts):

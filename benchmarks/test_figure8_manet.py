@@ -20,6 +20,9 @@ import pytest
 from repro.experiments import figure8
 from repro.manet import bench_config
 
+#: NS-2-style simulation: minutes of discrete-event work, not seconds.
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="session")
 def result(artifacts):

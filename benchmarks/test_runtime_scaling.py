@@ -1,0 +1,134 @@
+"""Bench RT — serial vs parallel validation throughput.
+
+Runs the full pipeline over a seeded 200-user Primary study once with
+the serial reference executor and once with 4 workers, asserts the two
+reports are identical (the runtime determinism guarantee at scale), and
+persists both wall times plus the per-stage/shard breakdown from
+``report.timings`` into ``BENCH_runtime_scaling.json`` at the repo root
+so later PRs inherit a perf trajectory.
+
+The ≥1.5× speedup assertion only arms on hosts with ≥4 usable CPUs —
+on smaller boxes a process pool cannot beat the serial path and the
+bench records throughput without judging it.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import validate
+from repro.model import Dataset, UserData
+from repro.runtime import available_workers
+from repro.synth import generate_dataset, primary_config
+
+#: 200 users, as specified by the runtime issue's acceptance criteria.
+STUDY_USERS = 200
+STUDY_SCALE = STUDY_USERS / 244
+PARALLEL_WORKERS = 4
+MIN_SPEEDUP = 1.5
+
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_runtime_scaling.json"
+
+
+def raw_clone(dataset: Dataset) -> Dataset:
+    """A copy with visits cleared, so every run re-extracts from GPS.
+
+    GPS/checkin lists are shared (the pipeline never mutates them);
+    only the per-user containers are fresh.
+    """
+    return Dataset(
+        name=dataset.name,
+        pois=dataset.pois,
+        users={
+            user_id: UserData(
+                profile=data.profile, gps=data.gps, checkins=data.checkins
+            )
+            for user_id, data in dataset.users.items()
+        },
+    )
+
+
+def fingerprint(report):
+    return {
+        "pairs": {
+            user_id: [(c.checkin_id, v.visit_id) for c, v in m.matches]
+            for user_id, m in report.matching.per_user.items()
+        },
+        "labels": report.classification.labels,
+        "summary": report.summary(),
+    }
+
+
+@pytest.fixture(scope="module")
+def study():
+    dataset = generate_dataset(primary_config().scaled(STUDY_SCALE))
+    assert len(dataset.users) == STUDY_USERS
+    return dataset
+
+
+def test_runtime_scaling(study):
+    t0 = time.perf_counter()
+    serial = validate(raw_clone(study))
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = validate(raw_clone(study), workers=PARALLEL_WORKERS)
+    parallel_s = time.perf_counter() - t0
+
+    # Determinism at scale: the 4-worker report is identical to serial.
+    assert fingerprint(parallel) == fingerprint(serial)
+
+    checkins = serial.matching.n_checkins
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    record = {
+        "study": {"users": STUDY_USERS, "checkins": checkins,
+                  "gps_points": len(study.all_gps_points)},
+        "host_cpus": available_workers(),
+        "serial": {
+            "wall_s": serial_s,
+            "checkins_per_s": checkins / serial_s,
+            "timings": serial.timings.as_dict(),
+        },
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "wall_s": parallel_s,
+            "checkins_per_s": checkins / parallel_s,
+            "timings": parallel.timings.as_dict(),
+        },
+        "speedup": speedup,
+    }
+    BENCH_PATH.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"\nserial {serial_s:.2f}s, {PARALLEL_WORKERS} workers {parallel_s:.2f}s "
+        f"({speedup:.2f}x on {record['host_cpus']} CPU(s)) -> {BENCH_PATH.name}"
+    )
+    print(parallel.timings.format_report())
+
+    if available_workers() >= PARALLEL_WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"expected >= {MIN_SPEEDUP}x speedup at {PARALLEL_WORKERS} workers "
+            f"on {record['host_cpus']} CPUs, measured {speedup:.2f}x"
+        )
+    else:
+        print(
+            f"speedup assertion skipped: {record['host_cpus']} usable CPU(s) "
+            f"< {PARALLEL_WORKERS} workers"
+        )
+
+
+def test_parallel_overhead_is_bounded(study):
+    # Guard against pathological runtime regressions (e.g. per-shard
+    # re-pickling of the whole dataset): even on one CPU the parallel
+    # path must stay within an order of magnitude of serial.
+    small = raw_clone(study.subset(list(study.users)[:40], name="Primary"))
+    t0 = time.perf_counter()
+    validate(raw_clone(small))
+    serial_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    validate(raw_clone(small), workers=2)
+    parallel_s = time.perf_counter() - t0
+    assert parallel_s < 10 * max(serial_s, 0.05)

@@ -10,19 +10,22 @@ Zhang et al., HotNets 2013.  The package provides:
 * :mod:`repro.levy` — Levy-walk mobility model fitting and generation;
 * :mod:`repro.manet` — a mobile ad hoc network simulator with AODV
   routing for the application-impact experiments;
-* :mod:`repro.experiments` — one driver per table/figure of the paper.
+* :mod:`repro.experiments` — one driver per table/figure of the paper;
+* :mod:`repro.runtime` — sharded parallel execution of the pipeline.
 
 Quickstart::
 
     from repro import generate_primary, validate
 
     dataset = generate_primary(scale=0.1)
-    report = validate(dataset)
+    report = validate(dataset, workers=4)   # identical to workers=1
     print(report.summary())
+    print(report.timings.format_report())
 """
 
 from .core import ValidationReport, validate
 from .model import Checkin, CheckinType, Dataset, GpsPoint, Poi, PoiCategory, UserProfile, Visit
+from .runtime import ParallelExecutor, RuntimeTimings, SerialExecutor
 from .synth import generate_baseline, generate_dataset, generate_primary
 
 __version__ = "1.0.0"
@@ -32,8 +35,11 @@ __all__ = [
     "CheckinType",
     "Dataset",
     "GpsPoint",
+    "ParallelExecutor",
     "Poi",
     "PoiCategory",
+    "RuntimeTimings",
+    "SerialExecutor",
     "UserProfile",
     "ValidationReport",
     "Visit",

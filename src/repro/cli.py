@@ -6,10 +6,16 @@ Subcommands::
     repro-study validate --data data/primary          # or --scale 0.15
     repro-study report --scale 0.15 [--only table1,figure1]
     repro-study manet --scale 0.15 [--full]
+    repro-study bench --quick
 
 ``report`` regenerates every table and figure of the paper;
 ``manet --full`` runs the paper's 200-node, 100 km arena configuration
-(slow — minutes, not seconds).
+(slow — minutes, not seconds); ``bench`` drives the benchmark suite
+(``--quick`` skips benches marked ``slow``).
+
+Pipeline commands accept ``--workers N`` to shard validation over a
+process pool (``0`` = all CPUs); results are identical for any worker
+count.
 """
 
 from __future__ import annotations
@@ -51,6 +57,25 @@ EXPERIMENTS = {
 }
 
 
+def _worker_count(value: str) -> int:
+    count = int(value)
+    if count < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 0 (0 = all CPUs), got {count}"
+        )
+    return count
+
+
+def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        metavar="N",
+        help="shard the validation pipeline over N processes (0 = all CPUs)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -68,6 +93,9 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--data", help="dataset directory written by 'generate'")
     val.add_argument("--scale", type=float, default=0.15,
                      help="generate a Primary dataset at this scale instead")
+    val.add_argument("--timings", action="store_true",
+                     help="print the per-stage runtime breakdown")
+    _add_workers_flag(val)
 
     rep = sub.add_parser("report", help="regenerate the paper's tables and figures")
     rep.add_argument("--scale", type=float, default=0.15)
@@ -75,6 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only",
         help=f"comma-separated subset of: {', '.join(EXPERIMENTS)}",
     )
+    _add_workers_flag(rep)
 
     man = sub.add_parser("manet", help="run the Figure 8 MANET comparison")
     man.add_argument("--scale", type=float, default=0.15)
@@ -83,17 +112,28 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="use the paper's 200-node, 100 km configuration (slow)",
     )
+    _add_workers_flag(man)
 
     exp = sub.add_parser("export", help="export every table/figure's data to CSV")
     exp.add_argument("--scale", type=float, default=0.15)
     exp.add_argument("--out", required=True, help="output directory for CSV files")
     exp.add_argument("--no-manet", action="store_true",
                      help="skip the (slow) Figure 8 simulation")
+    _add_workers_flag(exp)
 
     rec = sub.add_parser(
         "recover", help="up-sample missing checkins (§7) and report the gain"
     )
     rec.add_argument("--scale", type=float, default=0.15)
+    _add_workers_flag(rec)
+
+    ben = sub.add_parser("bench", help="run the benchmark suite via pytest")
+    ben.add_argument(
+        "--quick",
+        action="store_true",
+        help='skip benches marked slow (pytest -m "not slow")',
+    )
+    ben.add_argument("--only", help="substring filter forwarded as pytest -k")
     return parser
 
 
@@ -113,8 +153,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         dataset = load_dataset(args.data)
     else:
         dataset = generate_dataset(primary_config().scaled(args.scale))
-    report = validate(dataset)
+    report = validate(dataset, workers=args.workers)
     print(report.summary())
+    if args.timings:
+        print(report.timings.format_report())
     return 0
 
 
@@ -126,7 +168,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
             return 2
-    artifacts = build_study(scale=args.scale)
+    artifacts = build_study(scale=args.scale, workers=args.workers)
     for name in names:
         result = EXPERIMENTS[name].run(artifacts)
         text = (
@@ -139,7 +181,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_manet(args: argparse.Namespace) -> int:
-    artifacts = build_study(scale=args.scale)
+    artifacts = build_study(scale=args.scale, workers=args.workers)
     config = paper_config() if args.full else bench_config()
     result = figure8.run(artifacts, config)
     print(result.format_report())
@@ -149,7 +191,7 @@ def _cmd_manet(args: argparse.Namespace) -> int:
 def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.export import export_all
 
-    artifacts = build_study(scale=args.scale)
+    artifacts = build_study(scale=args.scale, workers=args.workers)
     paths = export_all(artifacts, args.out, include_manet=not args.no_manet)
     print(f"wrote {len(paths)} CSV files to {args.out}")
     return 0
@@ -158,10 +200,26 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_recover(args: argparse.Namespace) -> int:
     from .core import recovery_gain
 
-    artifacts = build_study(scale=args.scale)
+    artifacts = build_study(scale=args.scale, workers=args.workers)
     gain = recovery_gain(artifacts.primary)
     print(gain.format_report())
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(f"benchmark directory not found: {bench_dir}", file=sys.stderr)
+        return 2
+    command = [sys.executable, "-m", "pytest", str(bench_dir), "-q"]
+    if args.quick:
+        command += ["-m", "not slow"]
+    if args.only:
+        command += ["-k", args.only]
+    return subprocess.call(command)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -174,6 +232,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "manet": _cmd_manet,
         "export": _cmd_export,
         "recover": _cmd_recover,
+        "bench": _cmd_bench,
     }
     return handlers[args.command](args)
 

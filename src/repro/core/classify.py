@@ -32,6 +32,14 @@ from ..model import (
     GpsPoint,
     Visit,
 )
+from ..runtime import (
+    RuntimeTimings,
+    merge_user_maps,
+    resolve_executor,
+    run_stage,
+    shard_count,
+    shard_dataset,
+)
 from .matching import MatchingResult
 
 
@@ -193,28 +201,80 @@ def classify_extraneous_checkin(
     return CheckinType.OTHER
 
 
+def _classify_shard(payload: Tuple) -> Dict[str, List[CheckinType]]:
+    """Executor work unit: label one shard's extraneous checkins.
+
+    Top-level (picklable); the payload is
+    ``(config, [(user_id, gps, visits, extraneous checkins), ...])``.
+    Honest labels are implied by the matching result, so only the
+    extraneous taxonomy crosses the process boundary: one label per
+    extraneous checkin, in the checkins' given order.
+    """
+    config, users = payload
+    out: Dict[str, List[CheckinType]] = {}
+    for user_id, gps, visits, extraneous in users:
+        locator = GpsLocator(gps)
+        visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
+        for visit in visits:
+            visit_index.insert(visit.x, visit.y, visit)
+        out[user_id] = [
+            classify_extraneous_checkin(checkin, locator, visit_index, config)
+            for checkin in extraneous
+        ]
+    return out
+
+
 def classify_dataset(
     dataset: Dataset,
     matching: MatchingResult,
     config: Optional[ClassifyConfig] = None,
+    executor=None,
+    workers: Optional[int] = None,
+    timings: Optional[RuntimeTimings] = None,
 ) -> ClassificationResult:
-    """Label every checkin: HONEST for matches, taxonomy for the rest."""
+    """Label every checkin: HONEST for matches, taxonomy for the rest.
+
+    ``executor``/``workers`` shard the (per-user independent) taxonomy
+    across processes with results identical to the serial run;
+    ``timings`` collects the stage's shard timings.
+    """
     config = config or ClassifyConfig()
+    for user_id in dataset.users:
+        if user_id not in matching.per_user:
+            raise ValueError(f"matching result lacks user {user_id!r}")
+    exec_, owned = resolve_executor(executor, workers)
+    try:
+        shards = shard_dataset(dataset, shard_count(exec_, len(dataset.users)))
+
+        def payload_of(shard):
+            users = []
+            for uid in shard.user_ids:
+                data = dataset.users[uid]
+                users.append(
+                    (uid, data.gps, data.require_visits(), matching.per_user[uid].extraneous)
+                )
+            return (config, users)
+
+        results, timing = run_stage("classify", exec_, shards, _classify_shard, payload_of)
+    finally:
+        if owned:
+            exec_.close()
+    if timings is not None:
+        timings.stages.append(timing)
+    extraneous_labels = merge_user_maps(dataset, results)
     result = ClassificationResult(config=config)
-    for data in dataset.users.values():
-        user_match = matching.per_user.get(data.user_id)
-        if user_match is None:
-            raise ValueError(f"matching result lacks user {data.user_id!r}")
-        locator = GpsLocator(data.gps)
-        visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
-        for visit in data.require_visits():
-            visit_index.insert(visit.x, visit.y, visit)
+    for user_id in dataset.users:
+        user_match = matching.per_user[user_id]
         for checkin, _ in user_match.matches:
             result.labels[checkin.checkin_id] = CheckinType.HONEST
             result.checkins[checkin.checkin_id] = checkin
-        for checkin in user_match.extraneous:
-            result.labels[checkin.checkin_id] = classify_extraneous_checkin(
-                checkin, locator, visit_index, config
+        labels = extraneous_labels[user_id]
+        if len(labels) != len(user_match.extraneous):
+            raise ValueError(
+                f"user {user_id!r}: shard returned {len(labels)} labels for "
+                f"{len(user_match.extraneous)} extraneous checkins"
             )
+        for checkin, label in zip(user_match.extraneous, labels):
+            result.labels[checkin.checkin_id] = label
             result.checkins[checkin.checkin_id] = checkin
     return result

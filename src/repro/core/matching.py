@@ -20,6 +20,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geo import GridIndex, euclidean, units
 from ..model import Checkin, Dataset, Visit
+from ..runtime import (
+    RuntimeTimings,
+    merge_user_maps,
+    resolve_executor,
+    run_stage,
+    shard_count,
+    shard_dataset,
+)
 
 
 @dataclass(frozen=True)
@@ -32,10 +40,17 @@ class MatchConfig:
     beta_s: float = units.minutes(30)
     #: Let checkins that lose a tie-break re-compete for other visits.
     rematch_losers: bool = False
+    #: Cap on rematch rounds; once hit, every still-pending checkin is
+    #: extraneous.  Irrelevant when ``rematch_losers`` is off.
+    max_rematch_rounds: int = 10
 
     def __post_init__(self) -> None:
         if self.alpha_m <= 0 or self.beta_s <= 0:
             raise ValueError("matching thresholds must be positive")
+        if self.max_rematch_rounds < 1:
+            raise ValueError(
+                f"max_rematch_rounds must be >= 1, got {self.max_rematch_rounds}"
+            )
 
 
 @dataclass
@@ -185,16 +200,21 @@ def match_user(
             _, winner, visit = contenders[0]
             assigned[visit.visit_id] = (winner, visit)
             round_losers.extend(c for _, c, _ in contenders[1:])
-        if not config.rematch_losers or rounds >= 10 or not claims:
-            losers.extend(round_losers)
-            losers.extend(unmatched)
-            break
+        # Checkins with no candidate this round are settled either way.
         losers.extend(unmatched)
-        pending = round_losers
+        if (
+            not config.rematch_losers
+            or not claims
+            or rounds >= config.max_rematch_rounds
+        ):
+            # Final round (single-round paper mode, nothing was claimed,
+            # or the round cap hit): every still-pending tie loser is
+            # extraneous — nothing may stay pending past this point.
+            losers.extend(round_losers)
+            break
         # Claimed visits are excluded in _best_visit via `assigned`, so the
         # next round only considers still-free visits.
-        if not pending:
-            break
+        pending = round_losers
 
     matched_visit_ids = set(assigned)
     matches = sorted(assigned.values(), key=lambda pair: pair[0].t)
@@ -207,13 +227,50 @@ def match_user(
     )
 
 
-def match_dataset(dataset: Dataset, config: Optional[MatchConfig] = None) -> MatchingResult:
-    """Run matching for every user in a dataset with extracted visits."""
-    config = config or MatchConfig()
-    per_user = {
-        data.user_id: match_user(
-            data.checkins, data.require_visits(), config, user_id=data.user_id
-        )
-        for data in dataset.users.values()
+def _match_shard(payload: Tuple) -> Dict[str, UserMatching]:
+    """Executor work unit: run :func:`match_user` for one shard of users.
+
+    Top-level (picklable) so process-pool executors can ship it; the
+    payload is ``(config, [(user_id, checkins, visits), ...])``.
+    """
+    config, users = payload
+    return {
+        user_id: match_user(checkins, visits, config, user_id=user_id)
+        for user_id, checkins, visits in users
     }
-    return MatchingResult(config=config, per_user=per_user)
+
+
+def match_dataset(
+    dataset: Dataset,
+    config: Optional[MatchConfig] = None,
+    executor=None,
+    workers: Optional[int] = None,
+    timings: Optional[RuntimeTimings] = None,
+) -> MatchingResult:
+    """Run matching for every user in a dataset with extracted visits.
+
+    ``executor``/``workers`` shard the (per-user independent) algorithm
+    across processes; any worker count returns results identical to the
+    serial run.  ``timings`` collects the stage's shard timings.
+    """
+    config = config or MatchConfig()
+    exec_, owned = resolve_executor(executor, workers)
+    try:
+        shards = shard_dataset(dataset, shard_count(exec_, len(dataset.users)))
+
+        def payload_of(shard):
+            return (
+                config,
+                [
+                    (uid, dataset.users[uid].checkins, dataset.users[uid].require_visits())
+                    for uid in shard.user_ids
+                ],
+            )
+
+        results, timing = run_stage("match", exec_, shards, _match_shard, payload_of)
+    finally:
+        if owned:
+            exec_.close()
+    if timings is not None:
+        timings.stages.append(timing)
+    return MatchingResult(config=config, per_user=merge_user_maps(dataset, results))

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Optional
 
 from ..core import ValidationReport, validate
 from ..model import Dataset
+from ..runtime import resolve_executor
 from ..synth import baseline_config, generate_dataset, primary_config
 
 
@@ -30,15 +32,30 @@ def build_study(
     scale: float = 1.0,
     primary_seed: int = 20131121,
     baseline_seed: int = 20131122,
+    workers: Optional[int] = None,
+    executor=None,
 ) -> StudyArtifacts:
-    """Generate Primary + Baseline and run the validation pipeline on both."""
+    """Generate Primary + Baseline and run the validation pipeline on both.
+
+    ``workers``/``executor`` select the validation runtime (see
+    :func:`repro.core.validate`); one executor — and thus one process
+    pool — is shared across both datasets.  Results are identical for
+    any worker count.
+    """
     primary = generate_dataset(primary_config(primary_seed).scaled(scale))
     baseline = generate_dataset(baseline_config(baseline_seed).scaled(scale))
+    exec_, owned = resolve_executor(executor, workers)
+    try:
+        primary_report = validate(primary, executor=exec_)
+        baseline_report = validate(baseline, executor=exec_)
+    finally:
+        if owned:
+            exec_.close()
     return StudyArtifacts(
         primary=primary,
         baseline=baseline,
-        primary_report=validate(primary),
-        baseline_report=validate(baseline),
+        primary_report=primary_report,
+        baseline_report=baseline_report,
         scale=scale,
     )
 

@@ -1,0 +1,56 @@
+"""Parallel sharded execution runtime for the validation pipeline.
+
+The paper's pipeline (visit extraction → α/β matching → extraneous
+classification) is independent per user, so this package shards a
+dataset into load-balanced work units, fans them out over an executor,
+and merges results back deterministically:
+
+* :mod:`repro.runtime.sharding` — weight-balanced, deterministic shards;
+* :mod:`repro.runtime.executor` — serial reference executor and a
+  process-pool executor behind one interface;
+* :mod:`repro.runtime.merge` — dataset-order merge (the determinism
+  guarantee: any worker count, byte-identical results);
+* :mod:`repro.runtime.timing` — per-shard/stage timings surfaced as
+  ``ValidationReport.timings`` and persisted by the scaling bench;
+* :mod:`repro.runtime.errors` — shard-scoped failure reporting.
+
+Quickstart::
+
+    from repro import validate
+
+    report = validate(dataset, workers=4)     # identical to workers=1
+    print(report.timings.format_report())
+"""
+
+from .errors import RuntimeConfigError, ShardError
+from .executor import (
+    OVERSUBSCRIBE,
+    ParallelExecutor,
+    SerialExecutor,
+    available_workers,
+    resolve_executor,
+    run_stage,
+    shard_count,
+)
+from .merge import merge_user_maps
+from .sharding import Shard, shard_dataset, user_weight
+from .timing import RuntimeTimings, ShardTiming, StageTiming
+
+__all__ = [
+    "OVERSUBSCRIBE",
+    "ParallelExecutor",
+    "RuntimeConfigError",
+    "RuntimeTimings",
+    "SerialExecutor",
+    "Shard",
+    "ShardError",
+    "ShardTiming",
+    "StageTiming",
+    "available_workers",
+    "merge_user_maps",
+    "resolve_executor",
+    "run_stage",
+    "shard_count",
+    "shard_dataset",
+    "user_weight",
+]

@@ -1,0 +1,47 @@
+"""Errors raised by the parallel validation runtime.
+
+A worker process cannot raise into the caller's stack directly, so shard
+failures are wrapped in :class:`ShardError` carrying enough context
+(shard id, affected users, the worker-side traceback text) to debug the
+failure without re-running the whole dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+
+class RuntimeConfigError(ValueError):
+    """Invalid runtime configuration (worker counts, shard counts, ...)."""
+
+
+class ShardError(RuntimeError):
+    """A shard's work unit failed inside an executor.
+
+    Attributes:
+        stage: pipeline stage that failed (``extract`` / ``match`` / ...).
+        shard_id: index of the failing shard.
+        user_ids: users contained in the failing shard.
+        worker_traceback: traceback text captured in the worker, if any.
+    """
+
+    def __init__(
+        self,
+        stage: str,
+        shard_id: int,
+        user_ids: Sequence[str],
+        cause: BaseException,
+        worker_traceback: Optional[str] = None,
+    ) -> None:
+        self.stage = stage
+        self.shard_id = shard_id
+        self.user_ids: Tuple[str, ...] = tuple(user_ids)
+        self.worker_traceback = worker_traceback
+        preview = ", ".join(self.user_ids[:5])
+        if len(self.user_ids) > 5:
+            preview += f", ... ({len(self.user_ids)} users)"
+        message = f"stage {stage!r}, shard {shard_id} [{preview}]: {cause!r}"
+        if worker_traceback:
+            message += f"\n--- worker traceback ---\n{worker_traceback}"
+        super().__init__(message)
+        self.__cause__ = cause

@@ -1,0 +1,204 @@
+"""Executors: where sharded work units actually run.
+
+Two implementations share one tiny interface (``map`` preserving
+submission order, ``workers``, ``close``):
+
+* :class:`SerialExecutor` — runs shards in-process, zero overhead; the
+  reference semantics every parallel run must reproduce byte-for-byte.
+* :class:`ParallelExecutor` — fans shards out over a lazily created
+  ``ProcessPoolExecutor``.  The pool persists across ``map`` calls so a
+  multi-stage pipeline (extract → match → classify) pays process
+  start-up once; call ``close()`` (or use ``with``) when done.
+
+Determinism does not depend on the executor: results are collected in
+submission order and merged by dataset user order (see
+:mod:`repro.runtime.merge`), so completion races never reorder output.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from .errors import RuntimeConfigError, ShardError
+from .sharding import Shard
+from .timing import ShardTiming, StageTiming
+
+#: Shards per worker: mild oversubscription lets LPT smooth stragglers.
+OVERSUBSCRIBE = 2
+
+
+def available_workers() -> int:
+    """Usable CPU count (respects scheduler affinity when exposed)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class SerialExecutor:
+    """Run work units one after another in the calling process."""
+
+    name = "serial"
+    workers = 1
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to each payload, in order."""
+        return [fn(payload) for payload in payloads]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class ParallelExecutor:
+    """Fan work units out over a persistent process pool.
+
+    ``workers`` defaults to the usable CPU count.  The fork start method
+    is preferred when the platform offers it (workers inherit the loaded
+    modules instead of re-importing numpy per process); payload
+    functions are top-level module functions, so spawn platforms work
+    identically, only slower to warm up.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mp_context: Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise RuntimeConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = workers or available_workers()
+        if mp_context is None and "fork" in multiprocessing.get_all_start_methods():
+            mp_context = multiprocessing.get_context("fork")
+        self._mp_context = mp_context
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # Cap actual processes at the usable CPU count: extra
+            # processes on an undersized host only add contention.
+            # ``self.workers`` keeps the *requested* count so shard
+            # layout — and therefore results — is host-independent.
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.workers, available_workers()),
+                mp_context=self._mp_context,
+            )
+        return self._pool
+
+    def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
+        """Apply ``fn`` to each payload across the pool.
+
+        Results come back in submission order regardless of completion
+        order — the determinism guarantee starts here.
+        """
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, payload) for payload in payloads]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+#: Anything with the executor interface (duck-typed; see SerialExecutor).
+Executor = Any
+
+
+def resolve_executor(
+    executor: Optional[Executor] = None, workers: Optional[int] = None
+) -> Tuple[Executor, bool]:
+    """Turn the ``(executor, workers)`` calling convention into an executor.
+
+    Exactly one of the two may be given.  ``workers=None`` or ``1`` maps
+    to the serial reference executor; ``workers=0`` means "all CPUs".
+    Returns ``(executor, owned)`` where ``owned`` tells the caller it
+    created the executor and must close it.
+    """
+    if executor is not None:
+        if workers is not None:
+            raise RuntimeConfigError("pass either executor= or workers=, not both")
+        return executor, False
+    if workers is None or workers == 1:
+        return SerialExecutor(), True
+    if workers == 0:
+        return ParallelExecutor(), True
+    return ParallelExecutor(workers=workers), True
+
+
+def shard_count(executor: Executor, n_users: int) -> int:
+    """How many shards a stage should cut for ``executor``."""
+    if n_users <= 0:
+        return 1
+    return max(1, min(n_users, executor.workers * OVERSUBSCRIBE))
+
+
+@dataclass(frozen=True)
+class _Timed:
+    """Picklable wrapper measuring worker-side wall time of ``fn``."""
+
+    fn: Callable[[Any], Any]
+
+    def __call__(self, payload: Any) -> Tuple[float, Any]:
+        t0 = time.perf_counter()
+        result = self.fn(payload)
+        return time.perf_counter() - t0, result
+
+
+def run_stage(
+    stage: str,
+    executor: Executor,
+    shards: Sequence[Shard],
+    worker: Callable[[Any], Any],
+    payload_of: Callable[[Shard], Any],
+) -> Tuple[List[Any], StageTiming]:
+    """Run one sharded stage and capture its timings.
+
+    ``worker`` must be a top-level (picklable) function taking the
+    payload built by ``payload_of``.  Shard failures surface as
+    :class:`ShardError` naming the stage, shard and users.
+    """
+    timing = StageTiming(stage=stage, executor=executor.name, workers=executor.workers)
+    t0 = time.perf_counter()
+    payloads = [payload_of(shard) for shard in shards]
+    try:
+        timed_results = executor.map(_Timed(worker), payloads)
+    except Exception as exc:  # pinpoint the failing shard serially
+        for shard, payload in zip(shards, payloads):
+            try:
+                _Timed(worker)(payload)
+            except Exception as shard_exc:
+                raise ShardError(stage, shard.shard_id, shard.user_ids, shard_exc) from exc
+        raise ShardError(stage, -1, (), exc) from exc
+    results = []
+    for shard, (wall_s, result) in zip(shards, timed_results):
+        timing.shards.append(
+            ShardTiming(
+                shard_id=shard.shard_id,
+                n_users=len(shard),
+                weight=shard.weight,
+                wall_s=wall_s,
+            )
+        )
+        results.append(result)
+    timing.wall_s = time.perf_counter() - t0
+    return results, timing

@@ -1,0 +1,41 @@
+"""Deterministic merge of per-shard results back into dataset order.
+
+Workers return plain ``{user_id: result}`` maps.  Shards partition the
+user set, so merging is a disjoint union — but *iteration order* of the
+merged map must match the dataset's user order exactly, because the
+serial pipeline builds its result dicts in that order and downstream
+consumers (summaries, exports, regression fixtures) iterate them.
+Re-keying by the dataset makes a 4-worker run byte-identical to the
+serial reference regardless of which shard finished first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, TypeVar
+
+from ..model import Dataset
+
+T = TypeVar("T")
+
+
+def merge_user_maps(
+    dataset: Dataset, shard_results: Iterable[Dict[str, T]]
+) -> Dict[str, T]:
+    """Union per-shard ``{user_id: value}`` maps in dataset user order.
+
+    Raises when shards overlap, miss users, or invent unknown users —
+    any of which means the sharding/merge contract was violated.
+    """
+    pooled: Dict[str, T] = {}
+    for shard_map in shard_results:
+        for user_id, value in shard_map.items():
+            if user_id in pooled:
+                raise ValueError(f"user {user_id!r} returned by more than one shard")
+            pooled[user_id] = value
+    unknown = [user_id for user_id in pooled if user_id not in dataset.users]
+    if unknown:
+        raise ValueError(f"shards returned unknown users: {unknown[:5]}")
+    missing = [user_id for user_id in dataset.users if user_id not in pooled]
+    if missing:
+        raise ValueError(f"shards missed users: {missing[:5]}")
+    return {user_id: pooled[user_id] for user_id in dataset.users}

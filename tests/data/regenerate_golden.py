@@ -1,0 +1,67 @@
+"""Regenerate the golden regression fixture under tests/data/golden_study/.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/data/regenerate_golden.py
+
+The fixture is a tiny seeded synthetic study saved *raw* (no extracted
+visits), so the regression test in tests/test_golden_regression.py
+exercises the full pipeline — extraction, matching, classification —
+and fails if matching semantics drift.  Only regenerate it when a
+behaviour change is intentional; commit the refreshed JSONL files and
+expected.json together with the change that motivated them.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core import validate
+from repro.io import save_dataset
+from repro.model import CheckinType
+from repro.synth import generate_dataset
+from repro.synth.config import MobilityConfig, StudyConfig, WorldConfig
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "golden_study"
+EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+
+
+def golden_config() -> StudyConfig:
+    """A 3-user, short-trace study: small enough to commit, rich enough
+    to contain every checkin class."""
+    return StudyConfig(
+        name="Golden",
+        n_users=3,
+        mean_study_days=2.0,
+        seed=20130813,
+        world=WorldConfig(size_m=10_000.0, n_pois=400, n_clusters=4),
+        mobility=MobilityConfig(record_hours=(8.0, 0.5)),
+    )
+
+
+def main() -> None:
+    dataset = generate_dataset(golden_config())
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    save_dataset(dataset, GOLDEN_DIR)
+    report = validate(dataset)
+    counts = report.type_counts()
+    expected = {
+        "n_users": len(dataset.users),
+        "n_checkins": report.matching.n_checkins,
+        "n_visits": report.matching.n_visits,
+        "venn": {
+            "honest": report.n_honest,
+            "extraneous": report.n_extraneous,
+            "missing": report.n_missing,
+        },
+        "type_counts": {kind.value: counts[kind] for kind in CheckinType},
+        "summary": report.summary(),
+    }
+    EXPECTED_PATH.write_text(json.dumps(expected, indent=2) + "\n", encoding="utf-8")
+    print(report.summary())
+    print(f"wrote fixture to {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    main()

@@ -111,6 +111,70 @@ class TestTieBreaking:
         assert len(result.missing) == 4
 
 
+class TestRematchRoundCap:
+    """Regression: the rematch loop's round cap (once a silent literal)
+    must settle every pending checkin exactly once, at any cap."""
+
+    def three_way_tie(self):
+        # All three visits contain every checkin time (Δt = 0), so every
+        # round all pending checkins claim the earliest-starting free
+        # visit: a 3-way tie that resolves one checkin per round.
+        visits = [
+            make_visit("v1", x=0, t_start=0, t_end=minutes(60)),
+            make_visit("v2", x=200, t_start=minutes(5), t_end=minutes(60)),
+            make_visit("v3", x=400, t_start=minutes(10), t_end=minutes(60)),
+        ]
+        checkins = [
+            make_checkin("c1", x=0, t=minutes(20)),
+            make_checkin("c2", x=50, t=minutes(21)),
+            make_checkin("c3", x=100, t=minutes(22)),
+        ]
+        return checkins, visits
+
+    def assert_settled_exactly_once(self, result, checkins):
+        ids = [c.checkin_id for c, _ in result.matches]
+        ids += [c.checkin_id for c in result.extraneous]
+        assert sorted(ids) == sorted(c.checkin_id for c in checkins)
+
+    @pytest.mark.parametrize(
+        "rounds,expected_matches", [(1, 1), (2, 2), (3, 3), (10, 3)]
+    )
+    def test_cap_settles_all_checkins(self, rounds, expected_matches):
+        checkins, visits = self.three_way_tie()
+        result = match_user(
+            checkins,
+            visits,
+            MatchConfig(rematch_losers=True, max_rematch_rounds=rounds),
+        )
+        assert len(result.matches) == expected_matches
+        self.assert_settled_exactly_once(result, checkins)
+
+    def test_resolution_order_is_geographic(self):
+        # Round 1: c1 (x=0) wins v1.  Round 2: c2 and c3 both claim v2
+        # (x=200) and c3 (x=100) is the geographically closer, so c2 —
+        # not c3 — is pushed on to v3.
+        checkins, visits = self.three_way_tie()
+        result = match_user(checkins, visits, MatchConfig(rematch_losers=True))
+        assert {(c.checkin_id, v.visit_id) for c, v in result.matches} == {
+            ("c1", "v1"),
+            ("c3", "v2"),
+            ("c2", "v3"),
+        }
+        assert result.missing == []
+
+    def test_cap_ignored_without_rematching(self):
+        checkins, visits = self.three_way_tie()
+        result = match_user(
+            checkins, visits, MatchConfig(max_rematch_rounds=1)
+        )
+        assert len(result.matches) == 1
+        self.assert_settled_exactly_once(result, checkins)
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(ValueError):
+            MatchConfig(rematch_losers=True, max_rematch_rounds=0)
+
+
 class TestResultAccounting:
     def test_counts_are_consistent(self, primary, primary_report):
         matching = primary_report.matching

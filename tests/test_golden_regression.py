@@ -1,0 +1,59 @@
+"""Golden regression fixture: frozen matching semantics.
+
+The committed dataset under ``tests/data/golden_study/`` is a tiny
+seeded synthetic study stored raw (no extracted visits); its expected
+Figure-1 Venn counts and class breakdown live in ``expected.json``.
+If any of these tests fail, the pipeline's *semantics* changed — either
+fix the regression, or, when the change is intentional, regenerate the
+fixture and commit it together with the change::
+
+    PYTHONPATH=src python tests/data/regenerate_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import validate
+from repro.io import load_dataset
+from repro.model import CheckinType
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden_study"
+
+
+@pytest.fixture(scope="module")
+def expected():
+    return json.loads((GOLDEN_DIR / "expected.json").read_text(encoding="utf-8"))
+
+
+def test_fixture_is_raw():
+    # The whole point: extraction must run on load, so visits are not stored.
+    assert not (GOLDEN_DIR / "visits.jsonl").exists()
+
+
+def test_golden_venn_counts(expected):
+    report = validate(load_dataset(GOLDEN_DIR))
+    assert report.n_honest == expected["venn"]["honest"]
+    assert report.n_extraneous == expected["venn"]["extraneous"]
+    assert report.n_missing == expected["venn"]["missing"]
+    assert report.matching.n_checkins == expected["n_checkins"]
+    assert report.matching.n_visits == expected["n_visits"]
+
+
+def test_golden_class_breakdown_and_summary(expected):
+    report = validate(load_dataset(GOLDEN_DIR))
+    counts = report.type_counts()
+    assert {kind.value: counts[kind] for kind in CheckinType} == expected["type_counts"]
+    assert report.summary() == expected["summary"]
+
+
+def test_golden_parallel_matches_fixture(expected):
+    # The runtime determinism guarantee, anchored to committed data.
+    report = validate(load_dataset(GOLDEN_DIR), workers=2)
+    assert report.n_honest == expected["venn"]["honest"]
+    assert report.n_extraneous == expected["venn"]["extraneous"]
+    assert report.n_missing == expected["venn"]["missing"]
+    assert report.summary() == expected["summary"]

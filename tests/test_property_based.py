@@ -1,18 +1,31 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import atexit
 import math
 
 import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import MatchConfig, match_user
+from repro.core import MatchConfig, match_dataset, match_user
 from repro.core.visits import VisitConfig, extract_visits
 from repro.geo import GridIndex, LocalProjection, haversine
 from repro.levy.generate import _reflect
 from repro.model import GpsPoint
+from repro.runtime import ParallelExecutor, SerialExecutor
 from repro.stats import Ecdf, entropy_from_counts, fit_pareto, ks_distance, pearson
-from helpers import make_checkin, make_visit
+from helpers import make_checkin, make_dataset, make_user, make_visit
+
+_POOL = None
+
+
+def shared_pool() -> ParallelExecutor:
+    """One lazily created 2-worker pool for all executor properties."""
+    global _POOL
+    if _POOL is None:
+        _POOL = ParallelExecutor(workers=2)
+        atexit.register(_POOL.close)
+    return _POOL
 
 finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
 # Millimetre-quantised coordinates: subnormal-magnitude values make the
@@ -169,23 +182,102 @@ def matching_scenarios(draw):
     return checkins, visits
 
 
+def assert_matching_invariants(checkins, visits, result, config):
+    """The matcher's full contract, shared by all executor paths."""
+    # Every checkin is honest XOR extraneous (exactly one bucket, no dupes).
+    honest_ids = {c.checkin_id for c, _ in result.matches}
+    extraneous_ids = {c.checkin_id for c in result.extraneous}
+    assert len(result.matches) + len(result.extraneous) == len(checkins)
+    assert not (honest_ids & extraneous_ids)
+    assert honest_ids | extraneous_ids == {c.checkin_id for c in checkins}
+    # Every visit is matched XOR missing.
+    matched_visits = [v.visit_id for _, v in result.matches]
+    missing_ids = {v.visit_id for v in result.missing}
+    assert len(result.matches) + len(result.missing) == len(visits)
+    assert not (set(matched_visits) & missing_ids)
+    assert set(matched_visits) | missing_ids == {v.visit_id for v in visits}
+    # No visit claimed twice; no checkin matched twice.
+    assert len(matched_visits) == len(set(matched_visits))
+    assert len(honest_ids) == len(result.matches)
+    # Every match satisfies the α/β thresholds.
+    for checkin, visit in result.matches:
+        assert math.hypot(checkin.x - visit.x, checkin.y - visit.y) <= config.alpha_m
+        assert visit.time_distance(checkin.t) <= config.beta_s
+
+
 class TestMatchingProperties:
     @given(scenario=matching_scenarios(), rematch=st.booleans())
     @settings(max_examples=80, deadline=None)
     def test_conservation_and_validity(self, scenario, rematch):
         checkins, visits = scenario
-        result = match_user(checkins, visits, MatchConfig(rematch_losers=rematch))
-        # Every checkin lands in exactly one bucket; every visit too.
-        assert len(result.matches) + len(result.extraneous) == len(checkins)
-        assert len(result.matches) + len(result.missing) == len(visits)
-        matched_visits = [v.visit_id for _, v in result.matches]
-        assert len(matched_visits) == len(set(matched_visits))
-        matched_checkins = [c.checkin_id for c, _ in result.matches]
-        assert len(matched_checkins) == len(set(matched_checkins))
-        # Every match satisfies the α/β thresholds.
-        for checkin, visit in result.matches:
-            assert math.hypot(checkin.x - visit.x, checkin.y - visit.y) <= 500.0
-            assert visit.time_distance(checkin.t) <= 1800.0
+        config = MatchConfig(rematch_losers=rematch)
+        result = match_user(checkins, visits, config)
+        assert_matching_invariants(checkins, visits, result, config)
+
+    @given(scenario=matching_scenarios(), rounds=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_conservation_under_round_cap(self, scenario, rounds):
+        # The rematch round cap must never leak or duplicate a checkin.
+        checkins, visits = scenario
+        config = MatchConfig(rematch_losers=True, max_rematch_rounds=rounds)
+        result = match_user(checkins, visits, config)
+        assert_matching_invariants(checkins, visits, result, config)
+
+
+@st.composite
+def dataset_scenarios(draw, n_users=3):
+    """A small multi-user dataset with visits attached (matcher input)."""
+    users = []
+    for u in range(n_users):
+        checkins, visits = draw(matching_scenarios())
+        user_id = f"u{u}"
+        users.append(
+            make_user(
+                user_id,
+                checkins=[
+                    make_checkin(f"{user_id}-{c.checkin_id}", user_id=user_id,
+                                 x=c.x, y=c.y, t=c.t)
+                    for c in checkins
+                ],
+                visits=[
+                    make_visit(f"{user_id}-{v.visit_id}", user_id=user_id,
+                               x=v.x, y=v.y, t_start=v.t_start, t_end=v.t_end)
+                    for v in visits
+                ],
+            )
+        )
+    return make_dataset(users)
+
+
+class TestExecutorEquivalence:
+    """The runtime determinism guarantee as a property: serial and
+    process-pool executors agree on every generated dataset."""
+
+    @given(dataset=dataset_scenarios(), rematch=st.booleans())
+    @settings(max_examples=15, deadline=None)
+    def test_invariants_hold_through_both_executors(self, dataset, rematch):
+        config = MatchConfig(rematch_losers=rematch)
+        serial = match_dataset(dataset, config, executor=SerialExecutor())
+        parallel = match_dataset(dataset, config, executor=shared_pool())
+        for user_id, data in dataset.users.items():
+            for result in (serial.per_user[user_id], parallel.per_user[user_id]):
+                assert_matching_invariants(data.checkins, data.visits, result, config)
+
+    @given(dataset=dataset_scenarios())
+    @settings(max_examples=15, deadline=None)
+    def test_executors_agree_exactly(self, dataset):
+        serial = match_dataset(dataset, executor=SerialExecutor())
+        parallel = match_dataset(dataset, executor=shared_pool())
+        assert list(serial.per_user) == list(parallel.per_user)
+        for user_id in serial.per_user:
+            a, b = serial.per_user[user_id], parallel.per_user[user_id]
+            assert [(c.checkin_id, v.visit_id) for c, v in a.matches] == [
+                (c.checkin_id, v.visit_id) for c, v in b.matches
+            ]
+            assert [c.checkin_id for c in a.extraneous] == [
+                c.checkin_id for c in b.extraneous
+            ]
+            assert [v.visit_id for v in a.missing] == [v.visit_id for v in b.missing]
 
 
 @st.composite
