@@ -4,10 +4,18 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-scaling
+.PHONY: test coverage bench bench-quick bench-scaling
 
 test:            ## tier-1 suite (fast; what CI gates on)
 	$(PYTHON) -m pytest -x -q
+
+coverage:        ## tier-1 suite under coverage; fails under the 80% floor
+	@if $(PYTHON) -c "import pytest_cov" 2>/dev/null; then \
+		$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing; \
+	else \
+		echo "pytest-cov not installed; using stdlib fallback tracer"; \
+		$(PYTHON) tools/simple_cov.py --fail-under 80; \
+	fi
 
 bench:           ## full benchmark suite, including slow MANET runs
 	$(PYTHON) -m pytest benchmarks -q

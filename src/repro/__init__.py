@@ -11,7 +11,9 @@ Zhang et al., HotNets 2013.  The package provides:
 * :mod:`repro.manet` — a mobile ad hoc network simulator with AODV
   routing for the application-impact experiments;
 * :mod:`repro.experiments` — one driver per table/figure of the paper;
-* :mod:`repro.runtime` — sharded parallel execution of the pipeline.
+* :mod:`repro.runtime` — sharded parallel execution of the pipeline;
+* :mod:`repro.obs` — tracing spans, a metrics registry, JSONL trace
+  export and per-run manifests (``repro-study inspect``).
 
 Quickstart::
 
@@ -25,6 +27,7 @@ Quickstart::
 
 from .core import ValidationReport, validate
 from .model import Checkin, CheckinType, Dataset, GpsPoint, Poi, PoiCategory, UserProfile, Visit
+from .obs import ObsContext, RunManifest
 from .runtime import ParallelExecutor, RuntimeTimings, SerialExecutor
 from .synth import generate_baseline, generate_dataset, generate_primary
 
@@ -35,9 +38,11 @@ __all__ = [
     "CheckinType",
     "Dataset",
     "GpsPoint",
+    "ObsContext",
     "ParallelExecutor",
     "Poi",
     "PoiCategory",
+    "RunManifest",
     "RuntimeTimings",
     "SerialExecutor",
     "UserProfile",

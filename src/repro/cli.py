@@ -7,6 +7,7 @@ Subcommands::
     repro-study report --scale 0.15 [--only table1,figure1]
     repro-study manet --scale 0.15 [--full]
     repro-study bench --quick
+    repro-study inspect run.manifest.json
 
 ``report`` regenerates every table and figure of the paper;
 ``manet --full`` runs the paper's 200-node, 100 km arena configuration
@@ -15,16 +16,23 @@ Subcommands::
 
 Pipeline commands accept ``--workers N`` to shard validation over a
 process pool (``0`` = all CPUs); results are identical for any worker
-count.
+count.  They also accept observability flags: ``--trace out.jsonl``
+dumps the run's span/event/metric stream as JSON lines and writes a run
+manifest next to it (``out.manifest.json``), ``--manifest PATH`` picks
+the manifest location explicitly, and ``--no-obs`` turns instrumentation
+off entirely (output is byte-identical either way).  ``inspect`` pretty
+prints a previously written manifest.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from .core import validate
+from .core import ClassifyConfig, MatchConfig, VisitConfig, validate
+from .obs import NULL_OBS, ObsContext, RunManifest, activate, build_manifest, write_trace
 from .experiments import (
     build_study,
     figure1,
@@ -76,6 +84,74 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="write the run's span/event/metric stream as JSON lines to PATH "
+             "(a manifest lands next to it)",
+    )
+    parser.add_argument(
+        "--manifest",
+        metavar="PATH",
+        help="write the run manifest to PATH (default: derived from --trace)",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="disable observability entirely (results are identical either way)",
+    )
+
+
+def _obs_context(args: argparse.Namespace):
+    """Build the command's observation context from its obs flags.
+
+    Returns ``(context, error_exit_code)``; the context is ``NULL_OBS``
+    under ``--no-obs``, which conflicts with the output flags.
+    """
+    if args.no_obs:
+        if args.trace or args.manifest:
+            print(
+                "--trace/--manifest need observability; drop --no-obs",
+                file=sys.stderr,
+            )
+            return None, 2
+        return NULL_OBS, None
+    return ObsContext(), None
+
+
+def _write_obs_artifacts(
+    args: argparse.Namespace,
+    ctx,
+    command: str,
+    dataset=None,
+    configs: tuple = (),
+    seeds=None,
+    timings=None,
+    extra=None,
+) -> None:
+    """Write the trace JSONL and/or manifest a command was asked for."""
+    if not ctx.enabled:
+        return
+    if args.trace:
+        print(f"wrote trace: {write_trace(args.trace, ctx)}")
+    manifest_path = args.manifest
+    if manifest_path is None and args.trace:
+        manifest_path = Path(args.trace).with_suffix(".manifest.json")
+    if manifest_path:
+        manifest = build_manifest(
+            command,
+            dataset=dataset,
+            configs=configs,
+            seeds=seeds,
+            workers=args.workers,
+            timings=timings,
+            metrics=ctx.metrics.snapshot(),
+            extra=extra,
+        )
+        print(f"wrote manifest: {manifest.write(manifest_path)}")
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-study",
@@ -96,6 +172,7 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--timings", action="store_true",
                      help="print the per-stage runtime breakdown")
     _add_workers_flag(val)
+    _add_obs_flags(val)
 
     rep = sub.add_parser("report", help="regenerate the paper's tables and figures")
     rep.add_argument("--scale", type=float, default=0.15)
@@ -104,6 +181,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of: {', '.join(EXPERIMENTS)}",
     )
     _add_workers_flag(rep)
+    _add_obs_flags(rep)
 
     man = sub.add_parser("manet", help="run the Figure 8 MANET comparison")
     man.add_argument("--scale", type=float, default=0.15)
@@ -113,6 +191,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the paper's 200-node, 100 km configuration (slow)",
     )
     _add_workers_flag(man)
+    _add_obs_flags(man)
 
     exp = sub.add_parser("export", help="export every table/figure's data to CSV")
     exp.add_argument("--scale", type=float, default=0.15)
@@ -120,12 +199,18 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-manet", action="store_true",
                      help="skip the (slow) Figure 8 simulation")
     _add_workers_flag(exp)
+    _add_obs_flags(exp)
 
     rec = sub.add_parser(
         "recover", help="up-sample missing checkins (§7) and report the gain"
     )
     rec.add_argument("--scale", type=float, default=0.15)
     _add_workers_flag(rec)
+    _add_obs_flags(rec)
+
+    ins = sub.add_parser("inspect", help="pretty-print a run manifest")
+    ins.add_argument("manifest_path", metavar="MANIFEST",
+                     help="path to a manifest written via --trace/--manifest")
 
     ben = sub.add_parser("bench", help="run the benchmark suite via pytest")
     ben.add_argument(
@@ -148,16 +233,54 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Configs whose hash a default validation run's manifest records.
+_PIPELINE_CONFIGS = (VisitConfig, MatchConfig, ClassifyConfig)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
-    if args.data:
-        dataset = load_dataset(args.data)
-    else:
-        dataset = generate_dataset(primary_config().scaled(args.scale))
-    report = validate(dataset, workers=args.workers)
+    ctx, err = _obs_context(args)
+    if err is not None:
+        return err
+    seeds = {}
+    with activate(ctx):
+        if args.data:
+            dataset = load_dataset(args.data)
+            extra = {"data": args.data}
+        else:
+            config = primary_config()
+            seeds["primary"] = config.seed
+            dataset = generate_dataset(config.scaled(args.scale))
+            extra = {"scale": args.scale}
+        report = validate(dataset, workers=args.workers)
     print(report.summary())
     if args.timings:
         print(report.timings.format_report())
+    _write_obs_artifacts(
+        args, ctx, "validate",
+        dataset=dataset,
+        configs=tuple(cfg() for cfg in _PIPELINE_CONFIGS),
+        seeds=seeds,
+        timings=report.timings.as_dict(),
+        extra=extra,
+    )
     return 0
+
+
+def _study_artifacts(args: argparse.Namespace, ctx):
+    """Run ``build_study`` for a study-shaped command under ``ctx``."""
+    return build_study(scale=args.scale, workers=args.workers, obs=ctx)
+
+
+def _write_study_artifacts(args: argparse.Namespace, ctx, command: str, artifacts) -> None:
+    """Manifest/trace output shared by report/manet/export/recover."""
+    _write_obs_artifacts(
+        args, ctx, command,
+        dataset=artifacts.primary,
+        configs=tuple(cfg() for cfg in _PIPELINE_CONFIGS),
+        seeds={"primary": 20131121, "baseline": 20131122},
+        timings=artifacts.primary_report.timings.as_dict(),
+        extra={"scale": args.scale, "scope": "primary"},
+    )
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -168,41 +291,71 @@ def _cmd_report(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
             return 2
-    artifacts = build_study(scale=args.scale, workers=args.workers)
-    for name in names:
-        result = EXPERIMENTS[name].run(artifacts)
-        text = (
-            result.format_table() if hasattr(result, "format_table")
-            else result.format_report()
-        )
-        print(text)
-        print()
+    ctx, err = _obs_context(args)
+    if err is not None:
+        return err
+    artifacts = _study_artifacts(args, ctx)
+    with activate(ctx):
+        for name in names:
+            result = EXPERIMENTS[name].run(artifacts)
+            text = (
+                result.format_table() if hasattr(result, "format_table")
+                else result.format_report()
+            )
+            print(text)
+            print()
+    _write_study_artifacts(args, ctx, "report", artifacts)
     return 0
 
 
 def _cmd_manet(args: argparse.Namespace) -> int:
-    artifacts = build_study(scale=args.scale, workers=args.workers)
+    ctx, err = _obs_context(args)
+    if err is not None:
+        return err
+    artifacts = _study_artifacts(args, ctx)
     config = paper_config() if args.full else bench_config()
-    result = figure8.run(artifacts, config)
+    with activate(ctx):
+        result = figure8.run(artifacts, config)
     print(result.format_report())
+    _write_study_artifacts(args, ctx, "manet", artifacts)
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     from .experiments.export import export_all
 
-    artifacts = build_study(scale=args.scale, workers=args.workers)
-    paths = export_all(artifacts, args.out, include_manet=not args.no_manet)
+    ctx, err = _obs_context(args)
+    if err is not None:
+        return err
+    artifacts = _study_artifacts(args, ctx)
+    with activate(ctx):
+        paths = export_all(artifacts, args.out, include_manet=not args.no_manet)
     print(f"wrote {len(paths)} CSV files to {args.out}")
+    _write_study_artifacts(args, ctx, "export", artifacts)
     return 0
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
     from .core import recovery_gain
 
-    artifacts = build_study(scale=args.scale, workers=args.workers)
-    gain = recovery_gain(artifacts.primary)
+    ctx, err = _obs_context(args)
+    if err is not None:
+        return err
+    artifacts = _study_artifacts(args, ctx)
+    with activate(ctx):
+        gain = recovery_gain(artifacts.primary)
     print(gain.format_report())
+    _write_study_artifacts(args, ctx, "recover", artifacts)
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        manifest = RunManifest.load(args.manifest_path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    print(manifest.format_report())
     return 0
 
 
@@ -233,6 +386,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "recover": _cmd_recover,
         "bench": _cmd_bench,
+        "inspect": _cmd_inspect,
     }
     return handlers[args.command](args)
 

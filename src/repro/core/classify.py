@@ -32,6 +32,7 @@ from ..model import (
     GpsPoint,
     Visit,
 )
+from ..obs import current as obs_current
 from ..runtime import (
     RuntimeTimings,
     merge_user_maps,
@@ -211,16 +212,21 @@ def _classify_shard(payload: Tuple) -> Dict[str, List[CheckinType]]:
     extraneous checkin, in the checkins' given order.
     """
     config, users = payload
+    obs = obs_current()
     out: Dict[str, List[CheckinType]] = {}
     for user_id, gps, visits, extraneous in users:
         locator = GpsLocator(gps)
         visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
         for visit in visits:
             visit_index.insert(visit.x, visit.y, visit)
-        out[user_id] = [
-            classify_extraneous_checkin(checkin, locator, visit_index, config)
-            for checkin in extraneous
-        ]
+        labels = []
+        for checkin in extraneous:
+            label = classify_extraneous_checkin(checkin, locator, visit_index, config)
+            obs.count(f"classify.{label.value}_total", 1)
+            labels.append(label)
+        obs.count("classify.users_total", 1)
+        obs.count("classify.extraneous_total", len(labels))
+        out[user_id] = labels
     return out
 
 

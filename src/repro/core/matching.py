@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geo import GridIndex, euclidean, units
 from ..model import Checkin, Dataset, Visit
+from ..obs import current as obs_current
 from ..runtime import (
     RuntimeTimings,
     merge_user_maps,
@@ -170,36 +171,46 @@ def match_user(
     for visit in visits:
         index.insert(visit.x, visit.y, visit)
 
+    obs = obs_current()
     assigned: Dict[str, Tuple[Checkin, Visit]] = {}
     losers: List[Checkin] = []
     pending = list(checkins)
     rounds = 0
     while pending:
         rounds += 1
-        # Tentative claims this round: visit_id -> list of (checkin, geo distance).
-        claims: Dict[str, List[Tuple[float, Checkin, Visit]]] = {}
-        unmatched: List[Checkin] = []
-        for checkin in pending:
-            if config.rematch_losers:
-                # Later rounds re-compete only for still-free visits.
-                best = _best_visit(checkin, index, config, exclude=set(assigned))
-            else:
-                # Paper behaviour: a single Step-2 choice per checkin.
-                best = _best_visit(checkin, index, config)
-                if best is not None and best[0].visit_id in assigned:
-                    best = None
-            if best is None:
-                unmatched.append(checkin)
-                continue
-            visit = best[0]
-            geo = euclidean(checkin.x, checkin.y, visit.x, visit.y)
-            claims.setdefault(visit.visit_id, []).append((geo, checkin, visit))
-        round_losers: List[Checkin] = []
-        for contenders in claims.values():
-            contenders.sort(key=lambda item: (item[0], item[1].checkin_id))
-            _, winner, visit = contenders[0]
-            assigned[visit.visit_id] = (winner, visit)
-            round_losers.extend(c for _, c, _ in contenders[1:])
+        with obs.span(
+            "matching.round", user=user_id, round=rounds, pending=len(pending)
+        ) as round_span:
+            # Tentative claims this round: visit_id -> list of (checkin, geo distance).
+            claims: Dict[str, List[Tuple[float, Checkin, Visit]]] = {}
+            unmatched: List[Checkin] = []
+            for checkin in pending:
+                if config.rematch_losers:
+                    # Later rounds re-compete only for still-free visits.
+                    best = _best_visit(checkin, index, config, exclude=set(assigned))
+                else:
+                    # Paper behaviour: a single Step-2 choice per checkin.
+                    best = _best_visit(checkin, index, config)
+                    if best is not None and best[0].visit_id in assigned:
+                        best = None
+                if best is None:
+                    unmatched.append(checkin)
+                    continue
+                visit = best[0]
+                geo = euclidean(checkin.x, checkin.y, visit.x, visit.y)
+                claims.setdefault(visit.visit_id, []).append((geo, checkin, visit))
+            round_losers: List[Checkin] = []
+            for contenders in claims.values():
+                contenders.sort(key=lambda item: (item[0], item[1].checkin_id))
+                _, winner, visit = contenders[0]
+                assigned[visit.visit_id] = (winner, visit)
+                round_losers.extend(c for _, c, _ in contenders[1:])
+            round_span.annotate(
+                claims=len(claims),
+                tie_losers=len(round_losers),
+                unmatched=len(unmatched),
+            )
+            obs.count("matching.tie_losers_total", len(round_losers))
         # Checkins with no candidate this round are settled either way.
         losers.extend(unmatched)
         if (
@@ -216,9 +227,16 @@ def match_user(
         # next round only considers still-free visits.
         pending = round_losers
 
+    obs.count("matching.users_total", 1)
+    obs.count("matching.rounds_total", rounds)
+    obs.count("matching.rematch_rounds", max(0, rounds - 1))
+    obs.observe("matching.rounds_per_user", rounds)
+    obs.count("matching.honest_total", len(assigned))
+    obs.count("matching.extraneous_total", len(losers))
     matched_visit_ids = set(assigned)
     matches = sorted(assigned.values(), key=lambda pair: pair[0].t)
     missing = [v for v in visits if v.visit_id not in matched_visit_ids]
+    obs.count("matching.missing_total", len(missing))
     return UserMatching(
         user_id=user_id,
         matches=matches,

@@ -12,6 +12,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..model import CheckinType, Dataset
+from ..obs import activate
+from ..obs import current as obs_current
 from ..runtime import RuntimeTimings, resolve_executor
 from .classify import ClassificationResult, ClassifyConfig, classify_dataset
 from .matching import MatchConfig, MatchingResult, match_dataset
@@ -79,6 +81,7 @@ def validate(
     classify_config: Optional[ClassifyConfig] = None,
     workers: Optional[int] = None,
     executor=None,
+    obs=None,
 ) -> ValidationReport:
     """Run the full checkin-validity pipeline on a dataset.
 
@@ -90,15 +93,32 @@ def validate(
     reuse across datasets).  Any worker count produces a report
     identical to the serial run; ``report.timings`` records how the
     wall time split across stages and shards.
+
+    ``obs`` is an optional :class:`repro.obs.ObsContext`; when given (or
+    when one is already ambient via :func:`repro.obs.activate`), the run
+    records spans and metrics into it.  Observation never changes the
+    report — output is byte-identical with obs on or off.
     """
+    ctx = obs if obs is not None else obs_current()
     exec_, owned = resolve_executor(executor, workers)
     timings = RuntimeTimings()
     try:
-        extract_dataset_visits(dataset, visit_config, executor=exec_, timings=timings)
-        matching = match_dataset(dataset, match_config, executor=exec_, timings=timings)
-        classification = classify_dataset(
-            dataset, matching, classify_config, executor=exec_, timings=timings
-        )
+        with activate(ctx), ctx.span(
+            "pipeline.validate",
+            dataset=dataset.name,
+            users=len(dataset.users),
+            workers=exec_.workers,
+        ):
+            extract_dataset_visits(
+                dataset, visit_config, executor=exec_, timings=timings
+            )
+            matching = match_dataset(
+                dataset, match_config, executor=exec_, timings=timings
+            )
+            classification = classify_dataset(
+                dataset, matching, classify_config, executor=exec_, timings=timings
+            )
+            ctx.count("pipeline.runs_total", 1)
     finally:
         if owned:
             exec_.close()

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..geo import GridIndex, units
 from ..model import Dataset, GpsPoint, Poi, Visit
+from ..obs import current as obs_current
 from ..runtime import (
     RuntimeTimings,
     merge_user_maps,
@@ -126,11 +127,17 @@ def _extract_shard(payload: Tuple) -> Dict[str, List[Visit]]:
     to scanning per-minute GPS traces.
     """
     config, pois, users = payload
+    obs = obs_current()
     poi_index = build_poi_index(pois)
-    return {
-        user_id: extract_visits(gps, user_id, config, poi_index)
-        for user_id, gps in users
-    }
+    out: Dict[str, List[Visit]] = {}
+    for user_id, gps in users:
+        visits = extract_visits(gps, user_id, config, poi_index)
+        obs.count("extract.users_total", 1)
+        obs.count("extract.visits_total", len(visits))
+        obs.count("extract.gps_points_total", len(gps))
+        obs.observe("extract.visits_per_user", len(visits))
+        out[user_id] = visits
+    return out
 
 
 def extract_dataset_visits(

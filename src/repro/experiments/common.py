@@ -13,6 +13,8 @@ from typing import Optional
 
 from ..core import ValidationReport, validate
 from ..model import Dataset
+from ..obs import activate
+from ..obs import current as obs_current
 from ..runtime import resolve_executor
 from ..synth import baseline_config, generate_dataset, primary_config
 
@@ -34,20 +36,25 @@ def build_study(
     baseline_seed: int = 20131122,
     workers: Optional[int] = None,
     executor=None,
+    obs=None,
 ) -> StudyArtifacts:
     """Generate Primary + Baseline and run the validation pipeline on both.
 
     ``workers``/``executor`` select the validation runtime (see
     :func:`repro.core.validate`); one executor — and thus one process
     pool — is shared across both datasets.  Results are identical for
-    any worker count.
+    any worker count.  ``obs`` (an :class:`repro.obs.ObsContext`)
+    captures spans and metrics for generation and both validation runs;
+    it never changes results.
     """
-    primary = generate_dataset(primary_config(primary_seed).scaled(scale))
-    baseline = generate_dataset(baseline_config(baseline_seed).scaled(scale))
+    ctx = obs if obs is not None else obs_current()
     exec_, owned = resolve_executor(executor, workers)
     try:
-        primary_report = validate(primary, executor=exec_)
-        baseline_report = validate(baseline, executor=exec_)
+        with activate(ctx), ctx.span("study.build", scale=scale):
+            primary = generate_dataset(primary_config(primary_seed).scaled(scale))
+            baseline = generate_dataset(baseline_config(baseline_seed).scaled(scale))
+            primary_report = validate(primary, executor=exec_)
+            baseline_report = validate(baseline, executor=exec_)
     finally:
         if owned:
             exec_.close()

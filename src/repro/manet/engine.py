@@ -17,6 +17,7 @@ import numpy as np
 
 from ..geo import GridIndex
 from ..levy import NodeTrace
+from ..obs import current as obs_current
 from .aodv import AodvNode, Outgoing
 from .config import ManetConfig
 from .metrics import ManetResults, MetricsCollector
@@ -148,15 +149,26 @@ class Simulator:
     def run(self) -> ManetResults:
         """Run the simulation to completion and return per-flow metrics."""
         config = self.config
-        for tick in range(config.n_ticks):
-            now = tick * config.dt_s
-            index = self._update_positions(now)
-            self._deliver(index, now)
-            for node in self.nodes:
-                node.tick(now)
-            self._emit_traffic(tick, now)
-            self._drain_outboxes()
-            self._sample_routes(now)
+        obs = obs_current()
+        with obs.span(
+            "manet.run",
+            sim=self.name,
+            nodes=config.n_nodes,
+            pairs=len(self.pairs),
+            ticks=config.n_ticks,
+        ):
+            for tick in range(config.n_ticks):
+                now = tick * config.dt_s
+                index = self._update_positions(now)
+                self._deliver(index, now)
+                for node in self.nodes:
+                    node.tick(now)
+                self._emit_traffic(tick, now)
+                self._drain_outboxes()
+                self._sample_routes(now)
+        obs.count("manet.runs_total", 1)
+        obs.count("manet.ticks_total", config.n_ticks)
+        obs.count("manet.control_packets_total", self.metrics.total_control)
         self.metrics.duration_s = config.duration_s
         return ManetResults(
             name=self.name,

@@ -1,0 +1,71 @@
+"""Observability layer: tracing spans, metrics, and run manifests.
+
+Three pieces, all process-local and dependency-free:
+
+* :mod:`repro.obs.context` — hierarchical spans with monotonic timings,
+  point events, and the ambient-context machinery (:func:`current` /
+  :class:`activate`).  Disabled observability is the :data:`NULL_OBS`
+  singleton: every call a no-op, pipeline output byte-identical.
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  histograms with deterministic merge semantics, so worker-side deltas
+  aggregate to the same totals for any worker count.
+* :mod:`repro.obs.manifest` / :mod:`repro.obs.export` — the per-run
+  manifest (config hash, dataset fingerprint, seeds, timings, metric
+  snapshot) and the JSONL span/event/metric stream behind the CLI's
+  ``--trace`` flag and ``repro-study inspect``.
+
+Quickstart::
+
+    from repro import validate
+    from repro.obs import ObsContext, write_trace, build_manifest
+
+    obs = ObsContext()
+    report = validate(dataset, workers=4, obs=obs)
+    write_trace("run.jsonl", obs)
+    build_manifest("validate", dataset=dataset, workers=4,
+                   timings=report.timings.as_dict(),
+                   metrics=obs.metrics.snapshot()).write("run.manifest.json")
+
+See DESIGN.md §8 for the span taxonomy and metric name tables.
+"""
+
+from .context import (
+    NULL_OBS,
+    EventRecord,
+    NullObs,
+    ObsContext,
+    SpanRecord,
+    activate,
+    current,
+)
+from .export import read_trace, trace_records, write_trace
+from .manifest import (
+    SCHEMA_VERSION,
+    RunManifest,
+    build_manifest,
+    config_hash,
+    dataset_fingerprint,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = [
+    "NULL_OBS",
+    "SCHEMA_VERSION",
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullObs",
+    "ObsContext",
+    "RunManifest",
+    "SpanRecord",
+    "activate",
+    "build_manifest",
+    "config_hash",
+    "current",
+    "dataset_fingerprint",
+    "read_trace",
+    "trace_records",
+    "write_trace",
+]

@@ -1,0 +1,59 @@
+"""JSONL export of an observed run's span/event/metric stream.
+
+One line per record, ``type`` discriminated::
+
+    {"type": "span", "span_id": 3, "parent_id": 1, "name": "stage.match", ...}
+    {"type": "event", "name": "runtime.shard_retry", "t_s": 0.12, ...}
+    {"type": "metric", "kind": "counter", "name": "matching.honest_total", ...}
+
+Spans appear in completion order (their ``start_s`` restores
+chronology); metrics are a final snapshot, one line per instrument, in
+sorted name order.  The format is append-friendly and greppable —
+``jq 'select(.type == "span")' trace.jsonl`` style tooling just works.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from .context import ObsContext
+
+
+def trace_records(ctx: ObsContext) -> List[Dict[str, Any]]:
+    """The JSONL lines of a context, as dicts, in emit order."""
+    records: List[Dict[str, Any]] = []
+    for span in ctx.spans:
+        records.append({"type": "span", **span.as_dict()})
+    for event in ctx.events:
+        records.append({"type": "event", **event.as_dict()})
+    snapshot = ctx.metrics.snapshot()
+    for name, value in snapshot["counters"].items():
+        records.append({"type": "metric", "kind": "counter", "name": name, "value": value})
+    for name, value in snapshot["gauges"].items():
+        records.append({"type": "metric", "kind": "gauge", "name": name, "value": value})
+    for name, summary in snapshot["histograms"].items():
+        records.append({"type": "metric", "kind": "histogram", "name": name, **summary})
+    return records
+
+
+def write_trace(path: Union[str, Path], ctx: ObsContext) -> Path:
+    """Write the context's full stream as JSON lines; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in trace_records(ctx):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a trace file back into record dicts (inverse of write)."""
+    records = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,232 @@
+"""Per-run manifests: what a pipeline run was, exactly.
+
+A :class:`RunManifest` freezes everything needed to audit or compare two
+runs: the command, package/python versions, a hash of the effective
+configuration, a dataset fingerprint, the seeds, worker count, per-stage
+timings, and a snapshot of the metrics registry.  It is written next to
+the run's results (the CLI puts it beside ``--trace`` output) and read
+back by ``repro-study inspect``.
+
+Schema (``schema_version`` 1)::
+
+    {
+      "schema_version": 1,
+      "command": "validate",
+      "package_version": "1.0.0",
+      "python_version": "3.11.7",
+      "config_hash": "<sha256 hex>",
+      "dataset": {"name": ..., "n_users": ..., ..., "sha256": ...},
+      "seeds": {"primary": 20131121},
+      "workers": 2,
+      "timings": {"wall_s": ..., "stages": [...]},
+      "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
+      "extra": {...}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import platform
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..model import Dataset
+
+#: Manifest schema version; bump on incompatible shape changes.
+SCHEMA_VERSION = 1
+
+
+def _canonical_json(obj: Any) -> str:
+    """Stable JSON used for hashing (sorted keys, dataclasses expanded)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        obj = {type(obj).__name__: dataclasses.asdict(obj)}
+    return json.dumps(obj, sort_keys=True, default=str)
+
+
+def config_hash(*configs: Any) -> str:
+    """sha256 over the canonical form of the given config objects.
+
+    Dataclass configs hash by class name + field values, so renaming a
+    class or changing any threshold changes the hash.
+    """
+    digest = hashlib.sha256()
+    for config in configs:
+        digest.update(_canonical_json(config).encode("utf-8"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def dataset_fingerprint(dataset: Dataset) -> Dict[str, Any]:
+    """Cheap structural fingerprint of a dataset.
+
+    Hashes per-user record counts (not record payloads), so it is O(users)
+    and stable across processes, yet changes whenever users, their trace
+    lengths, or the POI universe change.
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode("utf-8"))
+    digest.update(str(len(dataset.pois)).encode("utf-8"))
+    n_checkins = 0
+    n_gps = 0
+    for user_id, data in dataset.users.items():
+        n_checkins += len(data.checkins)
+        n_gps += len(data.gps)
+        n_visits = -1 if data.visits is None else len(data.visits)
+        digest.update(
+            f"{user_id}:{len(data.gps)}:{len(data.checkins)}:{n_visits};".encode("utf-8")
+        )
+    return {
+        "name": dataset.name,
+        "n_users": len(dataset.users),
+        "n_pois": len(dataset.pois),
+        "n_checkins": n_checkins,
+        "n_gps_points": n_gps,
+        "sha256": digest.hexdigest(),
+    }
+
+
+@dataclass
+class RunManifest:
+    """Auditable record of one pipeline run."""
+
+    command: str
+    package_version: str
+    python_version: str
+    config_hash: str
+    dataset: Dict[str, Any]
+    seeds: Dict[str, int] = field(default_factory=dict)
+    workers: Optional[int] = None
+    timings: Dict[str, Any] = field(default_factory=dict)
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump (includes the schema version)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "command": self.command,
+            "package_version": self.package_version,
+            "python_version": self.python_version,
+            "config_hash": self.config_hash,
+            "dataset": dict(self.dataset),
+            "seeds": dict(self.seeds),
+            "workers": self.workers,
+            "timings": dict(self.timings),
+            "metrics": dict(self.metrics),
+            "extra": dict(self.extra),
+        }
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the manifest as pretty-printed JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        """Read a manifest back (inverse of :meth:`write`)."""
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = data.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema_version {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        return cls(
+            command=data["command"],
+            package_version=data["package_version"],
+            python_version=data["python_version"],
+            config_hash=data["config_hash"],
+            dataset=data.get("dataset", {}),
+            seeds=data.get("seeds", {}),
+            workers=data.get("workers"),
+            timings=data.get("timings", {}),
+            metrics=data.get("metrics", {}),
+            extra=data.get("extra", {}),
+        )
+
+    def counter(self, name: str) -> int:
+        """A counter's value from the metric snapshot (0 when absent)."""
+        return int(self.metrics.get("counters", {}).get(name, 0))
+
+    def format_report(self) -> str:
+        """Human-readable rendering (the ``inspect`` subcommand's output)."""
+        lines = [
+            f"run manifest (schema v{SCHEMA_VERSION})",
+            f"  command:         {self.command}",
+            f"  package version: {self.package_version}",
+            f"  python version:  {self.python_version}",
+            f"  config hash:     {self.config_hash}",
+            f"  workers:         {self.workers if self.workers is not None else 'serial'}",
+        ]
+        if self.dataset:
+            lines.append(
+                f"  dataset:         {self.dataset.get('name', '?')}"
+                f" ({self.dataset.get('n_users', '?')} users,"
+                f" {self.dataset.get('n_checkins', '?')} checkins,"
+                f" {self.dataset.get('n_gps_points', '?')} GPS points)"
+            )
+            lines.append(f"  dataset sha256:  {self.dataset.get('sha256', '?')}")
+        if self.seeds:
+            seeds = ", ".join(f"{k}={v}" for k, v in sorted(self.seeds.items()))
+            lines.append(f"  seeds:           {seeds}")
+        for key, value in sorted(self.extra.items()):
+            lines.append(f"  {key + ':':<16} {value}")
+        stages = self.timings.get("stages", [])
+        if stages:
+            lines.append("  stage timings:")
+            for stage in stages:
+                lines.append(
+                    f"    {stage['stage']:<10} {stage['wall_s']:>8.3f} s"
+                    f"  ({stage['executor']}, {len(stage.get('shards', []))} shard(s))"
+                )
+        counters = self.metrics.get("counters", {})
+        if counters:
+            lines.append("  counters:")
+            for name, value in sorted(counters.items()):
+                lines.append(f"    {name:<32} {value}")
+        histograms = self.metrics.get("histograms", {})
+        if histograms:
+            lines.append("  histograms:")
+            for name, summary in sorted(histograms.items()):
+                lines.append(
+                    f"    {name:<32} n={summary.get('count', 0)}"
+                    f" p50={summary.get('p50', 0.0):.4g}"
+                    f" p99={summary.get('p99', 0.0):.4g}"
+                )
+        return "\n".join(lines)
+
+
+def build_manifest(
+    command: str,
+    dataset: Optional[Dataset] = None,
+    configs: tuple = (),
+    seeds: Optional[Dict[str, int]] = None,
+    workers: Optional[int] = None,
+    timings: Optional[Dict[str, Any]] = None,
+    metrics: Optional[Dict[str, Any]] = None,
+    extra: Optional[Dict[str, Any]] = None,
+) -> RunManifest:
+    """Assemble a :class:`RunManifest` for a finished run."""
+    from .. import __version__
+
+    return RunManifest(
+        command=command,
+        package_version=__version__,
+        python_version=platform.python_version(),
+        config_hash=config_hash(*configs),
+        dataset=dataset_fingerprint(dataset) if dataset is not None else {},
+        seeds=seeds or {},
+        workers=workers,
+        timings=timings or {},
+        metrics=metrics or {},
+        extra=extra or {},
+    )

@@ -1,0 +1,166 @@
+"""Process-local metrics registry: counters, gauges, histograms.
+
+A :class:`MetricsRegistry` is a plain in-memory bag of named
+instruments.  It is deliberately tiny — no labels, no exposition
+formats — because its job is (1) counting what a pipeline run *did*
+(``matching.rematch_rounds``, ``classify.driveby_total``,
+``runtime.shard_retries``) and (2) merging worker-side deltas back into
+the parent run deterministically.
+
+Merge semantics are chosen so that aggregate values are independent of
+shard layout and completion order:
+
+* **counters** add (commutative — identical totals for any worker count);
+* **histograms** pool their observations and summarise from a sorted
+  copy (order-independent percentiles);
+* **gauges** are last-write-wins in merge order; shard deltas are merged
+  in shard-id order, so a fixed shard layout is deterministic, but
+  gauge values may legitimately differ across *worker counts* — use
+  counters or histograms for anything a test asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+#: Percentiles reported by histogram summaries.
+PERCENTILES = (50, 90, 99)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing integer."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (must be >= 0) to the counter."""
+        if n < 0:
+            raise ValueError(f"counter {self.name}: cannot add negative {n}")
+        self.value += n
+
+
+@dataclass
+class Gauge:
+    """A point-in-time float value (last write wins)."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = float(value)
+
+
+@dataclass
+class Histogram:
+    """A pool of float observations summarised by rank percentiles."""
+
+    name: str
+    values: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+    @property
+    def total(self) -> float:
+        """Sum of observations."""
+        return sum(self.values)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
+        if not self.values:
+            return 0.0
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        ordered = sorted(self.values)
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-safe summary (count/sum/min/max/percentiles)."""
+        out: Dict[str, Any] = {
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.values) if self.values else 0.0,
+            "max": max(self.values) if self.values else 0.0,
+        }
+        for p in PERCENTILES:
+            out[f"p{p}"] = self.percentile(p)
+        return out
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one run (or one shard)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument accessors (create on first use) ------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created at 0 if new."""
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created at 0.0 if new."""
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name``, created empty if new."""
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- snapshots and merging ---------------------------------------------
+
+    def snapshot(self, raw: bool = False) -> Dict[str, Any]:
+        """JSON-safe dump, instrument names sorted.
+
+        ``raw=True`` ships full histogram observation lists (the shape
+        worker deltas use, so the parent can re-pool percentiles);
+        the default summarises histograms.
+        """
+        histograms = {
+            name: ({"values": list(h.values)} if raw else h.summary())
+            for name, h in sorted(self._histograms.items())
+        }
+        return {
+            "counters": {name: c.value for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value for name, g in sorted(self._gauges.items())},
+            "histograms": histograms,
+        }
+
+    def merge_snapshot(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a ``snapshot(raw=True)`` delta into this registry."""
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, data in snapshot.get("histograms", {}).items():
+            if "values" not in data:
+                raise ValueError(
+                    f"histogram {name!r}: merge needs a raw snapshot "
+                    "(snapshot(raw=True)), got a summary"
+                )
+            self.histogram(name).values.extend(data["values"])

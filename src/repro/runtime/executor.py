@@ -24,6 +24,8 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
+from ..obs import ObsContext, activate
+from ..obs import current as obs_current
 from .errors import RuntimeConfigError, ShardError
 from .sharding import Shard
 from .timing import ShardTiming, StageTiming
@@ -153,15 +155,28 @@ def shard_count(executor: Executor, n_users: int) -> int:
 
 
 @dataclass(frozen=True)
-class _Timed:
-    """Picklable wrapper measuring worker-side wall time of ``fn``."""
+class _Instrumented:
+    """Picklable wrapper measuring wall time (and observing) ``fn``.
+
+    When ``observe`` is set, the work unit runs inside a fresh
+    worker-local :class:`ObsContext`; its span/metric delta rides home
+    with the result so the parent can aggregate deterministically.  The
+    same wrapper runs under both executors, so serial and parallel runs
+    share one aggregation path.
+    """
 
     fn: Callable[[Any], Any]
+    observe: bool = False
 
-    def __call__(self, payload: Any) -> Tuple[float, Any]:
+    def __call__(self, payload: Any) -> Tuple[float, Any, Any]:
         t0 = time.perf_counter()
-        result = self.fn(payload)
-        return time.perf_counter() - t0, result
+        if not self.observe:
+            result = self.fn(payload)
+            return time.perf_counter() - t0, None, result
+        ctx = ObsContext()
+        with activate(ctx), ctx.span("shard.run"):
+            result = self.fn(payload)
+        return time.perf_counter() - t0, ctx.delta(), result
 
 
 def run_stage(
@@ -176,29 +191,58 @@ def run_stage(
     ``worker`` must be a top-level (picklable) function taking the
     payload built by ``payload_of``.  Shard failures surface as
     :class:`ShardError` naming the stage, shard and users.
+
+    With an active observation context, the stage runs under a
+    ``stage.<name>`` span, workers ship their span/metric deltas back,
+    and the deltas are absorbed in shard-id order — the same totals for
+    any worker count.
     """
+    obs = obs_current()
     timing = StageTiming(stage=stage, executor=executor.name, workers=executor.workers)
-    t0 = time.perf_counter()
-    payloads = [payload_of(shard) for shard in shards]
-    try:
-        timed_results = executor.map(_Timed(worker), payloads)
-    except Exception as exc:  # pinpoint the failing shard serially
-        for shard, payload in zip(shards, payloads):
-            try:
-                _Timed(worker)(payload)
-            except Exception as shard_exc:
-                raise ShardError(stage, shard.shard_id, shard.user_ids, shard_exc) from exc
-        raise ShardError(stage, -1, (), exc) from exc
-    results = []
-    for shard, (wall_s, result) in zip(shards, timed_results):
-        timing.shards.append(
-            ShardTiming(
-                shard_id=shard.shard_id,
-                n_users=len(shard),
-                weight=shard.weight,
-                wall_s=wall_s,
+    with obs.span(
+        f"stage.{stage}",
+        executor=executor.name,
+        workers=executor.workers,
+        shards=len(shards),
+    ) as stage_span:
+        t0 = time.perf_counter()
+        payloads = [payload_of(shard) for shard in shards]
+        task = _Instrumented(worker, observe=obs.enabled)
+        try:
+            timed_results = executor.map(task, payloads)
+        except Exception as exc:  # pinpoint the failing shard serially
+            for shard, payload in zip(shards, payloads):
+                obs.count("runtime.shard_retries", 1)
+                obs.event("runtime.shard_retry", stage=stage, shard_id=shard.shard_id)
+                try:
+                    task(payload)
+                except Exception as shard_exc:
+                    raise ShardError(
+                        stage, shard.shard_id, shard.user_ids, shard_exc
+                    ) from exc
+            raise ShardError(stage, -1, (), exc) from exc
+        results = []
+        for shard, (wall_s, delta, result) in zip(shards, timed_results):
+            timing.shards.append(
+                ShardTiming(
+                    shard_id=shard.shard_id,
+                    n_users=len(shard),
+                    weight=shard.weight,
+                    wall_s=wall_s,
+                )
             )
-        )
-        results.append(result)
-    timing.wall_s = time.perf_counter() - t0
+            if delta is not None:
+                obs.absorb(
+                    delta,
+                    parent_id=stage_span.span_id,
+                    base_s=stage_span.start_s,
+                    attrs={"stage": stage, "shard_id": shard.shard_id,
+                           "n_users": len(shard)},
+                )
+            obs.observe("runtime.shard_wall_s", wall_s)
+            results.append(result)
+        timing.wall_s = time.perf_counter() - t0
+        stage_span.annotate(wall_s=timing.wall_s)
+    obs.count("runtime.shards_total", len(shards))
+    obs.count("runtime.stages_total", 1)
     return results, timing

@@ -11,9 +11,10 @@ serial reference regardless of which shard finished first.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, TypeVar
+from typing import Dict, Iterable, List, TypeVar
 
 from ..model import Dataset
+from ..obs import current as obs_current
 
 T = TypeVar("T")
 
@@ -26,16 +27,20 @@ def merge_user_maps(
     Raises when shards overlap, miss users, or invent unknown users —
     any of which means the sharding/merge contract was violated.
     """
-    pooled: Dict[str, T] = {}
-    for shard_map in shard_results:
-        for user_id, value in shard_map.items():
-            if user_id in pooled:
-                raise ValueError(f"user {user_id!r} returned by more than one shard")
-            pooled[user_id] = value
-    unknown = [user_id for user_id in pooled if user_id not in dataset.users]
-    if unknown:
-        raise ValueError(f"shards returned unknown users: {unknown[:5]}")
-    missing = [user_id for user_id in dataset.users if user_id not in pooled]
-    if missing:
-        raise ValueError(f"shards missed users: {missing[:5]}")
-    return {user_id: pooled[user_id] for user_id in dataset.users}
+    obs = obs_current()
+    shard_maps: List[Dict[str, T]] = list(shard_results)
+    with obs.span("runtime.merge", shards=len(shard_maps)):
+        pooled: Dict[str, T] = {}
+        for shard_map in shard_maps:
+            for user_id, value in shard_map.items():
+                if user_id in pooled:
+                    raise ValueError(f"user {user_id!r} returned by more than one shard")
+                pooled[user_id] = value
+        unknown = [user_id for user_id in pooled if user_id not in dataset.users]
+        if unknown:
+            raise ValueError(f"shards returned unknown users: {unknown[:5]}")
+        missing = [user_id for user_id in dataset.users if user_id not in pooled]
+        if missing:
+            raise ValueError(f"shards missed users: {missing[:5]}")
+        obs.count("runtime.merged_users_total", len(pooled))
+        return {user_id: pooled[user_id] for user_id in dataset.users}

@@ -57,11 +57,21 @@ class StageTiming:
         return max((s.wall_s for s in self.shards), default=0.0)
 
     def imbalance(self) -> float:
-        """max/mean shard time; 1.0 is a perfectly balanced stage."""
-        if not self.shards:
+        """max/mean shard time; 1.0 is a perfectly balanced stage.
+
+        Degenerate cases are handled symmetrically: no shards or an
+        all-zero-duration stage (``critical_path_s == 0``) is perfectly
+        balanced by definition (1.0), while a nonzero critical path over
+        a zero mean — only reachable through hand-built records, since
+        ``busy_s >= critical_path_s`` for nonnegative shard times — is
+        unbounded imbalance (``inf``), not silently "balanced".
+        """
+        if not self.shards or self.critical_path_s == 0.0:
             return 1.0
         mean = self.busy_s / len(self.shards)
-        return self.critical_path_s / mean if mean > 0 else 1.0
+        if mean <= 0.0:
+            return float("inf")
+        return self.critical_path_s / mean
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe record."""

@@ -14,6 +14,7 @@ from typing import Dict, List
 import numpy as np
 
 from ..model import Dataset, Poi, UserData
+from ..obs import current as obs_current
 from .checkins import generate_checkins
 from .config import StudyConfig, baseline_config, primary_config
 from .itinerary import ItineraryBuilder
@@ -37,47 +38,54 @@ def generate_dataset(config: StudyConfig, with_ground_truth_visits: bool = False
     leaves it unset and extracts visits from GPS itself
     (:func:`repro.core.visits.extract_dataset_visits`).
     """
+    obs = obs_current()
     seed_seq = np.random.SeedSequence(config.seed)
     world_seed, *user_seeds = seed_seq.spawn(config.n_users + 1)
     world_rng = np.random.default_rng(world_seed)
 
-    base_pois = generate_world(config.world, world_rng)
-    # Homes must exist as POIs before itineraries are built so that home
-    # visits are attributable to a (Residence) POI in the analyses.
-    homes: Dict[str, Poi] = {}
-    user_ids = [f"u{idx:04d}" for idx in range(config.n_users)]
-    for user_id in user_ids:
-        homes[user_id] = make_home_poi(user_id, base_pois, world_rng)
-    pois: Dict[str, Poi] = dict(base_pois.pois)
-    pois.update({p.poi_id: p for p in homes.values()})
-    world = World(size_m=config.world.size_m, pois=pois)
+    with obs.span(
+        "synth.generate", dataset=config.name, users=config.n_users, seed=config.seed
+    ):
+        base_pois = generate_world(config.world, world_rng)
+        # Homes must exist as POIs before itineraries are built so that home
+        # visits are attributable to a (Residence) POI in the analyses.
+        homes: Dict[str, Poi] = {}
+        user_ids = [f"u{idx:04d}" for idx in range(config.n_users)]
+        for user_id in user_ids:
+            homes[user_id] = make_home_poi(user_id, base_pois, world_rng)
+        pois: Dict[str, Poi] = dict(base_pois.pois)
+        pois.update({p.poi_id: p for p in homes.values()})
+        world = World(size_m=config.world.size_m, pois=pois)
 
-    users: Dict[str, UserData] = {}
-    for user_id, user_seed in zip(user_ids, user_seeds):
-        rng = np.random.default_rng(user_seed)
-        persona = sample_persona(user_id, config.behavior, rng)
-        n_days = _draw_study_days(config.mean_study_days, rng)
-        home = homes[user_id]
-        work = pick_work_poi(world, rng)
-        builder = ItineraryBuilder(
-            world,
-            home,
-            work,
-            config.mobility,
-            errands_mean_scale=persona.activity,
-            employed=bool(rng.random() >= config.mobility.homebody_fraction),
-        )
-        itinerary = builder.build(n_days, rng)
-        coverage = build_coverage(n_days, config.mobility, rng)
-        gps = sample_gps(itinerary, coverage, config.mobility, rng)
-        checkins = generate_checkins(
-            itinerary, coverage, persona, world, float(n_days), config.visit_dwell_s, rng
-        )
-        profile = build_profile(persona, float(n_days), rng)
-        data = UserData(profile=profile, gps=gps, checkins=checkins)
-        if with_ground_truth_visits:
-            data.visits = ground_truth_visits(itinerary, coverage, user_id, config.visit_dwell_s)
-        users[user_id] = data
+        users: Dict[str, UserData] = {}
+        for user_id, user_seed in zip(user_ids, user_seeds):
+            rng = np.random.default_rng(user_seed)
+            persona = sample_persona(user_id, config.behavior, rng)
+            n_days = _draw_study_days(config.mean_study_days, rng)
+            home = homes[user_id]
+            work = pick_work_poi(world, rng)
+            builder = ItineraryBuilder(
+                world,
+                home,
+                work,
+                config.mobility,
+                errands_mean_scale=persona.activity,
+                employed=bool(rng.random() >= config.mobility.homebody_fraction),
+            )
+            itinerary = builder.build(n_days, rng)
+            coverage = build_coverage(n_days, config.mobility, rng)
+            gps = sample_gps(itinerary, coverage, config.mobility, rng)
+            checkins = generate_checkins(
+                itinerary, coverage, persona, world, float(n_days), config.visit_dwell_s, rng
+            )
+            profile = build_profile(persona, float(n_days), rng)
+            data = UserData(profile=profile, gps=gps, checkins=checkins)
+            if with_ground_truth_visits:
+                data.visits = ground_truth_visits(itinerary, coverage, user_id, config.visit_dwell_s)
+            users[user_id] = data
+            obs.count("synth.users_total", 1)
+            obs.count("synth.checkins_total", len(checkins))
+            obs.count("synth.gps_points_total", len(gps))
     return Dataset(name=config.name, pois=pois, users=users)
 
 

@@ -1,8 +1,14 @@
 """Command-line interface."""
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
+from repro.obs import RunManifest, read_trace
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden_study"
 
 
 def test_generate_and_validate(tmp_path, capsys):
@@ -61,6 +67,109 @@ def test_recover_subcommand(capsys):
     out = capsys.readouterr().out
     assert "Recovery gain" in out
     assert "events_per_day" in out
+
+
+class TestObservabilityFlags:
+    """--trace / --manifest / --no-obs / inspect, end to end on golden data."""
+
+    @pytest.fixture(scope="class")
+    def expected(self):
+        return json.loads((GOLDEN_DIR / "expected.json").read_text(encoding="utf-8"))
+
+    @pytest.fixture(scope="class")
+    def traced_run(self, tmp_path_factory):
+        """One traced --workers 2 validate over the golden fixture."""
+        out = tmp_path_factory.mktemp("trace")
+        trace = out / "run.jsonl"
+        assert main(["validate", "--data", str(GOLDEN_DIR),
+                     "--workers", "2", "--trace", str(trace)]) == 0
+        return trace
+
+    def test_trace_and_manifest_written(self, traced_run, capsys):
+        capsys.readouterr()
+        assert traced_run.exists()
+        assert traced_run.with_suffix(".manifest.json").exists()
+
+    def test_trace_stream_has_spans_and_metrics(self, traced_run):
+        records = read_trace(traced_run)
+        types = {r["type"] for r in records}
+        assert "span" in types and "metric" in types
+        span_names = {r["name"] for r in records if r["type"] == "span"}
+        assert {"pipeline.validate", "stage.match", "shard.run"} <= span_names
+
+    def test_manifest_counts_match_golden_expectations(self, traced_run, expected):
+        manifest = RunManifest.load(traced_run.with_suffix(".manifest.json"))
+        assert manifest.command == "validate"
+        assert manifest.workers == 2
+        assert manifest.counter("matching.honest_total") == expected["venn"]["honest"]
+        assert manifest.counter("matching.extraneous_total") == expected["venn"]["extraneous"]
+        assert manifest.counter("matching.missing_total") == expected["venn"]["missing"]
+        for kind in ("superfluous", "remote", "driveby", "other"):
+            assert manifest.counter(f"classify.{kind}_total") == expected["type_counts"][kind]
+        assert manifest.dataset["n_users"] == expected["n_users"]
+        assert manifest.dataset["n_checkins"] == expected["n_checkins"]
+        assert [s["stage"] for s in manifest.timings["stages"]] == [
+            "extract", "match", "classify",
+        ]
+
+    def test_workers_output_matches_serial(self, expected, capsys):
+        assert main(["validate", "--data", str(GOLDEN_DIR)]) == 0
+        serial = capsys.readouterr().out
+        assert main(["validate", "--data", str(GOLDEN_DIR), "--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+        assert expected["summary"] in serial
+
+    def test_no_obs_output_identical(self, capsys):
+        assert main(["validate", "--data", str(GOLDEN_DIR), "--no-obs"]) == 0
+        disabled = capsys.readouterr().out
+        assert main(["validate", "--data", str(GOLDEN_DIR)]) == 0
+        enabled = capsys.readouterr().out
+        assert disabled == enabled
+
+    def test_no_obs_conflicts_with_trace(self, tmp_path, capsys):
+        code = main(["validate", "--data", str(GOLDEN_DIR), "--no-obs",
+                     "--trace", str(tmp_path / "t.jsonl")])
+        assert code == 2
+        assert "no-obs" in capsys.readouterr().err
+
+    def test_explicit_manifest_path(self, tmp_path, capsys):
+        manifest_path = tmp_path / "custom.json"
+        assert main(["validate", "--data", str(GOLDEN_DIR),
+                     "--manifest", str(manifest_path)]) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(manifest_path)
+        assert manifest.counter("pipeline.runs_total") == 1
+
+    def test_inspect_round_trip(self, traced_run, capsys):
+        manifest_path = traced_run.with_suffix(".manifest.json")
+        assert main(["inspect", str(manifest_path)]) == 0
+        out = capsys.readouterr().out
+        assert "run manifest" in out
+        assert "matching.honest_total" in out
+        assert "config hash" in out
+
+    def test_inspect_missing_file(self, tmp_path, capsys):
+        assert main(["inspect", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_inspect_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["inspect", str(bad)]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_report_accepts_obs_flags(self, tmp_path, capsys):
+        trace = tmp_path / "report.jsonl"
+        assert main(["report", "--scale", "0.02", "--only", "figure1",
+                     "--trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        manifest = RunManifest.load(trace.with_suffix(".manifest.json"))
+        assert manifest.command == "report"
+        assert manifest.counter("synth.users_total") > 0
+        span_names = {r["name"] for r in read_trace(trace) if r["type"] == "span"}
+        assert "synth.generate" in span_names and "study.build" in span_names
 
 
 def test_manet_subcommand(monkeypatch, capsys):

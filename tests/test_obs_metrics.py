@@ -1,0 +1,131 @@
+"""Metrics registry: counters, gauges, histogram percentiles, merges."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc(4)
+        assert registry.counter("a").value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            MetricsRegistry().counter("a").inc(-1)
+
+    def test_instruments_are_cached(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert len(registry) == 1
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        registry = MetricsRegistry()
+        registry.gauge("g").set(1.5)
+        registry.gauge("g").set(2.5)
+        assert registry.gauge("g").value == 2.5
+
+
+class TestHistogramPercentiles:
+    def test_nearest_rank_on_known_data(self):
+        h = Histogram("h")
+        for v in range(1, 101):  # 1..100
+            h.observe(v)
+        assert h.percentile(50) == 50
+        assert h.percentile(90) == 90
+        assert h.percentile(99) == 99
+        assert h.percentile(100) == 100
+        assert h.percentile(0) == 1
+
+    def test_percentile_is_order_independent(self):
+        a, b = Histogram("a"), Histogram("b")
+        values = [5.0, 1.0, 9.0, 3.0, 7.0]
+        for v in values:
+            a.observe(v)
+        for v in reversed(values):
+            b.observe(v)
+        for p in (0, 25, 50, 75, 90, 99, 100):
+            assert a.percentile(p) == b.percentile(p)
+
+    def test_small_samples(self):
+        h = Histogram("h")
+        h.observe(42.0)
+        assert h.percentile(50) == 42.0
+        assert h.percentile(99) == 42.0
+
+    def test_empty_and_bounds(self):
+        h = Histogram("h")
+        assert h.percentile(50) == 0.0
+        with pytest.raises(ValueError):
+            h2 = Histogram("h2")
+            h2.observe(1.0)
+            h2.percentile(101)
+
+    def test_summary_shape(self):
+        h = Histogram("h")
+        for v in (2.0, 4.0, 6.0):
+            h.observe(v)
+        summary = h.summary()
+        assert summary["count"] == 3
+        assert summary["sum"] == 12.0
+        assert summary["min"] == 2.0 and summary["max"] == 6.0
+        assert summary["p50"] == 4.0
+
+
+class TestSnapshotAndMerge:
+    def filled(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(3)
+        registry.gauge("g").set(1.0)
+        registry.histogram("h").observe(2.0)
+        registry.histogram("h").observe(8.0)
+        return registry
+
+    def test_snapshot_is_json_safe_and_sorted(self):
+        registry = self.filled()
+        registry.counter("a").inc()
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # must not raise
+        assert list(snapshot["counters"]) == ["a", "c"]
+        assert snapshot["histograms"]["h"]["count"] == 2
+
+    def test_raw_snapshot_round_trips_through_merge(self):
+        registry = self.filled()
+        clone = MetricsRegistry()
+        clone.merge_snapshot(registry.snapshot(raw=True))
+        assert clone.snapshot() == registry.snapshot()
+
+    def test_merge_order_independent_for_counters_and_histograms(self):
+        shard_a = MetricsRegistry()
+        shard_a.counter("n").inc(2)
+        shard_a.histogram("h").observe(1.0)
+        shard_b = MetricsRegistry()
+        shard_b.counter("n").inc(5)
+        shard_b.histogram("h").observe(9.0)
+
+        ab, ba = MetricsRegistry(), MetricsRegistry()
+        ab.merge_snapshot(shard_a.snapshot(raw=True))
+        ab.merge_snapshot(shard_b.snapshot(raw=True))
+        ba.merge_snapshot(shard_b.snapshot(raw=True))
+        ba.merge_snapshot(shard_a.snapshot(raw=True))
+        assert ab.counter("n").value == ba.counter("n").value == 7
+        assert ab.histogram("h").summary() == ba.histogram("h").summary()
+
+    def test_merge_rejects_summarised_histograms(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError, match="raw snapshot"):
+            registry.merge_snapshot(self.filled().snapshot())
+
+    def test_merge_into_nonempty(self):
+        registry = self.filled()
+        registry.merge_snapshot(self.filled().snapshot(raw=True))
+        assert registry.counter("c").value == 6
+        assert registry.histogram("h").count == 4

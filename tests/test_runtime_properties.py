@@ -1,0 +1,129 @@
+"""Property tests of the runtime's timing and sharding invariants.
+
+Hypothesis-driven: for arbitrary nonnegative shard timings,
+``busy_s >= critical_path_s`` and ``imbalance() >= 1``; for arbitrary
+user weights and shard counts, sharding conserves weight and partitions
+the user set exactly.  Plus the ``StageTiming.imbalance()`` degenerate
+cases the dataclass used to handle asymmetrically.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Shard, ShardTiming, StageTiming, shard_dataset
+
+from helpers import make_dataset, make_user
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=0, max_size=40
+)
+
+
+def stage_of(walls):
+    stage = StageTiming(stage="t", executor="serial", workers=1)
+    for i, wall in enumerate(walls):
+        stage.shards.append(ShardTiming(shard_id=i, n_users=1, weight=1, wall_s=wall))
+    return stage
+
+
+class TestTimingInvariants:
+    @given(durations)
+    @settings(max_examples=200, deadline=None)
+    def test_busy_at_least_critical_path(self, walls):
+        stage = stage_of(walls)
+        assert stage.busy_s >= stage.critical_path_s
+
+    @given(durations)
+    @settings(max_examples=200, deadline=None)
+    def test_imbalance_at_least_one(self, walls):
+        # max >= mean for nonnegative values, so imbalance >= 1 (small
+        # float slack: busy_s is a sum of up to 40 terms).
+        assert stage_of(walls).imbalance() >= 1.0 - 1e-9
+
+    @given(durations)
+    @settings(max_examples=200, deadline=None)
+    def test_imbalance_is_finite_for_real_timings(self, walls):
+        assert math.isfinite(stage_of(walls).imbalance())
+
+    def test_no_shards_is_balanced(self):
+        assert stage_of([]).imbalance() == 1.0
+
+    def test_all_zero_durations_is_balanced(self):
+        # The degenerate case: mean 0 AND critical path 0 means nothing
+        # ran long enough to measure — balanced by definition, not an
+        # accidental division fallback.
+        stage = stage_of([0.0, 0.0, 0.0])
+        assert stage.critical_path_s == 0.0
+        assert stage.imbalance() == 1.0
+
+    def test_positive_critical_path_with_zero_mean_is_unbounded(self):
+        # Unreachable through run_stage (busy >= critical for nonneg
+        # walls) but constructible by hand; must not read as "balanced".
+        stage = stage_of([0.0])
+        stage.shards[0] = ShardTiming(shard_id=0, n_users=1, weight=1, wall_s=0.0)
+        stage.shards.append(ShardTiming(shard_id=1, n_users=1, weight=1, wall_s=-1.0))
+        stage.shards.append(ShardTiming(shard_id=2, n_users=1, weight=1, wall_s=1.0))
+        # busy_s == 0, critical_path_s == 1.0 -> inf, asymmetric no more.
+        assert stage.busy_s == 0.0 and stage.critical_path_s == 1.0
+        assert stage.imbalance() == float("inf")
+
+    @given(durations)
+    @settings(max_examples=100, deadline=None)
+    def test_as_dict_is_consistent(self, walls):
+        stage = stage_of(walls)
+        data = stage.as_dict()
+        assert data["busy_s"] == stage.busy_s
+        assert data["critical_path_s"] == stage.critical_path_s
+        assert len(data["shards"]) == len(walls)
+
+
+weight_lists = st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60)
+
+
+class TestShardingInvariants:
+    def build(self, weights):
+        users = [make_user(f"u{i:03d}") for i in range(len(weights))]
+        dataset = make_dataset(users)
+        table = {f"u{i:03d}": w for i, w in enumerate(weights)}
+        return dataset, lambda data: table[data.user_id]
+
+    @given(weight_lists, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_weights_conserved(self, weights, n_shards):
+        dataset, weight_fn = self.build(weights)
+        shards = shard_dataset(dataset, n_shards, weight_fn=weight_fn)
+        assert sum(shard.weight for shard in shards) == sum(weights)
+
+    @given(weight_lists, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_exact_partition(self, weights, n_shards):
+        dataset, weight_fn = self.build(weights)
+        shards = shard_dataset(dataset, n_shards, weight_fn=weight_fn)
+        seen = [u for shard in shards for u in shard.user_ids]
+        assert sorted(seen) == sorted(dataset.users)
+        assert len(seen) == len(set(seen))
+        assert 1 <= len(shards) <= min(n_shards, len(weights))
+
+    @given(weight_lists, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=200, deadline=None)
+    def test_deterministic_and_dataset_ordered(self, weights, n_shards):
+        dataset, weight_fn = self.build(weights)
+        a = shard_dataset(dataset, n_shards, weight_fn=weight_fn)
+        b = shard_dataset(dataset, n_shards, weight_fn=weight_fn)
+        assert a == b
+        order = {user_id: i for i, user_id in enumerate(dataset.users)}
+        for shard in a:
+            positions = [order[u] for u in shard.user_ids]
+            assert positions == sorted(positions)
+
+    @given(weight_lists, st.integers(min_value=1, max_value=16))
+    @settings(max_examples=100, deadline=None)
+    def test_shard_ids_are_dense(self, weights, n_shards):
+        dataset, weight_fn = self.build(weights)
+        shards = shard_dataset(dataset, n_shards, weight_fn=weight_fn)
+        assert [shard.shard_id for shard in shards] == list(range(len(shards)))
+        assert all(isinstance(shard, Shard) and len(shard) > 0 for shard in shards)
