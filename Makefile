@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage bench bench-quick bench-scaling
+.PHONY: test coverage faults bench bench-quick bench-scaling
 
 test:            ## tier-1 suite (fast; what CI gates on)
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,9 @@ coverage:        ## tier-1 suite under coverage; fails under the 80% floor
 		echo "pytest-cov not installed; using stdlib fallback tracer"; \
 		$(PYTHON) tools/simple_cov.py --fail-under 80; \
 	fi
+
+faults:          ## fault-injection drills (crash/timeout recovery, skip policy)
+	$(PYTHON) -m pytest tests/test_runtime_faults.py -q
 
 bench:           ## full benchmark suite, including slow MANET runs
 	$(PYTHON) -m pytest benchmarks -q

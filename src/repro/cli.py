@@ -22,6 +22,13 @@ manifest next to it (``out.manifest.json``), ``--manifest PATH`` picks
 the manifest location explicitly, and ``--no-obs`` turns instrumentation
 off entirely (output is byte-identical either way).  ``inspect`` pretty
 prints a previously written manifest.
+
+Fault tolerance: ``--retries N``, ``--shard-timeout S`` and
+``--on-failure {fail_fast,retry_then_serial,skip_and_report}`` arm the
+shard-level resilience layer (crash recovery, deterministic retry
+backoff, poison-shard serial fallback); ``validate --inject-faults
+plan.json`` additionally replays a deterministic fault plan for
+operator drills (see ``repro.runtime.faults``).
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from typing import List, Optional
 
 from .core import ClassifyConfig, MatchConfig, VisitConfig, validate
 from .obs import NULL_OBS, ObsContext, RunManifest, activate, build_manifest, write_trace
+from .runtime import POLICIES, FaultPlan, ResilienceConfig
 from .experiments import (
     build_study,
     figure1,
@@ -84,6 +92,79 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_resilience_flags(
+    parser: argparse.ArgumentParser, inject: bool = False
+) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retry a failed shard up to N times with deterministic backoff "
+             "(arms the fault-tolerance layer)",
+    )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="treat a shard running longer than this as failed "
+             "(process-pool runs only)",
+    )
+    parser.add_argument(
+        "--on-failure",
+        choices=POLICIES,
+        default=None,
+        help="policy for a shard that keeps failing: abort on first failure, "
+             "fall back to in-process serial execution (default), or skip the "
+             "shard and report its users as degraded",
+    )
+    if inject:
+        parser.add_argument(
+            "--inject-faults",
+            metavar="PLAN",
+            help="JSON fault plan replayed deterministically against the run "
+                 "(crash/exception/delay keyed by stage, shard and attempt)",
+        )
+
+
+def _resilience_from_args(args: argparse.Namespace):
+    """Build ``(ResilienceConfig | None, FaultPlan | None, exit_code | None)``.
+
+    The resilience layer arms when any of its flags (or a fault plan)
+    is present; unset flags fall back to the config defaults.
+    """
+    plan_path = getattr(args, "inject_faults", None)
+    plan = None
+    if plan_path:
+        try:
+            plan = FaultPlan.load(plan_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"cannot read fault plan: {exc}", file=sys.stderr)
+            return None, None, 2
+    armed = (
+        args.retries is not None
+        or args.shard_timeout is not None
+        or args.on_failure is not None
+        or plan is not None
+    )
+    if not armed:
+        return None, None, None
+    defaults = ResilienceConfig()
+    try:
+        config = ResilienceConfig(
+            max_retries=(
+                args.retries if args.retries is not None else defaults.max_retries
+            ),
+            shard_timeout_s=args.shard_timeout,
+            on_failure=args.on_failure or defaults.on_failure,
+        )
+    except ValueError as exc:
+        print(f"invalid resilience flags: {exc}", file=sys.stderr)
+        return None, None, 2
+    return config, plan, None
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
@@ -129,6 +210,7 @@ def _write_obs_artifacts(
     seeds=None,
     timings=None,
     extra=None,
+    health=None,
 ) -> None:
     """Write the trace JSONL and/or manifest a command was asked for."""
     if not ctx.enabled:
@@ -139,6 +221,9 @@ def _write_obs_artifacts(
     if manifest_path is None and args.trace:
         manifest_path = Path(args.trace).with_suffix(".manifest.json")
     if manifest_path:
+        if health is not None:
+            extra = dict(extra or {})
+            extra["health"] = health.as_dict()
         manifest = build_manifest(
             command,
             dataset=dataset,
@@ -172,6 +257,7 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--timings", action="store_true",
                      help="print the per-stage runtime breakdown")
     _add_workers_flag(val)
+    _add_resilience_flags(val, inject=True)
     _add_obs_flags(val)
 
     rep = sub.add_parser("report", help="regenerate the paper's tables and figures")
@@ -181,6 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of: {', '.join(EXPERIMENTS)}",
     )
     _add_workers_flag(rep)
+    _add_resilience_flags(rep)
     _add_obs_flags(rep)
 
     man = sub.add_parser("manet", help="run the Figure 8 MANET comparison")
@@ -191,6 +278,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the paper's 200-node, 100 km configuration (slow)",
     )
     _add_workers_flag(man)
+    _add_resilience_flags(man)
     _add_obs_flags(man)
 
     exp = sub.add_parser("export", help="export every table/figure's data to CSV")
@@ -199,6 +287,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-manet", action="store_true",
                      help="skip the (slow) Figure 8 simulation")
     _add_workers_flag(exp)
+    _add_resilience_flags(exp)
     _add_obs_flags(exp)
 
     rec = sub.add_parser(
@@ -206,6 +295,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rec.add_argument("--scale", type=float, default=0.15)
     _add_workers_flag(rec)
+    _add_resilience_flags(rec)
     _add_obs_flags(rec)
 
     ins = sub.add_parser("inspect", help="pretty-print a run manifest")
@@ -241,6 +331,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     ctx, err = _obs_context(args)
     if err is not None:
         return err
+    resilience, fault_plan, err = _resilience_from_args(args)
+    if err is not None:
+        return err
     seeds = {}
     with activate(ctx):
         if args.data:
@@ -251,8 +344,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             seeds["primary"] = config.seed
             dataset = generate_dataset(config.scaled(args.scale))
             extra = {"scale": args.scale}
-        report = validate(dataset, workers=args.workers)
+        report = validate(
+            dataset, workers=args.workers,
+            resilience=resilience, fault_plan=fault_plan,
+        )
     print(report.summary())
+    if report.health.recovered or report.health.degraded:
+        print(report.health.format_report())
     if args.timings:
         print(report.timings.format_report())
     _write_obs_artifacts(
@@ -262,17 +360,25 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         seeds=seeds,
         timings=report.timings.as_dict(),
         extra=extra,
+        health=report.health if resilience is not None else None,
     )
     return 0
 
 
 def _study_artifacts(args: argparse.Namespace, ctx):
     """Run ``build_study`` for a study-shaped command under ``ctx``."""
-    return build_study(scale=args.scale, workers=args.workers, obs=ctx)
+    resilience, fault_plan, err = _resilience_from_args(args)
+    if err is not None:
+        raise SystemExit(err)
+    return build_study(
+        scale=args.scale, workers=args.workers, obs=ctx,
+        resilience=resilience, fault_plan=fault_plan,
+    )
 
 
 def _write_study_artifacts(args: argparse.Namespace, ctx, command: str, artifacts) -> None:
     """Manifest/trace output shared by report/manet/export/recover."""
+    health = artifacts.primary_report.health
     _write_obs_artifacts(
         args, ctx, command,
         dataset=artifacts.primary,
@@ -280,6 +386,7 @@ def _write_study_artifacts(args: argparse.Namespace, ctx, command: str, artifact
         seeds={"primary": 20131121, "baseline": 20131122},
         timings=artifacts.primary_report.timings.as_dict(),
         extra={"scale": args.scale, "scope": "primary"},
+        health=health if (health.recovered or health.degraded) else None,
     )
 
 

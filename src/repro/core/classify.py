@@ -237,39 +237,67 @@ def classify_dataset(
     executor=None,
     workers: Optional[int] = None,
     timings: Optional[RuntimeTimings] = None,
+    resilience=None,
+    fault_plan=None,
+    health=None,
 ) -> ClassificationResult:
     """Label every checkin: HONEST for matches, taxonomy for the rest.
 
     ``executor``/``workers`` shard the (per-user independent) taxonomy
     across processes with results identical to the serial run;
     ``timings`` collects the stage's shard timings.
+    ``resilience``/``fault_plan``/``health`` arm the shard-level
+    fault-tolerance layer.  Users absent from ``matching.per_user`` are
+    tolerated only when ``health`` records them as skipped upstream —
+    a degraded run surfaces them instead of silently dropping labels.
     """
     config = config or ClassifyConfig()
-    for user_id in dataset.users:
-        if user_id not in matching.per_user:
-            raise ValueError(f"matching result lacks user {user_id!r}")
+    unmatched = [u for u in dataset.users if u not in matching.per_user]
+    if unmatched:
+        known_skips = set(health.skipped_user_ids()) if health is not None else set()
+        unexplained = [u for u in unmatched if u not in known_skips]
+        if unexplained:
+            raise ValueError(f"matching result lacks user {unexplained[0]!r}")
+    work = (
+        dataset
+        if not unmatched
+        else dataset.subset(
+            [u for u in dataset.users if u in matching.per_user], name=dataset.name
+        )
+    )
     exec_, owned = resolve_executor(executor, workers)
     try:
-        shards = shard_dataset(dataset, shard_count(exec_, len(dataset.users)))
+        shards = shard_dataset(work, shard_count(exec_, len(work.users)))
 
         def payload_of(shard):
             users = []
             for uid in shard.user_ids:
-                data = dataset.users[uid]
+                data = work.users[uid]
                 users.append(
                     (uid, data.gps, data.require_visits(), matching.per_user[uid].extraneous)
                 )
             return (config, users)
 
-        results, timing = run_stage("classify", exec_, shards, _classify_shard, payload_of)
+        results, timing = run_stage(
+            "classify", exec_, shards, _classify_shard, payload_of,
+            resilience=resilience, fault_plan=fault_plan, health=health,
+        )
     finally:
         if owned:
             exec_.close()
     if timings is not None:
         timings.stages.append(timing)
-    extraneous_labels = merge_user_maps(dataset, results)
+    skipped = {
+        user_id
+        for shard, result in zip(shards, results)
+        if result is None
+        for user_id in shard.user_ids
+    }
+    extraneous_labels = merge_user_maps(
+        work, [r for r in results if r is not None], allow_missing=skipped
+    )
     result = ClassificationResult(config=config)
-    for user_id in dataset.users:
+    for user_id in extraneous_labels:
         user_match = matching.per_user[user_id]
         for checkin, _ in user_match.matches:
             result.labels[checkin.checkin_id] = CheckinType.HONEST

@@ -264,12 +264,18 @@ def match_dataset(
     executor=None,
     workers: Optional[int] = None,
     timings: Optional[RuntimeTimings] = None,
+    resilience=None,
+    fault_plan=None,
+    health=None,
 ) -> MatchingResult:
     """Run matching for every user in a dataset with extracted visits.
 
     ``executor``/``workers`` shard the (per-user independent) algorithm
     across processes; any worker count returns results identical to the
     serial run.  ``timings`` collects the stage's shard timings.
+    ``resilience``/``fault_plan``/``health`` arm the shard-level
+    fault-tolerance layer; under ``skip_and_report`` a skipped shard's
+    users are absent from ``per_user`` and recorded on ``health``.
     """
     config = config or MatchConfig()
     exec_, owned = resolve_executor(executor, workers)
@@ -285,10 +291,22 @@ def match_dataset(
                 ],
             )
 
-        results, timing = run_stage("match", exec_, shards, _match_shard, payload_of)
+        results, timing = run_stage(
+            "match", exec_, shards, _match_shard, payload_of,
+            resilience=resilience, fault_plan=fault_plan, health=health,
+        )
     finally:
         if owned:
             exec_.close()
     if timings is not None:
         timings.stages.append(timing)
-    return MatchingResult(config=config, per_user=merge_user_maps(dataset, results))
+    skipped = {
+        user_id
+        for shard, result in zip(shards, results)
+        if result is None
+        for user_id in shard.user_ids
+    }
+    per_user = merge_user_maps(
+        dataset, [r for r in results if r is not None], allow_missing=skipped
+    )
+    return MatchingResult(config=config, per_user=per_user)

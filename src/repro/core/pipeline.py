@@ -14,7 +14,7 @@ from typing import Dict, Optional
 from ..model import CheckinType, Dataset
 from ..obs import activate
 from ..obs import current as obs_current
-from ..runtime import RuntimeTimings, resolve_executor
+from ..runtime import RunHealth, RuntimeTimings, resolve_executor
 from .classify import ClassificationResult, ClassifyConfig, classify_dataset
 from .matching import MatchConfig, MatchingResult, match_dataset
 from .visits import VisitConfig, extract_dataset_visits
@@ -29,6 +29,9 @@ class ValidationReport:
     classification: ClassificationResult
     #: Per-stage/shard timings of the run that produced this report.
     timings: RuntimeTimings = field(default_factory=RuntimeTimings)
+    #: What the resilience layer had to do (retries, rebuilds, skips);
+    #: empty/clean when resilience was off or nothing failed.
+    health: RunHealth = field(default_factory=RunHealth)
 
     @property
     def n_honest(self) -> int:
@@ -71,6 +74,12 @@ class ValidationReport:
         ):
             share = counts[kind] / self.n_extraneous if self.n_extraneous else 0.0
             lines.append(f"    {kind.value:<12} {counts[kind]:>7}  ({100 * share:.0f}% of extraneous)")
+        if self.health.degraded:
+            skipped = self.health.skipped_user_ids()
+            lines.append(
+                f"  DEGRADED RUN: {len(skipped)} user(s) skipped after repeated"
+                f" shard failures [{', '.join(skipped)}]"
+            )
         return "\n".join(lines)
 
 
@@ -82,6 +91,9 @@ def validate(
     workers: Optional[int] = None,
     executor=None,
     obs=None,
+    resilience=None,
+    fault_plan=None,
+    health: Optional[RunHealth] = None,
 ) -> ValidationReport:
     """Run the full checkin-validity pipeline on a dataset.
 
@@ -94,6 +106,18 @@ def validate(
     identical to the serial run; ``report.timings`` records how the
     wall time split across stages and shards.
 
+    ``resilience`` (a :class:`repro.runtime.ResilienceConfig`) arms
+    shard-level fault tolerance: failed shards are retried with
+    deterministic backoff, crashed pools are rebuilt and only the
+    unfinished shards re-run, and poison shards fall back to the serial
+    path — a recovered run is byte-identical to a clean one.  Under the
+    ``skip_and_report`` policy, users whose shard kept failing are
+    excluded from downstream stages and surfaced on ``report.health``
+    (and in the summary), never silently missing.  ``fault_plan`` (a
+    :class:`repro.runtime.FaultPlan`) deterministically injects faults
+    for drills; ``health`` lets callers share one
+    :class:`repro.runtime.RunHealth` accumulator across runs.
+
     ``obs`` is an optional :class:`repro.obs.ObsContext`; when given (or
     when one is already ambient via :func:`repro.obs.activate`), the run
     records spans and metrics into it.  Observation never changes the
@@ -102,6 +126,8 @@ def validate(
     ctx = obs if obs is not None else obs_current()
     exec_, owned = resolve_executor(executor, workers)
     timings = RuntimeTimings()
+    if health is None:
+        health = RunHealth()
     try:
         with activate(ctx), ctx.span(
             "pipeline.validate",
@@ -110,15 +136,32 @@ def validate(
             workers=exec_.workers,
         ):
             extract_dataset_visits(
-                dataset, visit_config, executor=exec_, timings=timings
+                dataset, visit_config, executor=exec_, timings=timings,
+                resilience=resilience, fault_plan=fault_plan, health=health,
+            )
+            # Users skipped during extraction have no visits; keep the
+            # degraded run going on the users that do.
+            skipped = set(health.skipped_user_ids("extract"))
+            working = (
+                dataset
+                if not skipped
+                else dataset.subset(
+                    [u for u in dataset.users if u not in skipped],
+                    name=dataset.name,
+                )
             )
             matching = match_dataset(
-                dataset, match_config, executor=exec_, timings=timings
+                working, match_config, executor=exec_, timings=timings,
+                resilience=resilience, fault_plan=fault_plan, health=health,
             )
             classification = classify_dataset(
-                dataset, matching, classify_config, executor=exec_, timings=timings
+                working, matching, classify_config, executor=exec_,
+                timings=timings, resilience=resilience, fault_plan=fault_plan,
+                health=health,
             )
             ctx.count("pipeline.runs_total", 1)
+            if health.degraded:
+                ctx.set_gauge("pipeline.degraded", 1.0)
     finally:
         if owned:
             exec_.close()
@@ -127,4 +170,5 @@ def validate(
         matching=matching,
         classification=classification,
         timings=timings,
+        health=health,
     )

@@ -147,6 +147,9 @@ def extract_dataset_visits(
     executor=None,
     workers: Optional[int] = None,
     timings: Optional[RuntimeTimings] = None,
+    resilience=None,
+    fault_plan=None,
+    health=None,
 ) -> Dataset:
     """Populate ``visits`` for every user in ``dataset`` (in place).
 
@@ -154,7 +157,10 @@ def extract_dataset_visits(
     ``force`` is set.  ``executor``/``workers`` shard extraction across
     processes (per-user independent, so results are identical to the
     serial run); ``timings`` collects the stage's shard timings.
-    Returns the same dataset for chaining.
+    ``resilience``/``fault_plan``/``health`` arm the shard-level
+    fault-tolerance layer (see :func:`repro.runtime.run_stage`); under
+    ``skip_and_report`` a skipped shard's users keep ``visits=None`` and
+    are recorded on ``health``.  Returns the same dataset for chaining.
     """
     config = config or VisitConfig()
     pending = [
@@ -177,12 +183,24 @@ def extract_dataset_visits(
                 [(uid, dataset.users[uid].gps) for uid in shard.user_ids],
             )
 
-        results, timing = run_stage("extract", exec_, shards, _extract_shard, payload_of)
+        results, timing = run_stage(
+            "extract", exec_, shards, _extract_shard, payload_of,
+            resilience=resilience, fault_plan=fault_plan, health=health,
+        )
     finally:
         if owned:
             exec_.close()
     if timings is not None:
         timings.stages.append(timing)
-    for user_id, visits in merge_user_maps(subset, results).items():
+    skipped = {
+        user_id
+        for shard, result in zip(shards, results)
+        if result is None
+        for user_id in shard.user_ids
+    }
+    merged = merge_user_maps(
+        subset, [r for r in results if r is not None], allow_missing=skipped
+    )
+    for user_id, visits in merged.items():
         dataset.users[user_id].visits = visits
     return dataset

@@ -37,13 +37,17 @@ def build_study(
     workers: Optional[int] = None,
     executor=None,
     obs=None,
+    resilience=None,
+    fault_plan=None,
 ) -> StudyArtifacts:
     """Generate Primary + Baseline and run the validation pipeline on both.
 
     ``workers``/``executor`` select the validation runtime (see
     :func:`repro.core.validate`); one executor — and thus one process
     pool — is shared across both datasets.  Results are identical for
-    any worker count.  ``obs`` (an :class:`repro.obs.ObsContext`)
+    any worker count.  ``resilience``/``fault_plan`` arm the shard
+    fault-tolerance layer for both validation runs; each report carries
+    its own ``health``.  ``obs`` (an :class:`repro.obs.ObsContext`)
     captures spans and metrics for generation and both validation runs;
     it never changes results.
     """
@@ -53,8 +57,14 @@ def build_study(
         with activate(ctx), ctx.span("study.build", scale=scale):
             primary = generate_dataset(primary_config(primary_seed).scaled(scale))
             baseline = generate_dataset(baseline_config(baseline_seed).scaled(scale))
-            primary_report = validate(primary, executor=exec_)
-            baseline_report = validate(baseline, executor=exec_)
+            primary_report = validate(
+                primary, executor=exec_,
+                resilience=resilience, fault_plan=fault_plan,
+            )
+            baseline_report = validate(
+                baseline, executor=exec_,
+                resilience=resilience, fault_plan=fault_plan,
+            )
     finally:
         if owned:
             exec_.close()

@@ -179,6 +179,22 @@ class RunManifest:
             seeds = ", ".join(f"{k}={v}" for k, v in sorted(self.seeds.items()))
             lines.append(f"  seeds:           {seeds}")
         for key, value in sorted(self.extra.items()):
+            if key == "health" and isinstance(value, dict):
+                lines.append(
+                    f"  health:          "
+                    f"{'DEGRADED' if value.get('degraded') else 'recovered'}"
+                    f" (retries={value.get('retries', 0)},"
+                    f" timeouts={value.get('timeouts', 0)},"
+                    f" pool_rebuilds={value.get('pool_rebuilds', 0)},"
+                    f" serial_fallbacks={value.get('serial_fallbacks', 0)})"
+                )
+                for skip in value.get("skipped", []):
+                    lines.append(
+                        f"    skipped: stage {skip.get('stage')!r}"
+                        f" shard {skip.get('shard_id')}"
+                        f" users {', '.join(skip.get('user_ids', []))}"
+                    )
+                continue
             lines.append(f"  {key + ':':<16} {value}")
         stages = self.timings.get("stages", [])
         if stages:

@@ -75,26 +75,41 @@ class Histogram:
         """Sum of observations."""
         return sum(self.values)
 
+    @staticmethod
+    def _rank(ordered: List[float], p: float) -> float:
+        """Nearest-rank percentile over an already-sorted list."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
+        return ordered[int(rank) - 1]
+
     def percentile(self, p: float) -> float:
         """Nearest-rank percentile ``p`` in [0, 100] (0.0 when empty)."""
         if not self.values:
             return 0.0
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        ordered = sorted(self.values)
-        rank = max(1, -(-len(ordered) * p // 100))  # ceil without floats
-        return ordered[int(rank) - 1]
+        return self._rank(sorted(self.values), p)
 
     def summary(self) -> Dict[str, Any]:
-        """JSON-safe summary (count/sum/min/max/percentiles)."""
-        out: Dict[str, Any] = {
-            "count": self.count,
-            "sum": self.total,
-            "min": min(self.values) if self.values else 0.0,
-            "max": max(self.values) if self.values else 0.0,
+        """JSON-safe summary (count/sum/min/max/percentiles).
+
+        Sorts the observation pool once and indexes it per percentile —
+        a manifest write summarises every histogram, so the old
+        sort-per-percentile cost (O(k·n log n)) was paid on each run.
+        """
+        if not self.values:
+            out: Dict[str, Any] = {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0}
+            for p in PERCENTILES:
+                out[f"p{p}"] = 0.0
+            return out
+        ordered = sorted(self.values)
+        out = {
+            "count": len(ordered),
+            "sum": sum(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
         }
         for p in PERCENTILES:
-            out[f"p{p}"] = self.percentile(p)
+            out[f"p{p}"] = self._rank(ordered, p)
         return out
 
 

@@ -15,6 +15,26 @@ class RuntimeConfigError(ValueError):
     """Invalid runtime configuration (worker counts, shard counts, ...)."""
 
 
+class WorkUnitError(RuntimeError):
+    """One work unit of an executor ``map`` failed.
+
+    Raised by both executors so the caller learns *which* payload failed
+    (``index`` is the submission position) without re-running anything.
+    Sibling futures are cancelled before this propagates, so a failing
+    shard never leaves the rest of the batch running unattended.
+
+    Attributes:
+        index: submission index of the failing payload.
+        cause: the underlying worker-side exception.
+    """
+
+    def __init__(self, index: int, cause: BaseException) -> None:
+        self.index = index
+        self.cause = cause
+        super().__init__(f"work unit {index} failed: {cause!r}")
+        self.__cause__ = cause
+
+
 class ShardError(RuntimeError):
     """A shard's work unit failed inside an executor.
 
@@ -23,6 +43,8 @@ class ShardError(RuntimeError):
         shard_id: index of the failing shard.
         user_ids: users contained in the failing shard.
         worker_traceback: traceback text captured in the worker, if any.
+        attempts: how many times the shard was tried before giving up
+            (1 when the resilience layer was not in play).
     """
 
     def __init__(
@@ -32,15 +54,19 @@ class ShardError(RuntimeError):
         user_ids: Sequence[str],
         cause: BaseException,
         worker_traceback: Optional[str] = None,
+        attempts: int = 1,
     ) -> None:
         self.stage = stage
         self.shard_id = shard_id
         self.user_ids: Tuple[str, ...] = tuple(user_ids)
         self.worker_traceback = worker_traceback
+        self.attempts = attempts
         preview = ", ".join(self.user_ids[:5])
         if len(self.user_ids) > 5:
             preview += f", ... ({len(self.user_ids)} users)"
         message = f"stage {stage!r}, shard {shard_id} [{preview}]: {cause!r}"
+        if attempts > 1:
+            message += f" (after {attempts} attempts)"
         if worker_traceback:
             message += f"\n--- worker traceback ---\n{worker_traceback}"
         super().__init__(message)

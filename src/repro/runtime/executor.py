@@ -20,13 +20,16 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from ..obs import ObsContext, activate
 from ..obs import current as obs_current
-from .errors import RuntimeConfigError, ShardError
+from .errors import RuntimeConfigError, ShardError, WorkUnitError
+from .faults import FaultPlan
+from .resilience import ResilienceConfig, RunHealth, run_shards_resilient
 from .sharding import Shard
 from .timing import ShardTiming, StageTiming
 
@@ -49,8 +52,18 @@ class SerialExecutor:
     workers = 1
 
     def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
-        """Apply ``fn`` to each payload, in order."""
-        return [fn(payload) for payload in payloads]
+        """Apply ``fn`` to each payload, in order.
+
+        A failing payload surfaces as :class:`WorkUnitError` naming its
+        submission index — the same contract as the parallel executor.
+        """
+        results = []
+        for index, payload in enumerate(payloads):
+            try:
+                results.append(fn(payload))
+            except Exception as exc:
+                raise WorkUnitError(index, exc) from exc
+        return results
 
     def close(self) -> None:
         """Nothing to release."""
@@ -99,15 +112,53 @@ class ParallelExecutor:
             )
         return self._pool
 
+    def submit(self, fn: Callable[[Any], Any], payload: Any) -> Future:
+        """Submit one work unit, returning its future.
+
+        The per-shard control the resilience layer needs (timeouts,
+        selective retry) lives on the future; ``map`` stays the simple
+        all-or-nothing path.
+        """
+        return self._ensure_pool().submit(fn, payload)
+
     def map(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
         """Apply ``fn`` to each payload across the pool.
 
         Results come back in submission order regardless of completion
-        order — the determinism guarantee starts here.
+        order — the determinism guarantee starts here.  A failing
+        payload cancels its still-queued siblings and surfaces as
+        :class:`WorkUnitError` naming the submission index; a dead
+        worker (``BrokenProcessPool``) additionally drops the broken
+        pool so the executor stays reusable.
         """
         pool = self._ensure_pool()
         futures = [pool.submit(fn, payload) for payload in payloads]
-        return [future.result() for future in futures]
+        try:
+            return [self._collect(index, future) for index, future in enumerate(futures)]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+
+    def _collect(self, index: int, future: Future) -> Any:
+        try:
+            return future.result()
+        except BrokenProcessPool:
+            self.reset()  # the pool is dead; next use builds a fresh one
+            raise
+        except Exception as exc:
+            raise WorkUnitError(index, exc) from exc
+
+    def reset(self) -> None:
+        """Discard the pool without waiting (crash/straggler recovery).
+
+        Unlike :meth:`close` this never blocks on in-flight work — a
+        hung or crashed worker must not wedge recovery — and the next
+        ``submit``/``map`` lazily builds a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
@@ -185,6 +236,9 @@ def run_stage(
     shards: Sequence[Shard],
     worker: Callable[[Any], Any],
     payload_of: Callable[[Shard], Any],
+    resilience: Optional[ResilienceConfig] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    health: Optional[RunHealth] = None,
 ) -> Tuple[List[Any], StageTiming]:
     """Run one sharded stage and capture its timings.
 
@@ -192,11 +246,20 @@ def run_stage(
     payload built by ``payload_of``.  Shard failures surface as
     :class:`ShardError` naming the stage, shard and users.
 
+    ``resilience`` arms the retry/timeout/fallback layer (see
+    :mod:`repro.runtime.resilience`); under its ``skip_and_report``
+    policy a skipped shard's result slot is ``None`` and the skip is
+    recorded on ``health``.  ``fault_plan`` deterministically injects
+    crashes/exceptions/delays for drills and tests (a plan without an
+    explicit config runs under the default policy).
+
     With an active observation context, the stage runs under a
     ``stage.<name>`` span, workers ship their span/metric deltas back,
     and the deltas are absorbed in shard-id order — the same totals for
     any worker count.
     """
+    if resilience is None and fault_plan is not None:
+        resilience = ResilienceConfig()
     obs = obs_current()
     timing = StageTiming(stage=stage, executor=executor.name, workers=executor.workers)
     with obs.span(
@@ -208,27 +271,35 @@ def run_stage(
         t0 = time.perf_counter()
         payloads = [payload_of(shard) for shard in shards]
         task = _Instrumented(worker, observe=obs.enabled)
-        try:
-            timed_results = executor.map(task, payloads)
-        except Exception as exc:  # pinpoint the failing shard serially
-            for shard, payload in zip(shards, payloads):
-                obs.count("runtime.shard_retries", 1)
-                obs.event("runtime.shard_retry", stage=stage, shard_id=shard.shard_id)
-                try:
-                    task(payload)
-                except Exception as shard_exc:
-                    raise ShardError(
-                        stage, shard.shard_id, shard.user_ids, shard_exc
-                    ) from exc
-            raise ShardError(stage, -1, (), exc) from exc
+        if resilience is not None:
+            timed_results, attempts = run_shards_resilient(
+                stage, executor, shards, task, payloads,
+                resilience, fault_plan, health,
+            )
+        else:
+            try:
+                timed_results = executor.map(task, payloads)
+            except WorkUnitError as exc:
+                shard = shards[exc.index]
+                raise ShardError(
+                    stage, shard.shard_id, shard.user_ids, exc.cause
+                ) from exc.cause
+            except Exception as exc:  # pool-level failure; no single shard
+                raise ShardError(stage, -1, (), exc) from exc
+            attempts = [1] * len(shards)
         results = []
-        for shard, (wall_s, delta, result) in zip(shards, timed_results):
+        for shard, n_attempts, timed in zip(shards, attempts, timed_results):
+            if timed is None:  # skipped under skip_and_report
+                results.append(None)
+                continue
+            wall_s, delta, result = timed
             timing.shards.append(
                 ShardTiming(
                     shard_id=shard.shard_id,
                     n_users=len(shard),
                     weight=shard.weight,
                     wall_s=wall_s,
+                    attempts=n_attempts,
                 )
             )
             if delta is not None:

@@ -1,0 +1,241 @@
+"""Deterministic fault injection for the sharded runtime.
+
+A :class:`FaultPlan` is a pure lookup table keyed by
+``(stage, shard_id, attempt)`` — no randomness, no clocks — so a drill
+or a test can script *exactly* which work unit misbehaves, how, and on
+which try, and replay the same failure sequence forever.  Three fault
+kinds cover the failure modes a process-pool runtime actually sees:
+
+* ``crash``      — the worker process dies mid-shard (``os._exit``),
+  which surfaces to the parent as a ``BrokenProcessPool``;
+* ``exception``  — the work unit raises :class:`InjectedFault`;
+* ``delay``      — the work unit sleeps ``delay_s`` before running,
+  turning the shard into a straggler (pair with a shard timeout).
+
+Plans are plain JSON so operators can run drills from the CLI::
+
+    repro-study validate --scale 0.05 --workers 2 \\
+        --inject-faults plan.json --on-failure retry_then_serial
+
+with ``plan.json`` shaped like::
+
+    {"faults": [
+      {"stage": "extract", "shard_id": 0, "attempt": 1, "kind": "crash"},
+      {"stage": "match", "shard_id": 1, "attempt": 1,
+       "kind": "delay", "delay_s": 3.0}
+    ]}
+
+Attempts are 1-based and keep counting across recovery paths: if a
+shard's pool attempts are exhausted and the resilience layer falls back
+to running it in-parent, that serial attempt sees
+``attempt == max_pool_attempts + 1`` — so a plan can script "crashes in
+every pool attempt, clean on the serial fallback" to exercise
+poison-shard isolation end to end.
+
+Injection in the parent process never calls ``os._exit`` (that would
+kill the run instead of one worker): a ``crash`` fault firing where
+exiting is not allowed raises :class:`InjectedCrash` instead, which the
+resilience layer treats like any other shard failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+#: The fault kinds a plan may inject.
+FAULT_KINDS = ("crash", "exception", "delay")
+
+#: Exit code used by injected worker crashes (recognisable in core dumps).
+CRASH_EXIT_CODE = 13
+
+
+class InjectedFault(RuntimeError):
+    """Exception raised by an ``exception`` fault."""
+
+
+class InjectedCrash(RuntimeError):
+    """Stand-in for a ``crash`` fault where killing the process is unsafe."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: what goes wrong, where, and on which try."""
+
+    stage: str
+    shard_id: int
+    attempt: int
+    kind: str
+    #: Sleep length for ``delay`` faults, seconds.
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if self.attempt < 1:
+            raise ValueError(f"attempt is 1-based, got {self.attempt}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.kind == "delay" and self.delay_s == 0:
+            raise ValueError("delay faults need delay_s > 0")
+
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        """The ``(stage, shard_id, attempt)`` coordinate this fault fires at."""
+        return (self.stage, self.shard_id, self.attempt)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe record (the plan-file entry shape)."""
+        out: Dict[str, Any] = {
+            "stage": self.stage,
+            "shard_id": self.shard_id,
+            "attempt": self.attempt,
+            "kind": self.kind,
+        }
+        if self.kind == "delay":
+            out["delay_s"] = self.delay_s
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of scripted faults; a pure function of its entries.
+
+    ``lookup`` is the whole runtime contract: given a stage, shard and
+    attempt it either names the fault to inject or returns ``None``.
+    Plans are picklable, so they ship to workers with the payloads.
+    """
+
+    faults: Tuple[FaultSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen: Dict[Tuple[str, int, int], FaultSpec] = {}
+        for fault in self.faults:
+            if fault.key in seen:
+                raise ValueError(f"duplicate fault at {fault.key}")
+            seen[fault.key] = fault
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def lookup(self, stage: str, shard_id: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault scripted at ``(stage, shard_id, attempt)``, if any."""
+        for fault in self.faults:
+            if fault.key == (stage, shard_id, attempt):
+                return fault
+        return None
+
+    # -- JSON round-trip ----------------------------------------------------
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump (the ``plan.json`` file shape)."""
+        return {"faults": [fault.as_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        """Build a plan from the ``as_dict`` shape, validating every entry."""
+        entries = data.get("faults")
+        if not isinstance(entries, list):
+            raise ValueError("fault plan needs a top-level 'faults' list")
+        faults = []
+        for entry in entries:
+            try:
+                faults.append(
+                    FaultSpec(
+                        stage=entry["stage"],
+                        shard_id=int(entry["shard_id"]),
+                        attempt=int(entry.get("attempt", 1)),
+                        kind=entry["kind"],
+                        delay_s=float(entry.get("delay_s", 0.0)),
+                    )
+                )
+            except KeyError as exc:
+                raise ValueError(f"fault entry missing field {exc}") from exc
+        return cls(faults=tuple(faults))
+
+    def write(self, path: Union[str, Path]) -> Path:
+        """Write the plan as JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "FaultPlan":
+        """Read a plan back (inverse of :meth:`write`)."""
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def inject(fault: FaultSpec, allow_exit: bool) -> None:
+    """Fire one fault.  ``delay`` returns after sleeping; the rest raise.
+
+    ``allow_exit`` is true only inside worker processes — a ``crash``
+    fault in the parent raises :class:`InjectedCrash` instead of taking
+    the whole run down.
+    """
+    if fault.kind == "crash":
+        if allow_exit:
+            os._exit(CRASH_EXIT_CODE)
+        raise InjectedCrash(
+            f"injected crash (stage={fault.stage!r}, shard={fault.shard_id}, "
+            f"attempt={fault.attempt})"
+        )
+    if fault.kind == "exception":
+        raise InjectedFault(
+            f"injected exception (stage={fault.stage!r}, shard={fault.shard_id}, "
+            f"attempt={fault.attempt})"
+        )
+    time.sleep(fault.delay_s)
+
+
+@dataclass(frozen=True)
+class FaultyTask:
+    """Picklable task wrapper that fires the plan's fault before the work.
+
+    The fault check happens *outside* the wrapped task, so injected
+    delays never pollute worker-side shard timings — a recovered run's
+    timing records describe real work only.
+    """
+
+    task: Callable[[Any], Any]
+    plan: FaultPlan
+    stage: str
+    shard_id: int
+    attempt: int
+    allow_exit: bool
+
+    def __call__(self, payload: Any) -> Any:
+        fault = self.plan.lookup(self.stage, self.shard_id, self.attempt)
+        if fault is not None:
+            inject(fault, self.allow_exit)
+        return self.task(payload)
+
+
+def with_faults(
+    task: Callable[[Any], Any],
+    plan: Optional[FaultPlan],
+    stage: str,
+    shard_id: int,
+    attempt: int,
+    allow_exit: bool,
+) -> Callable[[Any], Any]:
+    """Wrap ``task`` for one (shard, attempt); identity when ``plan`` is None."""
+    if plan is None:
+        return task
+    return FaultyTask(
+        task=task,
+        plan=plan,
+        stage=stage,
+        shard_id=shard_id,
+        attempt=attempt,
+        allow_exit=allow_exit,
+    )

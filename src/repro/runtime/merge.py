@@ -11,7 +11,7 @@ serial reference regardless of which shard finished first.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, TypeVar
+from typing import Collection, Dict, Iterable, List, TypeVar
 
 from ..model import Dataset
 from ..obs import current as obs_current
@@ -20,12 +20,19 @@ T = TypeVar("T")
 
 
 def merge_user_maps(
-    dataset: Dataset, shard_results: Iterable[Dict[str, T]]
+    dataset: Dataset,
+    shard_results: Iterable[Dict[str, T]],
+    allow_missing: Collection[str] = (),
 ) -> Dict[str, T]:
     """Union per-shard ``{user_id: value}`` maps in dataset user order.
 
     Raises when shards overlap, miss users, or invent unknown users —
     any of which means the sharding/merge contract was violated.
+
+    ``allow_missing`` names users *expected* to have no result — the
+    degraded-run path, where the resilience layer skipped their shard
+    and recorded the skip on the run's health.  Only those users may be
+    absent; any other hole still raises.
     """
     obs = obs_current()
     shard_maps: List[Dict[str, T]] = list(shard_results)
@@ -39,8 +46,15 @@ def merge_user_maps(
         unknown = [user_id for user_id in pooled if user_id not in dataset.users]
         if unknown:
             raise ValueError(f"shards returned unknown users: {unknown[:5]}")
-        missing = [user_id for user_id in dataset.users if user_id not in pooled]
+        allowed = set(allow_missing)
+        missing = [
+            user_id
+            for user_id in dataset.users
+            if user_id not in pooled and user_id not in allowed
+        ]
         if missing:
             raise ValueError(f"shards missed users: {missing[:5]}")
         obs.count("runtime.merged_users_total", len(pooled))
-        return {user_id: pooled[user_id] for user_id in dataset.users}
+        return {
+            user_id: pooled[user_id] for user_id in dataset.users if user_id in pooled
+        }

@@ -25,18 +25,24 @@ from .errors import RuntimeConfigError
 #: Maps one user's data to a work weight (higher = more expensive).
 WeightFn = Callable[[UserData], int]
 
+#: Pre-extraction damping for raw GPS traces: the paper's per-minute
+#: sampling yields roughly one stay-point visit per this many samples,
+#: which puts the GPS-length proxy on the same scale as event counts.
+GPS_SAMPLES_PER_VISIT = 30
+
 
 def user_weight(data: UserData) -> int:
-    """Default work weight: checkin + visit count (ISSUE: not user count).
+    """Default work weight: checkin + visit count.
 
     Before visit extraction the visit count is unknown; the GPS trace —
-    whose length drives extraction cost — stands in, damped to the same
-    order of magnitude as event counts (one visit per ~30 samples).
+    whose length drives extraction cost — stands in, damped by
+    :data:`GPS_SAMPLES_PER_VISIT` to the same order of magnitude as
+    event counts.
     """
     events = len(data.checkins)
     if data.visits is not None:
         return events + len(data.visits)
-    return events + max(1, len(data.gps) // 30)
+    return events + max(1, len(data.gps) // GPS_SAMPLES_PER_VISIT)
 
 
 @dataclass(frozen=True)

@@ -22,8 +22,12 @@ class ShardTiming:
     n_users: int
     #: Load-balance weight of the shard (checkins + visits/GPS proxy).
     weight: int
-    #: Wall seconds spent inside the worker on this shard.
+    #: Wall seconds spent inside the worker on this shard (the
+    #: successful attempt only — failed tries never report timings).
     wall_s: float
+    #: How many tries the shard took (1 = clean first run; >1 means the
+    #: resilience layer retried it).
+    attempts: int = 1
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe record."""
@@ -32,6 +36,7 @@ class ShardTiming:
             "n_users": self.n_users,
             "weight": self.weight,
             "wall_s": self.wall_s,
+            "attempts": self.attempts,
         }
 
 

@@ -69,6 +69,24 @@ class TestHistogramPercentiles:
             h2.observe(1.0)
             h2.percentile(101)
 
+    def test_single_sort_matches_per_percentile_sort(self):
+        # Regression for summary() sorting once: p0/p50/p100 from the
+        # shared sorted copy must pin the min/median/max exactly.
+        h = Histogram("h")
+        for v in (9.0, 1.0, 5.0, 3.0, 7.0):  # deliberately unsorted
+            h.observe(v)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(50) == 5.0
+        assert h.percentile(100) == 9.0
+        summary = h.summary()
+        assert summary["min"] == h.percentile(0) == 1.0
+        assert summary["p50"] == h.percentile(50) == 5.0
+        assert summary["max"] == h.percentile(100) == 9.0
+        # observing after a summary() must not see a stale sorted copy
+        h.observe(0.5)
+        assert h.percentile(0) == 0.5
+        assert h.summary()["min"] == 0.5
+
     def test_summary_shape(self):
         h = Histogram("h")
         for v in (2.0, 4.0, 6.0):

@@ -1,0 +1,438 @@
+"""Fault-injection suite: the resilience layer under scripted failures.
+
+Every fault here comes from a deterministic :class:`FaultPlan` keyed by
+``(stage, shard_id, attempt)`` — worker crashes (``os._exit`` inside the
+work unit), injected exceptions, and delays that trip the per-shard
+timeout.  The invariants under test:
+
+* a recovered run (crash, exception, or timeout) is byte-identical to a
+  clean serial run — the recovery path never leaks into results;
+* ``skip_and_report`` surfaces the exact skipped user ids on the report
+  and its health record, never silently dropping users;
+* retry/rebuild/fallback counters land in the metrics snapshot (and
+  thus the manifest) for any worker count;
+* the executors stay usable after a failure (cancelled siblings, pool
+  reset on ``BrokenProcessPool``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+
+import pytest
+
+from repro.core import validate
+from repro.io import load_dataset
+from repro.obs import ObsContext, activate, build_manifest
+from repro.runtime import (
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    ParallelExecutor,
+    ResilienceConfig,
+    RunHealth,
+    SerialExecutor,
+    ShardError,
+    WorkUnitError,
+    merge_user_maps,
+)
+from repro.runtime.faults import inject
+from repro.synth import generate_dataset, primary_config
+
+from helpers import make_dataset, make_user
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden_study"
+
+#: Small but non-trivial synthetic study (~7 users).
+STUDY_SCALE = 0.03
+
+#: No backoff sleeps in tests — determinism does not need real waiting.
+FAST = dict(backoff_base_s=0.0)
+
+
+def fresh_study():
+    return generate_dataset(primary_config().scaled(STUDY_SCALE))
+
+
+def plan_of(*faults: FaultSpec) -> FaultPlan:
+    return FaultPlan(faults=tuple(faults))
+
+
+@pytest.fixture
+def two_real_workers(monkeypatch):
+    """Force the pool to really hold two processes even on a 1-CPU host.
+
+    ``ParallelExecutor`` caps pool size at the usable CPU count; on a
+    single-CPU host a sleeping straggler then blocks queued siblings
+    into spurious extra timeouts.  Timeout tests need a genuinely
+    concurrent second worker for exact counter expectations.
+    """
+    from repro.runtime import executor as executor_module
+
+    monkeypatch.setattr(executor_module, "available_workers", lambda: 2)
+
+
+# ---------------------------------------------------------------------------
+# FaultPlan: pure, validated, JSON round-trippable
+# ---------------------------------------------------------------------------
+
+
+class TestFaultPlan:
+    def test_lookup_is_exact_and_pure(self):
+        plan = plan_of(
+            FaultSpec("extract", 0, 1, "crash"),
+            FaultSpec("match", 1, 2, "delay", delay_s=0.5),
+        )
+        for _ in range(3):  # pure: same answer every time
+            assert plan.lookup("extract", 0, 1).kind == "crash"
+            assert plan.lookup("extract", 0, 2) is None
+            assert plan.lookup("extract", 1, 1) is None
+            assert plan.lookup("match", 1, 2).delay_s == 0.5
+
+    def test_json_round_trip(self, tmp_path):
+        plan = plan_of(
+            FaultSpec("extract", 0, 1, "crash"),
+            FaultSpec("classify", 2, 3, "exception"),
+            FaultSpec("match", 1, 1, "delay", delay_s=2.0),
+        )
+        path = plan.write(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+        # and the on-disk shape is the documented one
+        data = json.loads(path.read_text())
+        assert {entry["kind"] for entry in data["faults"]} == {
+            "crash", "exception", "delay",
+        }
+
+    def test_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec("extract", 0, 1, "meteor")
+        with pytest.raises(ValueError, match="1-based"):
+            FaultSpec("extract", 0, 0, "crash")
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultSpec("extract", 0, 1, "delay")
+        with pytest.raises(ValueError, match="duplicate"):
+            plan_of(FaultSpec("a", 0, 1, "crash"), FaultSpec("a", 0, 1, "exception"))
+        with pytest.raises(ValueError, match="faults"):
+            FaultPlan.from_dict({})
+
+    def test_attempt_defaults_to_first(self):
+        plan = FaultPlan.from_dict(
+            {"faults": [{"stage": "match", "shard_id": 1, "kind": "exception"}]}
+        )
+        assert plan.lookup("match", 1, 1).kind == "exception"
+
+    def test_parent_side_crash_raises_instead_of_exiting(self):
+        with pytest.raises(InjectedCrash):
+            inject(FaultSpec("x", 0, 1, "crash"), allow_exit=False)
+        with pytest.raises(InjectedFault):
+            inject(FaultSpec("x", 0, 1, "exception"), allow_exit=True)
+
+
+# ---------------------------------------------------------------------------
+# Executor-level contracts (satellite bugfix)
+# ---------------------------------------------------------------------------
+
+
+def _echo(payload):
+    return payload
+
+
+def _fail_on_bad(payload):
+    if payload == "bad":
+        raise ValueError("poisoned payload")
+    return payload
+
+
+def _exit_on_die(payload):
+    if payload == "die":
+        os._exit(3)
+    return payload
+
+
+class TestExecutorFailureContracts:
+    def test_serial_map_wraps_failure_with_index(self):
+        with pytest.raises(WorkUnitError) as err:
+            SerialExecutor().map(_fail_on_bad, ["ok", "bad"])
+        assert err.value.index == 1
+        assert isinstance(err.value.cause, ValueError)
+
+    def test_parallel_map_wraps_failure_and_stays_usable(self):
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(WorkUnitError) as err:
+                executor.map(_fail_on_bad, ["ok", "bad", "ok2"])
+            assert err.value.index == 1
+            assert isinstance(err.value.cause, ValueError)
+            # siblings were cancelled/collected; the pool still works
+            assert executor.map(_echo, ["x", "y"]) == ["x", "y"]
+
+    def test_broken_pool_resets_and_executor_is_reusable(self):
+        with ParallelExecutor(workers=2) as executor:
+            with pytest.raises(BrokenProcessPool):
+                executor.map(_exit_on_die, ["die", "a", "b"])
+            assert executor._pool is None  # dead pool dropped, not cached
+            assert executor.map(_echo, ["x", "y"]) == ["x", "y"]
+
+
+# ---------------------------------------------------------------------------
+# Recovery is invisible in results
+# ---------------------------------------------------------------------------
+
+
+class TestRecoveredRunsAreIdentical:
+    @pytest.fixture(scope="class")
+    def serial_summary(self):
+        return validate(fresh_study()).summary()
+
+    def check_identical(self, plan, serial_summary, workers=2, **config):
+        health = RunHealth()
+        report = validate(
+            fresh_study(),
+            workers=workers,
+            resilience=ResilienceConfig(**{**FAST, **config}),
+            fault_plan=plan,
+            health=health,
+        )
+        assert report.summary() == serial_summary
+        assert not health.degraded
+        return health
+
+    def test_worker_crash_recovers(self, serial_summary):
+        health = self.check_identical(
+            plan_of(FaultSpec("extract", 0, 1, "crash")), serial_summary
+        )
+        assert health.pool_rebuilds >= 1
+        assert health.retries >= 1
+
+    def test_injected_exception_recovers(self, serial_summary):
+        health = self.check_identical(
+            plan_of(FaultSpec("match", 1, 1, "exception")), serial_summary
+        )
+        assert health.retries == 1
+        assert health.pool_rebuilds == 0  # an exception does not kill the pool
+
+    def test_slow_shard_times_out_and_recovers(self, serial_summary, two_real_workers):
+        health = self.check_identical(
+            plan_of(FaultSpec("classify", 0, 1, "delay", delay_s=5.0)),
+            serial_summary,
+            shard_timeout_s=0.8,
+        )
+        assert health.timeouts == 1
+        assert health.pool_rebuilds >= 1  # straggler's pool was torn down
+
+    def test_poison_shard_falls_back_to_serial(self, serial_summary):
+        # Crashes on every pool attempt; only the in-parent serial
+        # fallback (attempt 3) is clean.
+        plan = plan_of(
+            FaultSpec("match", 0, 1, "crash"), FaultSpec("match", 0, 2, "crash")
+        )
+        health = self.check_identical(plan, serial_summary, max_retries=1)
+        assert health.serial_fallbacks >= 1
+
+    def test_serial_executor_retries_in_process(self, serial_summary):
+        health = self.check_identical(
+            plan_of(FaultSpec("extract", 0, 1, "exception")),
+            serial_summary,
+            workers=1,
+        )
+        assert health.retries == 1
+
+    def test_fail_fast_aborts_on_first_failure(self):
+        with pytest.raises(ShardError) as err:
+            validate(
+                fresh_study(),
+                workers=2,
+                resilience=ResilienceConfig(on_failure="fail_fast", **FAST),
+                fault_plan=plan_of(FaultSpec("extract", 1, 1, "exception")),
+            )
+        assert err.value.stage == "extract"
+        assert err.value.shard_id == 1
+        assert err.value.attempts == 1
+
+    def test_retry_then_serial_raises_when_even_serial_fails(self):
+        # Fault every attempt, including the serial fallback (attempt 4).
+        plan = plan_of(
+            *(FaultSpec("extract", 0, a, "exception") for a in (1, 2, 3, 4))
+        )
+        with pytest.raises(ShardError) as err:
+            validate(
+                fresh_study(),
+                workers=2,
+                resilience=ResilienceConfig(max_retries=2, **FAST),
+                fault_plan=plan,
+            )
+        assert err.value.attempts == 4
+
+
+# ---------------------------------------------------------------------------
+# Degraded runs: skipped users are loud, never silently missing
+# ---------------------------------------------------------------------------
+
+
+class TestSkipAndReport:
+    def run_degraded(self, workers):
+        # The extract shard 0 fails on every attempt, serial included.
+        plan = plan_of(
+            *(FaultSpec("extract", 0, a, "exception") for a in range(1, 6))
+        )
+        health = RunHealth()
+        report = validate(
+            fresh_study(),
+            workers=workers,
+            resilience=ResilienceConfig(
+                max_retries=1, on_failure="skip_and_report", **FAST
+            ),
+            fault_plan=plan,
+            health=health,
+        )
+        return report, health
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_exact_skipped_users_surface(self, workers):
+        report, health = self.run_degraded(workers)
+        assert health.degraded and report.health is health
+        [skip] = health.skipped
+        assert skip.stage == "extract" and skip.shard_id == 0
+        expected_users = set(skip.user_ids)
+        assert expected_users  # the shard was not empty
+        assert set(health.skipped_user_ids()) == expected_users
+        # skipped users are absent downstream, present users are intact
+        assert expected_users.isdisjoint(report.matching.per_user)
+        assert expected_users.isdisjoint(
+            {c.user_id for c in report.classification.checkins.values()}
+        )
+        # ... and the human-readable summary names them
+        for user_id in expected_users:
+            assert user_id in report.summary()
+        assert "DEGRADED RUN" in report.summary()
+
+    def test_health_report_and_dict_shape(self):
+        report, health = self.run_degraded(workers=2)
+        data = health.as_dict()
+        assert data["degraded"] is True
+        assert data["skipped"][0]["user_ids"] == list(health.skipped[0].user_ids)
+        assert "DEGRADED" in health.format_report()
+        assert health.skipped[0].attempts >= 2
+
+    def test_merge_rejects_unexplained_holes(self):
+        dataset = make_dataset([make_user("u0"), make_user("u1")])
+        merged = merge_user_maps(dataset, [{"u0": 1}], allow_missing={"u1"})
+        assert merged == {"u0": 1}
+        with pytest.raises(ValueError, match="missed"):
+            merge_user_maps(dataset, [{"u0": 1}], allow_missing={"u0"})
+
+
+# ---------------------------------------------------------------------------
+# Counters reach the manifest for any worker count
+# ---------------------------------------------------------------------------
+
+
+class TestManifestIntegration:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_retry_counters_in_manifest(self, workers):
+        ctx = ObsContext()
+        with activate(ctx):
+            report = validate(
+                fresh_study(),
+                workers=workers,
+                resilience=ResilienceConfig(**FAST),
+                fault_plan=plan_of(FaultSpec("match", 0, 1, "exception")),
+            )
+        manifest = build_manifest(
+            "validate",
+            dataset=report.dataset,
+            workers=workers,
+            timings=report.timings.as_dict(),
+            metrics=ctx.metrics.snapshot(),
+            extra={"health": report.health.as_dict()},
+        )
+        assert manifest.counter("runtime.shard_retries") == 1
+        assert manifest.extra["health"]["retries"] == 1
+        assert manifest.extra["health"]["degraded"] is False
+        assert "health:" in manifest.format_report()
+
+    def test_retried_shard_attempts_recorded_in_timings(self):
+        report = validate(
+            fresh_study(),
+            workers=2,
+            resilience=ResilienceConfig(**FAST),
+            fault_plan=plan_of(FaultSpec("match", 0, 1, "exception")),
+        )
+        match_stage = report.timings.stage("match")
+        by_id = {s.shard_id: s for s in match_stage.shards}
+        assert by_id[0].attempts == 2
+        assert all(s.attempts == 1 for s in match_stage.shards if s.shard_id != 0)
+        assert by_id[0].as_dict()["attempts"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Config invariants
+# ---------------------------------------------------------------------------
+
+
+class TestResilienceConfig:
+    def test_backoff_is_deterministic_and_bounded(self):
+        config = ResilienceConfig(backoff_base_s=0.05, backoff_max_s=0.2)
+        assert [config.backoff_s(a) for a in (1, 2, 3, 4)] == [0.05, 0.1, 0.2, 0.2]
+        assert ResilienceConfig(backoff_base_s=0.0).backoff_s(7) == 0.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            ResilienceConfig(on_failure="explode")
+        with pytest.raises(ValueError):
+            ResilienceConfig(shard_timeout_s=0)
+
+    def test_max_attempts(self):
+        assert ResilienceConfig(max_retries=0).max_attempts == 1
+        assert ResilienceConfig(max_retries=3).max_attempts == 4
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: golden fixture survives one crash + one timeout untouched
+# ---------------------------------------------------------------------------
+
+
+class TestGoldenFaultDrill:
+    def test_crash_plus_timeout_is_byte_identical_to_serial(self, two_real_workers):
+        serial = validate(load_dataset(GOLDEN_DIR))
+        plan = plan_of(
+            FaultSpec("extract", 0, 1, "crash"),
+            FaultSpec("match", 1, 1, "delay", delay_s=5.0),
+        )
+        ctx = ObsContext()
+        health = RunHealth()
+        with activate(ctx):
+            recovered = validate(
+                load_dataset(GOLDEN_DIR),
+                workers=2,
+                resilience=ResilienceConfig(
+                    on_failure="retry_then_serial", shard_timeout_s=1.0, **FAST
+                ),
+                fault_plan=plan,
+                health=health,
+            )
+        # Byte-identical report despite a dead worker and a straggler.
+        assert recovered.summary() == serial.summary()
+        assert recovered.type_counts() == serial.type_counts()
+        assert list(recovered.matching.per_user) == list(serial.matching.per_user)
+        assert recovered.classification.labels == serial.classification.labels
+        # The manifest records the retries and the recovery path.
+        manifest = build_manifest(
+            "validate",
+            dataset=recovered.dataset,
+            workers=2,
+            timings=recovered.timings.as_dict(),
+            metrics=ctx.metrics.snapshot(),
+            extra={"health": health.as_dict()},
+        )
+        assert manifest.counter("runtime.shard_retries") >= 2  # crash + timeout
+        assert manifest.counter("runtime.pool_rebuilds") >= 2
+        assert manifest.counter("runtime.shard_timeouts") == 1
+        assert manifest.extra["health"]["degraded"] is False
+        assert manifest.extra["health"]["retries"] == health.retries
+        assert health.timeouts == 1 and health.pool_rebuilds >= 2
