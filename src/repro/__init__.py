@@ -26,7 +26,17 @@ Quickstart::
 """
 
 from .core import ValidationReport, validate
-from .model import Checkin, CheckinType, Dataset, GpsPoint, Poi, PoiCategory, UserProfile, Visit
+from .model import (
+    Checkin,
+    CheckinType,
+    Dataset,
+    GpsPoint,
+    GpsTrace,
+    Poi,
+    PoiCategory,
+    UserProfile,
+    Visit,
+)
 from .obs import ObsContext, RunManifest
 from .runtime import ParallelExecutor, RuntimeTimings, SerialExecutor
 from .synth import generate_baseline, generate_dataset, generate_primary
@@ -38,6 +48,7 @@ __all__ = [
     "CheckinType",
     "Dataset",
     "GpsPoint",
+    "GpsTrace",
     "ObsContext",
     "ParallelExecutor",
     "Poi",

@@ -16,7 +16,9 @@ Subcommands::
 
 Pipeline commands accept ``--workers N`` to shard validation over a
 process pool (``0`` = all CPUs); results are identical for any worker
-count.  They also accept observability flags: ``--trace out.jsonl``
+count.  ``--kernel {auto,vectorized,scalar}`` selects the stay-point
+extraction kernel — the vectorized default is ~5x faster and
+bit-identical to the scalar reference.  They also accept observability flags: ``--trace out.jsonl``
 dumps the run's span/event/metric stream as JSON lines and writes a run
 manifest next to it (``out.manifest.json``), ``--manifest PATH`` picks
 the manifest location explicitly, and ``--no-obs`` turns instrumentation
@@ -38,7 +40,14 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from .core import ClassifyConfig, MatchConfig, VisitConfig, validate
+from .core import (
+    KERNELS,
+    ClassifyConfig,
+    MatchConfig,
+    VisitConfig,
+    resolved_kernel,
+    validate,
+)
 from .obs import NULL_OBS, ObsContext, RunManifest, activate, build_manifest, write_trace
 from .runtime import POLICIES, FaultPlan, ResilienceConfig
 from .experiments import (
@@ -90,6 +99,20 @@ def _add_workers_flag(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="shard the validation pipeline over N processes (0 = all CPUs)",
     )
+
+
+def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel",
+        choices=KERNELS,
+        default="auto",
+        help="stay-point extraction kernel (auto = vectorized, ~5x faster "
+             "than scalar; both produce bit-identical visits)",
+    )
+
+
+def _visit_config(args: argparse.Namespace) -> VisitConfig:
+    return VisitConfig(kernel=getattr(args, "kernel", "auto"))
 
 
 def _add_resilience_flags(
@@ -257,6 +280,7 @@ def _build_parser() -> argparse.ArgumentParser:
     val.add_argument("--timings", action="store_true",
                      help="print the per-stage runtime breakdown")
     _add_workers_flag(val)
+    _add_kernel_flag(val)
     _add_resilience_flags(val, inject=True)
     _add_obs_flags(val)
 
@@ -267,6 +291,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of: {', '.join(EXPERIMENTS)}",
     )
     _add_workers_flag(rep)
+    _add_kernel_flag(rep)
     _add_resilience_flags(rep)
     _add_obs_flags(rep)
 
@@ -278,6 +303,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="use the paper's 200-node, 100 km configuration (slow)",
     )
     _add_workers_flag(man)
+    _add_kernel_flag(man)
     _add_resilience_flags(man)
     _add_obs_flags(man)
 
@@ -287,6 +313,7 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--no-manet", action="store_true",
                      help="skip the (slow) Figure 8 simulation")
     _add_workers_flag(exp)
+    _add_kernel_flag(exp)
     _add_resilience_flags(exp)
     _add_obs_flags(exp)
 
@@ -295,6 +322,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     rec.add_argument("--scale", type=float, default=0.15)
     _add_workers_flag(rec)
+    _add_kernel_flag(rec)
     _add_resilience_flags(rec)
     _add_obs_flags(rec)
 
@@ -323,10 +351,6 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Configs whose hash a default validation run's manifest records.
-_PIPELINE_CONFIGS = (VisitConfig, MatchConfig, ClassifyConfig)
-
-
 def _cmd_validate(args: argparse.Namespace) -> int:
     ctx, err = _obs_context(args)
     if err is not None:
@@ -335,6 +359,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if err is not None:
         return err
     seeds = {}
+    visit_config = _visit_config(args)
     with activate(ctx):
         if args.data:
             dataset = load_dataset(args.data)
@@ -344,8 +369,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             seeds["primary"] = config.seed
             dataset = generate_dataset(config.scaled(args.scale))
             extra = {"scale": args.scale}
+        extra["extract.kernel"] = resolved_kernel(visit_config)
         report = validate(
-            dataset, workers=args.workers,
+            dataset, visit_config=visit_config, workers=args.workers,
             resilience=resilience, fault_plan=fault_plan,
         )
     print(report.summary())
@@ -356,7 +382,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     _write_obs_artifacts(
         args, ctx, "validate",
         dataset=dataset,
-        configs=tuple(cfg() for cfg in _PIPELINE_CONFIGS),
+        configs=(visit_config, MatchConfig(), ClassifyConfig()),
         seeds=seeds,
         timings=report.timings.as_dict(),
         extra=extra,
@@ -373,19 +399,25 @@ def _study_artifacts(args: argparse.Namespace, ctx):
     return build_study(
         scale=args.scale, workers=args.workers, obs=ctx,
         resilience=resilience, fault_plan=fault_plan,
+        visit_config=_visit_config(args),
     )
 
 
 def _write_study_artifacts(args: argparse.Namespace, ctx, command: str, artifacts) -> None:
     """Manifest/trace output shared by report/manet/export/recover."""
     health = artifacts.primary_report.health
+    visit_config = _visit_config(args)
     _write_obs_artifacts(
         args, ctx, command,
         dataset=artifacts.primary,
-        configs=tuple(cfg() for cfg in _PIPELINE_CONFIGS),
+        configs=(visit_config, MatchConfig(), ClassifyConfig()),
         seeds={"primary": 20131121, "baseline": 20131122},
         timings=artifacts.primary_report.timings.as_dict(),
-        extra={"scale": args.scale, "scope": "primary"},
+        extra={
+            "scale": args.scale,
+            "scope": "primary",
+            "extract.kernel": resolved_kernel(visit_config),
+        },
         health=health if (health.recovered or health.degraded) else None,
     )
 

@@ -30,6 +30,7 @@ from ..model import (
     CheckinType,
     Dataset,
     GpsPoint,
+    GpsTrace,
     Visit,
 )
 from ..obs import current as obs_current
@@ -65,11 +66,19 @@ class ClassifyConfig:
 class GpsLocator:
     """Physical position/speed lookup from one user's GPS trace."""
 
-    def __init__(self, points: Sequence[GpsPoint]) -> None:
-        pts = sorted(points, key=lambda p: p.t)
-        self._t = [p.t for p in pts]
-        self._x = [p.x for p in pts]
-        self._y = [p.y for p in pts]
+    def __init__(self, points: Sequence[GpsPoint] | GpsTrace) -> None:
+        if isinstance(points, GpsTrace):
+            # Columnar fast path: bisect works directly on the sorted
+            # arrays, no per-point objects are ever built.
+            trace = points.sorted()
+            self._t = trace.t
+            self._x = trace.x
+            self._y = trace.y
+        else:
+            pts = sorted(points, key=lambda p: p.t)
+            self._t = [p.t for p in pts]
+            self._x = [p.x for p in pts]
+            self._y = [p.y for p in pts]
 
     def __len__(self) -> int:
         return len(self._t)
@@ -81,7 +90,7 @@ class GpsLocator:
         are within the fix-age bound; otherwise snaps to the nearest
         sample if *it* is fresh enough.
         """
-        if not self._t:
+        if len(self._t) == 0:
             return None
         idx = bisect.bisect_left(self._t, t)
         lo = idx - 1
@@ -217,8 +226,7 @@ def _classify_shard(payload: Tuple) -> Dict[str, List[CheckinType]]:
     for user_id, gps, visits, extraneous in users:
         locator = GpsLocator(gps)
         visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
-        for visit in visits:
-            visit_index.insert(visit.x, visit.y, visit)
+        visit_index.extend([(visit.x, visit.y, visit) for visit in visits])
         labels = []
         for checkin in extraneous:
             label = classify_extraneous_checkin(checkin, locator, visit_index, config)

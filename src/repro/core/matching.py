@@ -130,14 +130,18 @@ class MatchingResult:
         return self.n_honest / self.n_visits if self.n_visits else 0.0
 
 
-def _best_visit(
+def _best_from_candidates(
     checkin: Checkin,
-    index: GridIndex,
+    candidates: Sequence[Tuple[float, Visit]],
     config: MatchConfig,
     exclude: Optional[set] = None,
 ) -> Optional[Tuple[Visit, float]]:
-    """Step 1 + Step 2 for one checkin: the temporally closest visit in range."""
-    candidates = index.within(checkin.x, checkin.y, config.alpha_m)
+    """Step 2 for one checkin given its Step-1 candidate set.
+
+    Picks the temporally closest candidate within β (ties broken by
+    earlier ``t_start``); the choice is independent of candidate order,
+    so batched and per-query candidate gathering agree exactly.
+    """
     best: Optional[Tuple[Visit, float]] = None
     for _, visit in candidates:
         if exclude and visit.visit_id in exclude:
@@ -150,6 +154,18 @@ def _best_visit(
         ):
             best = (visit, dt)
     return best
+
+
+def _best_visit(
+    checkin: Checkin,
+    index: GridIndex,
+    config: MatchConfig,
+    exclude: Optional[set] = None,
+) -> Optional[Tuple[Visit, float]]:
+    """Step 1 + Step 2 for one checkin: the temporally closest visit in range."""
+    return _best_from_candidates(
+        checkin, index.within(checkin.x, checkin.y, config.alpha_m), config, exclude
+    )
 
 
 def match_user(
@@ -168,8 +184,7 @@ def match_user(
         else:
             user_id = "unknown"
     index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
-    for visit in visits:
-        index.insert(visit.x, visit.y, visit)
+    index.extend([(visit.x, visit.y, visit) for visit in visits])
 
     obs = obs_current()
     assigned: Dict[str, Tuple[Checkin, Visit]] = {}
@@ -181,16 +196,23 @@ def match_user(
         with obs.span(
             "matching.round", user=user_id, round=rounds, pending=len(pending)
         ) as round_span:
+            # Step 1, batched: one vectorised radius query for every
+            # pending checkin at once (claims only change between
+            # rounds, so the candidate sets for a round are fixed).
+            candidate_lists = index.within_many(
+                [c.x for c in pending], [c.y for c in pending], config.alpha_m
+            )
+            exclude = set(assigned) if config.rematch_losers else None
             # Tentative claims this round: visit_id -> list of (checkin, geo distance).
             claims: Dict[str, List[Tuple[float, Checkin, Visit]]] = {}
             unmatched: List[Checkin] = []
-            for checkin in pending:
+            for checkin, candidates in zip(pending, candidate_lists):
                 if config.rematch_losers:
                     # Later rounds re-compete only for still-free visits.
-                    best = _best_visit(checkin, index, config, exclude=set(assigned))
+                    best = _best_from_candidates(checkin, candidates, config, exclude)
                 else:
                     # Paper behaviour: a single Step-2 choice per checkin.
-                    best = _best_visit(checkin, index, config)
+                    best = _best_from_candidates(checkin, candidates, config)
                     if best is not None and best[0].visit_id in assigned:
                         best = None
                 if best is None:

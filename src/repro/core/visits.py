@@ -11,6 +11,23 @@ roaming radius of the cluster centroid and within a maximum time gap of
 its predecessor; emit a visit when the cluster spans at least the dwell
 threshold.  Extracted visits are annotated with the nearest known POI so
 the missing-checkin analyses can reason about categories.
+
+Two kernels implement the same algorithm, selected by
+``VisitConfig.kernel``:
+
+* ``scalar`` — the reference implementation, a plain Python loop over
+  points.
+* ``vectorized`` — the columnar hot path: the trace is split at
+  ``max_gap_s`` boundaries with one ``np.diff``, starts that cannot
+  absorb even one neighbour (every sample taken while moving) are
+  skipped in bulk, and the centroid-cluster scan runs on arrays with
+  geometrically growing windows.
+
+Both kernels track the cluster centroid as ``running sum / count`` with
+the same sequence of float64 additions (``np.cumsum`` accumulates
+sequentially), so their outputs are **bit-identical**: same visit ids,
+same centroids, same timestamps, for any trace.  ``auto`` (the default)
+picks the vectorized kernel.
 """
 
 from __future__ import annotations
@@ -18,8 +35,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..geo import GridIndex, units
-from ..model import Dataset, GpsPoint, Poi, Visit
+from ..model import Dataset, GpsPoint, GpsTrace, Poi, Visit, as_trace
 from ..obs import current as obs_current
 from ..runtime import (
     RuntimeTimings,
@@ -29,6 +48,14 @@ from ..runtime import (
     shard_count,
     shard_dataset,
 )
+
+#: Recognised stay-point kernels (``auto`` resolves to ``vectorized``).
+KERNELS = ("auto", "vectorized", "scalar")
+
+#: First vectorized scan window (candidates per cluster start); grown
+#: geometrically when a cluster outlives it.  Covers a one-hour stay of
+#: per-minute samples in a single pass.
+_FIRST_WINDOW = 64
 
 
 @dataclass(frozen=True)
@@ -46,60 +73,112 @@ class VisitConfig:
     max_gap_s: float = units.minutes(10)
     #: Annotate a visit with the nearest POI within this radius, metres.
     annotate_radius_m: float = 150.0
+    #: Stay-point kernel: ``auto`` | ``vectorized`` | ``scalar``.  The
+    #: kernels are bit-identical; the knob exists for parity testing,
+    #: benchmarking and emergency fallback.
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if self.dwell_s <= 0 or self.roam_radius_m <= 0 or self.max_gap_s <= 0:
             raise ValueError("visit extraction thresholds must be positive")
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose one of {', '.join(KERNELS)}"
+            )
+
+
+def resolved_kernel(config: VisitConfig) -> str:
+    """The concrete kernel ``config`` selects (``auto`` → vectorized)."""
+    return "scalar" if config.kernel == "scalar" else "vectorized"
 
 
 def extract_visits(
-    points: Sequence[GpsPoint],
+    points: Sequence[GpsPoint] | GpsTrace,
     user_id: str,
     config: Optional[VisitConfig] = None,
     poi_index: Optional[GridIndex] = None,
 ) -> List[Visit]:
     """Extract visits from one user's GPS trace.
 
-    ``points`` need not be sorted.  ``poi_index`` is a grid of
-    ``Poi`` objects; when given, each visit's ``poi_id`` is the nearest
-    POI within the annotation radius.
+    ``points`` need not be sorted and may be a columnar
+    :class:`GpsTrace` or any sequence of :class:`GpsPoint`.
+    ``poi_index`` is a grid of ``Poi`` objects; when given, each visit's
+    ``poi_id`` is the nearest POI within the annotation radius.
     """
     config = config or VisitConfig()
+    if resolved_kernel(config) == "vectorized":
+        trace = as_trace(points).sorted()
+        return _extract_visits_vectorized(trace, user_id, config, poi_index)
     pts = sorted(points, key=lambda p: p.t)
+    return _extract_visits_scalar(pts, user_id, config, poi_index)
+
+
+def _make_visit(
+    user_id: str,
+    counter: int,
+    cx: float,
+    cy: float,
+    t_start: float,
+    t_end: float,
+    config: VisitConfig,
+    poi_index: Optional[GridIndex],
+) -> Visit:
+    """Emit one visit, annotated with the nearest POI when an index is given."""
+    poi_id = None
+    if poi_index is not None:
+        hit = poi_index.nearest(cx, cy, max_radius=config.annotate_radius_m)
+        if hit is not None:
+            poi_id = hit[1].poi_id
+    return Visit(
+        visit_id=f"{user_id}-v{counter:05d}",
+        user_id=user_id,
+        x=cx,
+        y=cy,
+        t_start=t_start,
+        t_end=t_end,
+        poi_id=poi_id,
+    )
+
+
+def _extract_visits_scalar(
+    pts: List[GpsPoint],
+    user_id: str,
+    config: VisitConfig,
+    poi_index: Optional[GridIndex],
+) -> List[Visit]:
+    """Reference kernel: sequential scan over time-sorted points.
+
+    The centroid is the running mean ``sum / count``; the sum
+    accumulates one point at a time, which is exactly the order
+    ``np.cumsum`` adds in — the parity contract with the vectorized
+    kernel.
+    """
     visits: List[Visit] = []
     n = len(pts)
+    r2 = config.roam_radius_m**2
     i = 0
     counter = 0
     while i < n:
-        cx, cy = pts[i].x, pts[i].y
+        sx, sy = pts[i].x, pts[i].y
+        cx, cy = sx, sy
         count = 1
         j = i
         while j + 1 < n:
             nxt = pts[j + 1]
             if nxt.t - pts[j].t > config.max_gap_s:
                 break
-            if (nxt.x - cx) ** 2 + (nxt.y - cy) ** 2 > config.roam_radius_m**2:
+            if (nxt.x - cx) ** 2 + (nxt.y - cy) ** 2 > r2:
                 break
-            # Incremental centroid update.
             count += 1
-            cx += (nxt.x - cx) / count
-            cy += (nxt.y - cy) / count
+            sx += nxt.x
+            sy += nxt.y
+            cx = sx / count
+            cy = sy / count
             j += 1
         if pts[j].t - pts[i].t >= config.dwell_s:
-            poi_id = None
-            if poi_index is not None:
-                hit = poi_index.nearest(cx, cy, max_radius=config.annotate_radius_m)
-                if hit is not None:
-                    poi_id = hit[1].poi_id
             visits.append(
-                Visit(
-                    visit_id=f"{user_id}-v{counter:05d}",
-                    user_id=user_id,
-                    x=cx,
-                    y=cy,
-                    t_start=pts[i].t,
-                    t_end=pts[j].t,
-                    poi_id=poi_id,
+                _make_visit(
+                    user_id, counter, cx, cy, pts[i].t, pts[j].t, config, poi_index
                 )
             )
             counter += 1
@@ -109,12 +188,114 @@ def extract_visits(
     return visits
 
 
+#: Cached 1..n counts vector shared by every window (grown on demand).
+_COUNTS = np.arange(1.0, 1025.0)
+
+
+def _counts(w: int) -> np.ndarray:
+    global _COUNTS
+    if w > _COUNTS.size:
+        _COUNTS = np.arange(1.0, 2.0 * w + 1.0)
+    return _COUNTS[:w]
+
+
+def _grow_cluster(
+    seg_xy: np.ndarray, i: int, m: int, r2: float
+) -> Tuple[int, float, float]:
+    """Scan one cluster start: the largest ``j`` keeping ``i..j`` coherent.
+
+    ``seg_xy`` is the segment's stacked ``(2, m)`` coordinate array.
+    Candidates are tested in geometrically growing windows.  Each window
+    recomputes the cumulative sum from the cluster start, so the running
+    sums repeat the scalar kernel's additions exactly regardless of how
+    many window growths a long stay needs.  Returns ``(j, centroid)``.
+    """
+    avail = m - 1 - i
+    w = min(_FIRST_WINDOW, avail)
+    while True:
+        cs = seg_xy[:, i : i + w + 1].cumsum(axis=1)
+        d = seg_xy[:, i + 1 : i + 1 + w] - cs[:, :w] / _counts(w)
+        bad = d[0] * d[0] + d[1] * d[1] > r2
+        q = int(bad.argmax())  # first True, or 0 when all False
+        if bad[q]:
+            return i + q, float(cs[0, q] / (q + 1)), float(cs[1, q] / (q + 1))
+        if w == avail:
+            return i + w, float(cs[0, w] / (w + 1)), float(cs[1, w] / (w + 1))
+        w = min(avail, 4 * w)
+
+
+def _extract_visits_vectorized(
+    trace: GpsTrace,
+    user_id: str,
+    config: VisitConfig,
+    poi_index: Optional[GridIndex],
+) -> List[Visit]:
+    """Columnar kernel: gap split + bulk mover skip + array cluster scans."""
+    n = len(trace)
+    visits: List[Visit] = []
+    if n == 0:
+        return visits
+    t = trace.t
+    xy = np.stack((trace.x, trace.y))
+    r2 = config.roam_radius_m**2
+    counter = 0
+    # One diff splits the trace into gap-free segments; a cluster can
+    # never bridge a boundary, so segments scan independently.
+    breaks = np.flatnonzero(np.diff(t) > config.max_gap_s) + 1
+    seg_bounds = zip(
+        np.concatenate(([0], breaks)).tolist(),
+        np.concatenate((breaks, [n])).tolist(),
+    )
+    for a0, b0 in seg_bounds:
+        m = b0 - a0
+        if m < 2:
+            # A lone sample spans zero seconds: never a visit.
+            continue
+        seg_t = t[a0:b0]
+        seg_xy = xy[:, a0:b0]
+        # Starts whose immediate neighbour is already outside the roam
+        # radius produce a singleton cluster in the scalar kernel and
+        # can never become a visit (dwell > 0): skip them in bulk.
+        # This is every sample recorded while the user was moving.
+        step = np.diff(seg_xy, axis=1)
+        ok_starts = np.flatnonzero(
+            step[0] * step[0] + step[1] * step[1] <= r2
+        ).tolist()
+        n_ok = len(ok_starts)
+        p = 0
+        i = 0
+        while True:
+            while p < n_ok and ok_starts[p] < i:
+                p += 1
+            if p == n_ok:
+                break
+            i = ok_starts[p]
+            j, cx, cy = _grow_cluster(seg_xy, i, m, r2)
+            if seg_t[j] - seg_t[i] >= config.dwell_s:
+                visits.append(
+                    _make_visit(
+                        user_id,
+                        counter,
+                        cx,
+                        cy,
+                        float(seg_t[i]),
+                        float(seg_t[j]),
+                        config,
+                        poi_index,
+                    )
+                )
+                counter += 1
+                i = j + 1
+            else:
+                i += 1
+    return visits
+
+
 def build_poi_index(pois: Sequence[Poi] | dict) -> GridIndex:
     """Grid index over POIs for visit annotation and world queries."""
     values = pois.values() if isinstance(pois, dict) else pois
     index: GridIndex = GridIndex(cell_size=250.0)
-    for poi in values:
-        index.insert(poi.x, poi.y, poi)
+    index.extend([(poi.x, poi.y, poi) for poi in values])
     return index
 
 
@@ -122,9 +303,10 @@ def _extract_shard(payload: Tuple) -> Dict[str, List[Visit]]:
     """Executor work unit: stay-point extraction for one shard of users.
 
     Top-level (picklable); the payload is
-    ``(config, [poi, ...], [(user_id, gps points), ...])``.  The POI
-    index is rebuilt per shard — a few thousand inserts, negligible next
-    to scanning per-minute GPS traces.
+    ``(config, [poi, ...], [(user_id, gps trace), ...])`` — traces ship
+    as columnar arrays, so unpickling cost is per-buffer, not per-point.
+    The POI index is rebuilt per shard — a few thousand inserts,
+    negligible next to scanning per-minute GPS traces.
     """
     config, pois, users = payload
     obs = obs_current()
@@ -161,6 +343,9 @@ def extract_dataset_visits(
     fault-tolerance layer (see :func:`repro.runtime.run_stage`); under
     ``skip_and_report`` a skipped shard's users keep ``visits=None`` and
     are recorded on ``health``.  Returns the same dataset for chaining.
+
+    The stage span carries ``kernel=<scalar|vectorized>`` so traces and
+    manifests identify which kernel produced a run.
     """
     config = config or VisitConfig()
     pending = [
@@ -180,12 +365,13 @@ def extract_dataset_visits(
             return (
                 config,
                 pois,
-                [(uid, dataset.users[uid].gps) for uid in shard.user_ids],
+                [(uid, as_trace(dataset.users[uid].gps)) for uid in shard.user_ids],
             )
 
         results, timing = run_stage(
             "extract", exec_, shards, _extract_shard, payload_of,
             resilience=resilience, fault_plan=fault_plan, health=health,
+            span_attrs={"kernel": resolved_kernel(config)},
         )
     finally:
         if owned:

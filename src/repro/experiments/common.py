@@ -39,6 +39,7 @@ def build_study(
     obs=None,
     resilience=None,
     fault_plan=None,
+    visit_config=None,
 ) -> StudyArtifacts:
     """Generate Primary + Baseline and run the validation pipeline on both.
 
@@ -49,7 +50,9 @@ def build_study(
     fault-tolerance layer for both validation runs; each report carries
     its own ``health``.  ``obs`` (an :class:`repro.obs.ObsContext`)
     captures spans and metrics for generation and both validation runs;
-    it never changes results.
+    it never changes results.  ``visit_config`` overrides stay-point
+    extraction parameters (e.g. the CLI's ``--kernel`` knob; the
+    kernels are bit-identical, so the choice never changes results).
     """
     ctx = obs if obs is not None else obs_current()
     exec_, owned = resolve_executor(executor, workers)
@@ -58,11 +61,11 @@ def build_study(
             primary = generate_dataset(primary_config(primary_seed).scaled(scale))
             baseline = generate_dataset(baseline_config(baseline_seed).scaled(scale))
             primary_report = validate(
-                primary, executor=exec_,
+                primary, visit_config=visit_config, executor=exec_,
                 resilience=resilience, fault_plan=fault_plan,
             )
             baseline_report = validate(
-                baseline, executor=exec_,
+                baseline, visit_config=visit_config, executor=exec_,
                 resilience=resilience, fault_plan=fault_plan,
             )
     finally:

@@ -5,6 +5,12 @@ visits lie within α metres of this checkin?", and the MANET simulator asks
 "which nodes lie within radio range of this node?".  Both are radius
 queries over a few thousand points, for which a uniform grid hashed by
 cell is simple, dependency-free, and O(points in nearby cells) per query.
+
+Two representations coexist: mutable per-cell Python buckets (inserts,
+``within``/``nearest``) and a lazily built columnar snapshot — flat
+NumPy coordinate arrays grouped cell by cell — that powers the batched
+:meth:`GridIndex.within_many`, which amortises per-query overhead when a
+caller needs candidates for many query points at once.
 """
 
 from __future__ import annotations
@@ -13,9 +19,15 @@ import math
 from collections import defaultdict
 from typing import Dict, Generic, Iterable, Iterator, List, Sequence, Tuple, TypeVar
 
+import numpy as np
+
 T = TypeVar("T")
 
 _Cell = Tuple[int, int]
+
+#: Below this many indexed points a batched query beats cell gathering
+#: with one vectorised distance pass over *all* points per query.
+_BRUTE_FORCE_MAX = 4096
 
 
 class GridIndex(Generic[T]):
@@ -35,6 +47,12 @@ class GridIndex(Generic[T]):
         self.cell_size = float(cell_size)
         self._cells: Dict[_Cell, List[Tuple[float, float, T]]] = defaultdict(list)
         self._count = 0
+        # Occupied-cell bounding box, maintained incrementally so
+        # `nearest` never rescans every cell to bound its ring walk.
+        self._gx_min = self._gy_min = math.inf
+        self._gx_max = self._gy_max = -math.inf
+        # Columnar snapshot for within_many; rebuilt lazily after writes.
+        self._columns: "_Columns[T] | None" = None
 
     def __len__(self) -> int:
         return self._count
@@ -46,20 +64,55 @@ class GridIndex(Generic[T]):
     def _cell_of(self, x: float, y: float) -> _Cell:
         return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
 
+    def _grow_bbox(self, gx: int, gy: int) -> None:
+        if gx < self._gx_min:
+            self._gx_min = gx
+        if gx > self._gx_max:
+            self._gx_max = gx
+        if gy < self._gy_min:
+            self._gy_min = gy
+        if gy > self._gy_max:
+            self._gy_max = gy
+
     def insert(self, x: float, y: float, item: T) -> None:
         """Insert ``item`` at planar position (x, y) metres."""
-        self._cells[self._cell_of(x, y)].append((x, y, item))
+        cell = self._cell_of(x, y)
+        self._cells[cell].append((x, y, item))
         self._count += 1
+        self._grow_bbox(cell[0], cell[1])
+        self._columns = None
 
     def extend(self, points: Iterable[Tuple[float, float, T]]) -> None:
-        """Insert many ``(x, y, item)`` triples."""
-        for x, y, item in points:
-            self.insert(x, y, item)
+        """Insert many ``(x, y, item)`` triples.
+
+        Bulk path: cell coordinates are computed in one vectorised pass
+        and buckets are extended per cell, not per point.
+        """
+        triples = points if isinstance(points, list) else list(points)
+        if not triples:
+            return
+        n = len(triples)
+        xs = np.fromiter((p[0] for p in triples), dtype=np.float64, count=n)
+        ys = np.fromiter((p[1] for p in triples), dtype=np.float64, count=n)
+        gx = np.floor(xs / self.cell_size).astype(np.int64)
+        gy = np.floor(ys / self.cell_size).astype(np.int64)
+        grouped: Dict[_Cell, List[Tuple[float, float, T]]] = {}
+        for triple, cx, cy in zip(triples, gx.tolist(), gy.tolist()):
+            grouped.setdefault((cx, cy), []).append(triple)
+        for cell, members in grouped.items():
+            self._cells[cell].extend(members)
+        self._count += n
+        self._grow_bbox(int(gx.min()), int(gy.min()))
+        self._grow_bbox(int(gx.max()), int(gy.max()))
+        self._columns = None
 
     def clear(self) -> None:
         """Remove all points."""
         self._cells.clear()
         self._count = 0
+        self._gx_min = self._gy_min = math.inf
+        self._gx_max = self._gy_max = -math.inf
+        self._columns = None
 
     def within(self, x: float, y: float, radius: float) -> List[Tuple[float, T]]:
         """All items within ``radius`` metres of (x, y), as (distance, item).
@@ -84,6 +137,70 @@ class GridIndex(Generic[T]):
                         found.append((math.sqrt(d2), item))
         return found
 
+    def within_many(
+        self,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        radius: float,
+    ) -> List[List[Tuple[float, T]]]:
+        """Batched :meth:`within`: one candidate list per query point.
+
+        Equivalent to ``[self.within(x, y, radius) for x, y in ...]`` up
+        to result order (lists are unordered, like ``within``), but runs
+        the distance filter as array arithmetic over a columnar snapshot
+        of the index, amortising the per-query bucket walk.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be non-negative, got {radius!r}")
+        qx = np.asarray(xs, dtype=np.float64)
+        qy = np.asarray(ys, dtype=np.float64)
+        if qx.shape != qy.shape or qx.ndim != 1:
+            raise ValueError("within_many takes two equal-length 1-d coordinate arrays")
+        if self._count == 0 or qx.size == 0:
+            return [[] for _ in range(qx.size)]
+        cols = self._ensure_columns()
+        r2 = radius * radius
+        out: List[List[Tuple[float, T]]] = []
+        if self._count <= _BRUTE_FORCE_MAX:
+            # One vectorised pass over every indexed point per query.
+            for x, y in zip(qx.tolist(), qy.tolist()):
+                d2 = (cols.x - x) ** 2 + (cols.y - y) ** 2
+                hit = np.flatnonzero(d2 <= r2)
+                dists = np.sqrt(d2[hit])
+                out.append(
+                    [(d, cols.items[i]) for d, i in zip(dists.tolist(), hit.tolist())]
+                )
+            return out
+        reach = math.ceil(radius / self.cell_size)
+        for x, y in zip(qx.tolist(), qy.tolist()):
+            cx, cy = self._cell_of(x, y)
+            spans = [
+                cols.spans[(gx, gy)]
+                for gx in range(cx - reach, cx + reach + 1)
+                for gy in range(cy - reach, cy + reach + 1)
+                if (gx, gy) in cols.spans
+            ]
+            if not spans:
+                out.append([])
+                continue
+            idx = np.concatenate([np.arange(lo, hi) for lo, hi in spans])
+            d2 = (cols.x[idx] - x) ** 2 + (cols.y[idx] - y) ** 2
+            keep = d2 <= r2
+            dists = np.sqrt(d2[keep])
+            out.append(
+                [
+                    (d, cols.items[i])
+                    for d, i in zip(dists.tolist(), idx[keep].tolist())
+                ]
+            )
+        return out
+
+    def _ensure_columns(self) -> "_Columns[T]":
+        """The columnar snapshot, rebuilt if writes invalidated it."""
+        if self._columns is None:
+            self._columns = _Columns.build(self._cells, self._count)
+        return self._columns
+
     def nearest(self, x: float, y: float, max_radius: float = math.inf):
         """Nearest item to (x, y) within ``max_radius``, or ``None``.
 
@@ -96,10 +213,16 @@ class GridIndex(Generic[T]):
         cx, cy = self._cell_of(x, y)
         best: Tuple[float, T] | None = None
         ring = 0
-        # Largest useful ring: everything is within this many cells.
-        max_ring = max(
-            (max(abs(gx - cx), abs(gy - cy)) for gx, gy in self._cells),
-            default=0,
+        # Largest useful ring, from the incrementally maintained
+        # occupied-cell bounding box: beyond it every cell is empty.
+        max_ring = int(
+            max(
+                cx - self._gx_min,
+                self._gx_max - cx,
+                cy - self._gy_min,
+                self._gy_max - cy,
+                0,
+            )
         )
         while ring <= max_ring:
             for gx in range(cx - ring, cx + ring + 1):
@@ -127,3 +250,41 @@ class GridIndex(Generic[T]):
         index: GridIndex[T] = cls(cell_size)
         index.extend(points)
         return index
+
+
+class _Columns(Generic[T]):
+    """Flat columnar snapshot of a grid: coordinates + items, cell-grouped."""
+
+    __slots__ = ("x", "y", "items", "spans")
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        items: List[T],
+        spans: Dict[_Cell, Tuple[int, int]],
+    ) -> None:
+        self.x = x
+        self.y = y
+        self.items = items
+        self.spans = spans
+
+    @classmethod
+    def build(
+        cls, cells: Dict[_Cell, List[Tuple[float, float, T]]], count: int
+    ) -> "_Columns[T]":
+        x = np.empty(count, dtype=np.float64)
+        y = np.empty(count, dtype=np.float64)
+        items: List[T] = []
+        spans: Dict[_Cell, Tuple[int, int]] = {}
+        pos = 0
+        for cell, bucket in cells.items():
+            start = pos
+            for px, py, item in bucket:
+                x[pos] = px
+                y[pos] = py
+                items.append(item)
+                pos += 1
+            if pos > start:
+                spans[cell] = (start, pos)
+        return cls(x, y, items, spans)

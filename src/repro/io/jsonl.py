@@ -25,12 +25,13 @@ from ..model import (
     Checkin,
     CheckinType,
     Dataset,
-    GpsPoint,
+    GpsTrace,
     Poi,
     PoiCategory,
     UserData,
     UserProfile,
     Visit,
+    as_trace,
 )
 
 _FILES = ("meta.json", "pois.jsonl", "profiles.jsonl", "gps.jsonl", "checkins.jsonl")
@@ -171,9 +172,9 @@ def save_dataset(dataset: Dataset, directory: Path | str) -> None:
     _write_jsonl(
         directory / "gps.jsonl",
         (
-            {"user_id": d.user_id, "t": p.t, "x": p.x, "y": p.y}
+            {"user_id": d.user_id, "t": t, "x": x, "y": y}
             for d in dataset.users.values()
-            for p in d.gps
+            for t, x, y in as_trace(d.gps).rows()
         ),
     )
     _write_jsonl(
@@ -206,10 +207,16 @@ def load_dataset(directory: Path | str) -> Dataset:
             raise ValueError(f"{kind} record references unknown user {user_id!r}")
         return users[user_id]
 
+    gps_cols: Dict[str, List[List[float]]] = {}
     for record in _read_jsonl(directory / "gps.jsonl"):
-        user_of(record, "gps").gps.append(
-            GpsPoint(t=float(record["t"]), x=float(record["x"]), y=float(record["y"]))
-        )
+        user_of(record, "gps")
+        cols = gps_cols.setdefault(record["user_id"], [[], [], []])
+        cols[0].append(float(record["t"]))
+        cols[1].append(float(record["x"]))
+        cols[2].append(float(record["y"]))
+    for user_id, data in users.items():
+        cols = gps_cols.get(user_id)
+        data.gps = GpsTrace(*cols) if cols else GpsTrace.empty()
     for record in _read_jsonl(directory / "checkins.jsonl"):
         checkin = decode_checkin(record)
         user_of(record, "checkin").checkins.append(checkin)

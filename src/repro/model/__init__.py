@@ -1,6 +1,7 @@
 """Data model: records for POIs, GPS points, visits, checkins, datasets."""
 
 from .dataset import Dataset, DatasetStats, UserData, rename, study_duration_days
+from .trace import GpsLike, GpsTrace, as_trace
 from .types import (
     EXTRANEOUS_TYPES,
     Checkin,
@@ -18,12 +19,15 @@ __all__ = [
     "Dataset",
     "DatasetStats",
     "EXTRANEOUS_TYPES",
+    "GpsLike",
     "GpsPoint",
+    "GpsTrace",
     "Poi",
     "PoiCategory",
     "UserData",
     "UserProfile",
     "Visit",
+    "as_trace",
     "rename",
     "study_duration_days",
 ]

@@ -12,15 +12,22 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..geo import units
+from .trace import GpsLike, GpsTrace
 from .types import Checkin, GpsPoint, Poi, UserProfile, Visit
 
 
 @dataclass
 class UserData:
-    """All data collected for one study participant."""
+    """All data collected for one study participant.
+
+    ``gps`` is either a columnar :class:`GpsTrace` (what the generator
+    and loaders produce — the fast path for every kernel) or a plain
+    list of :class:`GpsPoint` (hand-built fixtures); both behave as a
+    sequence of points.
+    """
 
     profile: UserProfile
-    gps: List[GpsPoint] = field(default_factory=list)
+    gps: GpsLike = field(default_factory=list)
     checkins: List[Checkin] = field(default_factory=list)
     visits: Optional[List[Visit]] = None
 
@@ -40,9 +47,14 @@ class UserData:
 
     def sorted(self) -> "UserData":
         """Copy with GPS, checkins and visits sorted by time."""
+        gps = (
+            self.gps.sorted()
+            if isinstance(self.gps, GpsTrace)
+            else sorted(self.gps, key=lambda p: p.t)
+        )
         return UserData(
             profile=self.profile,
-            gps=sorted(self.gps, key=lambda p: p.t),
+            gps=gps,
             checkins=sorted(self.checkins, key=lambda c: c.t),
             visits=None if self.visits is None else sorted(self.visits, key=lambda v: v.t_start),
         )
@@ -174,10 +186,13 @@ class Dataset:
 
 def study_duration_days(data: UserData) -> float:
     """Observed GPS trace span in days for one user (0 for empty traces)."""
-    if not data.gps:
+    if len(data.gps) == 0:
         return 0.0
-    t0 = min(p.t for p in data.gps)
-    t1 = max(p.t for p in data.gps)
+    if isinstance(data.gps, GpsTrace):
+        t0, t1 = data.gps.time_bounds()
+    else:
+        t0 = min(p.t for p in data.gps)
+        t1 = max(p.t for p in data.gps)
     return (t1 - t0) / units.SECONDS_PER_DAY
 
 

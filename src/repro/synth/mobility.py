@@ -22,7 +22,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..geo import units
-from ..model import GpsPoint, Visit
+from ..model import GpsTrace, Visit
 from .config import MobilityConfig
 from .itinerary import Itinerary, Leg
 
@@ -104,11 +104,13 @@ def sample_gps(
     coverage: Coverage,
     mobility: MobilityConfig,
     rng: np.random.Generator,
-) -> List[GpsPoint]:
+) -> GpsTrace:
     """Per-minute noisy GPS samples of the itinerary within coverage.
 
-    Vectorised: sample times are generated per window, mapped to
-    itinerary segments in one pass, and interpolated segment by segment.
+    Vectorised end to end: sample times are generated per window, mapped
+    to itinerary segments in one pass, and interpolated segment by
+    segment; the result ships as a columnar :class:`GpsTrace` without
+    ever materialising per-point objects.
     """
     period = mobility.gps_period_s
     sigma = mobility.gps_noise_m
@@ -122,10 +124,10 @@ def sample_gps(
         ts = window.t_start + period * np.arange(n)
         chunks.append(ts[(ts < window.t_end) & (ts <= t_max)])
     if not chunks:
-        return []
+        return GpsTrace.empty()
     times = np.concatenate(chunks)
     if times.size == 0:
-        return []
+        return GpsTrace.empty()
 
     starts = np.array([s.t_start for s in itinerary.segments])
     seg_idx = np.clip(np.searchsorted(starts, times, side="right") - 1, 0, None)
@@ -145,10 +147,7 @@ def sample_gps(
     noise = rng.normal(0.0, sigma, size=(times.size, 2))
     xs += noise[:, 0]
     ys += noise[:, 1]
-    return [
-        GpsPoint(t=float(t), x=float(x), y=float(y))
-        for t, x, y in zip(times, xs, ys)
-    ]
+    return GpsTrace(times, xs, ys)
 
 
 def ground_truth_visits(

@@ -122,3 +122,85 @@ def test_from_points():
 def test_rejects_bad_cell_size():
     with pytest.raises(ValueError):
         GridIndex(cell_size=0.0)
+
+
+def test_bulk_extend_equivalent_to_per_point_insert(rng):
+    points = rng.uniform(-500, 500, size=(250, 2))
+    bulk = GridIndex(cell_size=80.0)
+    bulk.extend([(float(x), float(y), i) for i, (x, y) in enumerate(points)])
+    loop = GridIndex(cell_size=80.0)
+    for i, (x, y) in enumerate(points):
+        loop.insert(float(x), float(y), i)
+    assert len(bulk) == len(loop) == 250
+    for _ in range(20):
+        qx, qy = (float(v) for v in rng.uniform(-600, 600, size=2))
+        radius = float(rng.uniform(10, 300))
+        assert sorted(bulk.within(qx, qy, radius)) == sorted(
+            loop.within(qx, qy, radius)
+        )
+        assert bulk.nearest(qx, qy) == loop.nearest(qx, qy)
+
+
+def test_within_many_matches_per_query_within(rng):
+    index = GridIndex(cell_size=100.0)
+    points = rng.uniform(0, 1000, size=(300, 2))
+    index.extend([(float(x), float(y), i) for i, (x, y) in enumerate(points)])
+    qx = [float(v) for v in rng.uniform(-100, 1100, size=30)]
+    qy = [float(v) for v in rng.uniform(-100, 1100, size=30)]
+    radius = 250.0
+    batched = index.within_many(qx, qy, radius)
+    assert len(batched) == 30
+    for x, y, got in zip(qx, qy, batched):
+        # Both are unordered candidate lists; compare as sorted pairs.
+        assert sorted(got) == sorted(index.within(x, y, radius))
+
+
+def test_within_many_cell_gather_path(rng):
+    # Above the brute-force cutoff the batched query gathers neighbour
+    # cells instead; results must not change.
+    from repro.geo.grid import _BRUTE_FORCE_MAX
+
+    n = _BRUTE_FORCE_MAX + 100
+    points = rng.uniform(0, 5000, size=(n, 2))
+    index = GridIndex(cell_size=150.0)
+    index.extend([(float(x), float(y), i) for i, (x, y) in enumerate(points)])
+    qx = [float(v) for v in rng.uniform(0, 5000, size=10)]
+    qy = [float(v) for v in rng.uniform(0, 5000, size=10)]
+    for x, y, got in zip(qx, qy, index.within_many(qx, qy, 400.0)):
+        assert sorted(got) == sorted(index.within(x, y, 400.0))
+
+
+def test_within_many_edge_cases():
+    index = GridIndex(cell_size=100.0)
+    assert index.within_many([], [], 50.0) == []
+    assert index.within_many([0.0], [0.0], 50.0) == [[]]
+    index.insert(10, 0, "a")
+    assert index.within_many([], [], 50.0) == []
+    with pytest.raises(ValueError):
+        index.within_many([0.0, 1.0], [0.0], 50.0)
+    with pytest.raises(ValueError):
+        index.within_many([0.0], [0.0], -1.0)
+
+
+def test_within_many_sees_writes_after_snapshot():
+    index = GridIndex(cell_size=100.0)
+    index.insert(0, 0, "a")
+    assert [i for q in index.within_many([0.0], [0.0], 50.0) for _, i in q] == ["a"]
+    index.insert(10, 0, "b")  # must invalidate the columnar snapshot
+    found = {i for q in index.within_many([0.0], [0.0], 50.0) for _, i in q}
+    assert found == {"a", "b"}
+    index.clear()
+    assert index.within_many([0.0], [0.0], 50.0) == [[]]
+
+
+def test_nearest_ring_bound_after_spread_inserts():
+    # The incremental bbox must keep nearest() correct when points land
+    # in far-apart cells (max_ring is an overestimate, never too small).
+    index = GridIndex(cell_size=10.0)
+    index.insert(-2000, -2000, "sw")
+    index.insert(1000, 500, "e")
+    assert index.nearest(0, 0)[1] == "e"
+    assert index.nearest(-1990, -1990)[1] == "sw"
+    index.clear()
+    index.insert(7, 7, "only")
+    assert index.nearest(500, 500)[1] == "only"

@@ -1,0 +1,119 @@
+"""Columnar GpsTrace: construction, sequence behaviour, pickling."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.model import GpsPoint, GpsTrace, as_trace
+
+
+def make_trace():
+    return GpsTrace([0.0, 60.0, 120.0], [1.0, 2.0, 3.0], [10.0, 20.0, 30.0])
+
+
+def test_columns_are_contiguous_float64():
+    trace = GpsTrace([0, 1], [2, 3], [4, 5])
+    for col in (trace.t, trace.x, trace.y):
+        assert col.dtype == np.float64
+        assert col.flags["C_CONTIGUOUS"]
+
+
+def test_mismatched_columns_rejected():
+    with pytest.raises(ValueError):
+        GpsTrace([0.0, 1.0], [0.0], [0.0, 1.0])
+    with pytest.raises(ValueError):
+        GpsTrace([[0.0]], [[0.0]], [[0.0]])
+
+
+def test_sequence_protocol():
+    trace = make_trace()
+    assert len(trace) == 3
+    assert trace[1] == GpsPoint(t=60.0, x=2.0, y=20.0)
+    assert [p.t for p in trace] == [0.0, 60.0, 120.0]
+    assert trace.to_points() == [
+        GpsPoint(0.0, 1.0, 10.0),
+        GpsPoint(60.0, 2.0, 20.0),
+        GpsPoint(120.0, 3.0, 30.0),
+    ]
+
+
+def test_slicing_returns_trace():
+    trace = make_trace()
+    tail = trace[1:]
+    assert isinstance(tail, GpsTrace)
+    assert len(tail) == 2
+    assert tail[0].t == 60.0
+
+
+def test_empty_trace_is_falsy_and_equal_to_empty_list():
+    empty = GpsTrace.empty()
+    assert len(empty) == 0
+    assert not empty
+    assert empty == []
+
+
+def test_equality_with_point_list_and_trace():
+    trace = make_trace()
+    assert trace == make_trace()
+    assert trace == trace.to_points()
+    assert trace != make_trace()[:2]
+    assert trace != [GpsPoint(0.0, 1.0, 10.0)]
+    assert not (trace == "not a trace")
+
+
+def test_from_points_round_trip_is_exact():
+    pts = [GpsPoint(t=0.1, x=-1.25, y=3.75), GpsPoint(t=7.3, x=0.0, y=-2.5)]
+    assert GpsTrace.from_points(pts).to_points() == pts
+
+
+def test_coerce_is_noop_for_traces():
+    trace = make_trace()
+    assert as_trace(trace) is trace
+    assert GpsTrace.from_points(trace) is trace
+    coerced = as_trace(trace.to_points())
+    assert isinstance(coerced, GpsTrace)
+    assert coerced == trace
+
+
+def test_pickle_round_trip():
+    trace = make_trace()
+    restored = pickle.loads(pickle.dumps(trace))
+    assert isinstance(restored, GpsTrace)
+    assert restored == trace
+
+
+def test_sorted_is_stable_and_lazy():
+    trace = make_trace()
+    assert trace.is_sorted()
+    assert trace.sorted() is trace  # already-sorted fast path
+    shuffled = GpsTrace([60.0, 0.0, 60.0], [1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
+    ordered = shuffled.sorted()
+    assert ordered.t.tolist() == [0.0, 60.0, 60.0]
+    # Stable: the two t=60 samples keep their input order (x=1 before x=3),
+    # matching sorted(points, key=lambda p: p.t) exactly.
+    assert ordered.x.tolist() == [2.0, 1.0, 3.0]
+
+
+def test_sorted_matches_python_sorted():
+    rng = np.random.default_rng(7)
+    t = rng.choice([0.0, 60.0, 120.0], size=50)
+    trace = GpsTrace(t, rng.normal(size=50), rng.normal(size=50))
+    assert trace.sorted().to_points() == sorted(
+        trace.to_points(), key=lambda p: p.t
+    )
+
+
+def test_rows_yields_python_floats():
+    for row in make_trace().rows():
+        assert all(type(v) is float for v in row)
+
+
+def test_time_bounds():
+    assert make_trace().time_bounds() == (0.0, 120.0)
+    with pytest.raises(ValueError):
+        GpsTrace.empty().time_bounds()
+
+
+def test_nbytes_counts_all_columns():
+    assert make_trace().nbytes() == 3 * 3 * 8
