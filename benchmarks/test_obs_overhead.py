@@ -1,0 +1,99 @@
+"""Bench OBS — instrumentation and profiling overhead on the pipeline.
+
+Validates the golden fixture repeatedly in three obs modes — disabled
+(``NULL_OBS``), enabled (spans + metrics), and enabled with ``--profile``
+(cProfile + tracemalloc per shard) — asserts all three produce identical
+reports, and records best-of-N wall times plus the derived overhead
+ratios into ``BENCH_obs_overhead.json`` at the repo root.
+
+The budget assertion is the observability layer's perf contract: plain
+instrumentation must stay within ``MAX_OBS_OVERHEAD`` of the no-obs
+wall time.  Profiling is *expected* to be expensive (tracemalloc roughly
+doubles allocation cost, cProfile traces every call) — its ratio is
+recorded for the trajectory but only sanity-bounded, since it is opt-in
+diagnostics, not an always-on path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.core import validate
+from repro.io import load_dataset
+from repro.obs import ObsContext
+
+GOLDEN_DIR = Path(__file__).resolve().parents[1] / "tests" / "data" / "golden_study"
+BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
+
+#: Timing repetitions; best-of keeps scheduler noise out of the ratios.
+REPEATS = 5
+#: Enabled-obs wall-time budget relative to no-obs (2.0 = at most 2x).
+#: Generous because the golden fixture finishes in milliseconds, where
+#: fixed span/metric bookkeeping is a large share of a tiny total.
+MAX_OBS_OVERHEAD = 2.0
+#: Profiling sanity bound: diagnostics may be slow, not pathological.
+MAX_PROFILE_OVERHEAD = 25.0
+
+
+def best_of(fn, repeats=REPEATS):
+    """(best wall seconds, last result) over ``repeats`` runs."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_obs_overhead_budget():
+    dataset = load_dataset(GOLDEN_DIR)
+
+    wall_off, plain = best_of(lambda: validate(dataset))
+    wall_obs, observed = best_of(lambda: validate(dataset, obs=ObsContext()))
+    wall_prof, profiled = best_of(
+        lambda: validate(dataset, obs=ObsContext(profile=True))
+    )
+
+    # Observe, never steer: every mode yields the same report.
+    assert observed.summary() == plain.summary()
+    assert profiled.summary() == plain.summary()
+
+    obs_overhead = wall_obs / wall_off
+    profile_overhead = wall_prof / wall_off
+    merge_bench({
+        "golden_validate": {
+            "n_users": len(dataset.users),
+            "repeats": REPEATS,
+            "wall_s_no_obs": wall_off,
+            "wall_s_obs": wall_obs,
+            "wall_s_obs_profile": wall_prof,
+            "obs_overhead_ratio": obs_overhead,
+            "profile_overhead_ratio": profile_overhead,
+            "budget_obs_overhead": MAX_OBS_OVERHEAD,
+            "budget_profile_overhead": MAX_PROFILE_OVERHEAD,
+        },
+    })
+
+    assert obs_overhead <= MAX_OBS_OVERHEAD, (
+        f"enabled-obs validate took {obs_overhead:.2f}x the no-obs wall time "
+        f"(budget {MAX_OBS_OVERHEAD}x)"
+    )
+    assert profile_overhead <= MAX_PROFILE_OVERHEAD, (
+        f"profiled validate took {profile_overhead:.2f}x the no-obs wall time "
+        f"(sanity bound {MAX_PROFILE_OVERHEAD}x)"
+    )
+
+
+def merge_bench(sections: dict) -> None:
+    """Read-modify-write top-level sections of the bench JSON."""
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        except ValueError:
+            data = {}
+    data.update(sections)
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")

@@ -8,6 +8,8 @@ Subcommands::
     repro-study manet --scale 0.15 [--full]
     repro-study bench --quick
     repro-study inspect run.manifest.json
+    repro-study audit run.manifest.json [--json] [--strict]
+    repro-study diff a.manifest.json b.manifest.json
 
 ``report`` regenerates every table and figure of the paper;
 ``manet --full`` runs the paper's 200-node, 100 km arena configuration
@@ -31,11 +33,23 @@ shard-level resilience layer (crash recovery, deterministic retry
 backoff, poison-shard serial fallback); ``validate --inject-faults
 plan.json`` additionally replays a deterministic fault plan for
 operator drills (see ``repro.runtime.faults``).
+
+Auditing: every manifest embeds a paper-fidelity scorecard;
+``audit <manifest>`` re-evaluates and prints it (exit 1 on any failing
+check; ``--strict`` also fails on warnings, ``--json`` emits the
+canonical byte-deterministic JSON).  ``diff <a> <b>`` structurally
+compares two manifests (or two ``--trace`` JSONL files) and exits 1 on
+regression — statistic drift, config/dataset changes, worsening
+scorecard flips, above-threshold stage slowdowns — while re-runs of the
+same configuration at any worker count diff clean.  ``--profile`` runs
+every shard under cProfile + tracemalloc and records per-stage
+summaries in the trace and manifest.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -48,10 +62,23 @@ from .core import (
     resolved_kernel,
     validate,
 )
-from .obs import NULL_OBS, ObsContext, RunManifest, activate, build_manifest, write_trace
+from .obs import (
+    NULL_OBS,
+    ObsContext,
+    RunManifest,
+    activate,
+    build_manifest,
+    diff_manifests,
+    diff_traces,
+    profile_summary,
+    read_trace,
+    scorecard_for_manifest,
+    write_trace,
+)
 from .runtime import POLICIES, FaultPlan, ResilienceConfig
 from .experiments import (
     build_study,
+    collect_headline,
     figure1,
     figure2,
     figure3,
@@ -205,23 +232,31 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable observability entirely (results are identical either way)",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each shard under cProfile + tracemalloc; per-stage "
+             "summaries land in the trace stream and manifest "
+             "(results are identical either way, just slower)",
+    )
 
 
 def _obs_context(args: argparse.Namespace):
     """Build the command's observation context from its obs flags.
 
     Returns ``(context, error_exit_code)``; the context is ``NULL_OBS``
-    under ``--no-obs``, which conflicts with the output flags.
+    under ``--no-obs``, which conflicts with the output flags and with
+    ``--profile``.
     """
     if args.no_obs:
-        if args.trace or args.manifest:
+        if args.trace or args.manifest or args.profile:
             print(
-                "--trace/--manifest need observability; drop --no-obs",
+                "--trace/--manifest/--profile need observability; drop --no-obs",
                 file=sys.stderr,
             )
             return None, 2
         return NULL_OBS, None
-    return ObsContext(), None
+    return ObsContext(profile=args.profile), None
 
 
 def _write_obs_artifacts(
@@ -234,8 +269,15 @@ def _write_obs_artifacts(
     timings=None,
     extra=None,
     health=None,
+    headline=None,
 ) -> None:
-    """Write the trace JSONL and/or manifest a command was asked for."""
+    """Write the trace JSONL and/or manifest a command was asked for.
+
+    The manifest records any experiment ``headline`` statistics under
+    ``extra["headline"]``, per-stage profile summaries under
+    ``extra["profile"]`` when ``--profile`` ran, and embeds the
+    fidelity scorecard evaluated over the run's statistics.
+    """
     if not ctx.enabled:
         return
     if args.trace:
@@ -244,9 +286,13 @@ def _write_obs_artifacts(
     if manifest_path is None and args.trace:
         manifest_path = Path(args.trace).with_suffix(".manifest.json")
     if manifest_path:
+        extra = dict(extra or {})
         if health is not None:
-            extra = dict(extra or {})
             extra["health"] = health.as_dict()
+        if headline:
+            extra["headline"] = dict(sorted(headline.items()))
+        if ctx.profiles:
+            extra["profile"] = profile_summary(ctx.profiles)
         manifest = build_manifest(
             command,
             dataset=dataset,
@@ -257,6 +303,7 @@ def _write_obs_artifacts(
             metrics=ctx.metrics.snapshot(),
             extra=extra,
         )
+        manifest.scorecard = scorecard_for_manifest(manifest).as_dict()
         print(f"wrote manifest: {manifest.write(manifest_path)}")
 
 
@@ -329,6 +376,38 @@ def _build_parser() -> argparse.ArgumentParser:
     ins = sub.add_parser("inspect", help="pretty-print a run manifest")
     ins.add_argument("manifest_path", metavar="MANIFEST",
                      help="path to a manifest written via --trace/--manifest")
+
+    aud = sub.add_parser(
+        "audit",
+        help="score a run manifest against the paper's reference values",
+    )
+    aud.add_argument("manifest_path", metavar="MANIFEST",
+                     help="path to a manifest written via --trace/--manifest")
+    aud.add_argument("--json", action="store_true",
+                     help="emit the scorecard as canonical JSON "
+                          "(byte-deterministic for equivalent runs)")
+    aud.add_argument("--strict", action="store_true",
+                     help="exit non-zero on warnings too, not just failures")
+
+    dif = sub.add_parser(
+        "diff",
+        help="compare two runs; exit 1 on regression (drift, config "
+             "change, scorecard flip, wall-time regression)",
+    )
+    dif.add_argument("a_path", metavar="A",
+                     help="reference run: manifest JSON, or --trace JSONL "
+                          "when both paths end in .jsonl")
+    dif.add_argument("b_path", metavar="B", help="candidate run")
+    dif.add_argument("--json", action="store_true",
+                     help="emit the diff as canonical JSON")
+    dif.add_argument("--wall-threshold", type=float, default=0.25,
+                     metavar="FRACTION",
+                     help="relative per-stage slowdown counted as a "
+                          "regression (default 0.25 = 25%%)")
+    dif.add_argument("--wall-floor", type=float, default=0.5,
+                     metavar="SECONDS",
+                     help="absolute slowdown floor below which wall-time "
+                          "movement is reported as info only (default 0.5 s)")
 
     ben = sub.add_parser("bench", help="run the benchmark suite via pytest")
     ben.add_argument(
@@ -403,7 +482,9 @@ def _study_artifacts(args: argparse.Namespace, ctx):
     )
 
 
-def _write_study_artifacts(args: argparse.Namespace, ctx, command: str, artifacts) -> None:
+def _write_study_artifacts(
+    args: argparse.Namespace, ctx, command: str, artifacts, headline=None
+) -> None:
     """Manifest/trace output shared by report/manet/export/recover."""
     health = artifacts.primary_report.health
     visit_config = _visit_config(args)
@@ -419,6 +500,7 @@ def _write_study_artifacts(args: argparse.Namespace, ctx, command: str, artifact
             "extract.kernel": resolved_kernel(visit_config),
         },
         health=health if (health.recovered or health.degraded) else None,
+        headline=headline,
     )
 
 
@@ -434,16 +516,21 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if err is not None:
         return err
     artifacts = _study_artifacts(args, ctx)
+    results = []
     with activate(ctx):
         for name in names:
             result = EXPERIMENTS[name].run(artifacts)
+            results.append(result)
             text = (
                 result.format_table() if hasattr(result, "format_table")
                 else result.format_report()
             )
             print(text)
             print()
-    _write_study_artifacts(args, ctx, "report", artifacts)
+    _write_study_artifacts(
+        args, ctx, "report", artifacts,
+        headline=collect_headline(results),
+    )
     return 0
 
 
@@ -456,7 +543,10 @@ def _cmd_manet(args: argparse.Namespace) -> int:
     with activate(ctx):
         result = figure8.run(artifacts, config)
     print(result.format_report())
-    _write_study_artifacts(args, ctx, "manet", artifacts)
+    _write_study_artifacts(
+        args, ctx, "manet", artifacts,
+        headline=collect_headline([result]),
+    )
     return 0
 
 
@@ -498,6 +588,48 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_audit(args: argparse.Namespace) -> int:
+    """Re-evaluate a manifest's fidelity scorecard; exit 1 on failure."""
+    try:
+        manifest = RunManifest.load(args.manifest_path)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot read manifest: {exc}", file=sys.stderr)
+        return 2
+    scorecard = scorecard_for_manifest(manifest)
+    if args.json:
+        print(scorecard.to_json(), end="")
+    else:
+        print(scorecard.format_report())
+    failing = {"fail", "warn"} if args.strict else {"fail"}
+    return 1 if scorecard.status in failing else 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    """Structurally compare two runs; exit 1 on regression."""
+    a_path, b_path = Path(args.a_path), Path(args.b_path)
+    try:
+        if a_path.suffix == ".jsonl" and b_path.suffix == ".jsonl":
+            diff = diff_traces(
+                read_trace(a_path, strict=False),
+                read_trace(b_path, strict=False),
+            )
+        else:
+            diff = diff_manifests(
+                RunManifest.load(a_path),
+                RunManifest.load(b_path),
+                wall_rel_threshold=args.wall_threshold,
+                wall_abs_floor_s=args.wall_floor,
+            )
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"cannot diff runs: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(diff.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.format_report())
+    return 1 if diff.has_regressions else 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import subprocess
     from pathlib import Path
@@ -526,6 +658,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "recover": _cmd_recover,
         "bench": _cmd_bench,
         "inspect": _cmd_inspect,
+        "audit": _cmd_audit,
+        "diff": _cmd_diff,
     }
     return handlers[args.command](args)
 

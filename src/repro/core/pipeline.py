@@ -160,6 +160,15 @@ def validate(
                 health=health,
             )
             ctx.count("pipeline.runs_total", 1)
+            # Headline fractions as parent-side gauges: deterministic at
+            # any worker count (set once, after aggregation) and the
+            # direct inputs of the fidelity scorecard.
+            ctx.set_gauge(
+                "matching.extraneous_fraction", matching.extraneous_fraction()
+            )
+            ctx.set_gauge(
+                "matching.missing_fraction", 1.0 - matching.coverage_fraction()
+            )
             if health.degraded:
                 ctx.set_gauge("pipeline.degraded", 1.0)
     finally:

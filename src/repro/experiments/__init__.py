@@ -3,11 +3,13 @@
 from . import figure1, figure2, figure3, figure4, figure5, figure6, figure7, figure8
 from . import export, table1, table2
 from .common import StudyArtifacts, build_study, cached_study
+from .headline import collect_headline
 
 __all__ = [
     "StudyArtifacts",
     "build_study",
     "cached_study",
+    "collect_headline",
     "export",
     "figure1",
     "figure2",

@@ -49,6 +49,18 @@ class Figure1Result:
         """Share of visits covered by checkins (paper ≈ 0.11)."""
         return 1.0 - self.missing_fraction
 
+    def headline(self) -> dict:
+        """Scorecard inputs (see :mod:`repro.obs.fidelity`).
+
+        Keyed like the pipeline's own counters-derived fractions, so a
+        full-study manifest scores Figure 1 on the Primary dataset
+        alone (the paper's framing) rather than the pooled counters.
+        """
+        return {
+            "matching.extraneous_fraction": self.extraneous_fraction,
+            "matching.missing_fraction": self.missing_fraction,
+        }
+
     def format_report(self) -> str:
         """Venn counts alongside the paper's shares."""
         return "\n".join(

@@ -42,6 +42,12 @@ class Figure5Result:
         """Share of users whose checkins are > 60% extraneous."""
         return self.prevalence.users_above(0.6)
 
+    def headline(self) -> dict:
+        """Scorecard inputs (see :mod:`repro.obs.fidelity`)."""
+        return {
+            "figure5.users_with_any_extraneous": self.users_with_any_extraneous,
+        }
+
     def format_report(self) -> str:
         """Key quantiles and the filtering trade-off."""
         lines = ["Figure 5: per-user extraneous checkin ratios"]

@@ -55,6 +55,18 @@ class Figure7Result:
         """Median flight length of one variant, metres."""
         return float(np.median(self.samples[name].distances))
 
+    def headline(self) -> Dict[str, float]:
+        """Scorecard inputs: the paper's 'drastically slower' claim.
+
+        The honest-checkin model's implied speed at 1 km relative to
+        the GPS ground truth (paper: far below 1).
+        """
+        gps_speed = self.models["GPS"].mean_speed(1000.0)
+        honest_speed = self.models["Honest-Checkin"].mean_speed(1000.0)
+        if gps_speed <= 0.0:
+            return {}
+        return {"figure7.honest_gps_speed_ratio": honest_speed / gps_speed}
+
     def format_report(self) -> str:
         """Fit parameters and implied speeds per variant."""
         lines = ["Figure 7: Levy-walk fits (flight / pause / movement-time law)"]

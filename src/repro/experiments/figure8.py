@@ -46,6 +46,30 @@ class Figure8Result:
         """Median control packets per data packet across flows."""
         return statistics.median(self.results[name].overheads())
 
+    def headline(self) -> Dict[str, float]:
+        """Scorecard inputs: honest-vs-GPS ratios of the three panels.
+
+        Encodes the paper's robust orderings as ratio checks against
+        1.0 (route changes and overhead below, availability above).
+        """
+        stats: Dict[str, float] = {}
+        gps_changes = self.median_route_changes("GPS")
+        if gps_changes > 0.0:
+            stats["figure8.honest_gps_route_change_ratio"] = (
+                self.median_route_changes("Honest-Checkin") / gps_changes
+            )
+        gps_overhead = self.median_overhead("GPS")
+        if gps_overhead > 0.0:
+            stats["figure8.honest_gps_overhead_ratio"] = (
+                self.median_overhead("Honest-Checkin") / gps_overhead
+            )
+        gps_availability = self.mean_availability("GPS")
+        if gps_availability > 0.0:
+            stats["figure8.honest_gps_availability_ratio"] = (
+                self.mean_availability("Honest-Checkin") / gps_availability
+            )
+        return stats
+
     def format_report(self) -> str:
         """The three panels' summary statistics per model."""
         lines = ["Figure 8: MANET performance (CDF summaries across flows)"]

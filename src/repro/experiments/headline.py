@@ -1,0 +1,36 @@
+"""Collecting experiment headline statistics for the fidelity scorecard.
+
+Experiment results that reproduce one of the paper's headline numbers
+expose a ``headline()`` method returning a flat ``{statistic: value}``
+dict keyed by the names the reference registry in
+:mod:`repro.obs.fidelity` checks (e.g. Table 1's per-user-day rates,
+Figure 1's Venn fractions, Figure 8's honest-vs-GPS ratios).
+
+:func:`collect_headline` merges the headline dicts of any mix of
+results — results without a ``headline()`` method contribute nothing —
+so the CLI's ``report``/``manet`` commands can feed whatever subset of
+experiments they actually ran into the run manifest
+(``extra["headline"]``) and the scorecard.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable
+
+
+def collect_headline(results: Iterable[Any]) -> Dict[str, float]:
+    """Merge ``headline()`` dicts from experiment results.
+
+    Later results override earlier ones on key collisions (harmless in
+    practice: the registry keys are experiment-scoped).  Non-numeric
+    values are dropped so the output is always manifest/JSON safe.
+    """
+    stats: Dict[str, float] = {}
+    for result in results:
+        headline = getattr(result, "headline", None)
+        if not callable(headline):
+            continue
+        for name, value in headline().items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                stats[str(name)] = float(value)
+    return stats

@@ -54,6 +54,15 @@ class Table1Result:
                 return row
         raise KeyError(f"no Table 1 row named {name!r}")
 
+    def headline(self) -> dict:
+        """Scorecard inputs: the scale-free per-user-day rates."""
+        stats = {}
+        for row in self.rows:
+            prefix = f"table1.{row.stats.name.lower()}"
+            stats[f"{prefix}.checkins_per_user_day"] = row.checkins_per_user_day
+            stats[f"{prefix}.visits_per_user_day"] = row.visits_per_user_day
+        return stats
+
     def format_table(self) -> str:
         """Render both rows alongside the paper's per-user-day rates."""
         lines = [

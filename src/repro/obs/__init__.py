@@ -1,6 +1,6 @@
-"""Observability layer: tracing spans, metrics, and run manifests.
+"""Observability layer: tracing spans, metrics, manifests, and audits.
 
-Three pieces, all process-local and dependency-free:
+Six pieces, all process-local and dependency-free:
 
 * :mod:`repro.obs.context` — hierarchical spans with monotonic timings,
   point events, and the ambient-context machinery (:func:`current` /
@@ -11,13 +11,23 @@ Three pieces, all process-local and dependency-free:
   aggregate to the same totals for any worker count.
 * :mod:`repro.obs.manifest` / :mod:`repro.obs.export` — the per-run
   manifest (config hash, dataset fingerprint, seeds, timings, metric
-  snapshot) and the JSONL span/event/metric stream behind the CLI's
-  ``--trace`` flag and ``repro-study inspect``.
+  snapshot, fidelity scorecard) and the JSONL span/event/metric stream
+  behind the CLI's ``--trace`` flag and ``repro-study inspect``.
+* :mod:`repro.obs.fidelity` — the declarative paper-reference registry
+  and the scorecard it evaluates against a run's reproduced statistics
+  (``repro-study audit``).
+* :mod:`repro.obs.diff` — structural comparison of two manifests or
+  trace files, classifying drift as regression vs. expected variation
+  (``repro-study diff``).
+* :mod:`repro.obs.profile` — opt-in cProfile/tracemalloc hooks per
+  shard (the CLI's ``--profile`` flag), shipped worker→parent with the
+  metric deltas.
 
 Quickstart::
 
     from repro import validate
     from repro.obs import ObsContext, write_trace, build_manifest
+    from repro.obs import report_statistics, evaluate
 
     obs = ObsContext()
     report = validate(dataset, workers=4, obs=obs)
@@ -25,8 +35,10 @@ Quickstart::
     build_manifest("validate", dataset=dataset, workers=4,
                    timings=report.timings.as_dict(),
                    metrics=obs.metrics.snapshot()).write("run.manifest.json")
+    print(evaluate(report_statistics(report)).format_report())
 
-See DESIGN.md §8 for the span taxonomy and metric name tables.
+See DESIGN.md §7 for the span taxonomy, metric name tables, scorecard
+schema and diff exit codes.
 """
 
 from .context import (
@@ -38,7 +50,18 @@ from .context import (
     activate,
     current,
 )
+from .diff import DiffEntry, ManifestDiff, diff_manifests, diff_traces
 from .export import read_trace, trace_records, write_trace
+from .fidelity import (
+    DEFAULT_REGISTRY,
+    ReferenceCheck,
+    Scorecard,
+    ScorecardEntry,
+    evaluate,
+    manifest_statistics,
+    report_statistics,
+    scorecard_for_manifest,
+)
 from .manifest import (
     SCHEMA_VERSION,
     RunManifest,
@@ -47,25 +70,41 @@ from .manifest import (
     dataset_fingerprint,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import profile_call, profile_summary, top_functions
 
 __all__ = [
+    "DEFAULT_REGISTRY",
     "NULL_OBS",
     "SCHEMA_VERSION",
     "Counter",
+    "DiffEntry",
     "EventRecord",
     "Gauge",
     "Histogram",
+    "ManifestDiff",
     "MetricsRegistry",
     "NullObs",
     "ObsContext",
+    "ReferenceCheck",
     "RunManifest",
+    "Scorecard",
+    "ScorecardEntry",
     "SpanRecord",
     "activate",
     "build_manifest",
     "config_hash",
     "current",
     "dataset_fingerprint",
+    "diff_manifests",
+    "diff_traces",
+    "evaluate",
+    "manifest_statistics",
+    "profile_call",
+    "profile_summary",
     "read_trace",
+    "report_statistics",
+    "scorecard_for_manifest",
+    "top_functions",
     "trace_records",
     "write_trace",
 ]

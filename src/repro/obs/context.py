@@ -123,14 +123,21 @@ class _SpanHandle:
 
 
 class ObsContext:
-    """Spans, events and metrics of one observed run (or one shard)."""
+    """Spans, events and metrics of one observed run (or one shard).
+
+    ``profile=True`` additionally arms the per-stage profiling hooks
+    (see :mod:`repro.obs.profile`): worker shards run under cProfile +
+    tracemalloc and ship their profile records home with the delta.
+    """
 
     enabled = True
 
-    def __init__(self) -> None:
+    def __init__(self, profile: bool = False) -> None:
+        self.profile_enabled = bool(profile)
         self.metrics = MetricsRegistry()
         self.spans: List[SpanRecord] = []
         self.events: List[EventRecord] = []
+        self.profiles: List[Dict[str, Any]] = []
         self._stack: List[int] = []
         self._next_id = 0
         self._t0 = time.perf_counter()
@@ -179,6 +186,10 @@ class ObsContext:
         """Add one observation to histogram ``name``."""
         self.metrics.histogram(name).observe(value)
 
+    def record_profile(self, record: Dict[str, Any]) -> None:
+        """Attach one profile record (see :mod:`repro.obs.profile`)."""
+        self.profiles.append(dict(record))
+
     # -- worker delta shipping ---------------------------------------------
 
     def delta(self) -> Dict[str, Any]:
@@ -187,6 +198,7 @@ class ObsContext:
             "spans": [s.as_dict() for s in self.spans],
             "events": [e.as_dict() for e in self.events],
             "metrics": self.metrics.snapshot(raw=True),
+            "profiles": [dict(p) for p in self.profiles],
         }
 
     def absorb(
@@ -232,6 +244,11 @@ class ObsContext:
                     attrs=dict(record["attrs"]),
                 )
             )
+        for record in delta.get("profiles", []):
+            merged = dict(record)
+            if attrs:
+                merged.update(attrs)
+            self.profiles.append(merged)
         self.metrics.merge_snapshot(delta.get("metrics", {}))
 
     # -- introspection helpers (used by tests and `inspect`) ---------------
@@ -270,6 +287,7 @@ class NullObs:
     """Disabled observability: every method is a near-free no-op."""
 
     enabled = False
+    profile_enabled = False
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -284,6 +302,9 @@ class NullObs:
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def record_profile(self, record: Dict[str, Any]) -> None:
         pass
 
 

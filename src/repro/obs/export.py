@@ -4,12 +4,21 @@ One line per record, ``type`` discriminated::
 
     {"type": "span", "span_id": 3, "parent_id": 1, "name": "stage.match", ...}
     {"type": "event", "name": "runtime.shard_retry", "t_s": 0.12, ...}
+    {"type": "profile", "stage": "extract", "shard_id": 0, "top": [...], ...}
     {"type": "metric", "kind": "counter", "name": "matching.honest_total", ...}
 
 Spans appear in completion order (their ``start_s`` restores
-chronology); metrics are a final snapshot, one line per instrument, in
+chronology); profile records (present only under ``--profile``) follow
+the events; metrics are a final snapshot, one line per instrument, in
 sorted name order.  The format is append-friendly and greppable —
 ``jq 'select(.type == "span")' trace.jsonl`` style tooling just works.
+
+Readers are forward compatible: :func:`read_trace` preserves records of
+unknown ``type`` untouched, so newer writers do not break older
+tooling.  A truncated final line — the signature of a writer that died
+mid-flush — raises a :class:`ValueError` naming the line by default;
+``strict=False`` skips undecodable lines instead (what the run-diff
+tooling uses, since a partial trace is still worth comparing).
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ def trace_records(ctx: ObsContext) -> List[Dict[str, Any]]:
         records.append({"type": "span", **span.as_dict()})
     for event in ctx.events:
         records.append({"type": "event", **event.as_dict()})
+    for profile in ctx.profiles:
+        records.append({"type": "profile", **profile})
     snapshot = ctx.metrics.snapshot()
     for name, value in snapshot["counters"].items():
         records.append({"type": "metric", "kind": "counter", "name": name, "value": value})
@@ -48,12 +59,29 @@ def write_trace(path: Union[str, Path], ctx: ObsContext) -> Path:
     return path
 
 
-def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse a trace file back into record dicts (inverse of write)."""
-    records = []
-    with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
+def read_trace(
+    path: Union[str, Path], strict: bool = True
+) -> List[Dict[str, Any]]:
+    """Parse a trace file back into record dicts (inverse of write).
+
+    An empty file yields ``[]``.  A line that is not valid JSON — e.g.
+    the truncated last line of a crashed writer — raises ``ValueError``
+    naming the offending line number; with ``strict=False`` such lines
+    are skipped and whatever parsed is returned.  Records with unknown
+    ``type`` values pass through unchanged (forward compatibility).
+    """
+    path = Path(path)
+    records: List[Dict[str, Any]] = []
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if strict:
+                    raise ValueError(
+                        f"{path}: line {lineno}: invalid trace record ({exc})"
+                    ) from exc
     return records

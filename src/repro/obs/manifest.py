@@ -20,8 +20,16 @@ Schema (``schema_version`` 1)::
       "workers": 2,
       "timings": {"wall_s": ..., "stages": [...]},
       "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}},
-      "extra": {...}
+      "extra": {...},
+      "scorecard": {"status": ..., "counts": {...}, "checks": [...]}
     }
+
+``scorecard`` (optional, ``{}`` when the run was not scored) embeds the
+fidelity scorecard of :mod:`repro.obs.fidelity`: every paper-reference
+check with the reproduced value, relative deviation and
+pass/warn/fail/skipped status.  ``extra`` may carry ``headline``
+(experiment headline statistics feeding the scorecard) and ``profile``
+(per-stage cProfile/tracemalloc summaries under ``--profile``).
 """
 
 from __future__ import annotations
@@ -103,6 +111,9 @@ class RunManifest:
     timings: Dict[str, Any] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
     extra: Dict[str, Any] = field(default_factory=dict)
+    #: Fidelity scorecard of this run (``repro.obs.fidelity``); empty
+    #: when the run was not scored.
+    scorecard: Dict[str, Any] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe dump (includes the schema version)."""
@@ -118,6 +129,7 @@ class RunManifest:
             "timings": dict(self.timings),
             "metrics": dict(self.metrics),
             "extra": dict(self.extra),
+            "scorecard": dict(self.scorecard),
         }
 
     def write(self, path: Union[str, Path]) -> Path:
@@ -151,6 +163,7 @@ class RunManifest:
             timings=data.get("timings", {}),
             metrics=data.get("metrics", {}),
             extra=data.get("extra", {}),
+            scorecard=data.get("scorecard", {}),
         )
 
     def counter(self, name: str) -> int:
@@ -195,6 +208,25 @@ class RunManifest:
                         f" users {', '.join(skip.get('user_ids', []))}"
                     )
                 continue
+            if key == "headline" and isinstance(value, dict):
+                lines.append("  headline stats:")
+                for stat, stat_value in sorted(value.items()):
+                    lines.append(f"    {stat:<40} {stat_value:.4g}")
+                continue
+            if key == "profile" and isinstance(value, dict):
+                lines.append("  profile (per stage):")
+                for stage, summary in sorted(value.items()):
+                    lines.append(
+                        f"    {stage:<10} peak"
+                        f" {summary.get('tracemalloc_peak_kb', 0.0):.0f} KiB"
+                        f" over {summary.get('shards', 0)} shard(s)"
+                    )
+                    for row in summary.get("top", [])[:3]:
+                        lines.append(
+                            f"      {row['cumtime_s']:>8.3f} s cum"
+                            f"  {row['ncalls']:>7}x  {row['func']}"
+                        )
+                continue
             lines.append(f"  {key + ':':<16} {value}")
         stages = self.timings.get("stages", [])
         if stages:
@@ -217,6 +249,22 @@ class RunManifest:
                     f"    {name:<32} n={summary.get('count', 0)}"
                     f" p50={summary.get('p50', 0.0):.4g}"
                     f" p99={summary.get('p99', 0.0):.4g}"
+                )
+        if self.scorecard:
+            counts = self.scorecard.get("counts", {})
+            lines.append(
+                f"  fidelity:        {self.scorecard.get('status', '?').upper()}"
+                f" ({counts.get('pass', 0)} pass, {counts.get('warn', 0)} warn,"
+                f" {counts.get('fail', 0)} fail,"
+                f" {counts.get('skipped', 0)} skipped)"
+            )
+            for check in self.scorecard.get("checks", []):
+                if check.get("status") == "skipped":
+                    continue
+                lines.append(
+                    f"    {check['status']:<5} {check['name']:<40}"
+                    f" {check['reproduced']:.4g} vs {check['reference']:g}"
+                    f" ({check['source']})"
                 )
         return "\n".join(lines)
 

@@ -1,0 +1,148 @@
+"""Opt-in per-stage profiling hooks: cProfile + tracemalloc per shard.
+
+Armed by ``ObsContext(profile=True)`` (the CLI's ``--profile`` flag).
+Each shard's work unit runs under :func:`profile_call`, which wraps the
+payload function in a ``cProfile.Profile`` and a tracemalloc window and
+produces one JSON-safe *profile record*::
+
+    {
+      "wall_s": 0.41,
+      "tracemalloc_peak_kb": 1843.2,
+      "top": [
+        {"func": "visits.py:142(extract_user_visits)",
+         "ncalls": 3, "tottime_s": 0.01, "cumtime_s": 0.39},
+        ...
+      ]
+    }
+
+Records ship worker→parent alongside the existing span/metric deltas
+(:meth:`ObsContext.delta` / :meth:`ObsContext.absorb`), picking up
+``stage``/``shard_id`` attributes on absorb, and surface in three
+places: the trace stream (``type == "profile"`` lines), the stage
+span's ``profile_peak_kb`` attribute, and the run manifest's
+``extra["profile"]`` per-stage summary (:func:`profile_summary`).
+
+Profiling observes, never steers: results are byte-identical with it on
+or off (it costs wall time — tracemalloc roughly doubles allocation
+cost — which is why it is opt-in and a no-op under ``NULL_OBS``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Function entries kept per profile record (by cumulative time).
+PROFILE_TOP_N = 10
+
+
+def _function_label(func: Tuple[str, int, str]) -> str:
+    """``file.py:lineno(name)`` for a pstats function key."""
+    filename, lineno, name = func
+    if filename.startswith("<"):  # builtins: ("~", 0, "<method ...>")
+        return name
+    return f"{Path(filename).name}:{lineno}({name})"
+
+
+def top_functions(
+    profiler: cProfile.Profile, top_n: int = PROFILE_TOP_N
+) -> List[Dict[str, Any]]:
+    """The ``top_n`` profiled functions by cumulative time, JSON-safe.
+
+    Ordering is deterministic for a fixed stats dict: cumulative time
+    descending, function label ascending on ties.
+    """
+    profiler.create_stats()
+    rows = []
+    for func, (cc, ncalls, tottime, cumtime, _callers) in profiler.stats.items():
+        rows.append({
+            "func": _function_label(func),
+            "ncalls": int(ncalls),
+            "tottime_s": float(tottime),
+            "cumtime_s": float(cumtime),
+        })
+    rows.sort(key=lambda row: (-row["cumtime_s"], row["func"]))
+    return rows[:top_n]
+
+
+def profile_call(
+    fn: Callable[[Any], Any], payload: Any, top_n: int = PROFILE_TOP_N
+) -> Tuple[Any, Dict[str, Any]]:
+    """Run ``fn(payload)`` under cProfile + tracemalloc.
+
+    Returns ``(result, record)``.  The tracemalloc window only covers
+    this call; when tracing is already active (nested profiling, a
+    caller's own tracemalloc session) the outer session is left running
+    and the peak is measured relative to this call's start.
+    """
+    owns_tracemalloc = not tracemalloc.is_tracing()
+    if owns_tracemalloc:
+        tracemalloc.start()
+    else:
+        tracemalloc.reset_peak()
+    profiler = cProfile.Profile()
+    t0 = time.perf_counter()
+    try:
+        result = profiler.runcall(fn, payload)
+    finally:
+        wall_s = time.perf_counter() - t0
+        _current, peak = tracemalloc.get_traced_memory()
+        if owns_tracemalloc:
+            tracemalloc.stop()
+    record = {
+        "wall_s": wall_s,
+        "tracemalloc_peak_kb": peak / 1024.0,
+        "top": top_functions(profiler, top_n),
+    }
+    return result, record
+
+
+def aggregate_stage_profile(
+    records: Sequence[Dict[str, Any]], top_n: int = PROFILE_TOP_N
+) -> Dict[str, Any]:
+    """Merge one stage's shard records into a stage-level summary.
+
+    Functions merge by label (calls and times add across shards); the
+    peak is the worst single shard — shards run in separate processes,
+    so peaks do not sum.
+    """
+    merged: Dict[str, Dict[str, Any]] = {}
+    for record in records:
+        for row in record.get("top", []):
+            slot = merged.setdefault(
+                row["func"],
+                {"func": row["func"], "ncalls": 0, "tottime_s": 0.0,
+                 "cumtime_s": 0.0},
+            )
+            slot["ncalls"] += row["ncalls"]
+            slot["tottime_s"] += row["tottime_s"]
+            slot["cumtime_s"] += row["cumtime_s"]
+    top = sorted(merged.values(), key=lambda r: (-r["cumtime_s"], r["func"]))
+    return {
+        "shards": len(records),
+        "tracemalloc_peak_kb": max(
+            (r.get("tracemalloc_peak_kb", 0.0) for r in records), default=0.0
+        ),
+        "top": top[:top_n],
+    }
+
+
+def profile_summary(
+    records: Sequence[Dict[str, Any]], top_n: int = PROFILE_TOP_N
+) -> Dict[str, Any]:
+    """Per-stage aggregation of all profile records of a run.
+
+    The shape stored under a manifest's ``extra["profile"]``: one
+    summary per stage name (records without a stage attribute group
+    under ``"?"``).
+    """
+    by_stage: Dict[str, List[Dict[str, Any]]] = {}
+    for record in records:
+        by_stage.setdefault(str(record.get("stage", "?")), []).append(record)
+    return {
+        stage: aggregate_stage_profile(stage_records, top_n)
+        for stage, stage_records in sorted(by_stage.items())
+    }

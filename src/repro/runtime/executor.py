@@ -213,20 +213,30 @@ class _Instrumented:
     worker-local :class:`ObsContext`; its span/metric delta rides home
     with the result so the parent can aggregate deterministically.  The
     same wrapper runs under both executors, so serial and parallel runs
-    share one aggregation path.
+    share one aggregation path.  ``profile`` additionally runs the work
+    unit under cProfile + tracemalloc (see :mod:`repro.obs.profile`);
+    the profile record ships home inside the delta and the observed
+    result stays byte-identical — profiling observes, never steers.
     """
 
     fn: Callable[[Any], Any]
     observe: bool = False
+    profile: bool = False
 
     def __call__(self, payload: Any) -> Tuple[float, Any, Any]:
         t0 = time.perf_counter()
         if not self.observe:
             result = self.fn(payload)
             return time.perf_counter() - t0, None, result
-        ctx = ObsContext()
+        ctx = ObsContext(profile=self.profile)
         with activate(ctx), ctx.span("shard.run"):
-            result = self.fn(payload)
+            if self.profile:
+                from ..obs.profile import profile_call
+
+                result, record = profile_call(self.fn, payload)
+                ctx.record_profile(record)
+            else:
+                result = self.fn(payload)
         return time.perf_counter() - t0, ctx.delta(), result
 
 
@@ -274,7 +284,11 @@ def run_stage(
     ) as stage_span:
         t0 = time.perf_counter()
         payloads = [payload_of(shard) for shard in shards]
-        task = _Instrumented(worker, observe=obs.enabled)
+        task = _Instrumented(
+            worker,
+            observe=obs.enabled,
+            profile=getattr(obs, "profile_enabled", False),
+        )
         if resilience is not None:
             timed_results, attempts = run_shards_resilient(
                 stage, executor, shards, task, payloads,
@@ -318,6 +332,18 @@ def run_stage(
             results.append(result)
         timing.wall_s = time.perf_counter() - t0
         stage_span.annotate(wall_s=timing.wall_s)
+        if task.profile:
+            stage_profiles = [
+                p for p in getattr(obs, "profiles", [])
+                if p.get("stage") == stage
+            ]
+            if stage_profiles:
+                stage_span.annotate(
+                    profile_peak_kb=max(
+                        p.get("tracemalloc_peak_kb", 0.0)
+                        for p in stage_profiles
+                    )
+                )
     obs.count("runtime.shards_total", len(shards))
     obs.count("runtime.stages_total", 1)
     return results, timing

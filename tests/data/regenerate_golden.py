@@ -25,6 +25,7 @@ from repro.synth.config import MobilityConfig, StudyConfig, WorldConfig
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden_study"
 EXPECTED_PATH = GOLDEN_DIR / "expected.json"
+REFERENCE_MANIFEST_PATH = GOLDEN_DIR / "reference.manifest.json"
 
 
 def golden_config() -> StudyConfig:
@@ -59,6 +60,19 @@ def main() -> None:
         "summary": report.summary(),
     }
     EXPECTED_PATH.write_text(json.dumps(expected, indent=2) + "\n", encoding="utf-8")
+
+    # Reference run manifest for `repro-study diff` regression auditing
+    # (CI diffs fresh golden runs against this; see .github/workflows).
+    # Produced through the CLI so the manifest shape matches real runs.
+    from repro.cli import main as cli_main
+
+    code = cli_main([
+        "validate", "--data", str(GOLDEN_DIR),
+        "--manifest", str(REFERENCE_MANIFEST_PATH),
+    ])
+    if code != 0:
+        raise SystemExit(f"reference manifest run failed (exit {code})")
+
     print(report.summary())
     print(f"wrote fixture to {GOLDEN_DIR}")
 

@@ -172,6 +172,123 @@ class TestObservabilityFlags:
         assert "synth.generate" in span_names and "study.build" in span_names
 
 
+class TestAuditAndDiff:
+    """audit / diff / --profile subcommand surface, end to end."""
+
+    @pytest.fixture(scope="class")
+    def manifests(self, tmp_path_factory):
+        """Golden validate manifests at two worker counts."""
+        out = tmp_path_factory.mktemp("audit")
+        paths = {}
+        for workers in (1, 4):
+            manifest = out / f"w{workers}.manifest.json"
+            assert main(["validate", "--data", str(GOLDEN_DIR),
+                         "--workers", str(workers),
+                         "--manifest", str(manifest)]) == 0
+            paths[workers] = manifest
+        return paths
+
+    def test_manifest_embeds_passing_scorecard(self, manifests):
+        manifest = RunManifest.load(manifests[1])
+        assert manifest.scorecard["status"] == "pass"
+        assert manifest.scorecard["counts"]["fail"] == 0
+
+    def test_audit_golden_passes(self, manifests, capsys):
+        assert main(["audit", str(manifests[1])]) == 0
+        out = capsys.readouterr().out
+        assert "fidelity scorecard: PASS" in out
+        assert "matching.extraneous_fraction" in out
+
+    def test_audit_json_is_byte_deterministic(self, manifests, capsys):
+        assert main(["audit", str(manifests[1]), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["audit", str(manifests[4]), "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert json.loads(first)["status"] == "pass"
+
+    def test_audit_missing_file(self, tmp_path, capsys):
+        assert main(["audit", str(tmp_path / "nope.json")]) == 2
+        assert "cannot read manifest" in capsys.readouterr().err
+
+    def test_audit_strict_fails_on_warn(self, manifests, tmp_path, capsys):
+        data = json.loads(manifests[1].read_text(encoding="utf-8"))
+        # Push the missing fraction just outside its warn band
+        # (54 -> 18 gives 0.75 vs reference 0.886: ~15% deviation).
+        data["metrics"]["counters"]["matching.missing_total"] = 18
+        warped = tmp_path / "warn.manifest.json"
+        warped.write_text(json.dumps(data), encoding="utf-8")
+        capsys.readouterr()
+        assert main(["audit", str(warped)]) == 0
+        assert main(["audit", str(warped), "--strict"]) == 1
+
+    def test_diff_same_config_different_workers_is_clean(
+            self, manifests, capsys):
+        assert main(["diff", str(manifests[1]), str(manifests[4])]) == 0
+        out = capsys.readouterr().out
+        assert "0 regression(s)" in out
+
+    def test_diff_flags_injected_drift(self, manifests, tmp_path, capsys):
+        data = json.loads(manifests[1].read_text(encoding="utf-8"))
+        data["metrics"]["counters"]["matching.extraneous_total"] += 5
+        drifted = tmp_path / "drift.manifest.json"
+        drifted.write_text(json.dumps(data), encoding="utf-8")
+        assert main(["diff", str(manifests[1]), str(drifted)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "matching.extraneous_total" in out
+
+    def test_diff_json_output(self, manifests, tmp_path, capsys):
+        data = json.loads(manifests[1].read_text(encoding="utf-8"))
+        data["seeds"]["primary"] = 7
+        drifted = tmp_path / "seed.manifest.json"
+        drifted.write_text(json.dumps(data), encoding="utf-8")
+        assert main(["diff", str(manifests[1]), str(drifted), "--json"]) == 1
+        dump = json.loads(capsys.readouterr().out)
+        assert dump["regression"] is True
+        assert dump["entries"][0]["section"] == "seeds"
+
+    def test_diff_missing_file(self, manifests, tmp_path, capsys):
+        assert main(["diff", str(manifests[1]),
+                     str(tmp_path / "nope.json")]) == 2
+        assert "cannot diff" in capsys.readouterr().err
+
+    def test_diff_traces(self, tmp_path, capsys):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        for path, workers in ((a, 1), (b, 4)):
+            assert main(["validate", "--data", str(GOLDEN_DIR),
+                         "--workers", str(workers),
+                         "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_profile_records_in_trace_and_manifest(self, tmp_path, capsys):
+        trace = tmp_path / "prof.jsonl"
+        assert main(["validate", "--data", str(GOLDEN_DIR), "--workers", "2",
+                     "--trace", str(trace), "--profile"]) == 0
+        capsys.readouterr()
+        profiles = [r for r in read_trace(trace) if r["type"] == "profile"]
+        assert {p["stage"] for p in profiles} == {"extract", "match", "classify"}
+        manifest = RunManifest.load(trace.with_suffix(".manifest.json"))
+        assert set(manifest.extra["profile"]) == {"extract", "match", "classify"}
+        assert main(["inspect", str(trace.with_suffix(".manifest.json"))]) == 0
+        assert "profile (per stage)" in capsys.readouterr().out
+
+    def test_profile_output_identical_to_plain_run(self, capsys):
+        assert main(["validate", "--data", str(GOLDEN_DIR)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["validate", "--data", str(GOLDEN_DIR), "--profile"]) == 0
+        profiled = capsys.readouterr().out
+        assert plain == profiled
+
+    def test_no_obs_conflicts_with_profile(self, capsys):
+        assert main(["validate", "--data", str(GOLDEN_DIR), "--no-obs",
+                     "--profile"]) == 2
+        assert "no-obs" in capsys.readouterr().err
+
+
 def test_manet_subcommand(monkeypatch, capsys):
     from repro.manet import ManetConfig
     import repro.cli as cli

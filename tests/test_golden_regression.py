@@ -57,3 +57,22 @@ def test_golden_parallel_matches_fixture(expected):
     assert report.n_extraneous == expected["venn"]["extraneous"]
     assert report.n_missing == expected["venn"]["missing"]
     assert report.summary() == expected["summary"]
+
+
+def test_committed_reference_manifest_matches_fresh_run():
+    # A fresh golden run must diff clean against the committed reference
+    # manifest (the anchor `repro-study diff` CI auditing compares to);
+    # stale references would mask — or falsely flag — semantic drift.
+    from repro.obs import ObsContext, RunManifest, diff_manifests
+
+    reference = RunManifest.load(GOLDEN_DIR / "reference.manifest.json")
+    ctx = ObsContext()
+    validate(load_dataset(GOLDEN_DIR), workers=2, obs=ctx)
+    for name, value in ctx.metrics.snapshot()["counters"].items():
+        assert reference.counter(name) == value or name.startswith("runtime."), (
+            f"counter {name} drifted from the committed reference; "
+            "regenerate via tests/data/regenerate_golden.py if intentional"
+        )
+    assert reference.scorecard["status"] == "pass"
+    # Self-diff sanity: the reference never regresses against itself.
+    assert not diff_manifests(reference, reference).has_regressions

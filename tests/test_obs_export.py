@@ -1,0 +1,91 @@
+"""Trace export edge cases: empty, truncated, and future-format files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import ObsContext, read_trace, trace_records, write_trace
+
+
+class TestReadTraceEdgeCases:
+    def test_empty_file_yields_no_records(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert read_trace(path) == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "blank.jsonl"
+        path.write_text('{"type": "span", "name": "a"}\n\n   \n')
+        assert len(read_trace(path)) == 1
+
+    def test_truncated_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a"}\n{"type": "metric", "na'
+        )
+        with pytest.raises(ValueError) as excinfo:
+            read_trace(path)
+        message = str(excinfo.value)
+        assert "line 2" in message
+        assert str(path) in message
+
+    def test_truncated_line_skipped_when_lenient(self, tmp_path):
+        path = tmp_path / "torn.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a"}\n{"type": "metric", "na'
+        )
+        records = read_trace(path, strict=False)
+        assert records == [{"type": "span", "name": "a"}]
+
+    def test_corrupt_middle_line_strict_vs_lenient(self, tmp_path):
+        path = tmp_path / "mid.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "a"}\n'
+            "not json at all\n"
+            '{"type": "span", "name": "b"}\n'
+        )
+        with pytest.raises(ValueError, match="line 2"):
+            read_trace(path)
+        names = [r["name"] for r in read_trace(path, strict=False)]
+        assert names == ["a", "b"]
+
+    def test_unknown_record_types_pass_through(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        future = {"type": "flamegraph", "payload": [1, 2, 3]}
+        path.write_text(
+            json.dumps({"type": "span", "name": "a"}) + "\n"
+            + json.dumps(future) + "\n"
+        )
+        records = read_trace(path)
+        assert future in records
+
+
+class TestRoundTrip:
+    def context(self, profile=False):
+        ctx = ObsContext(profile=profile)
+        with ctx.span("stage.demo"):
+            ctx.count("demo.total", 3)
+        if profile:
+            ctx.record_profile({"stage": "demo", "wall_s": 0.1,
+                                "tracemalloc_peak_kb": 2.0, "top": []})
+        return ctx
+
+    def test_round_trip_preserves_records(self, tmp_path):
+        ctx = self.context()
+        path = write_trace(tmp_path / "t.jsonl", ctx)
+        assert read_trace(path) == trace_records(ctx)
+
+    def test_profile_records_serialise_between_events_and_metrics(
+            self, tmp_path):
+        ctx = self.context(profile=True)
+        types = [r["type"] for r in
+                 read_trace(write_trace(tmp_path / "p.jsonl", ctx))]
+        assert "profile" in types
+        assert types.index("profile") < types.index("metric")
+
+    def test_lines_are_sorted_key_json(self, tmp_path):
+        path = write_trace(tmp_path / "s.jsonl", self.context())
+        for line in path.read_text().splitlines():
+            assert line == json.dumps(json.loads(line), sort_keys=True)

@@ -1,0 +1,209 @@
+"""Fidelity scorecards: check kinds, tolerances, registry, determinism."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core import validate
+from repro.io import load_dataset
+from repro.obs import (
+    DEFAULT_REGISTRY,
+    ReferenceCheck,
+    RunManifest,
+    Scorecard,
+    build_manifest,
+    evaluate,
+    manifest_statistics,
+    report_statistics,
+    scorecard_for_manifest,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden_study"
+
+
+def check(**overrides):
+    base = dict(name="m.x", source="Table 9", reference=1.0,
+                warn_tolerance=0.1, fail_tolerance=0.25)
+    base.update(overrides)
+    return ReferenceCheck(**base)
+
+
+class TestReferenceCheck:
+    def test_band_deviation_symmetric(self):
+        c = check(kind="band", reference=2.0)
+        assert c.deviation(2.2) == pytest.approx(0.1)
+        assert c.deviation(1.8) == pytest.approx(0.1)
+
+    def test_min_only_penalises_shortfall(self):
+        c = check(kind="min", reference=1.0)
+        assert c.deviation(2.0) == 0.0
+        assert c.deviation(0.8) == pytest.approx(0.2)
+
+    def test_max_only_penalises_excess(self):
+        c = check(kind="max", reference=1.0)
+        assert c.deviation(0.1) == 0.0
+        assert c.deviation(1.3) == pytest.approx(0.3)
+
+    def test_status_thresholds(self):
+        c = check(kind="band", warn_tolerance=0.1, fail_tolerance=0.25)
+        assert c.evaluate(1.05).status == "pass"
+        assert c.evaluate(1.2).status == "warn"
+        assert c.evaluate(2.0).status == "fail"
+
+    def test_boundary_deviation_is_inclusive(self):
+        # Dyadic values, so the boundary deviations are float-exact.
+        c = check(kind="band", reference=2.0,
+                  warn_tolerance=0.25, fail_tolerance=0.5)
+        assert c.evaluate(2.5).status == "pass"
+        assert c.evaluate(3.0).status == "warn"
+
+    def test_absent_statistic_skips(self):
+        entry = check().evaluate(None)
+        assert entry.status == "skipped"
+        assert entry.reproduced is None
+        assert entry.deviation is None
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown kind"):
+            check(kind="exact")
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValueError, match="nonzero"):
+            check(reference=0.0)
+
+    def test_rejects_inverted_tolerances(self):
+        with pytest.raises(ValueError, match="warn_tolerance"):
+            check(warn_tolerance=0.5, fail_tolerance=0.1)
+
+
+class TestScorecard:
+    def test_status_is_worst_scored(self):
+        card = evaluate(
+            {"a": 1.0, "b": 1.2},
+            registry=[check(name="a"), check(name="b"), check(name="c")],
+        )
+        assert card.entry("a").status == "pass"
+        assert card.entry("b").status == "warn"
+        assert card.entry("c").status == "skipped"
+        assert card.status == "warn"
+        assert card.counts() == {"pass": 1, "warn": 1, "fail": 0, "skipped": 1}
+
+    def test_all_skipped_reports_skipped(self):
+        card = evaluate({}, registry=[check(name="a")])
+        assert card.status == "skipped"
+
+    def test_unknown_entry_raises(self):
+        card = evaluate({}, registry=[check(name="a")])
+        with pytest.raises(KeyError):
+            card.entry("nope")
+
+    def test_to_json_is_canonical(self):
+        card = evaluate({"a": 1.05}, registry=[check(name="a")])
+        text = card.to_json()
+        assert text == json.dumps(json.loads(text), indent=2,
+                                  sort_keys=True) + "\n"
+
+    def test_as_dict_sorted_by_name(self):
+        card = evaluate({}, registry=[check(name="z"), check(name="a")])
+        names = [c["name"] for c in card.as_dict()["checks"]]
+        assert names == ["a", "z"]
+
+    def test_format_report_mentions_every_check(self):
+        card = evaluate({"a": 1.0}, registry=[check(name="a"), check(name="b")])
+        text = card.format_report()
+        assert "fidelity scorecard" in text
+        assert "a" in text and "b" in text
+
+
+class TestRegistry:
+    def test_registry_names_unique(self):
+        names = [c.name for c in DEFAULT_REGISTRY]
+        assert len(names) == len(set(names))
+
+    def test_registry_covers_paper_artifacts(self):
+        names = {c.name for c in DEFAULT_REGISTRY}
+        assert "matching.extraneous_fraction" in names
+        assert "table1.primary.checkins_per_user_day" in names
+        assert "figure8.honest_gps_availability_ratio" in names
+
+
+class TestGoldenScorecard:
+    @pytest.fixture()
+    def report(self):
+        return validate(load_dataset(GOLDEN_DIR))
+
+    def test_report_statistics_match_expected(self, report):
+        venn = json.loads((GOLDEN_DIR / "expected.json").read_text())["venn"]
+        stats = report_statistics(report)
+        assert stats["matching.extraneous_fraction"] == pytest.approx(
+            venn["extraneous"] / (venn["honest"] + venn["extraneous"])
+        )
+        assert stats["matching.missing_fraction"] == pytest.approx(
+            venn["missing"] / (venn["honest"] + venn["missing"])
+        )
+
+    def test_golden_report_passes_default_registry(self, report):
+        card = evaluate(report_statistics(report))
+        assert card.status == "pass"
+        assert card.counts()["fail"] == 0
+        assert card.counts()["warn"] == 0
+
+
+class TestManifestStatistics:
+    def manifest(self, counters=None, headline=None):
+        manifest = RunManifest(
+            command="validate", package_version="0", python_version="0",
+            config_hash="0" * 64, dataset={},
+            metrics={"counters": counters or {}},
+        )
+        if headline is not None:
+            manifest.extra["headline"] = headline
+        return manifest
+
+    def test_fractions_from_counters(self):
+        m = self.manifest(counters={
+            "matching.honest_total": 6, "matching.extraneous_total": 30,
+            "matching.missing_total": 54, "classify.superfluous_total": 6,
+        })
+        stats = manifest_statistics(m)
+        assert stats["matching.extraneous_fraction"] == pytest.approx(30 / 36)
+        assert stats["matching.missing_fraction"] == pytest.approx(54 / 60)
+        assert stats["classify.superfluous_share"] == pytest.approx(0.2)
+
+    def test_degenerate_counters_yield_no_stats(self):
+        assert manifest_statistics(self.manifest()) == {}
+        zeroed = self.manifest(counters={
+            "matching.honest_total": 0, "matching.extraneous_total": 0,
+        })
+        assert "matching.extraneous_fraction" not in manifest_statistics(zeroed)
+
+    def test_headline_merges_and_filters(self):
+        m = self.manifest(headline={
+            "table1.primary.checkins_per_user_day": 4.0,
+            "note": "not a number",
+            "flag": True,
+        })
+        stats = manifest_statistics(m)
+        assert stats == {"table1.primary.checkins_per_user_day": 4.0}
+
+    def test_headline_overrides_counter_derived(self):
+        m = self.manifest(
+            counters={"matching.honest_total": 1,
+                      "matching.extraneous_total": 1},
+            headline={"matching.extraneous_fraction": 0.75},
+        )
+        assert manifest_statistics(m)["matching.extraneous_fraction"] == 0.75
+
+    def test_scorecard_for_manifest_round_trips_manifest_embed(self, tmp_path):
+        m = self.manifest(counters={
+            "matching.honest_total": 6, "matching.extraneous_total": 30,
+            "matching.missing_total": 54,
+        })
+        card = scorecard_for_manifest(m)
+        m.scorecard = card.as_dict()
+        reloaded = RunManifest.load(m.write(tmp_path / "m.json"))
+        assert reloaded.scorecard == card.as_dict()
+        assert reloaded.scorecard["status"] == "pass"

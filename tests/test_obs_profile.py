@@ -1,0 +1,141 @@
+"""Profiling hooks: record shape, aggregation, observe-never-steer."""
+
+from __future__ import annotations
+
+import cProfile
+from pathlib import Path
+
+import pytest
+
+from repro.core import validate
+from repro.io import load_dataset
+from repro.obs import (
+    NULL_OBS,
+    ObsContext,
+    profile_call,
+    profile_summary,
+    top_functions,
+)
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden_study"
+
+
+def busy(n):
+    return sum(i * i for i in range(n))
+
+
+class TestProfileCall:
+    def test_returns_result_and_record(self):
+        result, record = profile_call(busy, 1000)
+        assert result == busy(1000)
+        assert record["wall_s"] >= 0.0
+        assert record["tracemalloc_peak_kb"] >= 0.0
+        assert isinstance(record["top"], list) and record["top"]
+
+    def test_top_rows_are_json_safe(self):
+        _, record = profile_call(busy, 1000)
+        for row in record["top"]:
+            assert set(row) == {"func", "ncalls", "tottime_s", "cumtime_s"}
+            assert isinstance(row["func"], str)
+
+    def test_top_n_truncates(self):
+        _, record = profile_call(busy, 1000, top_n=1)
+        assert len(record["top"]) == 1
+
+    def test_propagates_exceptions(self):
+        def boom(_):
+            raise RuntimeError("shard failed")
+        with pytest.raises(RuntimeError, match="shard failed"):
+            profile_call(boom, None)
+
+    def test_nested_profiling_leaves_outer_tracemalloc_running(self):
+        import tracemalloc
+        tracemalloc.start()
+        try:
+            profile_call(busy, 1000)
+            assert tracemalloc.is_tracing()
+        finally:
+            tracemalloc.stop()
+
+    def test_top_functions_sorted_by_cumtime(self):
+        profiler = cProfile.Profile()
+        profiler.runcall(busy, 1000)
+        rows = top_functions(profiler)
+        cums = [row["cumtime_s"] for row in rows]
+        assert cums == sorted(cums, reverse=True)
+
+
+class TestAggregation:
+    def record(self, stage, func="a.py:1(f)", peak=10.0, cum=1.0):
+        return {"stage": stage, "wall_s": cum, "tracemalloc_peak_kb": peak,
+                "top": [{"func": func, "ncalls": 2, "tottime_s": 0.5,
+                         "cumtime_s": cum}]}
+
+    def test_summary_groups_by_stage(self):
+        summary = profile_summary([
+            self.record("extract", peak=10.0),
+            self.record("extract", peak=30.0),
+            self.record("match", peak=5.0),
+        ])
+        assert sorted(summary) == ["extract", "match"]
+        assert summary["extract"]["shards"] == 2
+        # Peaks take the worst shard; calls/times sum across shards.
+        assert summary["extract"]["tracemalloc_peak_kb"] == 30.0
+        assert summary["extract"]["top"][0]["ncalls"] == 4
+        assert summary["extract"]["top"][0]["cumtime_s"] == pytest.approx(2.0)
+
+    def test_stageless_records_group_under_question_mark(self):
+        summary = profile_summary([{"wall_s": 0.0, "tracemalloc_peak_kb": 0.0,
+                                    "top": []}])
+        assert sorted(summary) == ["?"]
+
+    def test_empty_records(self):
+        assert profile_summary([]) == {}
+
+
+class TestContextPlumbing:
+    def test_profile_disabled_by_default(self):
+        assert ObsContext().profile_enabled is False
+        assert NULL_OBS.profile_enabled is False
+
+    def test_null_obs_record_profile_is_noop(self):
+        NULL_OBS.record_profile({"wall_s": 0.0})
+
+    def test_delta_ships_profiles_and_absorb_tags_attrs(self):
+        worker = ObsContext(profile=True)
+        worker.record_profile({"wall_s": 0.1, "tracemalloc_peak_kb": 1.0,
+                               "top": []})
+        parent = ObsContext(profile=True)
+        parent.absorb(worker.delta(), attrs={"stage": "extract", "shard_id": 0})
+        assert len(parent.profiles) == 1
+        assert parent.profiles[0]["stage"] == "extract"
+        assert parent.profiles[0]["shard_id"] == 0
+
+
+class TestEndToEnd:
+    def run(self, profile, workers=2):
+        ctx = ObsContext(profile=profile)
+        report = validate(load_dataset(GOLDEN_DIR), workers=workers, obs=ctx)
+        return report, ctx
+
+    def test_profile_records_cover_every_stage(self):
+        _, ctx = self.run(profile=True)
+        stages = {p["stage"] for p in ctx.profiles}
+        assert stages == {"extract", "match", "classify"}
+        summary = profile_summary(ctx.profiles)
+        assert all(s["shards"] >= 1 for s in summary.values())
+        assert all(p["tracemalloc_peak_kb"] > 0.0 for p in ctx.profiles)
+
+    def test_profiling_never_steers_results(self):
+        plain, _ = self.run(profile=False)
+        profiled, _ = self.run(profile=True)
+        assert plain.summary() == profiled.summary()
+
+    def test_profiling_serial_run_also_records(self):
+        _, ctx = self.run(profile=True, workers=None)
+        assert {p["stage"] for p in ctx.profiles} == {
+            "extract", "match", "classify"}
+
+    def test_no_profiles_without_flag(self):
+        _, ctx = self.run(profile=False)
+        assert ctx.profiles == []
