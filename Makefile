@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage faults bench bench-quick bench-scaling
+.PHONY: test coverage faults bench bench-quick bench-scaling bench-scale
 
 test:            ## tier-1 suite (fast; what CI gates on)
 	$(PYTHON) -m pytest -x -q
@@ -28,3 +28,6 @@ bench-quick:     ## benchmarks without the slow MANET simulations
 
 bench-scaling:   ## just the runtime scaling record (BENCH_runtime_scaling.json)
 	$(PYTHON) -m pytest benchmarks/test_runtime_scaling.py -q -s
+
+bench-scale:     ## out-of-core RSS record, quick + 100k tiers (BENCH_scale.json)
+	$(PYTHON) -m pytest benchmarks/test_scale.py -q

@@ -20,7 +20,14 @@ Pipeline commands accept ``--workers N`` to shard validation over a
 process pool (``0`` = all CPUs); results are identical for any worker
 count.  ``--kernel {auto,vectorized,scalar}`` selects the stay-point
 extraction kernel — the vectorized default is ~5x faster and
-bit-identical to the scalar reference.  They also accept observability flags: ``--trace out.jsonl``
+bit-identical to the scalar reference.
+
+Out-of-core studies: ``generate --store disk`` writes a segment store
+instead of one JSONL directory, and ``validate --store disk`` streams
+the study one segment at a time (``--segment-users N`` sets segment
+size, ``--store-dir`` keeps the built store, ``--checkpoint-dir`` makes
+the run resumable after a crash) — peak memory is bounded by the
+largest segment while every output byte matches the in-memory path.  They also accept observability flags: ``--trace out.jsonl``
 dumps the run's span/event/metric stream as JSON lines and writes a run
 manifest next to it (``out.manifest.json``), ``--manifest PATH`` picks
 the manifest location explicitly, and ``--no-obs`` turns instrumentation
@@ -61,6 +68,7 @@ from .core import (
     VisitConfig,
     resolved_kernel,
     validate,
+    validate_store,
 )
 from .obs import (
     NULL_OBS,
@@ -90,9 +98,15 @@ from .experiments import (
     table1,
     table2,
 )
-from .io import load_dataset, save_dataset
+from .io import load_dataset, load_dataset_into_store, save_dataset
 from .manet import bench_config, paper_config
-from .synth import baseline_config, generate_dataset, primary_config
+from .store import DEFAULT_SEGMENT_USERS, StudyStore
+from .synth import (
+    baseline_config,
+    generate_dataset,
+    generate_study_store,
+    primary_config,
+)
 
 #: Experiment registry: name -> module with a run(artifacts) function.
 EXPERIMENTS = {
@@ -140,6 +154,44 @@ def _add_kernel_flag(parser: argparse.ArgumentParser) -> None:
 
 def _visit_config(args: argparse.Namespace) -> VisitConfig:
     return VisitConfig(kernel=getattr(args, "kernel", "auto"))
+
+
+def _segment_users(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def _add_store_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store",
+        choices=["memory", "disk"],
+        default="memory",
+        help="disk: stream the study through an on-disk segment store, "
+             "one segment at a time — bounded memory, byte-identical output",
+    )
+    parser.add_argument(
+        "--segment-users",
+        type=_segment_users,
+        default=DEFAULT_SEGMENT_USERS,
+        metavar="N",
+        help="users per segment when building a disk store "
+             f"(default {DEFAULT_SEGMENT_USERS})",
+    )
+    parser.add_argument(
+        "--store-dir",
+        metavar="PATH",
+        help="where to build the segment store when --data is a JSONL "
+             "directory or the study is generated (default: a temp dir, "
+             "removed afterwards)",
+    )
+    parser.add_argument(
+        "--checkpoint-dir",
+        metavar="PATH",
+        help="persist per-segment results here; a re-run replays finished "
+             "segments instead of recomputing (disk store only)",
+    )
 
 
 def _add_resilience_flags(
@@ -319,6 +371,20 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--scale", type=float, default=1.0, help="population scale (0, 1]")
     gen.add_argument("--seed", type=int, default=None, help="override the preset seed")
     gen.add_argument("--out", required=True, help="output directory")
+    gen.add_argument(
+        "--store",
+        choices=["jsonl", "disk"],
+        default="jsonl",
+        help="disk: write a segment store (streams users, bounded memory) "
+             "instead of one JSONL directory",
+    )
+    gen.add_argument(
+        "--segment-users",
+        type=_segment_users,
+        default=DEFAULT_SEGMENT_USERS,
+        metavar="N",
+        help=f"users per segment with --store disk (default {DEFAULT_SEGMENT_USERS})",
+    )
 
     val = sub.add_parser("validate", help="run the checkin-validity pipeline")
     val.add_argument("--data", help="dataset directory written by 'generate'")
@@ -328,6 +394,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print the per-stage runtime breakdown")
     _add_workers_flag(val)
     _add_kernel_flag(val)
+    _add_store_flags(val)
     _add_resilience_flags(val, inject=True)
     _add_obs_flags(val)
 
@@ -422,11 +489,92 @@ def _build_parser() -> argparse.ArgumentParser:
 def _cmd_generate(args: argparse.Namespace) -> int:
     preset = primary_config if args.dataset == "primary" else baseline_config
     config = preset() if args.seed is None else preset(seed=args.seed)
-    dataset = generate_dataset(config.scaled(args.scale))
+    config = config.scaled(args.scale)
+    if args.store == "disk":
+        store = generate_study_store(
+            config, args.out, segment_users=args.segment_users
+        )
+        print(
+            f"wrote {store.name} store: {store.n_users} users, "
+            f"{store.n_checkins} checkins, {store.n_gps_points} GPS points "
+            f"in {len(store.segments)} segment(s) -> {args.out}"
+        )
+        return 0
+    dataset = generate_dataset(config)
     save_dataset(dataset, args.out)
     stats = dataset.stats()
     print(f"wrote {stats.name}: {stats.n_users} users, {stats.n_checkins} checkins, "
           f"{stats.n_gps_points} GPS points -> {args.out}")
+    return 0
+
+
+def _cmd_validate_disk(args, ctx, resilience, fault_plan) -> int:
+    """``validate --store disk``: stream the study through a segment store.
+
+    The study reaches the pipeline as a store whichever way it arrives:
+    ``--data`` pointing at an existing store opens it, ``--data``
+    pointing at a JSONL directory spills it into one (at ``--store-dir``
+    or a temp dir), and no ``--data`` generates the Primary study
+    straight into segments.  Output — summary, counters, gauges, dataset
+    fingerprint, scorecard — is byte-identical to the in-memory path.
+    """
+    import shutil
+    import tempfile
+
+    seeds = {}
+    visit_config = _visit_config(args)
+    scratch: Optional[str] = None
+    try:
+        with activate(ctx):
+            if args.data and StudyStore.is_store(args.data):
+                store = StudyStore.open(args.data)
+                extra = {"data": args.data}
+            elif args.data:
+                store_dir = args.store_dir
+                if store_dir is None:
+                    scratch = tempfile.mkdtemp(prefix="repro-store-")
+                    store_dir = scratch
+                store = load_dataset_into_store(
+                    args.data, store_dir, segment_users=args.segment_users
+                )
+                extra = {"data": args.data}
+            else:
+                config = primary_config()
+                seeds["primary"] = config.seed
+                store_dir = args.store_dir
+                if store_dir is None:
+                    scratch = tempfile.mkdtemp(prefix="repro-store-")
+                    store_dir = scratch
+                store = generate_study_store(
+                    config.scaled(args.scale),
+                    store_dir,
+                    segment_users=args.segment_users,
+                )
+                extra = {"scale": args.scale}
+            extra["extract.kernel"] = resolved_kernel(visit_config)
+            extra["store"] = {"mode": "disk", **store.segment_summary()}
+            summary = validate_store(
+                store, visit_config=visit_config, workers=args.workers,
+                resilience=resilience, fault_plan=fault_plan,
+                checkpoints=args.checkpoint_dir,
+            )
+        print(summary.summary())
+        if summary.health.recovered or summary.health.degraded:
+            print(summary.health.format_report())
+        if args.timings:
+            print(summary.timings.format_report())
+        _write_obs_artifacts(
+            args, ctx, "validate",
+            dataset=store.fingerprint(visit_counts=summary.visit_counts),
+            configs=(visit_config, MatchConfig(), ClassifyConfig()),
+            seeds=seeds,
+            timings=summary.timings.as_dict(),
+            extra=extra,
+            health=summary.health if resilience is not None else None,
+        )
+    finally:
+        if scratch is not None:
+            shutil.rmtree(scratch, ignore_errors=True)
     return 0
 
 
@@ -437,6 +585,8 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     resilience, fault_plan, err = _resilience_from_args(args)
     if err is not None:
         return err
+    if args.store == "disk":
+        return _cmd_validate_disk(args, ctx, resilience, fault_plan)
     seeds = {}
     visit_config = _visit_config(args)
     with activate(ctx):

@@ -4,20 +4,83 @@
 and extraneous classification, and bundles the results with the headline
 numbers (Figure 1's Venn regions, the class breakdown) into a single
 :class:`ValidationReport`.
+
+``validate_store(store)`` is the out-of-core twin: it streams a
+:class:`repro.store.StudyStore` one segment at a time through the same
+three stages, so peak memory is bounded by the largest segment while
+counters, gauges, summaries and fingerprints stay byte-identical to the
+in-memory path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Union
 
-from ..model import CheckinType, Dataset
-from ..obs import activate
+from ..model import CheckinType, Dataset, UserData
+from ..obs import activate, config_hash
 from ..obs import current as obs_current
-from ..runtime import RunHealth, RuntimeTimings, resolve_executor
+from ..runtime import (
+    RunHealth,
+    RuntimeTimings,
+    StreamMerger,
+    resolve_executor,
+    shard_count,
+    shard_segment,
+)
+from ..store import CheckpointStore, SegmentEntry, StudyStore
 from .classify import ClassificationResult, ClassifyConfig, classify_dataset
 from .matching import MatchConfig, MatchingResult, match_dataset
 from .visits import VisitConfig, extract_dataset_visits
+
+
+def format_summary(
+    name: str,
+    n_checkins: int,
+    n_visits: int,
+    n_honest: int,
+    n_extraneous: int,
+    n_missing: int,
+    type_counts: Mapping[CheckinType, int],
+    skipped: Sequence[str] = (),
+) -> str:
+    """The pipeline's human-readable summary, from plain aggregates.
+
+    Single formatter behind :meth:`ValidationReport.summary` and
+    :meth:`ValidationSummary.summary` — the streaming path accumulates
+    the same integers the in-memory result derives, so both render the
+    exact same text.
+    """
+    extraneous_fraction = n_extraneous / n_checkins if n_checkins else 0.0
+    coverage_fraction = n_honest / n_visits if n_visits else 0.0
+    lines = [
+        f"Dataset: {name}",
+        f"  checkins: {n_checkins}   visits: {n_visits}",
+        f"  honest checkins:     {n_honest}"
+        f" ({100 * (1 - extraneous_fraction):.0f}% of checkins)",
+        f"  extraneous checkins: {n_extraneous}"
+        f" ({100 * extraneous_fraction:.0f}% of checkins)",
+        f"  missing checkins:    {n_missing}"
+        f" ({100 * (1 - coverage_fraction):.0f}% of visits)",
+        "  extraneous breakdown:",
+    ]
+    for kind in (
+        CheckinType.SUPERFLUOUS,
+        CheckinType.REMOTE,
+        CheckinType.DRIVEBY,
+        CheckinType.OTHER,
+    ):
+        share = type_counts[kind] / n_extraneous if n_extraneous else 0.0
+        lines.append(
+            f"    {kind.value:<12} {type_counts[kind]:>7}  ({100 * share:.0f}% of extraneous)"
+        )
+    if skipped:
+        lines.append(
+            f"  DEGRADED RUN: {len(skipped)} user(s) skipped after repeated"
+            f" shard failures [{', '.join(skipped)}]"
+        )
+    return "\n".join(lines)
 
 
 @dataclass
@@ -54,33 +117,16 @@ class ValidationReport:
 
     def summary(self) -> str:
         """Human-readable report mirroring the paper's headline numbers."""
-        counts = self.type_counts()
-        lines = [
-            f"Dataset: {self.dataset.name}",
-            f"  checkins: {self.matching.n_checkins}   visits: {self.matching.n_visits}",
-            f"  honest checkins:     {self.n_honest}"
-            f" ({100 * (1 - self.matching.extraneous_fraction()):.0f}% of checkins)",
-            f"  extraneous checkins: {self.n_extraneous}"
-            f" ({100 * self.matching.extraneous_fraction():.0f}% of checkins)",
-            f"  missing checkins:    {self.n_missing}"
-            f" ({100 * (1 - self.matching.coverage_fraction()):.0f}% of visits)",
-            "  extraneous breakdown:",
-        ]
-        for kind in (
-            CheckinType.SUPERFLUOUS,
-            CheckinType.REMOTE,
-            CheckinType.DRIVEBY,
-            CheckinType.OTHER,
-        ):
-            share = counts[kind] / self.n_extraneous if self.n_extraneous else 0.0
-            lines.append(f"    {kind.value:<12} {counts[kind]:>7}  ({100 * share:.0f}% of extraneous)")
-        if self.health.degraded:
-            skipped = self.health.skipped_user_ids()
-            lines.append(
-                f"  DEGRADED RUN: {len(skipped)} user(s) skipped after repeated"
-                f" shard failures [{', '.join(skipped)}]"
-            )
-        return "\n".join(lines)
+        return format_summary(
+            self.dataset.name,
+            self.matching.n_checkins,
+            self.matching.n_visits,
+            self.n_honest,
+            self.n_extraneous,
+            self.n_missing,
+            self.type_counts(),
+            self.health.skipped_user_ids(),
+        )
 
 
 def validate(
@@ -180,4 +226,315 @@ def validate(
         classification=classification,
         timings=timings,
         health=health,
+    )
+
+
+@dataclass
+class ValidationSummary:
+    """Aggregates of a streamed (out-of-core) validation run.
+
+    Carries everything the report-level consumers need — headline
+    counts, the class breakdown, per-user visit counts for the dataset
+    fingerprint — without holding any per-checkin results, so its size
+    is O(users), not O(records).
+    """
+
+    name: str
+    n_users: int
+    n_segments: int
+    n_honest: int
+    n_extraneous: int
+    n_missing: int
+    type_counts: Dict[CheckinType, int]
+    #: Per-user extracted-visit count (``-1`` = extraction skipped), the
+    #: input of :meth:`repro.store.StudyStore.fingerprint`.
+    visit_counts: Dict[str, int]
+    timings: RuntimeTimings = field(default_factory=RuntimeTimings)
+    health: RunHealth = field(default_factory=RunHealth)
+    #: Segments replayed from checkpoints instead of recomputed.
+    segments_reused: int = 0
+
+    @property
+    def n_checkins(self) -> int:
+        return self.n_honest + self.n_extraneous
+
+    @property
+    def n_visits(self) -> int:
+        return self.n_honest + self.n_missing
+
+    def extraneous_fraction(self) -> float:
+        return self.n_extraneous / self.n_checkins if self.n_checkins else 0.0
+
+    def coverage_fraction(self) -> float:
+        return self.n_honest / self.n_visits if self.n_visits else 0.0
+
+    def summary(self) -> str:
+        """Identical text to :meth:`ValidationReport.summary`."""
+        return format_summary(
+            self.name,
+            self.n_checkins,
+            self.n_visits,
+            self.n_honest,
+            self.n_extraneous,
+            self.n_missing,
+            self.type_counts,
+            self.health.skipped_user_ids(),
+        )
+
+
+def _segment_results(
+    entry: SegmentEntry,
+    seg_dataset: Dataset,
+    visit_config: VisitConfig,
+    match_config: MatchConfig,
+    classify_config: ClassifyConfig,
+    exec_,
+    timings: RuntimeTimings,
+    resilience,
+    fault_plan,
+    health: RunHealth,
+):
+    """Run the three stages on one loaded segment.
+
+    Shards come from the segment's manifest counts
+    (:func:`repro.runtime.shard_segment`), so segment size — not study
+    size — bounds the sharding work too.
+    """
+    shards = shard_segment(
+        entry.user_ids,
+        entry.gps_counts,
+        entry.checkin_counts,
+        shard_count(exec_, entry.n_users),
+    )
+    skip_base = len(health.skipped)
+    extract_dataset_visits(
+        seg_dataset, visit_config, executor=exec_, timings=timings,
+        resilience=resilience, fault_plan=fault_plan, health=health,
+        shards=shards,
+    )
+    skipped = {
+        user_id
+        for degraded in health.skipped[skip_base:]
+        if degraded.stage == "extract"
+        for user_id in degraded.user_ids
+    }
+    working = (
+        seg_dataset
+        if not skipped
+        else seg_dataset.subset(
+            [u for u in seg_dataset.users if u not in skipped],
+            name=seg_dataset.name,
+        )
+    )
+    matching = match_dataset(
+        working, match_config, executor=exec_, timings=timings,
+        resilience=resilience, fault_plan=fault_plan, health=health,
+    )
+    classification = classify_dataset(
+        working, matching, classify_config, executor=exec_,
+        timings=timings, resilience=resilience, fault_plan=fault_plan,
+        health=health,
+    )
+    return matching, classification
+
+
+def validate_store(
+    store: StudyStore,
+    visit_config: Optional[VisitConfig] = None,
+    match_config: Optional[MatchConfig] = None,
+    classify_config: Optional[ClassifyConfig] = None,
+    workers: Optional[int] = None,
+    executor=None,
+    obs=None,
+    resilience=None,
+    fault_plan=None,
+    health: Optional[RunHealth] = None,
+    checkpoints: Optional[Union[CheckpointStore, str, Path]] = None,
+    keep_results: bool = False,
+) -> Union[ValidationSummary, ValidationReport]:
+    """Run the validation pipeline over a study store, one segment at a time.
+
+    Each segment is loaded (GPS traces as mmap-backed views), pushed
+    through extraction → matching → classification with the usual
+    executor/resilience machinery, reduced into running aggregates, and
+    dropped before the next segment loads — peak memory is bounded by
+    the largest segment regardless of study size.
+
+    Per-user computation is deterministic and segments partition the
+    user set in dataset order, so the aggregates — and therefore the
+    summary text, the semantic counters and gauges, and the dataset
+    fingerprint built from ``visit_counts`` — are byte-identical to
+    ``validate(store.load_dataset())`` at any worker count.
+
+    ``checkpoints`` (a :class:`repro.store.CheckpointStore` or a
+    directory path) arms per-segment crash recovery: finished segments
+    persist their results keyed by the pipeline config hash and the
+    segment's content fingerprints, and a restarted run replays them
+    (including their counter deltas, when observability was on) instead
+    of recomputing.
+
+    ``keep_results=False`` (the default, the out-of-core mode) returns a
+    :class:`ValidationSummary`; ``keep_results=True`` materialises every
+    segment's users and per-checkin results into a full
+    :class:`ValidationReport` — only sensible for studies that fit in
+    RAM (parity tests, small runs).
+    """
+    visit_config = visit_config or VisitConfig()
+    match_config = match_config or MatchConfig()
+    classify_config = classify_config or ClassifyConfig()
+    ctx = obs if obs is not None else obs_current()
+    exec_, owned = resolve_executor(executor, workers)
+    timings = RuntimeTimings()
+    if health is None:
+        health = RunHealth()
+    if checkpoints is not None and not isinstance(checkpoints, CheckpointStore):
+        checkpoints = CheckpointStore(checkpoints)
+    checkpoint_key = config_hash(visit_config, match_config, classify_config)
+
+    n_honest = n_extraneous = n_missing = segments_reused = 0
+    type_counts: Dict[CheckinType, int] = {kind: 0 for kind in CheckinType}
+    visit_counts: Dict[str, int] = {}
+    matching_merger: StreamMerger = StreamMerger()
+    all_labels: Dict[str, CheckinType] = {}
+    all_checkins: Dict = {}
+    all_users: Dict[str, UserData] = {}
+
+    try:
+        with activate(ctx), ctx.span(
+            "pipeline.validate",
+            dataset=store.name,
+            users=store.n_users,
+            workers=exec_.workers,
+            segments=len(store.segments),
+        ):
+            pois = store.load_pois()
+            for entry in store.segments:
+                payload = (
+                    checkpoints.load(entry, checkpoint_key)
+                    if checkpoints is not None
+                    else None
+                )
+                with ctx.span(
+                    "store.segment",
+                    segment=entry.segment_id,
+                    users=entry.n_users,
+                    reused=payload is not None,
+                ):
+                    if payload is not None:
+                        segments_reused += 1
+                        ctx.count("store.segments_reused", 1)
+                        for name, delta in payload["counters"].items():
+                            ctx.count(name, delta)
+                        per_user_matching = payload["matching"]
+                        seg_labels = payload["labels"]
+                        seg_checkins = payload["checkins"]
+                        seg_visits = payload["visits"]
+                        seg_dataset = None
+                        if keep_results:
+                            seg_dataset = store.load_segment(entry, pois=pois)
+                            for user_id, data in seg_dataset.users.items():
+                                data.visits = seg_visits[user_id]
+                    else:
+                        before = (
+                            dict(ctx.metrics.snapshot()["counters"])
+                            if ctx.enabled
+                            else {}
+                        )
+                        seg_dataset = store.load_segment(entry, pois=pois)
+                        matching, classification = _segment_results(
+                            entry, seg_dataset, visit_config, match_config,
+                            classify_config, exec_, timings, resilience,
+                            fault_plan, health,
+                        )
+                        per_user_matching = matching.per_user
+                        seg_labels = classification.labels
+                        seg_checkins = classification.checkins
+                        seg_visits = {
+                            user_id: data.visits
+                            for user_id, data in seg_dataset.users.items()
+                        }
+                        if checkpoints is not None:
+                            after = (
+                                dict(ctx.metrics.snapshot()["counters"])
+                                if ctx.enabled
+                                else {}
+                            )
+                            # Keep new-but-zero counters (a key counted
+                            # with delta 0 still exists in the snapshot)
+                            # so replay recreates the exact key set.
+                            deltas = {
+                                name: value - before.get(name, 0)
+                                for name, value in after.items()
+                                if name not in before or value != before[name]
+                            }
+                            checkpoints.save(
+                                entry,
+                                checkpoint_key,
+                                {
+                                    "matching": per_user_matching,
+                                    "labels": seg_labels,
+                                    "checkins": seg_checkins,
+                                    "visits": seg_visits,
+                                    "counters": deltas,
+                                },
+                            )
+                    ctx.count("store.segments_total", 1)
+                # Reduce this segment into the running aggregates; the
+                # segment's data is dropped before the next one loads.
+                for user_matching in per_user_matching.values():
+                    n_honest += len(user_matching.matches)
+                    n_extraneous += len(user_matching.extraneous)
+                    n_missing += len(user_matching.missing)
+                for label in seg_labels.values():
+                    type_counts[label] += 1
+                for user_id in entry.user_ids:
+                    visits = seg_visits.get(user_id)
+                    visit_counts[user_id] = -1 if visits is None else len(visits)
+                if keep_results:
+                    matching_merger.absorb(per_user_matching)
+                    all_labels.update(seg_labels)
+                    all_checkins.update(seg_checkins)
+                    all_users.update(seg_dataset.users)
+            ctx.count("pipeline.runs_total", 1)
+            # Same gauges as `validate`, from the same integers: the
+            # divisions see identical operands, so the floats match.
+            n_checkins = n_honest + n_extraneous
+            n_visits = n_honest + n_missing
+            ctx.set_gauge(
+                "matching.extraneous_fraction",
+                n_extraneous / n_checkins if n_checkins else 0.0,
+            )
+            ctx.set_gauge(
+                "matching.missing_fraction",
+                1.0 - (n_honest / n_visits if n_visits else 0.0),
+            )
+            if health.degraded:
+                ctx.set_gauge("pipeline.degraded", 1.0)
+    finally:
+        if owned:
+            exec_.close()
+    if keep_results:
+        return ValidationReport(
+            dataset=Dataset(name=store.name, pois=pois, users=all_users),
+            matching=MatchingResult(
+                config=match_config, per_user=matching_merger.merged
+            ),
+            classification=ClassificationResult(
+                config=classify_config, labels=all_labels, checkins=all_checkins
+            ),
+            timings=timings,
+            health=health,
+        )
+    return ValidationSummary(
+        name=store.name,
+        n_users=store.n_users,
+        n_segments=len(store.segments),
+        n_honest=n_honest,
+        n_extraneous=n_extraneous,
+        n_missing=n_missing,
+        type_counts=type_counts,
+        visit_counts=visit_counts,
+        timings=timings,
+        health=health,
+        segments_reused=segments_reused,
     )

@@ -332,6 +332,7 @@ def extract_dataset_visits(
     resilience=None,
     fault_plan=None,
     health=None,
+    shards=None,
 ) -> Dataset:
     """Populate ``visits`` for every user in ``dataset`` (in place).
 
@@ -343,6 +344,11 @@ def extract_dataset_visits(
     fault-tolerance layer (see :func:`repro.runtime.run_stage`); under
     ``skip_and_report`` a skipped shard's users keep ``visits=None`` and
     are recorded on ``health``.  Returns the same dataset for chaining.
+
+    ``shards`` overrides the default sharding with a precomputed list of
+    :class:`repro.runtime.Shard` covering exactly the pending users —
+    the streaming store path shards from manifest counts without loading
+    segment data.  The merge still enforces exact coverage.
 
     The stage span carries ``kernel=<scalar|vectorized>`` so traces and
     manifests identify which kernel produced a run.
@@ -359,7 +365,8 @@ def extract_dataset_visits(
     exec_, owned = resolve_executor(executor, workers)
     try:
         subset = dataset.subset(pending, name=dataset.name)
-        shards = shard_dataset(subset, shard_count(exec_, len(pending)))
+        if shards is None:
+            shards = shard_dataset(subset, shard_count(exec_, len(pending)))
 
         def payload_of(shard):
             return (

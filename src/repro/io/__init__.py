@@ -11,7 +11,9 @@ from .jsonl import (
     encode_poi,
     encode_profile,
     encode_visit,
+    iter_user_data,
     load_dataset,
+    load_dataset_into_store,
     save_dataset,
 )
 
@@ -25,7 +27,9 @@ __all__ = [
     "encode_poi",
     "encode_profile",
     "encode_visit",
+    "iter_user_data",
     "load_dataset",
+    "load_dataset_into_store",
     "load_snap_checkins",
     "save_dataset",
     "save_geojson",

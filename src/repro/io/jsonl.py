@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+import numpy as np
 
 from ..model import (
     Checkin,
@@ -207,16 +209,40 @@ def load_dataset(directory: Path | str) -> Dataset:
             raise ValueError(f"{kind} record references unknown user {user_id!r}")
         return users[user_id]
 
-    gps_cols: Dict[str, List[List[float]]] = {}
+    # GPS is by far the largest file; materialising it as Python float
+    # lists costs ~10x the final array size.  Records are grouped by
+    # user on write, so accumulate floats only for the current run and
+    # freeze each run into a compact (3, n) float64 block at the user
+    # change — peak list overhead is one user's trace, not the study's.
+    gps_runs: Dict[str, List[np.ndarray]] = {}
+    run_user: Optional[str] = None
+    run_t: List[float] = []
+    run_x: List[float] = []
+    run_y: List[float] = []
     for record in _read_jsonl(directory / "gps.jsonl"):
         user_of(record, "gps")
-        cols = gps_cols.setdefault(record["user_id"], [[], [], []])
-        cols[0].append(float(record["t"]))
-        cols[1].append(float(record["x"]))
-        cols[2].append(float(record["y"]))
+        user_id = record["user_id"]
+        if user_id != run_user:
+            if run_user is not None:
+                gps_runs.setdefault(run_user, []).append(
+                    np.array([run_t, run_x, run_y], dtype=np.float64)
+                )
+            run_user = user_id
+            run_t, run_x, run_y = [], [], []
+        run_t.append(float(record["t"]))
+        run_x.append(float(record["x"]))
+        run_y.append(float(record["y"]))
+    if run_user is not None:
+        gps_runs.setdefault(run_user, []).append(
+            np.array([run_t, run_x, run_y], dtype=np.float64)
+        )
     for user_id, data in users.items():
-        cols = gps_cols.get(user_id)
-        data.gps = GpsTrace(*cols) if cols else GpsTrace.empty()
+        runs = gps_runs.pop(user_id, None)
+        if not runs:
+            data.gps = GpsTrace.empty()
+        else:
+            cols = runs[0] if len(runs) == 1 else np.concatenate(runs, axis=1)
+            data.gps = GpsTrace(cols[0], cols[1], cols[2])
     for record in _read_jsonl(directory / "checkins.jsonl"):
         checkin = decode_checkin(record)
         user_of(record, "checkin").checkins.append(checkin)
@@ -230,3 +256,106 @@ def load_dataset(directory: Path | str) -> Dataset:
         for user_id, visits in per_user.items():
             users[user_id].visits = visits
     return Dataset(name=meta["name"], pois=pois, users=users)
+
+
+class _GroupedReader:
+    """Cursor over a user-grouped JSONL file with one-record pushback.
+
+    ``take(user_id)`` yields that user's contiguous records; the first
+    foreign record is pushed back for the next user.  ``finish`` raises
+    if anything is left — which catches both unknown users and files
+    that are not actually grouped in profile order.
+    """
+
+    def __init__(self, path: Path, kind: str) -> None:
+        self.path = path
+        self.kind = kind
+        self._iter = _read_jsonl(path)
+        self._pushback: Optional[Dict[str, Any]] = None
+
+    def take(self, user_id: str) -> Iterator[Dict[str, Any]]:
+        while True:
+            if self._pushback is not None:
+                record, self._pushback = self._pushback, None
+            else:
+                record = next(self._iter, None)
+            if record is None:
+                return
+            if record["user_id"] != user_id:
+                self._pushback = record
+                return
+            yield record
+
+    def finish(self) -> None:
+        leftover = self._pushback or next(self._iter, None)
+        if leftover is not None:
+            raise ValueError(
+                f"{self.path}: {self.kind} record for user "
+                f"{leftover.get('user_id')!r} not reachable in profile order "
+                "(unknown user, or file is not grouped by user)"
+            )
+
+
+def iter_user_data(directory: Path | str) -> Iterator[UserData]:
+    """Stream users from a JSONL dataset directory, one at a time.
+
+    Peak memory is one user's records, not the study's — the entry
+    point for spilling a large JSONL export into a segment store.
+    Requires the grouped-by-user layout :func:`save_dataset` writes
+    (profiles in canonical order; gps/checkins grouped per user);
+    anything else raises.  Extracted visits are refused: streaming
+    consumers persist raw studies.
+    """
+    directory = Path(directory)
+    for name in _FILES:
+        if not (directory / name).exists():
+            raise FileNotFoundError(f"dataset directory {directory} is missing {name}")
+    if (directory / "visits.jsonl").exists():
+        raise ValueError(
+            f"{directory}: has extracted visits; the streaming loader only "
+            "handles raw studies (load_dataset materialises them instead)"
+        )
+    gps = _GroupedReader(directory / "gps.jsonl", "gps")
+    checkins = _GroupedReader(directory / "checkins.jsonl", "checkin")
+    for record in _read_jsonl(directory / "profiles.jsonl"):
+        profile = decode_profile(record)
+        t: List[float] = []
+        x: List[float] = []
+        y: List[float] = []
+        for sample in gps.take(profile.user_id):
+            t.append(float(sample["t"]))
+            x.append(float(sample["x"]))
+            y.append(float(sample["y"]))
+        yield UserData(
+            profile=profile,
+            gps=GpsTrace(t, x, y) if t else GpsTrace.empty(),
+            checkins=[decode_checkin(c) for c in checkins.take(profile.user_id)],
+        )
+    gps.finish()
+    checkins.finish()
+
+
+def load_dataset_into_store(
+    directory: Path | str,
+    store_dir: Path | str,
+    segment_users: Optional[int] = None,
+):
+    """Spill a JSONL dataset directory into a study store, streaming.
+
+    Returns the opened :class:`repro.store.StudyStore`.  Never holds
+    more than one segment's users in memory.
+    """
+    from ..store import DEFAULT_SEGMENT_USERS, StudyStoreWriter
+
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text(encoding="utf-8"))
+    writer = StudyStoreWriter(
+        store_dir,
+        meta["name"],
+        segment_users=segment_users or DEFAULT_SEGMENT_USERS,
+    )
+    writer.write_pois(
+        {p.poi_id: p for p in map(decode_poi, _read_jsonl(directory / "pois.jsonl"))}
+    )
+    writer.add_users(iter_user_data(directory))
+    return writer.finalize()

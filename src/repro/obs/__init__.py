@@ -68,6 +68,7 @@ from .manifest import (
     build_manifest,
     config_hash,
     dataset_fingerprint,
+    fingerprint_from_counts,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import profile_call, profile_summary, top_functions
@@ -98,6 +99,7 @@ __all__ = [
     "diff_manifests",
     "diff_traces",
     "evaluate",
+    "fingerprint_from_counts",
     "manifest_statistics",
     "profile_call",
     "profile_summary",

@@ -68,33 +68,80 @@ def config_hash(*configs: Any) -> str:
     return digest.hexdigest()
 
 
-def dataset_fingerprint(dataset: Dataset) -> Dict[str, Any]:
+def fingerprint_from_counts(
+    name: str,
+    n_pois: int,
+    entries: Any,
+) -> Dict[str, Any]:
+    """Dataset fingerprint from per-user count metadata alone.
+
+    ``entries`` iterates ``(user_id, n_gps, n_checkins, n_visits)`` in
+    dataset user order (``n_visits = -1`` when extraction has not run).
+    This is the single digest definition shared by
+    :func:`dataset_fingerprint` and the segment-store manifest
+    (:meth:`repro.store.StudyStore.fingerprint`), which is what keeps a
+    disk-store run's manifest byte-identical to the in-memory path.
+    """
+    digest = hashlib.sha256()
+    digest.update(name.encode("utf-8"))
+    digest.update(str(n_pois).encode("utf-8"))
+    n_users = 0
+    n_checkins = 0
+    n_gps = 0
+    for user_id, user_gps, user_checkins, user_visits in entries:
+        n_users += 1
+        n_checkins += user_checkins
+        n_gps += user_gps
+        digest.update(
+            f"{user_id}:{user_gps}:{user_checkins}:{user_visits};".encode("utf-8")
+        )
+    return {
+        "name": name,
+        "n_users": n_users,
+        "n_pois": n_pois,
+        "n_checkins": n_checkins,
+        "n_gps_points": n_gps,
+        "sha256": digest.hexdigest(),
+    }
+
+
+def dataset_fingerprint(dataset: Any) -> Dict[str, Any]:
     """Cheap structural fingerprint of a dataset.
 
     Hashes per-user record counts (not record payloads), so it is O(users)
     and stable across processes, yet changes whenever users, their trace
     lengths, or the POI universe change.
+
+    Besides a :class:`Dataset`, accepts a ready fingerprint dict
+    (returned unchanged) or any object with a ``fingerprint()`` method —
+    the hook a :class:`repro.store.StudyStore` uses so manifests of
+    disk-store runs carry the same fingerprint without materialising the
+    study.
     """
-    digest = hashlib.sha256()
-    digest.update(dataset.name.encode("utf-8"))
-    digest.update(str(len(dataset.pois)).encode("utf-8"))
-    n_checkins = 0
-    n_gps = 0
-    for user_id, data in dataset.users.items():
-        n_checkins += len(data.checkins)
-        n_gps += len(data.gps)
-        n_visits = -1 if data.visits is None else len(data.visits)
-        digest.update(
-            f"{user_id}:{len(data.gps)}:{len(data.checkins)}:{n_visits};".encode("utf-8")
+    if isinstance(dataset, dict):
+        return dict(dataset)
+    if not isinstance(dataset, Dataset):
+        fingerprint = getattr(dataset, "fingerprint", None)
+        if callable(fingerprint):
+            return fingerprint()
+        raise TypeError(
+            f"cannot fingerprint {type(dataset).__name__}: "
+            "expected a Dataset, a fingerprint dict, or an object with "
+            "a fingerprint() method"
         )
-    return {
-        "name": dataset.name,
-        "n_users": len(dataset.users),
-        "n_pois": len(dataset.pois),
-        "n_checkins": n_checkins,
-        "n_gps_points": n_gps,
-        "sha256": digest.hexdigest(),
-    }
+    return fingerprint_from_counts(
+        dataset.name,
+        len(dataset.pois),
+        (
+            (
+                user_id,
+                len(data.gps),
+                len(data.checkins),
+                -1 if data.visits is None else len(data.visits),
+            )
+            for user_id, data in dataset.users.items()
+        ),
+    )
 
 
 @dataclass
@@ -271,7 +318,7 @@ class RunManifest:
 
 def build_manifest(
     command: str,
-    dataset: Optional[Dataset] = None,
+    dataset: Optional[Any] = None,
     configs: tuple = (),
     seeds: Optional[Dict[str, int]] = None,
     workers: Optional[int] = None,

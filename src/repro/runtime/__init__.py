@@ -54,7 +54,7 @@ from .faults import (
     InjectedCrash,
     InjectedFault,
 )
-from .merge import merge_user_maps
+from .merge import StreamMerger, merge_user_maps
 from .resilience import (
     POLICIES,
     DegradedResult,
@@ -62,7 +62,15 @@ from .resilience import (
     RunHealth,
     run_shards_resilient,
 )
-from .sharding import GPS_SAMPLES_PER_VISIT, Shard, shard_dataset, user_weight
+from .sharding import (
+    GPS_SAMPLES_PER_VISIT,
+    Shard,
+    pre_extraction_weight,
+    shard_dataset,
+    shard_segment,
+    shard_user_table,
+    user_weight,
+)
 from .timing import RuntimeTimings, ShardTiming, StageTiming
 
 __all__ = [
@@ -86,13 +94,17 @@ __all__ = [
     "ShardError",
     "ShardTiming",
     "StageTiming",
+    "StreamMerger",
     "WorkUnitError",
     "available_workers",
     "merge_user_maps",
+    "pre_extraction_weight",
     "resolve_executor",
     "run_shards_resilient",
     "run_stage",
     "shard_count",
     "shard_dataset",
+    "shard_segment",
+    "shard_user_table",
     "user_weight",
 ]

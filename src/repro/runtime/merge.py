@@ -11,7 +11,7 @@ serial reference regardless of which shard finished first.
 
 from __future__ import annotations
 
-from typing import Collection, Dict, Iterable, List, TypeVar
+from typing import Collection, Dict, Iterable, List, Mapping, TypeVar
 
 from ..model import Dataset
 from ..obs import current as obs_current
@@ -58,3 +58,28 @@ def merge_user_maps(
         return {
             user_id: pooled[user_id] for user_id in dataset.users if user_id in pooled
         }
+
+
+class StreamMerger:
+    """Incremental per-user merge for segment-at-a-time streaming runs.
+
+    The streaming pipeline processes a store one segment at a time, each
+    segment already merged to dataset order by :func:`merge_user_maps`.
+    Segments arrive in manifest order and partition the user set, so
+    absorbing each segment's maps in arrival order reproduces exactly
+    the global dict order the in-memory path builds — no re-sort needed,
+    but the disjointness contract is still enforced.
+    """
+
+    def __init__(self) -> None:
+        self.merged: Dict[str, T] = {}
+
+    def absorb(self, segment_map: Mapping[str, T]) -> None:
+        """Append one segment's ``{user_id: value}`` map, in its order."""
+        for user_id, value in segment_map.items():
+            if user_id in self.merged:
+                raise ValueError(f"user {user_id!r} merged from more than one segment")
+            self.merged[user_id] = value
+
+    def __len__(self) -> int:
+        return len(self.merged)

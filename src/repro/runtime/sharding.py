@@ -17,7 +17,7 @@ matching the dataset's original user order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Sequence, Tuple
 
 from ..model import Dataset, UserData
 from .errors import RuntimeConfigError
@@ -31,6 +31,17 @@ WeightFn = Callable[[UserData], int]
 GPS_SAMPLES_PER_VISIT = 30
 
 
+def pre_extraction_weight(n_gps: int, n_checkins: int) -> int:
+    """Work weight from raw record counts (visits not yet extracted).
+
+    This is the metadata form of :func:`user_weight`: it needs only the
+    counts a segment manifest records, so a store can be sharded without
+    opening any segment — and produces the same shards the in-memory
+    path would.
+    """
+    return n_checkins + max(1, n_gps // GPS_SAMPLES_PER_VISIT)
+
+
 def user_weight(data: UserData) -> int:
     """Default work weight: checkin + visit count.
 
@@ -42,7 +53,7 @@ def user_weight(data: UserData) -> int:
     events = len(data.checkins)
     if data.visits is not None:
         return events + len(data.visits)
-    return events + max(1, len(data.gps) // GPS_SAMPLES_PER_VISIT)
+    return pre_extraction_weight(len(data.gps), events)
 
 
 @dataclass(frozen=True)
@@ -57,22 +68,27 @@ class Shard:
         return len(self.user_ids)
 
 
-def shard_dataset(
-    dataset: Dataset,
+def shard_user_table(
+    entries: Sequence[Tuple[str, int]],
     n_shards: int,
-    weight_fn: WeightFn = user_weight,
 ) -> List[Shard]:
-    """Split ``dataset`` into at most ``n_shards`` balanced shards.
+    """Split a ``(user_id, weight)`` table into at most ``n_shards`` shards.
 
-    Empty shards are dropped (fewer users than shards), so the returned
-    list may be shorter than ``n_shards`` but never contains idle units.
-    Within each shard users keep their dataset order; shards are returned
-    ordered by ``shard_id``.
+    ``entries`` must be in dataset order — the assignment is a pure
+    function of (weights, order, shard count), and within each shard
+    users keep their table order so merges can rely on it.  Empty shards
+    are dropped (fewer users than shards), so the returned list may be
+    shorter than ``n_shards`` but never contains idle units.
     """
     if n_shards < 1:
         raise RuntimeConfigError(f"n_shards must be >= 1, got {n_shards}")
-    order: Dict[str, int] = {user_id: i for i, user_id in enumerate(dataset.users)}
-    weights = {user_id: weight_fn(data) for user_id, data in dataset.users.items()}
+    order: Dict[str, int] = {}
+    weights: Dict[str, int] = {}
+    for user_id, weight in entries:
+        if user_id in order:
+            raise RuntimeConfigError(f"duplicate user id in shard table: {user_id!r}")
+        order[user_id] = len(order)
+        weights[user_id] = weight
     # LPT greedy: heaviest first (user order breaks ties deterministically).
     by_weight = sorted(order, key=lambda user_id: (-weights[user_id], order[user_id]))
     loads = [0] * n_shards
@@ -88,3 +104,48 @@ def shard_dataset(
         user_ids.sort(key=order.__getitem__)
         shards.append(Shard(shard_id=len(shards), user_ids=tuple(user_ids), weight=load))
     return shards
+
+
+def shard_dataset(
+    dataset: Dataset,
+    n_shards: int,
+    weight_fn: WeightFn = user_weight,
+) -> List[Shard]:
+    """Split ``dataset`` into at most ``n_shards`` balanced shards.
+
+    Delegates to :func:`shard_user_table` with per-user weights from
+    ``weight_fn``; see there for the balancing and ordering guarantees.
+    """
+    return shard_user_table(
+        [(user_id, weight_fn(data)) for user_id, data in dataset.users.items()],
+        n_shards,
+    )
+
+
+def shard_segment(
+    user_ids: Sequence[str],
+    gps_counts: Sequence[int],
+    checkin_counts: Sequence[int],
+    n_shards: int,
+) -> List[Shard]:
+    """Shard one store segment from its manifest counts alone.
+
+    The weights are :func:`pre_extraction_weight` over the manifest's
+    per-user GPS and checkin counts — exactly what :func:`user_weight`
+    computes from a loaded, unextracted dataset — so the streaming path
+    produces the same shards as the in-memory path without touching the
+    segment data.
+    """
+    if not len(user_ids) == len(gps_counts) == len(checkin_counts):
+        raise RuntimeConfigError(
+            "segment shard table mismatch: "
+            f"{len(user_ids)} users, {len(gps_counts)} gps counts, "
+            f"{len(checkin_counts)} checkin counts"
+        )
+    return shard_user_table(
+        [
+            (user_id, pre_extraction_weight(n_gps, n_checkins))
+            for user_id, n_gps, n_checkins in zip(user_ids, gps_counts, checkin_counts)
+        ],
+        n_shards,
+    )

@@ -1,0 +1,61 @@
+"""Out-of-core study storage: segment files, study stores, checkpoints.
+
+This package lets the pipeline run studies that do not fit in RAM:
+
+* :mod:`repro.store.segment` — the mmap-able columnar GPS segment file
+  (the three-buffer :class:`~repro.model.GpsTrace` layout on disk,
+  written atomically, content-fingerprinted);
+* :mod:`repro.store.study` — a chunked study store: shard-sized
+  segments plus a JSON manifest carrying user ids, per-user counts and
+  segment fingerprints, so sharding and auditing never open the data;
+* :mod:`repro.store.checkpoint` — atomic per-segment result
+  checkpoints that make streaming runs resumable with byte-identical
+  output.
+
+Quickstart::
+
+    from repro.store import StudyStore
+    from repro.synth import generate_study_store, primary_config
+    from repro.core import validate_store
+
+    store = generate_study_store(primary_config(), "data/primary-store")
+    summary = validate_store(store, workers=4, keep_results=False)
+    print(summary.summary())          # identical to the in-memory path
+"""
+
+from .checkpoint import CHECKPOINT_FORMAT, CheckpointStore
+from .segment import (
+    MAGIC,
+    SEGMENT_FORMAT,
+    SegmentFormatError,
+    SegmentInfo,
+    SegmentReader,
+    write_segment,
+)
+from .study import (
+    DEFAULT_SEGMENT_USERS,
+    MANIFEST_NAME,
+    STORE_FORMAT,
+    SegmentEntry,
+    StoreFormatError,
+    StudyStore,
+    StudyStoreWriter,
+)
+
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "DEFAULT_SEGMENT_USERS",
+    "MAGIC",
+    "MANIFEST_NAME",
+    "SEGMENT_FORMAT",
+    "STORE_FORMAT",
+    "CheckpointStore",
+    "SegmentEntry",
+    "SegmentFormatError",
+    "SegmentInfo",
+    "SegmentReader",
+    "StoreFormatError",
+    "StudyStore",
+    "StudyStoreWriter",
+    "write_segment",
+]

@@ -1,0 +1,84 @@
+"""Per-segment result checkpoints for resumable streaming runs.
+
+A streaming validation (:func:`repro.core.pipeline.validate_store`)
+processes a store one segment at a time.  With a checkpoint directory
+armed, each finished segment's results are pickled atomically; when the
+run is killed and restarted, finished segments replay from disk and only
+the unfinished ones recompute — and because per-user computation is
+deterministic, the resumed run's output is byte-identical to an
+uninterrupted one.
+
+A checkpoint is only ever reused for the exact work that produced it:
+its key is the pipeline config hash, and the payload records the
+segment's content fingerprint, so changing any threshold or regenerating
+the study invalidates every stale checkpoint.  Unreadable or torn
+checkpoint files are treated as absent, never trusted.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from .study import SegmentEntry
+
+#: Checkpoint payload format version.
+CHECKPOINT_FORMAT = 1
+
+
+class CheckpointStore:
+    """Atomic per-segment checkpoint files in one directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, entry: SegmentEntry, key: str) -> Path:
+        return self.directory / f"ckpt-{entry.segment_id:05d}-{key[:16]}.pkl"
+
+    def load(self, entry: SegmentEntry, key: str) -> Optional[Dict[str, Any]]:
+        """The segment's checkpointed payload, or None when unusable.
+
+        A checkpoint is usable only when it parses, carries the current
+        format, and matches both the config key and the segment's
+        content fingerprints — anything else (missing file, torn write,
+        stale configs, regenerated study) recomputes.
+        """
+        path = self._path(entry, key)
+        try:
+            with path.open("rb") as handle:
+                record = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("format") != CHECKPOINT_FORMAT:
+            return None
+        if record.get("key") != key:
+            return None
+        if record.get("segment_sha256") != entry.sha256:
+            return None
+        if record.get("users_sha256") != entry.users_sha256:
+            return None
+        return record.get("payload")
+
+    def save(self, entry: SegmentEntry, key: str, payload: Dict[str, Any]) -> Path:
+        """Write the segment's checkpoint atomically; returns its path."""
+        path = self._path(entry, key)
+        record = {
+            "format": CHECKPOINT_FORMAT,
+            "key": key,
+            "segment_id": entry.segment_id,
+            "segment_sha256": entry.sha256,
+            "users_sha256": entry.users_sha256,
+            "payload": payload,
+        }
+        tmp = path.with_name(path.name + ".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        return path

@@ -1,0 +1,256 @@
+"""On-disk columnar GPS segment files: the out-of-core trace format.
+
+A **segment file** persists the GPS traces of one batch of users in the
+same three-buffer shape :class:`~repro.model.GpsTrace` pickles as —
+promoted from a transient wire format to an mmap-able file::
+
+    magic      b"RSEG\\x01\\x00\\x00\\x00"           (8 bytes)
+    header_len little-endian uint64                 (8 bytes)
+    header     UTF-8 JSON, ``header_len`` bytes
+    padding    zero bytes up to 8-byte alignment
+    t column   n_samples float64, little-endian     (all users, concatenated)
+    x column   n_samples float64, little-endian
+    y column   n_samples float64, little-endian
+
+The header carries the per-user layout::
+
+    {"format": 1, "n_samples": 1234,
+     "users": [["u0000", 600], ["u0001", 0], ["u0002", 634]]}
+
+``users`` lists ``[user_id, sample_count]`` pairs in user order; offsets
+are the running sum, so the header cannot disagree with itself.  A
+zero-count user is a legitimate empty trace.
+
+Reading never materialises the columns: the file is mapped once per
+segment and each user's trace is three zero-copy ``float64`` views into
+the mapping (:meth:`SegmentReader.trace`), so touching one user pages in
+only that user's samples and the OS reclaims pages under pressure.
+Views behave as ordinary read-only arrays — slicing, kernels and the
+three-buffer pickle all work unchanged, which keeps shard payloads
+compatible with the existing executors.
+
+Writes are **atomic**: the segment is assembled in a ``.tmp`` sibling,
+fsynced, and renamed into place, so a crash mid-write can never leave a
+torn segment behind — the file either exists complete or not at all.
+Every write returns the segment's content fingerprint (sha256 over the
+exact file bytes), which the study manifest records and readers can
+re-verify with :meth:`SegmentReader.fingerprint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import os
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..model import GpsTrace, as_trace
+
+#: Segment file magic: "RSEG" + format version 1 (little-endian uint32).
+MAGIC = b"RSEG\x01\x00\x00\x00"
+
+#: On-disk header format version.
+SEGMENT_FORMAT = 1
+
+#: Column element type, fixed byte order so files travel across hosts.
+_DTYPE = np.dtype("<f8")
+
+_LEN_STRUCT = struct.Struct("<Q")
+
+
+class SegmentFormatError(ValueError):
+    """A segment file is missing, truncated, or structurally invalid."""
+
+
+def _aligned(offset: int) -> int:
+    """``offset`` rounded up to the next 8-byte boundary."""
+    return (offset + 7) & ~7
+
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """What a finished segment write reports back to the store layer."""
+
+    path: Path
+    user_ids: Tuple[str, ...]
+    counts: Tuple[int, ...]
+    n_samples: int
+    #: sha256 hex digest over the exact file bytes.
+    sha256: str
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_ids)
+
+    @property
+    def nbytes(self) -> int:
+        """Size of the three columns in bytes (excludes the header)."""
+        return 3 * self.n_samples * _DTYPE.itemsize
+
+
+def write_segment(
+    path: Union[str, Path],
+    users: Sequence[Tuple[str, GpsTrace]],
+) -> SegmentInfo:
+    """Write one segment file atomically; returns its :class:`SegmentInfo`.
+
+    ``users`` is an ordered ``(user_id, trace)`` sequence; traces may be
+    :class:`GpsTrace` or any point sequence (coerced).  Duplicate user
+    ids are rejected — a segment is a partition slice, not a multiset.
+    """
+    path = Path(path)
+    ids: List[str] = []
+    counts: List[int] = []
+    traces: List[GpsTrace] = []
+    for user_id, gps in users:
+        trace = as_trace(gps)
+        ids.append(user_id)
+        counts.append(len(trace))
+        traces.append(trace)
+    if len(set(ids)) != len(ids):
+        raise ValueError(f"segment {path.name}: duplicate user ids")
+    header = json.dumps(
+        {
+            "format": SEGMENT_FORMAT,
+            "n_samples": sum(counts),
+            "users": [[user_id, count] for user_id, count in zip(ids, counts)],
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    digest = hashlib.sha256()
+    tmp = path.with_name(path.name + ".tmp")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with tmp.open("wb") as handle:
+
+        def emit(chunk: bytes) -> None:
+            handle.write(chunk)
+            digest.update(chunk)
+
+        emit(MAGIC)
+        emit(_LEN_STRUCT.pack(len(header)))
+        emit(header)
+        data_start = _aligned(len(MAGIC) + _LEN_STRUCT.size + len(header))
+        emit(b"\x00" * (data_start - (len(MAGIC) + _LEN_STRUCT.size + len(header))))
+        for column in ("t", "x", "y"):
+            for trace in traces:
+                emit(np.ascontiguousarray(getattr(trace, column), dtype=_DTYPE).tobytes())
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return SegmentInfo(
+        path=path,
+        user_ids=tuple(ids),
+        counts=tuple(counts),
+        n_samples=sum(counts),
+        sha256=digest.hexdigest(),
+    )
+
+
+class SegmentReader:
+    """Zero-copy access to one segment file's traces via a shared mmap.
+
+    The mapping is created once in the constructor; every
+    :meth:`trace` call returns views into it.  The views keep the
+    mapping alive after :meth:`close` (which only releases the file
+    descriptor), so readers can be short-lived while traces flow on into
+    shard payloads.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        try:
+            handle = self.path.open("rb")
+        except OSError as exc:
+            raise SegmentFormatError(f"cannot open segment {self.path}: {exc}") from exc
+        try:
+            head = handle.read(len(MAGIC) + _LEN_STRUCT.size)
+            if len(head) < len(MAGIC) + _LEN_STRUCT.size or head[: len(MAGIC)] != MAGIC:
+                raise SegmentFormatError(
+                    f"{self.path}: not a segment file (bad magic)"
+                )
+            (header_len,) = _LEN_STRUCT.unpack(head[len(MAGIC):])
+            header_bytes = handle.read(header_len)
+            if len(header_bytes) < header_len:
+                raise SegmentFormatError(f"{self.path}: truncated header")
+            try:
+                header = json.loads(header_bytes.decode("utf-8"))
+            except ValueError as exc:
+                raise SegmentFormatError(f"{self.path}: invalid header JSON") from exc
+            if header.get("format") != SEGMENT_FORMAT:
+                raise SegmentFormatError(
+                    f"{self.path}: unsupported segment format {header.get('format')!r}"
+                )
+            self.user_ids: Tuple[str, ...] = tuple(u for u, _ in header["users"])
+            self.counts: Tuple[int, ...] = tuple(int(c) for _, c in header["users"])
+            self.n_samples = int(header["n_samples"])
+            if sum(self.counts) != self.n_samples:
+                raise SegmentFormatError(
+                    f"{self.path}: header sample count disagrees with user counts"
+                )
+            self._data_start = _aligned(len(MAGIC) + _LEN_STRUCT.size + header_len)
+            expected = self._data_start + 3 * self.n_samples * _DTYPE.itemsize
+            size = os.fstat(handle.fileno()).st_size
+            if size != expected:
+                raise SegmentFormatError(
+                    f"{self.path}: file is {size} bytes, layout needs {expected}"
+                )
+            self._mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        finally:
+            handle.close()
+        self._offsets: Dict[str, Tuple[int, int]] = {}
+        offset = 0
+        for user_id, count in zip(self.user_ids, self.counts):
+            self._offsets[user_id] = (offset, count)
+            offset += count
+
+    def __len__(self) -> int:
+        return len(self.user_ids)
+
+    def __contains__(self, user_id: str) -> bool:
+        return user_id in self._offsets
+
+    def _column(self, index: int, offset: int, count: int) -> np.ndarray:
+        base = self._data_start + index * self.n_samples * _DTYPE.itemsize
+        return np.frombuffer(
+            self._mm, dtype=_DTYPE, count=count, offset=base + offset * _DTYPE.itemsize
+        )
+
+    def trace(self, user_id: str) -> GpsTrace:
+        """``user_id``'s trace as three zero-copy views into the mapping."""
+        try:
+            offset, count = self._offsets[user_id]
+        except KeyError:
+            raise KeyError(f"segment {self.path.name} has no user {user_id!r}") from None
+        return GpsTrace(
+            self._column(0, offset, count),
+            self._column(1, offset, count),
+            self._column(2, offset, count),
+        )
+
+    def traces(self) -> Iterator[Tuple[str, GpsTrace]]:
+        """Iterate ``(user_id, trace)`` in segment order."""
+        for user_id in self.user_ids:
+            yield user_id, self.trace(user_id)
+
+    def fingerprint(self) -> str:
+        """Recompute the sha256 content fingerprint over the file bytes."""
+        digest = hashlib.sha256()
+        digest.update(self._mm)
+        return digest.hexdigest()
+
+    def close(self) -> None:
+        """Release the reader (views created so far stay valid)."""
+        # The mmap itself is freed when the last trace view dies; closing
+        # it here would invalidate traces already handed out.
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

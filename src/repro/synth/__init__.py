@@ -12,7 +12,16 @@ from .config import (
 from .itinerary import Itinerary, ItineraryBuilder, Leg, Stay
 from .mobility import Coverage, CoverageWindow, build_coverage, ground_truth_visits, sample_gps
 from .persona import Persona, build_profile, sample_persona
-from .study import generate_baseline, generate_dataset, generate_primary
+from .scalegen import generate_scale_store, iter_scale_users
+from .study import (
+    StudyPlan,
+    generate_baseline,
+    generate_dataset,
+    generate_primary,
+    generate_study_store,
+    iter_study_users,
+    plan_study,
+)
 from .world import (
     BORING_CATEGORIES,
     CATEGORY_WEIGHTS,
@@ -37,6 +46,7 @@ __all__ = [
     "Persona",
     "Stay",
     "StudyConfig",
+    "StudyPlan",
     "World",
     "WorldConfig",
     "baseline_config",
@@ -46,10 +56,15 @@ __all__ = [
     "generate_checkins",
     "generate_dataset",
     "generate_primary",
+    "generate_scale_store",
+    "generate_study_store",
     "generate_world",
     "ground_truth_visits",
+    "iter_scale_users",
+    "iter_study_users",
     "make_home_poi",
     "pick_work_poi",
+    "plan_study",
     "primary_config",
     "sample_gps",
     "sample_persona",

@@ -5,16 +5,27 @@ a shared POI universe, then for each participant a persona, a routine
 (home + workplace), a multi-day itinerary, GPS/checkin traces, and a
 Foursquare profile — exactly the record types the paper's collection app
 produced.
+
+Generation is split into a cheap planning step (:func:`plan_study`:
+seeds, world, homes) and a per-user stream (:func:`iter_study_users`),
+so the same generator can either materialise one in-RAM
+:class:`Dataset` (:func:`generate_dataset`) or spill users into a
+shard-sized segment store (:func:`generate_study_store`) without ever
+holding the whole study — both produce identical users, because the
+split preserves the RNG call order exactly.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterator, List, Tuple, Union
 
 import numpy as np
 
 from ..model import Dataset, Poi, UserData
 from ..obs import current as obs_current
+from ..store import DEFAULT_SEGMENT_USERS, StudyStore, StudyStoreWriter
 from .checkins import generate_checkins
 from .config import StudyConfig, baseline_config, primary_config
 from .itinerary import ItineraryBuilder
@@ -29,6 +40,94 @@ def _draw_study_days(mean_days: float, rng: np.random.Generator) -> int:
     return int(max(4, min(round(days), round(2 * mean_days))))
 
 
+@dataclass
+class StudyPlan:
+    """The shared (per-study) part of generation: world, homes, seeds.
+
+    Cheap to hold — O(POIs + users), no traces — and sufficient to
+    stream users one at a time via :func:`iter_study_users`.
+    """
+
+    config: StudyConfig
+    world: World
+    homes: Dict[str, Poi]
+    user_ids: List[str]
+    user_seeds: List[np.random.SeedSequence]
+
+
+def plan_study(config: StudyConfig) -> StudyPlan:
+    """Draw the study-level randomness: POI universe, homes, user seeds.
+
+    Deterministic given ``config.seed``, and consumes the world RNG in
+    the exact order the original monolithic generator did (world first,
+    then one home per user in user order), so datasets produced from a
+    plan are identical to the pre-split generator's.
+    """
+    seed_seq = np.random.SeedSequence(config.seed)
+    world_seed, *user_seeds = seed_seq.spawn(config.n_users + 1)
+    world_rng = np.random.default_rng(world_seed)
+    base_pois = generate_world(config.world, world_rng)
+    # Homes must exist as POIs before itineraries are built so that home
+    # visits are attributable to a (Residence) POI in the analyses.
+    homes: Dict[str, Poi] = {}
+    user_ids = [f"u{idx:04d}" for idx in range(config.n_users)]
+    for user_id in user_ids:
+        homes[user_id] = make_home_poi(user_id, base_pois, world_rng)
+    pois: Dict[str, Poi] = dict(base_pois.pois)
+    pois.update({p.poi_id: p for p in homes.values()})
+    world = World(size_m=config.world.size_m, pois=pois)
+    return StudyPlan(
+        config=config,
+        world=world,
+        homes=homes,
+        user_ids=user_ids,
+        user_seeds=list(user_seeds),
+    )
+
+
+def iter_study_users(
+    plan: StudyPlan, with_ground_truth_visits: bool = False
+) -> Iterator[UserData]:
+    """Stream the study's users one at a time, in user-id order.
+
+    Each user's randomness comes from their own spawned seed, so the
+    stream can be consumed lazily (e.g. spilled straight into a segment
+    store) without changing a single sample.
+    """
+    obs = obs_current()
+    config = plan.config
+    for user_id, user_seed in zip(plan.user_ids, plan.user_seeds):
+        rng = np.random.default_rng(user_seed)
+        persona = sample_persona(user_id, config.behavior, rng)
+        n_days = _draw_study_days(config.mean_study_days, rng)
+        home = plan.homes[user_id]
+        work = pick_work_poi(plan.world, rng)
+        builder = ItineraryBuilder(
+            plan.world,
+            home,
+            work,
+            config.mobility,
+            errands_mean_scale=persona.activity,
+            employed=bool(rng.random() >= config.mobility.homebody_fraction),
+        )
+        itinerary = builder.build(n_days, rng)
+        coverage = build_coverage(n_days, config.mobility, rng)
+        gps = sample_gps(itinerary, coverage, config.mobility, rng)
+        checkins = generate_checkins(
+            itinerary, coverage, persona, plan.world, float(n_days), config.visit_dwell_s, rng
+        )
+        profile = build_profile(persona, float(n_days), rng)
+        data = UserData(profile=profile, gps=gps, checkins=checkins)
+        if with_ground_truth_visits:
+            data.visits = ground_truth_visits(
+                itinerary, coverage, user_id, config.visit_dwell_s
+            )
+        obs.count("synth.users_total", 1)
+        obs.count("synth.checkins_total", len(checkins))
+        obs.count("synth.gps_points_total", len(gps))
+        yield data
+
+
 def generate_dataset(config: StudyConfig, with_ground_truth_visits: bool = False) -> Dataset:
     """Generate a full study dataset from ``config``.
 
@@ -39,54 +138,42 @@ def generate_dataset(config: StudyConfig, with_ground_truth_visits: bool = False
     (:func:`repro.core.visits.extract_dataset_visits`).
     """
     obs = obs_current()
-    seed_seq = np.random.SeedSequence(config.seed)
-    world_seed, *user_seeds = seed_seq.spawn(config.n_users + 1)
-    world_rng = np.random.default_rng(world_seed)
-
     with obs.span(
         "synth.generate", dataset=config.name, users=config.n_users, seed=config.seed
     ):
-        base_pois = generate_world(config.world, world_rng)
-        # Homes must exist as POIs before itineraries are built so that home
-        # visits are attributable to a (Residence) POI in the analyses.
-        homes: Dict[str, Poi] = {}
-        user_ids = [f"u{idx:04d}" for idx in range(config.n_users)]
-        for user_id in user_ids:
-            homes[user_id] = make_home_poi(user_id, base_pois, world_rng)
-        pois: Dict[str, Poi] = dict(base_pois.pois)
-        pois.update({p.poi_id: p for p in homes.values()})
-        world = World(size_m=config.world.size_m, pois=pois)
+        plan = plan_study(config)
+        users = {
+            data.user_id: data
+            for data in iter_study_users(plan, with_ground_truth_visits)
+        }
+    return Dataset(name=config.name, pois=plan.world.pois, users=users)
 
-        users: Dict[str, UserData] = {}
-        for user_id, user_seed in zip(user_ids, user_seeds):
-            rng = np.random.default_rng(user_seed)
-            persona = sample_persona(user_id, config.behavior, rng)
-            n_days = _draw_study_days(config.mean_study_days, rng)
-            home = homes[user_id]
-            work = pick_work_poi(world, rng)
-            builder = ItineraryBuilder(
-                world,
-                home,
-                work,
-                config.mobility,
-                errands_mean_scale=persona.activity,
-                employed=bool(rng.random() >= config.mobility.homebody_fraction),
-            )
-            itinerary = builder.build(n_days, rng)
-            coverage = build_coverage(n_days, config.mobility, rng)
-            gps = sample_gps(itinerary, coverage, config.mobility, rng)
-            checkins = generate_checkins(
-                itinerary, coverage, persona, world, float(n_days), config.visit_dwell_s, rng
-            )
-            profile = build_profile(persona, float(n_days), rng)
-            data = UserData(profile=profile, gps=gps, checkins=checkins)
-            if with_ground_truth_visits:
-                data.visits = ground_truth_visits(itinerary, coverage, user_id, config.visit_dwell_s)
-            users[user_id] = data
-            obs.count("synth.users_total", 1)
-            obs.count("synth.checkins_total", len(checkins))
-            obs.count("synth.gps_points_total", len(gps))
-    return Dataset(name=config.name, pois=pois, users=users)
+
+def generate_study_store(
+    config: StudyConfig,
+    directory: Union[str, Path],
+    segment_users: int = DEFAULT_SEGMENT_USERS,
+) -> StudyStore:
+    """Generate a study straight into an on-disk segment store.
+
+    Users stream from :func:`iter_study_users` into a
+    :class:`repro.store.StudyStoreWriter`, so peak memory is one
+    segment's worth of users regardless of ``config.n_users`` — and the
+    stored study is record-identical to ``generate_dataset(config)``.
+    """
+    obs = obs_current()
+    with obs.span(
+        "synth.generate_store",
+        dataset=config.name,
+        users=config.n_users,
+        seed=config.seed,
+        segment_users=segment_users,
+    ):
+        plan = plan_study(config)
+        writer = StudyStoreWriter(directory, config.name, segment_users=segment_users)
+        writer.write_pois(plan.world.pois)
+        writer.add_users(iter_study_users(plan))
+        return writer.finalize()
 
 
 def generate_primary(scale: float = 1.0, seed: int = 20131121) -> Dataset:

@@ -24,7 +24,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.core import validate
+from repro.core import validate, validate_store
 from repro.io import load_dataset
 from repro.obs import ObsContext, activate, build_manifest
 from repro.runtime import (
@@ -41,7 +41,7 @@ from repro.runtime import (
     merge_user_maps,
 )
 from repro.runtime.faults import inject
-from repro.synth import generate_dataset, primary_config
+from repro.synth import generate_dataset, generate_study_store, primary_config
 
 from helpers import make_dataset, make_user
 
@@ -436,3 +436,125 @@ class TestGoldenFaultDrill:
         assert manifest.extra["health"]["degraded"] is False
         assert manifest.extra["health"]["retries"] == health.retries
         assert health.timeouts == 1 and health.pool_rebuilds >= 2
+
+
+# ---------------------------------------------------------------------------
+# Out-of-core drills: faults while streaming a segment store
+# ---------------------------------------------------------------------------
+
+
+class TestStoreStreamFaultDrill:
+    """Crash/resume drills against ``validate_store``'s segment stream.
+
+    Shard ids restart at 0 inside every segment, so one FaultSpec keyed
+    to shard 0 attempt 1 fires in *every* segment — each segment loses a
+    worker mid-stream and must recover without a trace in the results.
+    """
+
+    SEGMENT_USERS = 3
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        return generate_study_store(
+            primary_config().scaled(STUDY_SCALE),
+            tmp_path_factory.mktemp("drill") / "store",
+            segment_users=self.SEGMENT_USERS,
+        )
+
+    @pytest.fixture(scope="class")
+    def clean_summary(self, store):
+        return validate_store(store)
+
+    def test_crash_in_every_segment_recovers_byte_identical(
+        self, store, clean_summary
+    ):
+        health = RunHealth()
+        summary = validate_store(
+            store,
+            workers=2,
+            resilience=ResilienceConfig(**FAST),
+            fault_plan=plan_of(FaultSpec("extract", 0, 1, "crash")),
+            health=health,
+        )
+        assert len(store.segments) > 1
+        assert summary.summary() == clean_summary.summary()
+        assert summary.visit_counts == clean_summary.visit_counts
+        assert not health.degraded
+        # the crash really fired once per segment
+        assert health.retries >= len(store.segments)
+
+    def test_store_files_stay_intact_through_worker_crashes(self, store):
+        validate_store(
+            store,
+            workers=2,
+            resilience=ResilienceConfig(**FAST),
+            fault_plan=plan_of(FaultSpec("match", 0, 1, "crash")),
+        )
+        store.verify()  # no torn segment files, fingerprints intact
+        assert list(store.directory.rglob("*.tmp")) == []
+
+    def test_resume_reruns_only_unfinished_segments(
+        self, store, clean_summary, tmp_path, monkeypatch
+    ):
+        ckpt = tmp_path / "ckpt"
+        real = store.load_segment
+        loaded = []
+
+        def load_or_die(entry, pois=None):
+            loaded.append(entry.segment_id)
+            if len(loaded) > 2:
+                raise RuntimeError("simulated crash mid-stream")
+            return real(entry, pois=pois)
+
+        monkeypatch.setattr(store, "load_segment", load_or_die)
+        with pytest.raises(RuntimeError, match="mid-stream"):
+            validate_store(store, checkpoints=ckpt)
+        assert loaded == [0, 1, 2]  # died loading the third segment
+
+        # The two finished segments left atomic checkpoints behind...
+        assert len(list(ckpt.glob("ckpt-*.pkl"))) == 2
+        assert list(ckpt.glob("*.tmp")) == []
+
+        # ...and the restarted run replays them instead of recomputing.
+        loaded.clear()
+        monkeypatch.setattr(store, "load_segment", real)
+        resumed = validate_store(store, checkpoints=ckpt)
+        assert resumed.segments_reused == 2
+        assert resumed.summary() == clean_summary.summary()
+        assert resumed.visit_counts == clean_summary.visit_counts
+
+    def test_torn_checkpoint_recomputes_instead_of_failing(
+        self, store, clean_summary, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        validate_store(store, checkpoints=ckpt)
+        victim = sorted(ckpt.glob("ckpt-*.pkl"))[0]
+        victim.write_bytes(victim.read_bytes()[:7])  # torn mid-write
+        rerun = validate_store(store, checkpoints=ckpt)
+        assert rerun.segments_reused == len(store.segments) - 1
+        assert rerun.summary() == clean_summary.summary()
+
+    def test_skipped_segment_shard_degrades_loudly(self, store):
+        plan = plan_of(
+            *(FaultSpec("extract", 0, a, "exception") for a in range(1, 6))
+        )
+        health = RunHealth()
+        summary = validate_store(
+            store,
+            workers=2,
+            resilience=ResilienceConfig(
+                max_retries=1, on_failure="skip_and_report", **FAST
+            ),
+            fault_plan=plan,
+            health=health,
+        )
+        assert health.degraded
+        # shard 0 of every segment was skipped, and each skip is its own
+        # health record with that segment's exact users
+        assert len(health.skipped) == len(store.segments)
+        skipped_users = set(health.skipped_user_ids())
+        assert skipped_users
+        for user_id in skipped_users:
+            assert summary.visit_counts[user_id] == -1
+            assert user_id in summary.summary()
+        assert "DEGRADED RUN" in summary.summary()

@@ -1,0 +1,299 @@
+"""Segment store: round-trip fidelity, atomicity, and torn-write detection.
+
+Three layers of guarantees under test:
+
+* **Round trip** — arbitrary batches of traces (hypothesis-generated,
+  including empty and single-point users) survive ``write_segment`` →
+  ``SegmentReader`` with exact float64 equality, and the mmap-backed
+  views pickle into the same three-buffer payload in-memory traces use.
+* **Atomicity** — a successful write leaves no ``.tmp`` siblings, and a
+  simulated crash (writer never finalizes) leaves no manifest, so the
+  half-written store is never openable.
+* **Torn writes** — any corruption (bad magic, truncated header or
+  columns, bit flips, format bumps) is a loud ``SegmentFormatError`` or
+  ``StoreFormatError``, never silently wrong data.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model import GpsTrace
+from repro.obs.manifest import dataset_fingerprint
+from repro.store import (
+    MAGIC,
+    SegmentFormatError,
+    SegmentReader,
+    StoreFormatError,
+    StudyStore,
+    StudyStoreWriter,
+    write_segment,
+)
+from helpers import make_checkin, make_user
+
+finite = st.floats(min_value=-1e9, max_value=1e9, allow_nan=False)
+
+
+@st.composite
+def trace_batches(draw):
+    """Ordered (user_id, GpsTrace) batches, empty traces included."""
+    n_users = draw(st.integers(min_value=1, max_value=8))
+    batch = []
+    for idx in range(n_users):
+        n = draw(st.integers(min_value=0, max_value=40))
+        t = np.array(sorted(draw(st.lists(finite, min_size=n, max_size=n))))
+        x = np.array(draw(st.lists(finite, min_size=n, max_size=n)))
+        y = np.array(draw(st.lists(finite, min_size=n, max_size=n)))
+        batch.append((f"u{idx:04d}", GpsTrace(t, x, y)))
+    return batch
+
+
+def small_batch():
+    """A hand-built batch covering empty, single-point, and normal users."""
+    return [
+        ("alpha", GpsTrace([0.0, 60.0, 120.0], [1.0, 2.0, 3.0], [4.0, 5.0, 6.0])),
+        ("empty", GpsTrace.empty()),
+        ("solo", GpsTrace([7.0], [8.0], [9.0])),
+    ]
+
+
+class TestSegmentRoundTrip:
+    @given(batch=trace_batches())
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_batches_round_trip_exactly(self, batch, tmp_path_factory):
+        path = tmp_path_factory.mktemp("seg") / "seg.gps"
+        info = write_segment(path, batch)
+        with SegmentReader(path) as reader:
+            assert reader.user_ids == tuple(u for u, _ in batch)
+            assert reader.counts == tuple(len(t) for _, t in batch)
+            assert reader.n_samples == sum(len(t) for _, t in batch)
+            assert info.n_samples == reader.n_samples
+            for user_id, trace in batch:
+                loaded = reader.trace(user_id)
+                assert np.array_equal(loaded.t, trace.t)
+                assert np.array_equal(loaded.x, trace.x)
+                assert np.array_equal(loaded.y, trace.y)
+            assert [u for u, _ in reader.traces()] == [u for u, _ in batch]
+
+    def test_empty_and_single_point_users(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        with SegmentReader(path) as reader:
+            assert len(reader) == 3
+            assert "empty" in reader and "nobody" not in reader
+            assert len(reader.trace("empty")) == 0
+            assert reader.trace("empty") == GpsTrace.empty()
+            assert len(reader.trace("solo")) == 1
+            assert reader.trace("solo").t[0] == 7.0
+
+    def test_unknown_user_raises_key_error(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        with SegmentReader(path) as reader:
+            with pytest.raises(KeyError, match="nobody"):
+                reader.trace("nobody")
+
+    def test_duplicate_user_ids_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="duplicate"):
+            write_segment(
+                tmp_path / "seg.gps",
+                [("dup", GpsTrace.empty()), ("dup", GpsTrace.empty())],
+            )
+
+    def test_fingerprint_matches_write_report(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        info = write_segment(path, small_batch())
+        with SegmentReader(path) as reader:
+            assert reader.fingerprint() == info.sha256
+        assert info.nbytes == 3 * 8 * info.n_samples
+
+
+class TestThreeBufferPickleCompat:
+    """mmap-backed traces must pickle exactly like in-memory ones."""
+
+    def test_mmap_trace_pickles_to_equal_trace(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        reader = SegmentReader(path)
+        for user_id, original in small_batch():
+            payload = pickle.dumps(reader.trace(user_id))
+            restored = pickle.loads(payload)
+            assert isinstance(restored, GpsTrace)
+            assert restored == original
+            # The payload owns its buffers: it must stay valid after the
+            # segment file is gone (the shard-dispatch lifecycle).
+            assert restored.t.flags.owndata or restored.t.base is not None
+
+    def test_pickled_payload_survives_file_deletion(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        reader = SegmentReader(path)
+        payload = pickle.dumps(reader.trace("alpha"))
+        reader.close()
+        path.unlink()
+        restored = pickle.loads(payload)
+        assert np.array_equal(restored.t, [0.0, 60.0, 120.0])
+
+    def test_mmap_and_memory_pickles_are_byte_identical(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        with SegmentReader(path) as reader:
+            for user_id, original in small_batch():
+                assert pickle.dumps(reader.trace(user_id)) == pickle.dumps(original)
+
+    def test_views_stay_valid_after_reader_close(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        reader = SegmentReader(path)
+        trace = reader.trace("alpha")
+        reader.close()
+        assert np.array_equal(trace.x, [1.0, 2.0, 3.0])
+
+
+class TestTornWriteDetection:
+    def write_good(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        write_segment(path, small_batch())
+        return path
+
+    def test_no_tmp_siblings_after_write(self, tmp_path):
+        self.write_good(tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["seg.gps"]
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(SegmentFormatError, match="cannot open"):
+            SegmentReader(tmp_path / "absent.gps")
+
+    def test_bad_magic(self, tmp_path):
+        path = self.write_good(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(data)
+        with pytest.raises(SegmentFormatError, match="bad magic"):
+            SegmentReader(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "seg.gps"
+        path.write_bytes(MAGIC + struct.pack("<Q", 1000) + b"{}")
+        with pytest.raises(SegmentFormatError, match="truncated header"):
+            SegmentReader(path)
+
+    def test_invalid_header_json(self, tmp_path):
+        garbage = b"not json!!"
+        path = tmp_path / "seg.gps"
+        path.write_bytes(MAGIC + struct.pack("<Q", len(garbage)) + garbage)
+        with pytest.raises(SegmentFormatError, match="invalid header JSON"):
+            SegmentReader(path)
+
+    def test_unsupported_format_version(self, tmp_path):
+        header = json.dumps({"format": 99, "n_samples": 0, "users": []}).encode()
+        path = tmp_path / "seg.gps"
+        path.write_bytes(MAGIC + struct.pack("<Q", len(header)) + header)
+        with pytest.raises(SegmentFormatError, match="unsupported"):
+            SegmentReader(path)
+
+    def test_header_count_disagreement(self, tmp_path):
+        header = json.dumps(
+            {"format": 1, "n_samples": 5, "users": [["u0", 1]]}
+        ).encode()
+        path = tmp_path / "seg.gps"
+        path.write_bytes(MAGIC + struct.pack("<Q", len(header)) + header)
+        with pytest.raises(SegmentFormatError, match="disagrees"):
+            SegmentReader(path)
+
+    def test_truncated_columns(self, tmp_path):
+        path = self.write_good(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-8])
+        with pytest.raises(SegmentFormatError, match="bytes"):
+            SegmentReader(path)
+
+
+def build_store(tmp_path, n_users=5, segment_users=2):
+    users = [
+        make_user(
+            f"u{i:02d}",
+            gps=[],
+            checkins=[make_checkin(f"c{i}-{j}", f"u{i:02d}") for j in range(i % 3)],
+        )
+        for i in range(n_users)
+    ]
+    for i, user in enumerate(users):
+        n = i * 2  # 0, 2, 4, ... samples: empty first user by design
+        user.gps = GpsTrace(
+            np.arange(n) * 60.0, np.arange(n) + 0.5, np.arange(n) - 0.5
+        )
+    writer = StudyStoreWriter(tmp_path / "store", "drill", segment_users=segment_users)
+    writer.write_pois({})
+    writer.add_users(users)
+    return writer.finalize(), users
+
+
+class TestStudyStoreIntegrity:
+    def test_round_trip_and_manifest_totals(self, tmp_path):
+        store, users = build_store(tmp_path)
+        assert [e.segment_id for e in store.segments] == [0, 1, 2]
+        assert store.n_users == 5
+        assert list(store.user_ids()) == [u.user_id for u in users]
+        loaded = store.load_dataset()
+        for user in users:
+            assert loaded.users[user.user_id].gps == user.gps
+            assert loaded.users[user.user_id].checkins == user.checkins
+            assert loaded.users[user.user_id].profile == user.profile
+
+    def test_no_tmp_files_and_verify_passes(self, tmp_path):
+        store, _ = build_store(tmp_path)
+        leftovers = list((tmp_path / "store").rglob("*.tmp"))
+        assert leftovers == []
+        store.verify()
+
+    def test_fingerprint_matches_materialised_dataset(self, tmp_path):
+        store, _ = build_store(tmp_path)
+        assert store.fingerprint() == dataset_fingerprint(store.load_dataset())
+
+    def test_bit_flip_in_segment_fails_verify(self, tmp_path):
+        store, _ = build_store(tmp_path)
+        victim = store.directory / store.segments[1].gps_file
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0x01  # flip one bit in the last y sample
+        victim.write_bytes(data)
+        with pytest.raises(StoreFormatError, match="fingerprint mismatch"):
+            store.verify()
+
+    def test_bit_flip_in_sidecar_fails_verify(self, tmp_path):
+        store, _ = build_store(tmp_path)
+        victim = store.directory / store.segments[0].users_file
+        data = bytearray(victim.read_bytes())
+        data[0] ^= 0x01
+        victim.write_bytes(data)
+        with pytest.raises(StoreFormatError, match="sidecar fingerprint"):
+            store.verify()
+
+    def test_crashed_writer_leaves_no_openable_store(self, tmp_path):
+        writer = StudyStoreWriter(tmp_path / "crash", "crash", segment_users=1)
+        writer.write_pois({})
+        writer.add_user(make_user("u0"))  # spills a full segment...
+        # ...but the writer "crashes" before finalize: no manifest.
+        assert not StudyStore.is_store(tmp_path / "crash")
+        with pytest.raises(StoreFormatError, match="no store.json"):
+            StudyStore.open(tmp_path / "crash")
+
+    def test_writer_rejects_duplicates_and_extracted_visits(self, tmp_path):
+        from helpers import make_visit
+
+        writer = StudyStoreWriter(tmp_path / "w", "w")
+        writer.write_pois({})
+        writer.add_user(make_user("u0"))
+        with pytest.raises(ValueError, match="duplicate"):
+            writer.add_user(make_user("u0"))
+        with pytest.raises(ValueError, match="visits"):
+            writer.add_user(make_user("u1", visits=[make_visit("v0", "u1")]))
+        with pytest.raises(ValueError, match="write_pois"):
+            StudyStoreWriter(tmp_path / "w2", "w2").finalize()

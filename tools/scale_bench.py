@@ -1,0 +1,122 @@
+"""Scale-bench driver: one pipeline phase per process, RSS measured.
+
+``resource.getrusage`` reports the *process-lifetime* peak RSS, so a
+meaningful memory comparison needs each phase in its own process — a
+generate pass that materialised the study would poison every later
+reading.  This driver runs exactly one phase and prints one JSON line
+to stdout; ``benchmarks/test_scale.py`` (and anyone reproducing the
+numbers by hand) composes phases from fresh invocations::
+
+    PYTHONPATH=src python tools/scale_bench.py generate \
+        --dir /tmp/scale-store --users 100000 --segment-users 1000
+    PYTHONPATH=src python tools/scale_bench.py validate-disk \
+        --dir /tmp/scale-store --workers 4
+    PYTHONPATH=src python tools/scale_bench.py validate-memory \
+        --dir /tmp/scale-store
+
+Uses the vectorized ``repro.synth.scalegen`` generator (benchmark
+throughput, not paper fidelity).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+
+def peak_rss_kb() -> int:
+    """Process-lifetime peak resident set size, in KiB (Linux ru_maxrss)."""
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
+def cmd_generate(args: argparse.Namespace) -> dict:
+    from repro.synth import generate_scale_store
+
+    start = time.perf_counter()
+    store = generate_scale_store(
+        args.dir,
+        n_users=args.users,
+        segment_users=args.segment_users,
+        points_per_user=args.points_per_user,
+        checkins_per_user=args.checkins_per_user,
+    )
+    return {
+        "wall_s": time.perf_counter() - start,
+        "users": store.n_users,
+        "segments": len(store.segments),
+        "n_gps_points": store.n_gps_points,
+        "n_checkins": store.n_checkins,
+    }
+
+
+def open_store(args: argparse.Namespace):
+    from repro.store import StudyStore
+
+    return StudyStore.open(args.dir)
+
+
+def cmd_validate_disk(args: argparse.Namespace) -> dict:
+    from repro.core import validate_store
+
+    store = open_store(args)
+    start = time.perf_counter()
+    summary = validate_store(store, workers=args.workers)
+    return {
+        "wall_s": time.perf_counter() - start,
+        "users": summary.n_users,
+        "segments": summary.n_segments,
+        "n_honest": summary.n_honest,
+        "n_extraneous": summary.n_extraneous,
+        "n_missing": summary.n_missing,
+    }
+
+
+def cmd_validate_memory(args: argparse.Namespace) -> dict:
+    from repro.core import validate
+
+    store = open_store(args)
+    start = time.perf_counter()
+    report = validate(store.load_dataset(), workers=args.workers)
+    return {
+        "wall_s": time.perf_counter() - start,
+        "users": len(report.dataset.users),
+        "segments": len(store.segments),
+        "n_honest": report.matching.n_honest,
+        "n_extraneous": report.matching.n_extraneous,
+        "n_missing": report.matching.n_missing,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="mode", required=True)
+
+    gen = sub.add_parser("generate", help="build a scalegen store")
+    gen.add_argument("--dir", required=True)
+    gen.add_argument("--users", type=int, required=True)
+    gen.add_argument("--segment-users", type=int, default=1000)
+    gen.add_argument("--points-per-user", type=int, default=288)
+    gen.add_argument("--checkins-per-user", type=int, default=8)
+    gen.set_defaults(run=cmd_generate)
+
+    for mode, run in (("validate-disk", cmd_validate_disk),
+                      ("validate-memory", cmd_validate_memory)):
+        val = sub.add_parser(mode, help=f"{mode} over an existing store")
+        val.add_argument("--dir", required=True)
+        val.add_argument("--workers", type=int, default=None)
+        val.set_defaults(run=run)
+
+    args = parser.parse_args(argv)
+    result = args.run(args)
+    result["mode"] = args.mode
+    result["peak_rss_kb"] = peak_rss_kb()
+    json.dump(result, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
