@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage faults bench bench-quick bench-scaling bench-scale
+.PHONY: test coverage faults bench bench-quick bench-scaling bench-scale bench-serving
 
 test:            ## tier-1 suite (fast; what CI gates on)
 	$(PYTHON) -m pytest -x -q
@@ -31,3 +31,6 @@ bench-scaling:   ## just the runtime scaling record (BENCH_runtime_scaling.json)
 
 bench-scale:     ## out-of-core RSS record, quick + 100k tiers (BENCH_scale.json)
 	$(PYTHON) -m pytest benchmarks/test_scale.py -q
+
+bench-serving:   ## streaming ingest throughput + p99 record (BENCH_serving.json)
+	$(PYTHON) -m pytest benchmarks/test_serving.py -q

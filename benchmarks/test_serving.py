@@ -1,0 +1,114 @@
+"""Bench SV — serving: sustained ingest throughput and tail latency.
+
+The streaming service's contract is batch parity (pinned by
+``tests/test_serve_parity.py``); this bench pins that the *serving*
+qualities hold too: the ingest loop sustains event rates far beyond
+any plausible checkin feed, and a single ``ingest()`` call never
+stalls the caller — settlement work amortises to a sub-millisecond
+p99.  Each phase runs in its own subprocess (``tools/serve_bench.py``)
+so generation cost and interpreter warm-up never pollute the timing.
+
+Quick tier (CI): the 0.15-scale Primary replay at 1 and 4 ingest
+lanes.  Asserts conservative floors — sustained checkins/sec and
+events/sec well under the measured numbers, a p99 ingest latency
+bound with generous cross-host headroom — and that both lane counts
+produce identical verdict totals (the bench doubles as a cheap parity
+smoke).  Slow tier: the full-scale Primary replay, single lane.
+Both tiers persist into ``BENCH_serving.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[1]
+DRIVER = REPO / "tools" / "serve_bench.py"
+BENCH_PATH = REPO / "BENCH_serving.json"
+
+#: Conservative floors: the reference host sustains ~290k events/s and
+#: ~1.3k checkins/s at the quick tier with a p99 ingest of ~0.007 ms.
+#: An order of magnitude of headroom absorbs slow CI hosts without
+#: letting a real regression (a settlement scan per event, say) pass.
+MIN_EVENTS_PER_S = 20_000.0
+MIN_CHECKINS_PER_S = 100.0
+MAX_P99_INGEST_MS = 20.0
+
+QUICK = dict(scale=0.15)
+SLOW = dict(scale=1.0)
+
+
+def run_phase(**flags) -> dict:
+    """One driver run in a fresh subprocess; returns its JSON record."""
+    argv = [sys.executable, str(DRIVER)]
+    for name, value in flags.items():
+        argv += [f"--{name.replace('_', '-')}", str(value)]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    result = subprocess.run(
+        argv, capture_output=True, text=True, env=env, check=True
+    )
+    return json.loads(result.stdout)
+
+
+def merge_bench(sections: dict) -> None:
+    data = {}
+    if BENCH_PATH.exists():
+        try:
+            data = json.loads(BENCH_PATH.read_text(encoding="utf-8"))
+        except ValueError:
+            data = {}
+    data.update(sections)
+    BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
+
+
+class TestQuickServing:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        single = run_phase(workers=1, **QUICK)
+        quad = run_phase(workers=4, **QUICK)
+        merge_bench({
+            "quick": {
+                "params": QUICK,
+                "workers_1": single,
+                "workers_4": quad,
+            }
+        })
+        return single, quad
+
+    def test_sustained_throughput(self, runs):
+        single, _ = runs
+        assert single["events_per_s"] > MIN_EVENTS_PER_S, (
+            f"ingest sustained only {single['events_per_s']:.0f} events/s"
+        )
+        assert single["checkins_per_s"] > MIN_CHECKINS_PER_S
+
+    def test_p99_ingest_latency(self, runs):
+        for record in runs:
+            assert record["p99_ingest_ms"] < MAX_P99_INGEST_MS, (
+                f"p99 ingest latency {record['p99_ingest_ms']:.3f} ms at "
+                f"{record['workers']} workers — settlement is stalling ingest"
+            )
+
+    def test_lane_counts_agree(self, runs):
+        single, quad = runs
+        for key in ("users", "events", "checkins", "verdicts", "chunks"):
+            assert single[key] == quad[key], key
+        assert single["verdicts"] > 0
+
+
+@pytest.mark.slow
+class TestFullScaleServing:
+    """Full Primary study replayed through the service, single lane."""
+
+    def test_full_primary_replay(self):
+        record = run_phase(workers=1, **SLOW)
+        merge_bench({"slow_full": {"params": SLOW, "workers_1": record}})
+        assert record["events_per_s"] > MIN_EVENTS_PER_S
+        assert record["p99_ingest_ms"] < MAX_P99_INGEST_MS
+        assert record["verdicts"] > 0

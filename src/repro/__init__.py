@@ -13,7 +13,11 @@ Zhang et al., HotNets 2013.  The package provides:
 * :mod:`repro.experiments` — one driver per table/figure of the paper;
 * :mod:`repro.runtime` — sharded parallel execution of the pipeline;
 * :mod:`repro.obs` — tracing spans, a metrics registry, JSONL trace
-  export and per-run manifests (``repro-study inspect``).
+  export and per-run manifests (``repro-study inspect``);
+* :mod:`repro.store` — out-of-core segment store for studies larger
+  than RAM (``repro-study validate --store disk``);
+* :mod:`repro.serve` — incremental streaming validation with
+  byte-for-byte batch parity (``repro-study serve``).
 
 Quickstart::
 
@@ -39,7 +43,8 @@ from .model import (
 )
 from .obs import ObsContext, RunManifest
 from .runtime import ParallelExecutor, RuntimeTimings, SerialExecutor
-from .synth import generate_baseline, generate_dataset, generate_primary
+from .serve import ServeConfig, ValidationService
+from .synth import generate_baseline, generate_dataset, generate_primary, replay_events
 
 __version__ = "1.0.0"
 
@@ -56,12 +61,15 @@ __all__ = [
     "RunManifest",
     "RuntimeTimings",
     "SerialExecutor",
+    "ServeConfig",
     "UserProfile",
     "ValidationReport",
+    "ValidationService",
     "Visit",
     "__version__",
     "generate_baseline",
     "generate_dataset",
     "generate_primary",
+    "replay_events",
     "validate",
 ]

@@ -163,6 +163,13 @@ def _segment_users(value: str) -> int:
     return count
 
 
+def _lateness_seconds(value: str) -> float:
+    seconds = float(value)
+    if seconds < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {seconds}")
+    return seconds
+
+
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
@@ -398,6 +405,40 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_resilience_flags(val, inject=True)
     _add_obs_flags(val)
 
+    srv = sub.add_parser(
+        "serve",
+        help="run the streaming validation service over an event stream "
+             "(verdicts and metrics byte-identical to batch validate)",
+    )
+    srv.add_argument("--data", help="dataset directory written by 'generate' "
+                     "(replayed event-by-event; also the POI universe for "
+                     "--events)")
+    srv.add_argument("--scale", type=float, default=0.15,
+                     help="generate a Primary dataset at this scale instead")
+    srv.add_argument("--events", metavar="PATH",
+                     help="replay a captured JSONL event stream (requires "
+                          "--data for the POI universe)")
+    srv.add_argument("--dump-events", metavar="PATH",
+                     help="also write the replayed event stream as JSONL")
+    srv.add_argument("--lateness", type=_lateness_seconds, default=0.0,
+                     metavar="S",
+                     help="accept events up to S seconds behind each user's "
+                          "high-water mark (default 0: strictly in order)")
+    srv.add_argument("--checkpoint-dir", metavar="PATH",
+                     help="persist serving state snapshots here; with "
+                          "--resume a killed server picks up where it left "
+                          "off without re-verdicting")
+    srv.add_argument("--checkpoint-every", type=int, default=1000, metavar="N",
+                     help="snapshot every N ingested events (default 1000)")
+    srv.add_argument("--resume", action="store_true",
+                     help="restore the latest snapshot from --checkpoint-dir "
+                          "before ingesting")
+    srv.add_argument("--verdicts", metavar="PATH",
+                     help="write the verdict stream as JSON lines")
+    _add_workers_flag(srv)
+    _add_kernel_flag(srv)
+    _add_obs_flags(srv)
+
     rep = sub.add_parser("report", help="regenerate the paper's tables and figures")
     rep.add_argument("--scale", type=float, default=0.15)
     rep.add_argument(
@@ -620,6 +661,101 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-study serve``: ingest an event stream, print the summary.
+
+    The stream comes from ``--events`` (a captured JSONL stream), or is
+    replayed from ``--data`` / a generated study.  Output — summary
+    text, semantic metrics, dataset fingerprint, scorecard — is
+    byte-identical to ``validate`` over the same study.
+    """
+    from .serve import ServeConfig, ValidationService, read_events, write_events
+    from .synth import replay_events
+
+    ctx, err = _obs_context(args)
+    if err is not None:
+        return err
+    if args.events and not args.data:
+        print("--events needs --data for the POI universe", file=sys.stderr)
+        return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    visit_config = _visit_config(args)
+    serve_config = ServeConfig(
+        visit=visit_config, allowed_lateness_s=args.lateness
+    )
+    seeds = {}
+    with activate(ctx):
+        if args.data:
+            dataset = load_dataset(args.data)
+            extra = {"data": args.data}
+        else:
+            config = primary_config()
+            seeds["primary"] = config.seed
+            dataset = generate_dataset(config.scaled(args.scale))
+            extra = {"scale": args.scale}
+        extra["extract.kernel"] = resolved_kernel(visit_config)
+        if args.events:
+            events = read_events(args.events)
+            extra["events"] = args.events
+        else:
+            events = replay_events(dataset)
+        if args.dump_events:
+            events = list(events)
+            print(f"wrote events: {write_events(args.dump_events, events)}")
+
+        verdict_file = open(args.verdicts, "w") if args.verdicts else None
+        sink = None
+        if verdict_file is not None:
+            def sink(verdict):
+                verdict_file.write(json.dumps(verdict.as_dict()) + "\n")
+        try:
+            service = ValidationService(
+                dataset.pois,
+                serve_config,
+                name=dataset.name,
+                workers=args.workers,
+                state_store=args.checkpoint_dir,
+                checkpoint_every=(
+                    args.checkpoint_every if args.checkpoint_dir else None
+                ),
+                sink=sink,
+            )
+            skip = service.restore() if args.resume else 0
+            fed = 0
+            for i, event in enumerate(events):
+                if i < skip:
+                    continue
+                service.ingest(event)
+                fed += 1
+            summary = service.finish()
+        finally:
+            if verdict_file is not None:
+                verdict_file.close()
+        if skip:
+            print(f"resumed from snapshot at event {skip}")
+        extra["serve"] = {
+            "workers": service.workers,
+            "events": summary.n_events,
+            "fed": fed,
+            "chunks": summary.n_chunks,
+            "verdicts": summary.n_verdicts,
+            "lateness_s": args.lateness,
+        }
+    print(summary.summary())
+    if args.verdicts:
+        print(f"wrote verdicts: {args.verdicts}")
+    _write_obs_artifacts(
+        args, ctx, "serve",
+        dataset=summary.fingerprint,
+        configs=(visit_config, MatchConfig(), ClassifyConfig()),
+        seeds=seeds,
+        extra=extra,
+    )
+    return 0
+
+
 def _study_artifacts(args: argparse.Namespace, ctx):
     """Run ``build_study`` for a study-shaped command under ``ctx``."""
     resilience, fault_plan, err = _resilience_from_args(args)
@@ -802,6 +938,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _cmd_generate,
         "validate": _cmd_validate,
+        "serve": _cmd_serve,
         "report": _cmd_report,
         "manet": _cmd_manet,
         "export": _cmd_export,

@@ -211,6 +211,29 @@ def classify_extraneous_checkin(
     return CheckinType.OTHER
 
 
+def classify_user_extraneous(
+    gps: Sequence[GpsPoint] | GpsTrace,
+    visits: Sequence[Visit],
+    extraneous: Sequence[Checkin],
+    config: ClassifyConfig,
+) -> List[CheckinType]:
+    """Label one user's extraneous checkins, in their given order.
+
+    The single per-user classification routine behind both the batch
+    shard worker and the streaming engine: build the GPS locator and the
+    visit index once, then run the Section 5.1 taxonomy per checkin.
+    Pure — no observation, no shared state — so it is safe from any
+    thread.
+    """
+    locator = GpsLocator(gps)
+    visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
+    visit_index.extend([(visit.x, visit.y, visit) for visit in visits])
+    return [
+        classify_extraneous_checkin(checkin, locator, visit_index, config)
+        for checkin in extraneous
+    ]
+
+
 def _classify_shard(payload: Tuple) -> Dict[str, List[CheckinType]]:
     """Executor work unit: label one shard's extraneous checkins.
 
@@ -224,14 +247,9 @@ def _classify_shard(payload: Tuple) -> Dict[str, List[CheckinType]]:
     obs = obs_current()
     out: Dict[str, List[CheckinType]] = {}
     for user_id, gps, visits, extraneous in users:
-        locator = GpsLocator(gps)
-        visit_index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
-        visit_index.extend([(visit.x, visit.y, visit) for visit in visits])
-        labels = []
-        for checkin in extraneous:
-            label = classify_extraneous_checkin(checkin, locator, visit_index, config)
+        labels = classify_user_extraneous(gps, visits, extraneous, config)
+        for label in labels:
             obs.count(f"classify.{label.value}_total", 1)
-            labels.append(label)
         obs.count("classify.users_total", 1)
         obs.count("classify.extraneous_total", len(labels))
         out[user_id] = labels

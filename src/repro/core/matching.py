@@ -55,6 +55,28 @@ class MatchConfig:
 
 
 @dataclass
+class MatchStats:
+    """Internals of one :func:`match_user` call the outputs don't expose.
+
+    The streaming service (:mod:`repro.serve`) runs matching chunk by
+    chunk and must reproduce the batch path's per-user counters exactly;
+    round counts and per-round tie-loser totals are not derivable from a
+    :class:`UserMatching`, so callers pass a ``MatchStats`` to receive
+    them.  Purely observational — filling it never changes the result.
+    """
+
+    #: Resolution rounds executed (0 when the user had no checkins).
+    rounds: int = 0
+    #: Tie losers produced by each round, in round order.
+    tie_losers_per_round: List[int] = field(default_factory=list)
+
+    @property
+    def tie_losers(self) -> int:
+        """Total tie losers across all rounds."""
+        return sum(self.tie_losers_per_round)
+
+
+@dataclass
 class UserMatching:
     """Per-user matching outcome."""
 
@@ -173,8 +195,17 @@ def match_user(
     visits: Sequence[Visit],
     config: Optional[MatchConfig] = None,
     user_id: Optional[str] = None,
+    obs=None,
+    stats: Optional[MatchStats] = None,
 ) -> UserMatching:
-    """Run the matching algorithm for one user."""
+    """Run the matching algorithm for one user.
+
+    ``obs`` overrides the ambient observation context (pass
+    :data:`repro.obs.NULL_OBS` to silence instrumentation explicitly —
+    the streaming engine does, because its worker threads must not touch
+    the process-global context).  ``stats``, when given, receives the
+    call's round count and per-round tie-loser totals.
+    """
     config = config or MatchConfig()
     if user_id is None:
         if checkins:
@@ -186,7 +217,8 @@ def match_user(
     index: GridIndex = GridIndex(cell_size=max(100.0, config.alpha_m))
     index.extend([(visit.x, visit.y, visit) for visit in visits])
 
-    obs = obs_current()
+    if obs is None:
+        obs = obs_current()
     assigned: Dict[str, Tuple[Checkin, Visit]] = {}
     losers: List[Checkin] = []
     pending = list(checkins)
@@ -233,6 +265,8 @@ def match_user(
                 unmatched=len(unmatched),
             )
             obs.count("matching.tie_losers_total", len(round_losers))
+        if stats is not None:
+            stats.tie_losers_per_round.append(len(round_losers))
         # Checkins with no candidate this round are settled either way.
         losers.extend(unmatched)
         if (
@@ -249,6 +283,8 @@ def match_user(
         # next round only considers still-free visits.
         pending = round_losers
 
+    if stats is not None:
+        stats.rounds = rounds
     obs.count("matching.users_total", 1)
     obs.count("matching.rounds_total", rounds)
     obs.count("matching.rematch_rounds", max(0, rounds - 1))

@@ -97,6 +97,7 @@ def extract_visits(
     user_id: str,
     config: Optional[VisitConfig] = None,
     poi_index: Optional[GridIndex] = None,
+    start_counter: int = 0,
 ) -> List[Visit]:
     """Extract visits from one user's GPS trace.
 
@@ -104,13 +105,20 @@ def extract_visits(
     :class:`GpsTrace` or any sequence of :class:`GpsPoint`.
     ``poi_index`` is a grid of ``Poi`` objects; when given, each visit's
     ``poi_id`` is the nearest POI within the annotation radius.
+
+    ``start_counter`` offsets the per-user visit-id sequence; the
+    streaming engine extracts one settled chunk at a time and continues
+    the numbering, so a chunked extraction's ids match one batch pass
+    over the concatenated trace.
     """
     config = config or VisitConfig()
     if resolved_kernel(config) == "vectorized":
         trace = as_trace(points).sorted()
-        return _extract_visits_vectorized(trace, user_id, config, poi_index)
+        return _extract_visits_vectorized(
+            trace, user_id, config, poi_index, start_counter
+        )
     pts = sorted(points, key=lambda p: p.t)
-    return _extract_visits_scalar(pts, user_id, config, poi_index)
+    return _extract_visits_scalar(pts, user_id, config, poi_index, start_counter)
 
 
 def _make_visit(
@@ -145,6 +153,7 @@ def _extract_visits_scalar(
     user_id: str,
     config: VisitConfig,
     poi_index: Optional[GridIndex],
+    start_counter: int = 0,
 ) -> List[Visit]:
     """Reference kernel: sequential scan over time-sorted points.
 
@@ -157,7 +166,7 @@ def _extract_visits_scalar(
     n = len(pts)
     r2 = config.roam_radius_m**2
     i = 0
-    counter = 0
+    counter = start_counter
     while i < n:
         sx, sy = pts[i].x, pts[i].y
         cx, cy = sx, sy
@@ -229,6 +238,7 @@ def _extract_visits_vectorized(
     user_id: str,
     config: VisitConfig,
     poi_index: Optional[GridIndex],
+    start_counter: int = 0,
 ) -> List[Visit]:
     """Columnar kernel: gap split + bulk mover skip + array cluster scans."""
     n = len(trace)
@@ -238,7 +248,7 @@ def _extract_visits_vectorized(
     t = trace.t
     xy = np.stack((trace.x, trace.y))
     r2 = config.roam_radius_m**2
-    counter = 0
+    counter = start_counter
     # One diff splits the trace into gap-free segments; a cluster can
     # never bridge a boundary, so segments scan independently.
     breaks = np.flatnonzero(np.diff(t) > config.max_gap_s) + 1

@@ -20,6 +20,9 @@ and merges results back deterministically:
   the test suite and ``repro-study validate --inject-faults``;
 * :mod:`repro.runtime.timing` — per-shard/stage timings surfaced as
   ``ValidationReport.timings`` and persisted by the scaling bench;
+* :mod:`repro.runtime.ingest` — FIFO thread lanes for the streaming
+  validation service (per-user single-writer ordering at any lane
+  count);
 * :mod:`repro.runtime.errors` — shard-scoped failure reporting.
 
 Quickstart::
@@ -62,6 +65,7 @@ from .resilience import (
     RunHealth,
     run_shards_resilient,
 )
+from .ingest import IngestPool
 from .sharding import (
     GPS_SAMPLES_PER_VISIT,
     Shard,
@@ -82,6 +86,7 @@ __all__ = [
     "DegradedResult",
     "FaultPlan",
     "FaultSpec",
+    "IngestPool",
     "InjectedCrash",
     "InjectedFault",
     "ParallelExecutor",

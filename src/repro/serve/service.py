@@ -1,0 +1,368 @@
+"""The long-running validation service: ingest loop, snapshots, summary.
+
+:class:`ValidationService` wraps the per-user :class:`StreamEngine` with
+everything a server needs:
+
+* **lanes** — at ``workers > 1`` events fan out over an
+  :class:`repro.runtime.IngestPool`; every user is pinned to lane
+  ``registration_index % workers``, so per-user state stays
+  single-writer and per-user verdict order is deterministic at any lane
+  count.  ``workers <= 1`` ingests inline (no threads);
+* **verdict sink** — settled verdicts reach the caller through a
+  callback (or pile up in :attr:`verdicts`), serialised under one lock;
+* **snapshots** — with a :class:`repro.serve.snapshot.ServeStateStore`
+  armed, state persists every ``checkpoint_every`` events (and on
+  demand); :meth:`restore` brings a fresh service back to the snapshot
+  and tells the caller which event to resume feeding from;
+* **observability** — semantic counters accumulate in per-user dicts
+  off-thread and fold into the service's obs context at
+  :meth:`finish`, reproducing the batch run's counter/gauge/histogram
+  payload exactly, plus ``serve.*`` counters for the serving mechanics.
+
+The headline guarantee (pinned by ``tests/test_serve_parity.py``):
+replaying a dataset event-by-event and calling :meth:`finish` yields
+the batch :func:`repro.core.validate` verdicts, semantic metrics,
+summary text and dataset fingerprint, byte for byte.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+
+from ..core import build_poi_index, format_summary
+from ..model import EXTRANEOUS_TYPES, CheckinType, Poi
+from ..obs import config_hash, fingerprint_from_counts
+from ..obs import current as obs_current
+from ..runtime import IngestPool, available_workers
+from .engine import ServeConfig, StreamEngine, UserStreamState
+from .events import StreamEvent, Verdict
+from .snapshot import ServeStateStore
+
+
+@dataclass
+class ServeSummary:
+    """Aggregates of a completed serving session.
+
+    Field-compatible with the batch/streamed summaries where it counts
+    the same things; :meth:`summary` renders the identical text via the
+    shared formatter, and :attr:`fingerprint` is the post-extraction
+    dataset fingerprint a batch run of the same study would record.
+    """
+
+    name: str
+    n_users: int
+    n_events: int
+    n_chunks: int
+    n_honest: int
+    n_extraneous: int
+    n_missing: int
+    n_verdicts: int
+    type_counts: Dict[CheckinType, int]
+    #: Per-user extracted-visit count, in registration order.
+    visit_counts: Dict[str, int] = field(default_factory=dict)
+    #: Post-extraction dataset fingerprint (batch-identical).
+    fingerprint: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def n_checkins(self) -> int:
+        return self.n_honest + self.n_extraneous
+
+    @property
+    def n_visits(self) -> int:
+        return self.n_honest + self.n_missing
+
+    def extraneous_fraction(self) -> float:
+        return self.n_extraneous / self.n_checkins if self.n_checkins else 0.0
+
+    def coverage_fraction(self) -> float:
+        return self.n_honest / self.n_visits if self.n_visits else 0.0
+
+    def summary(self) -> str:
+        """Identical text to :meth:`ValidationReport.summary`."""
+        return format_summary(
+            self.name,
+            self.n_checkins,
+            self.n_visits,
+            self.n_honest,
+            self.n_extraneous,
+            self.n_missing,
+            self.type_counts,
+        )
+
+
+class ValidationService:
+    """One serving session over a fixed POI universe.
+
+    Feed :class:`StreamEvent` records through :meth:`ingest` (register
+    each user before their first trace event), then :meth:`finish` to
+    settle everything and get the :class:`ServeSummary`.
+    """
+
+    def __init__(
+        self,
+        pois: Union[Sequence[Poi], dict],
+        config: Optional[ServeConfig] = None,
+        *,
+        name: str = "stream",
+        workers: Optional[int] = None,
+        state_store: Optional[Union[str, ServeStateStore]] = None,
+        checkpoint_every: Optional[int] = None,
+        sink: Optional[Callable[[Verdict], None]] = None,
+        obs=None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.name = name
+        self._n_pois = len(pois)
+        self._engine = StreamEngine(self.config, build_poi_index(pois))
+        self._obs = obs_current() if obs is None else obs
+        self._sink = sink
+        if workers is None:
+            workers = 1
+        elif workers == 0:
+            workers = available_workers()
+        self.workers = workers
+        self._pool: Optional[IngestPool] = (
+            IngestPool(workers, name="serve") if workers > 1 else None
+        )
+        self._states: Dict[str, UserStreamState] = {}
+        self._lanes: Dict[str, int] = {}
+        self._cursor = 0
+        self._generation = 0
+        self._finished = False
+        self._lock = threading.Lock()
+        self._verdicts_total = 0
+        #: Settled verdicts per user, kept only when no sink is given.
+        self.verdicts: Dict[str, List[Verdict]] = {}
+        self._store: Optional[ServeStateStore]
+        if state_store is None:
+            self._store = None
+        elif isinstance(state_store, ServeStateStore):
+            self._store = state_store
+        else:
+            self._store = ServeStateStore(state_store)
+        self.checkpoint_every = checkpoint_every
+        self._key = config_hash(self.config)
+
+    # -- ingest ------------------------------------------------------------
+
+    def ingest(self, event: StreamEvent) -> None:
+        """Feed one event; verdicts flow to the sink as chunks settle."""
+        if self._finished:
+            raise RuntimeError("service is finished")
+        self._cursor += 1
+        if event.kind == "register":
+            self._register(event.user_id)
+        else:
+            try:
+                state = self._states[event.user_id]
+            except KeyError:
+                raise KeyError(
+                    f"user {event.user_id!r} not registered; send a register "
+                    "event before trace events"
+                ) from None
+            if self._pool is None:
+                self._emit(self._engine.ingest(state, event))
+            else:
+                self._pool.post(
+                    self._lanes[event.user_id],
+                    lambda s=state, e=event: self._emit(self._engine.ingest(s, e)),
+                )
+        if (
+            self._store is not None
+            and self.checkpoint_every
+            and self._cursor % self.checkpoint_every == 0
+        ):
+            self.snapshot()
+
+    def _register(self, user_id: str) -> None:
+        # Idempotent so a resumed feed may safely replay registrations.
+        if user_id in self._states:
+            return
+        self._lanes[user_id] = len(self._states) % self.workers
+        self._states[user_id] = self._engine.new_state(user_id)
+
+    def _emit(self, verdicts: List[Verdict]) -> None:
+        if not verdicts:
+            return
+        with self._lock:
+            for verdict in verdicts:
+                self._verdicts_total += 1
+                if self._sink is not None:
+                    self._sink(verdict)
+                else:
+                    self.verdicts.setdefault(verdict.user_id, []).append(verdict)
+
+    @property
+    def cursor(self) -> int:
+        """Events ingested so far (including before a restore)."""
+        return self._cursor
+
+    @property
+    def verdicts_emitted(self) -> int:
+        with self._lock:
+            return self._verdicts_total
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Persist all user states and commit the cursor (quiesces first)."""
+        if self._store is None:
+            raise RuntimeError("service has no state store")
+        if self._pool is not None:
+            self._pool.drain()
+        self._generation += 1
+        for state in self._states.values():
+            self._store.save_user(self._key, self._generation, state)
+        self._store.save_cursor(
+            self._key,
+            {
+                "cursor": self._cursor,
+                "generation": self._generation,
+                "users": list(self._states),
+                "verdicts_total": self._verdicts_total,
+                "name": self.name,
+                "n_pois": self._n_pois,
+            },
+        )
+        self._obs.count("serve.snapshots_total", 1)
+
+    def restore(self) -> int:
+        """Load the latest usable snapshot; returns the event cursor to
+        resume feeding from (0 = nothing usable, start fresh).
+
+        All-or-nothing: a torn or stale snapshot (any missing/unusable
+        user file, wrong config key) restores nothing.  Must be called
+        before any ingest.
+        """
+        if self._store is None:
+            raise RuntimeError("service has no state store")
+        if self._cursor or self._states:
+            raise RuntimeError("restore() must run before any ingest")
+        record = self._store.load_cursor(self._key)
+        if record is None:
+            return 0
+        states: Dict[str, UserStreamState] = {}
+        for user_id in record["users"]:
+            state = self._store.load_user(self._key, record["generation"], user_id)
+            if state is None:
+                return 0
+            states[user_id] = state
+        self._states = states
+        self._lanes = {
+            user_id: i % self.workers for i, user_id in enumerate(states)
+        }
+        self._cursor = record["cursor"]
+        self._generation = record["generation"]
+        self._verdicts_total = record["verdicts_total"]
+        self._obs.count("serve.restores_total", 1)
+        return self._cursor
+
+    # -- finish ------------------------------------------------------------
+
+    def finish(self) -> ServeSummary:
+        """Settle everything pending, fold counters into the obs
+        context, stop the lanes, and return the session summary."""
+        if self._finished:
+            raise RuntimeError("service is already finished")
+        self._finished = True
+        if self._pool is not None:
+            for user_id, state in self._states.items():
+                self._pool.post(
+                    self._lanes[user_id],
+                    lambda s=state: self._emit(self._engine.finalize(s)),
+                )
+            self._pool.close()
+        else:
+            for state in self._states.values():
+                self._emit(self._engine.finalize(state))
+        return self._fold()
+
+    def _fold(self) -> ServeSummary:
+        """Aggregate per-user accounting into the obs context (in
+        registration order) and the summary; emits the exact semantic
+        counter/gauge/histogram payload of one batch run."""
+        ctx = self._obs
+        n_honest = n_extraneous = n_missing = 0
+        n_gps = n_checkins = n_chunks = 0
+        type_counts: Dict[CheckinType, int] = {kind: 0 for kind in CheckinType}
+        visit_counts: Dict[str, int] = {}
+        with ctx.span(
+            "serve.session",
+            users=len(self._states),
+            workers=self.workers,
+            events=self._cursor,
+        ):
+            for user_id, state in self._states.items():
+                counters = state.counters
+                for metric in sorted(counters):
+                    ctx.count(metric, counters[metric])
+                ctx.observe("extract.visits_per_user", state.n_visits)
+                ctx.observe("matching.rounds_per_user", state.max_rounds)
+                n_honest += counters.get("matching.honest_total", 0)
+                n_extraneous += counters.get("matching.extraneous_total", 0)
+                n_missing += counters.get("matching.missing_total", 0)
+                for kind in EXTRANEOUS_TYPES:
+                    type_counts[kind] += counters.get(
+                        f"classify.{kind.value}_total", 0
+                    )
+                visit_counts[user_id] = state.n_visits
+                n_gps += state.n_gps
+                n_checkins += state.n_checkins
+                n_chunks += state.n_chunks
+            type_counts[CheckinType.HONEST] = n_honest
+            ctx.count("pipeline.runs_total", 1)
+            # Same integer operands as MatchingResult's fractions, so
+            # the gauges compare equal bit for bit.
+            total_checkins = n_honest + n_extraneous
+            total_visits = n_honest + n_missing
+            ctx.set_gauge(
+                "matching.extraneous_fraction",
+                n_extraneous / total_checkins if total_checkins else 0.0,
+            )
+            ctx.set_gauge(
+                "matching.missing_fraction",
+                1.0 - (n_honest / total_visits if total_visits else 0.0),
+            )
+            ctx.count("serve.users_total", len(self._states))
+            ctx.count("serve.events_total", self._cursor)
+            ctx.count("serve.gps_total", n_gps)
+            ctx.count("serve.checkins_total", n_checkins)
+            ctx.count("serve.chunks_total", n_chunks)
+            ctx.count("serve.verdicts_total", self._verdicts_total)
+        fingerprint = fingerprint_from_counts(
+            self.name,
+            self._n_pois,
+            (
+                (user_id, state.n_gps, state.n_checkins, state.n_visits)
+                for user_id, state in self._states.items()
+            ),
+        )
+        return ServeSummary(
+            name=self.name,
+            n_users=len(self._states),
+            n_events=self._cursor,
+            n_chunks=n_chunks,
+            n_honest=n_honest,
+            n_extraneous=n_extraneous,
+            n_missing=n_missing,
+            n_verdicts=self._verdicts_total,
+            type_counts=type_counts,
+            visit_counts=visit_counts,
+            fingerprint=fingerprint,
+        )
+
+    # -- context manager ---------------------------------------------------
+
+    def close(self) -> None:
+        """Stop the lane threads without finishing (abandon the session)."""
+        if self._pool is not None and not self._finished:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ValidationService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -1,0 +1,117 @@
+"""Crash-consistent serving state snapshots.
+
+A snapshot is the set of per-user :class:`~repro.serve.engine.UserStreamState`
+records plus one cursor record saying how many input events they cover.
+Because the engine is a pure function of the event sequence, a resumed
+server only needs (states, cursor): re-feeding the events after the
+cursor reproduces the uninterrupted run exactly — pending verdicts get
+re-emitted with identical sequence numbers, so consumers deduplicate by
+``(user_id, seq)`` and nothing is dropped, duplicated or changed.
+
+Crash-consistency uses a **two-slot generation scheme** on top of the
+checkpoint package's atomic pickle primitives:
+
+* every user file lands in slot ``generation % 2``, so writing
+  generation ``g`` never touches the files generation ``g - 1`` reads;
+* the cursor record — naming the generation and the full user list — is
+  written *last*.  A crash mid-snapshot leaves the previous cursor
+  pointing at the previous generation's intact slot files.
+
+Validation is all-or-nothing: if the cursor or any user file it names
+is missing, torn, from a different config key or the wrong generation,
+the whole snapshot reads as absent and the server replays from event 0
+(correct, just slower).  Snapshots are keyed by
+``config_hash(ServeConfig)``, so changing any threshold invalidates
+them wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..store import atomic_pickle_dump, load_pickle_record
+from .engine import SERVE_STATE_FORMAT, UserStreamState
+
+#: Snapshot record format version.
+SERVE_SNAPSHOT_FORMAT = 1
+
+
+class ServeStateStore:
+    """Two-slot per-user snapshot files plus a cursor record."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    def _user_path(self, user_id: str, generation: int) -> Path:
+        digest = hashlib.sha256(user_id.encode("utf-8")).hexdigest()[:24]
+        return self.directory / f"serve-user-{digest}-{generation % 2}.pkl"
+
+    def _cursor_path(self) -> Path:
+        return self.directory / "serve-cursor.pkl"
+
+    # -- user state --------------------------------------------------------
+
+    def save_user(self, key: str, generation: int, state: UserStreamState) -> Path:
+        """Persist one user's state into the generation's slot."""
+        record = {
+            "format": SERVE_SNAPSHOT_FORMAT,
+            "state_format": SERVE_STATE_FORMAT,
+            "key": key,
+            "generation": generation,
+            "user_id": state.user_id,
+            "payload": state,
+        }
+        return atomic_pickle_dump(self._user_path(state.user_id, generation), record)
+
+    def load_user(
+        self, key: str, generation: int, user_id: str
+    ) -> Optional[UserStreamState]:
+        """One user's state from the generation's slot, or None when the
+        file is missing, torn, or belongs to another key/generation."""
+        record = load_pickle_record(self._user_path(user_id, generation))
+        if record is None:
+            return None
+        if record.get("format") != SERVE_SNAPSHOT_FORMAT:
+            return None
+        if record.get("state_format") != SERVE_STATE_FORMAT:
+            return None
+        if record.get("key") != key:
+            return None
+        if record.get("generation") != generation:
+            return None
+        if record.get("user_id") != user_id:
+            return None
+        state = record.get("payload")
+        if not isinstance(state, UserStreamState):
+            return None
+        return state
+
+    # -- cursor ------------------------------------------------------------
+
+    def save_cursor(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Commit the snapshot: write the cursor record (always last)."""
+        record = {
+            "format": SERVE_SNAPSHOT_FORMAT,
+            "key": key,
+            "payload": payload,
+        }
+        return atomic_pickle_dump(self._cursor_path(), record)
+
+    def load_cursor(self, key: str) -> Optional[Dict[str, Any]]:
+        """The committed cursor payload, or None when absent/unusable."""
+        record = load_pickle_record(self._cursor_path())
+        if record is None:
+            return None
+        if record.get("format") != SERVE_SNAPSHOT_FORMAT:
+            return None
+        if record.get("key") != key:
+            return None
+        payload = record.get("payload")
+        if not isinstance(payload, dict):
+            return None
+        return payload

@@ -23,7 +23,12 @@ Quickstart::
     print(summary.summary())          # identical to the in-memory path
 """
 
-from .checkpoint import CHECKPOINT_FORMAT, CheckpointStore
+from .checkpoint import (
+    CHECKPOINT_FORMAT,
+    CheckpointStore,
+    atomic_pickle_dump,
+    load_pickle_record,
+)
 from .segment import (
     MAGIC,
     SEGMENT_FORMAT,
@@ -57,5 +62,7 @@ __all__ = [
     "StoreFormatError",
     "StudyStore",
     "StudyStoreWriter",
+    "atomic_pickle_dump",
+    "load_pickle_record",
     "write_segment",
 ]

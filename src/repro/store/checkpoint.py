@@ -28,6 +28,49 @@ from .study import SegmentEntry
 CHECKPOINT_FORMAT = 1
 
 
+def atomic_pickle_dump(path: Path, record: Any) -> Path:
+    """Write ``record`` as a pickle that is either fully there or absent.
+
+    tmp file + flush + fsync + ``os.replace``: a crash mid-write leaves
+    the destination untouched (or holding its previous complete
+    contents), never a torn file.  Shared by the per-segment checkpoint
+    store and the serving state snapshots (:mod:`repro.serve.snapshot`).
+    """
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_pickle_record(path: Path) -> Optional[Dict[str, Any]]:
+    """Read one pickled record dict; ``None`` when missing or unusable.
+
+    Anything short of a cleanly parsing dict — missing file, torn write,
+    truncation, an unpicklable payload from another version — reads as
+    absent; callers recompute rather than trust it.
+    """
+    try:
+        with path.open("rb") as handle:
+            record = pickle.load(handle)
+    except (
+        OSError,
+        pickle.UnpicklingError,
+        EOFError,
+        AttributeError,
+        ImportError,
+        IndexError,
+        MemoryError,
+        ValueError,
+    ):
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record
+
+
 class CheckpointStore:
     """Atomic per-segment checkpoint files in one directory."""
 
@@ -47,12 +90,8 @@ class CheckpointStore:
         stale configs, regenerated study) recomputes.
         """
         path = self._path(entry, key)
-        try:
-            with path.open("rb") as handle:
-                record = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ValueError):
-            return None
-        if not isinstance(record, dict):
+        record = load_pickle_record(path)
+        if record is None:
             return None
         if record.get("format") != CHECKPOINT_FORMAT:
             return None
@@ -75,10 +114,4 @@ class CheckpointStore:
             "users_sha256": entry.users_sha256,
             "payload": payload,
         }
-        tmp = path.with_name(path.name + ".tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-        return path
+        return atomic_pickle_dump(path, record)

@@ -11,6 +11,7 @@ from .config import (
 )
 from .itinerary import Itinerary, ItineraryBuilder, Leg, Stay
 from .mobility import Coverage, CoverageWindow, build_coverage, ground_truth_visits, sample_gps
+from .replay import replay_events, replay_fraction
 from .persona import Persona, build_profile, sample_persona
 from .scalegen import generate_scale_store, iter_scale_users
 from .study import (
@@ -62,6 +63,8 @@ __all__ = [
     "ground_truth_visits",
     "iter_scale_users",
     "iter_study_users",
+    "replay_events",
+    "replay_fraction",
     "make_home_poi",
     "pick_work_poi",
     "plan_study",

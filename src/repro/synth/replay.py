@@ -1,0 +1,69 @@
+"""Event-ordered replay of a study dataset for the streaming service.
+
+Turns a materialised :class:`repro.model.Dataset` into the stream a
+live deployment would have produced: every user's registration first
+(in dataset user order), then all GPS fixes and checkins globally
+merged by event time.  Feeding this stream through
+:class:`repro.serve.ValidationService` reproduces the batch
+``validate()`` output byte for byte — the replay-parity test tier pins
+exactly that.
+
+Ordering is deterministic: ties on ``t`` break by dataset user order,
+then GPS-before-checkin, then per-user record order.  Same-timestamp
+GPS fixes therefore arrive in trace order, which the engine's stable
+sorts rely on for batch parity.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, Iterator, List
+
+from ..model import Dataset, GpsTrace
+from ..serve import StreamEvent, checkin_event, gps_event, register_event
+
+__all__ = ["replay_events", "replay_fraction"]
+
+
+def _user_stream(user_index: int, user_id: str, data) -> List[tuple]:
+    """One user's trace as (sort key, event) pairs, time-ordered.
+
+    GPS wins time ties against checkins (rank 0 vs 1), mirroring how a
+    tracker logs a fix before the app posts a checkin of the same
+    second; same-timestamp GPS fixes keep trace order (stable sort), so
+    the replay matches the batch kernels' stable time sort exactly.
+    Input order is free — neither the trace nor the checkin list needs
+    to be pre-sorted.
+    """
+    trace = GpsTrace.coerce(data.gps)
+    pairs = [
+        ((float(trace.t[i]), user_index, 0, i),
+         gps_event(user_id, float(trace.t[i]), float(trace.x[i]),
+                   float(trace.y[i])))
+        for i in range(len(trace))
+    ]
+    pairs.extend(
+        ((checkin.t, user_index, 1, i), checkin_event(checkin))
+        for i, checkin in enumerate(data.checkins)
+    )
+    pairs.sort(key=lambda pair: pair[0][:3])
+    return pairs
+
+
+def replay_events(dataset: Dataset) -> Iterator[StreamEvent]:
+    """The dataset as a serving event stream: registrations, then the
+    global time-ordered merge of every user's GPS fixes and checkins."""
+    streams: List[Iterator[tuple]] = []
+    for user_index, (user_id, data) in enumerate(dataset.users.items()):
+        yield register_event(user_id)
+        streams.append(_user_stream(user_index, user_id, data))
+    for _, event in heapq.merge(*streams, key=lambda pair: pair[0]):
+        yield event
+
+
+def replay_fraction(events: Iterable[StreamEvent], stop_after: int) -> Iterator[StreamEvent]:
+    """The first ``stop_after`` events (a crash-drill helper)."""
+    for i, event in enumerate(events):
+        if i >= stop_after:
+            return
+        yield event

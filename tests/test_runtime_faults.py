@@ -558,3 +558,158 @@ class TestStoreStreamFaultDrill:
             assert summary.visit_counts[user_id] == -1
             assert user_id in summary.summary()
         assert "DEGRADED RUN" in summary.summary()
+
+
+# ---------------------------------------------------------------------------
+# Serving drills: kill the streaming service, resume from snapshots
+# ---------------------------------------------------------------------------
+
+
+class TestServeCrashDrill:
+    """Kill the streaming service after every Nth verdict and resume.
+
+    Exactly-once contract: the resumed service replays only events past
+    the snapshot cursor, re-emitting at most the verdicts that were
+    in flight when the snapshot was cut.  Deduplicating by
+    ``(user_id, seq)`` must reconstruct the uninterrupted verdict
+    stream exactly — nothing dropped, nothing duplicated with different
+    bytes, nothing changed — and the final summary must equal both the
+    uninterrupted serve run and the batch pipeline.
+    """
+
+    CHECKPOINT_EVERY = 400
+
+    def _reference(self):
+        from repro.serve import ValidationService
+        from repro.synth import replay_events
+
+        dataset = load_dataset(GOLDEN_DIR)
+        events = list(replay_events(dataset))
+        service = ValidationService(dataset.pois, name=dataset.name)
+        for event in events:
+            service.ingest(event)
+        summary = service.finish()
+        verdicts = {
+            user: [v.as_dict() for v in vs]
+            for user, vs in service.verdicts.items()
+        }
+        return dataset, events, verdicts, summary
+
+    def test_kill_after_every_nth_verdict_loses_nothing(self, tmp_path):
+        from repro.serve import ValidationService
+
+        dataset, events, reference, ref_summary = self._reference()
+        total = sum(len(v) for v in reference.values())
+        assert total > 0
+        kill_every = 10
+
+        for threshold in range(kill_every, total + 1, kill_every):
+            store_dir = tmp_path / f"kill-{threshold}"
+            seen = {}  # (user, seq) -> verdict dict, across incarnations
+
+            def absorb(verdict, seen=seen):
+                key = (verdict.user_id, verdict.seq)
+                record = verdict.as_dict()
+                if key in seen:
+                    # Duplicates from replay must be byte-identical.
+                    assert seen[key] == record
+                seen[key] = record
+
+            # First incarnation: crash once >= threshold verdicts out.
+            service = ValidationService(
+                dataset.pois, name=dataset.name,
+                state_store=store_dir,
+                checkpoint_every=self.CHECKPOINT_EVERY,
+                sink=absorb,
+            )
+            crashed_mid_stream = False
+            for event in events:
+                service.ingest(event)
+                if service.verdicts_emitted >= threshold:
+                    crashed_mid_stream = True
+                    break
+            # High thresholds only complete at finish(); killing after
+            # the last event but before finish() is a drill point too.
+            service.close()  # abandon: no finish(), no final snapshot
+            if threshold == kill_every:
+                # The fixture settles chunks mid-stream, so the first
+                # threshold must hit while events are still flowing.
+                assert crashed_mid_stream
+
+            # Second incarnation: restore, replay the tail, finish.
+            resumed = ValidationService(
+                dataset.pois, name=dataset.name,
+                state_store=store_dir,
+                checkpoint_every=self.CHECKPOINT_EVERY,
+                sink=absorb,
+            )
+            cursor = resumed.restore()
+            assert 0 <= cursor < len(events)
+            for event in events[cursor:]:
+                resumed.ingest(event)
+            summary = resumed.finish()
+
+            # Nothing dropped, duplicated or changed.
+            rebuilt = {}
+            for (user, seq), record in sorted(seen.items()):
+                rebuilt.setdefault(user, []).append(record)
+            assert rebuilt == reference, f"threshold={threshold}"
+            assert summary.n_verdicts == ref_summary.n_verdicts
+            assert summary.summary() == ref_summary.summary()
+
+    def test_torn_snapshot_falls_back_to_fresh_start(self, tmp_path):
+        """A truncated user state file invalidates the whole snapshot:
+        restore() returns 0 and a full replay is still byte-identical."""
+        from repro.serve import ValidationService
+
+        dataset, events, reference, ref_summary = self._reference()
+        store_dir = tmp_path / "torn"
+        service = ValidationService(
+            dataset.pois, name=dataset.name,
+            state_store=store_dir, checkpoint_every=self.CHECKPOINT_EVERY,
+        )
+        for event in events[: len(events) // 2]:
+            service.ingest(event)
+        service.snapshot()
+        service.close()
+        user_files = sorted(store_dir.glob("serve-user-*.pkl"))
+        assert user_files
+        user_files[0].write_bytes(user_files[0].read_bytes()[:11])
+
+        resumed = ValidationService(
+            dataset.pois, name=dataset.name, state_store=store_dir,
+        )
+        assert resumed.restore() == 0
+        for event in events:
+            resumed.ingest(event)
+        summary = resumed.finish()
+        assert {
+            user: [v.as_dict() for v in vs]
+            for user, vs in resumed.verdicts.items()
+        } == reference
+        assert summary.summary() == ref_summary.summary()
+
+    def test_batch_agreement_survives_resume(self, tmp_path):
+        """The resumed run's summary still equals batch validate()."""
+        from repro.serve import ValidationService
+
+        dataset, events, _, _ = self._reference()
+        batch = validate(load_dataset(GOLDEN_DIR))
+        store_dir = tmp_path / "resume"
+        service = ValidationService(
+            dataset.pois, name=dataset.name,
+            state_store=store_dir, checkpoint_every=self.CHECKPOINT_EVERY,
+        )
+        for event in events[: 2 * len(events) // 3]:
+            service.ingest(event)
+        service.snapshot()
+        service.close()
+
+        resumed = ValidationService(
+            dataset.pois, name=dataset.name, state_store=store_dir,
+        )
+        cursor = resumed.restore()
+        assert cursor > 0
+        for event in events[cursor:]:
+            resumed.ingest(event)
+        assert resumed.finish().summary() == batch.summary()

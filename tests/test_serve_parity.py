@@ -1,0 +1,200 @@
+"""Streaming replay must be byte-identical to batch validation.
+
+The replay-parity tier: the golden fixture fed through the streaming
+service event by event — at 1 and 4 ingest workers, with both
+extraction kernels — must reproduce the batch ``validate()`` run
+exactly: per-checkin verdicts, missing visits, summary text, semantic
+counters, gauges, histograms, dataset fingerprint, and (through the
+CLI) the manifest's fidelity scorecard.  The golden fixture's users
+each span several settlement-horizon gaps, so these runs genuinely
+settle chunks mid-stream rather than doing all the work at finish().
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.core import VisitConfig, validate
+from repro.io import load_dataset
+from repro.obs import ObsContext, RunManifest, activate, dataset_fingerprint
+from repro.serve import ServeConfig, ValidationService
+from repro.synth import replay_events
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "data" / "golden_study"
+
+#: Manifest metrics that describe results (not runtime/serving
+#: mechanics); identical between the batch and streaming paths.
+SEMANTIC_PREFIXES = ("extract.", "matching.", "classify.", "pipeline.")
+
+
+def semantic_metrics(metrics):
+    counters = {
+        name: value
+        for name, value in metrics.get("counters", {}).items()
+        if name.startswith(SEMANTIC_PREFIXES)
+    }
+    histograms = {
+        name: value
+        for name, value in metrics.get("histograms", {}).items()
+        if name.startswith(SEMANTIC_PREFIXES)
+    }
+    return counters, metrics.get("gauges", {}), histograms
+
+
+# Function-scoped on purpose: validate() annotates the dataset with
+# extracted visits in place, and a second batch run over the same object
+# would skip extraction (and its counters) entirely.
+@pytest.fixture()
+def golden():
+    return load_dataset(GOLDEN_DIR)
+
+
+def batch_run(dataset, kernel):
+    ctx = ObsContext()
+    with activate(ctx):
+        report = validate(dataset, visit_config=VisitConfig(kernel=kernel))
+    return report, ctx
+
+
+def serve_run(dataset, kernel, workers, **service_kwargs):
+    ctx = ObsContext()
+    config = ServeConfig(visit=VisitConfig(kernel=kernel))
+    service = ValidationService(
+        dataset.pois,
+        config,
+        name=dataset.name,
+        workers=workers,
+        obs=ctx,
+        **service_kwargs,
+    )
+    for event in replay_events(dataset):
+        service.ingest(event)
+    summary = service.finish()
+    return service, summary, ctx
+
+
+def batch_verdict_view(report):
+    """Batch results in the verdict stream's vocabulary."""
+    labels = {
+        checkin_id: label.value
+        for checkin_id, label in report.classification.labels.items()
+    }
+    missing = {
+        user_id: [visit.visit_id for visit in matching.missing]
+        for user_id, matching in report.matching.per_user.items()
+    }
+    return labels, missing
+
+
+def serve_verdict_view(service):
+    labels = {}
+    missing = {}
+    for user_id, verdicts in service.verdicts.items():
+        missing[user_id] = []
+        for verdict in verdicts:
+            if verdict.kind == "checkin":
+                labels[verdict.subject_id] = verdict.label
+            else:
+                missing[user_id].append(verdict.subject_id)
+    return labels, missing
+
+
+class TestReplayParity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    @pytest.mark.parametrize("kernel", ["vectorized", "scalar"])
+    def test_stream_matches_batch(self, golden, workers, kernel):
+        report, batch_ctx = batch_run(golden, kernel)
+        service, summary, serve_ctx = serve_run(golden, kernel, workers)
+
+        assert summary.summary() == report.summary()
+        assert serve_verdict_view(service) == batch_verdict_view(report)
+        assert semantic_metrics(serve_ctx.metrics.snapshot()) == semantic_metrics(
+            batch_ctx.metrics.snapshot()
+        )
+        # The golden study replays over a dataset validate() has
+        # annotated with visits, so both fingerprints are
+        # post-extraction and must agree exactly.
+        assert summary.fingerprint == dataset_fingerprint(golden)
+
+    def test_settlement_happens_mid_stream(self, golden):
+        """The fixture must exercise incremental settlement: several
+        chunks per user, and verdicts emitted before finish()."""
+        ctx = ObsContext()
+        service = ValidationService(
+            golden.pois, name=golden.name, workers=1, obs=ctx
+        )
+        emitted_before_finish = 0
+        for event in replay_events(golden):
+            service.ingest(event)
+        emitted_before_finish = service.verdicts_emitted
+        summary = service.finish()
+        assert emitted_before_finish > 0
+        assert summary.n_chunks >= 2 * summary.n_users
+        assert service.verdicts_emitted == summary.n_verdicts
+
+    def test_verdict_sequences_are_deterministic(self, golden):
+        """Per-user verdict streams are identical at any lane count."""
+        baseline, _, _ = serve_run(golden, "auto", 1)
+        for workers in (2, 4):
+            service, _, _ = serve_run(golden, "auto", workers)
+            assert {
+                user: [v.as_dict() for v in verdicts]
+                for user, verdicts in service.verdicts.items()
+            } == {
+                user: [v.as_dict() for v in verdicts]
+                for user, verdicts in baseline.verdicts.items()
+            }
+
+
+def run_cli(tmp_path, capsys, tag, *argv):
+    manifest_path = tmp_path / f"{tag}.manifest.json"
+    assert main([*argv, "--manifest", str(manifest_path)]) == 0
+    out = capsys.readouterr().out
+    lines = [line for line in out.splitlines() if "manifest" not in line]
+    return RunManifest.load(manifest_path), lines
+
+
+class TestCliParity:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_serve_cli_matches_validate_cli(self, tmp_path, capsys, workers):
+        batch, batch_out = run_cli(
+            tmp_path, capsys, "validate",
+            "validate", "--data", str(GOLDEN_DIR),
+        )
+        serve, serve_out = run_cli(
+            tmp_path, capsys, f"serve{workers}",
+            "serve", "--data", str(GOLDEN_DIR), "--workers", str(workers),
+        )
+        assert serve_out == batch_out
+        assert serve.dataset == batch.dataset  # incl. the content sha256
+        assert serve.config_hash == batch.config_hash
+        assert serve.scorecard == batch.scorecard
+        assert serve.scorecard["status"] == "pass"
+        sc, sg, sh = semantic_metrics(serve.metrics)
+        bc, bg, bh = semantic_metrics(batch.metrics)
+        assert (sc, sg, sh) == (bc, bg, bh)
+        assert serve.extra["serve"]["workers"] == max(workers, 1)
+        assert serve.extra["serve"]["chunks"] >= 2
+
+    def test_event_stream_round_trip(self, tmp_path, capsys):
+        """Dump the replayed stream, re-serve from the captured file:
+        same manifest semantics."""
+        events_path = tmp_path / "events.jsonl"
+        direct, direct_out = run_cli(
+            tmp_path, capsys, "direct",
+            "serve", "--data", str(GOLDEN_DIR),
+            "--dump-events", str(events_path),
+        )
+        replayed, replayed_out = run_cli(
+            tmp_path, capsys, "replayed",
+            "serve", "--data", str(GOLDEN_DIR),
+            "--events", str(events_path),
+        )
+        assert [l for l in replayed_out if "events" not in l] == [
+            l for l in direct_out if "events" not in l
+        ]
+        assert replayed.dataset == direct.dataset
+        assert semantic_metrics(replayed.metrics) == semantic_metrics(direct.metrics)

@@ -1,0 +1,143 @@
+"""Property tests: streaming == batch over arbitrary interleavings.
+
+Hypothesis generates small multi-stay, multi-checkin traces with event
+gaps straddling the settlement horizon, then checks two invariants:
+
+* any in-order interleaving of GPS and checkin events, streamed through
+  the service, yields exactly the batch pipeline's visits (every visit
+  surfaces as an honest match or a missing verdict, with batch ids) and
+  verdicts;
+* out-of-order delivery within the allowed lateness bound changes
+  nothing: the verdict stream equals the in-order run's, byte for byte.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from helpers import make_checkin, make_dataset, make_poi, make_user, stationary_gps  # noqa: E402
+from repro.core import validate  # noqa: E402
+from repro.serve import ServeConfig, ValidationService  # noqa: E402
+from repro.synth import replay_events  # noqa: E402
+
+HORIZON = ServeConfig().settlement_horizon_s()
+
+#: Inter-stay gaps: below, exactly at, just past, and far past the
+#: settlement horizon — the cases where chunking decisions differ.
+GAPS = st.sampled_from([120.0, 900.0, HORIZON, HORIZON + 1.0, 2 * HORIZON + 60.0])
+
+#: Stay locations far enough apart that visits never merge.
+SPOTS = st.sampled_from([(0.0, 0.0), (2000.0, 0.0), (0.0, 2000.0), (5000.0, 5000.0)])
+
+STAYS = st.lists(
+    st.tuples(GAPS, SPOTS, st.integers(min_value=6, max_value=15)),  # gap, spot, minutes
+    min_size=1,
+    max_size=3,
+)
+
+CHECKIN_OFFSETS = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),  # minutes into the timeline
+        SPOTS,
+        st.integers(min_value=0, max_value=37),  # sub-minute offset, seconds
+    ),
+    min_size=0,
+    max_size=4,
+    unique_by=lambda c: (c[0], c[2]),
+)
+
+
+def build_dataset(stays, checkin_specs):
+    gps = []
+    t = 0.0
+    for gap, (x, y), minutes in stays:
+        t += gap
+        gps.extend(stationary_gps(x, y, t, t + minutes * 60.0))
+        t += minutes * 60.0
+    checkins = [
+        make_checkin(f"c{i:03d}", t=minute * 60.0 + offset, x=x, y=y)
+        for i, (minute, (x, y), offset) in enumerate(checkin_specs)
+    ]
+    return make_dataset(
+        [make_user("u0", gps=gps, checkins=checkins)], [make_poi()]
+    )
+
+
+def stream_run(dataset, events, config=None):
+    service = ValidationService(
+        dataset.pois, config or ServeConfig(), name=dataset.name
+    )
+    for event in events:
+        service.ingest(event)
+    summary = service.finish()
+    return service, summary
+
+
+def verdict_records(service):
+    return {
+        user: [v.as_dict() for v in verdicts]
+        for user, verdicts in service.verdicts.items()
+    }
+
+
+@settings(max_examples=30, deadline=None)
+@given(stays=STAYS, checkin_specs=CHECKIN_OFFSETS)
+def test_stream_reproduces_batch_visits_and_verdicts(stays, checkin_specs):
+    dataset = build_dataset(stays, checkin_specs)
+    report = validate(dataset)
+    service, summary = stream_run(dataset, replay_events(dataset))
+
+    # Visits: every batch visit surfaces exactly once in the verdict
+    # stream (as an honest match or a missing report) with batch ids.
+    batch_visits = sorted(
+        visit.visit_id for visit in dataset.users["u0"].require_visits()
+    )
+    streamed_visits = sorted(
+        v.visit_id for v in service.verdicts.get("u0", []) if v.visit_id
+    )
+    assert streamed_visits == batch_visits
+
+    # Verdicts: labels and headline text identical to batch.
+    stream_labels = {
+        v.subject_id: v.label
+        for vs in service.verdicts.values()
+        for v in vs
+        if v.kind == "checkin"
+    }
+    assert stream_labels == {
+        cid: label.value for cid, label in report.classification.labels.items()
+    }
+    assert summary.summary() == report.summary()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    stays=STAYS,
+    checkin_specs=CHECKIN_OFFSETS,
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_out_of_order_within_lateness_is_invariant(stays, checkin_specs, seed):
+    """Delivery order jittered within the lateness bound yields the
+    exact same verdict stream as in-order delivery."""
+    import random
+
+    lateness = 240.0
+    dataset = build_dataset(stays, checkin_specs)
+    events = list(replay_events(dataset))
+    registrations = [e for e in events if e.kind == "register"]
+    trace = [e for e in events if e.kind != "register"]
+    # Sorting by (t + jitter) with |jitter| <= lateness/2 keeps every
+    # arrival within `lateness` of the running high-water mark.
+    rng = random.Random(seed)
+    jittered = sorted(
+        trace, key=lambda e: (e.t + rng.uniform(-lateness / 2, lateness / 2), e.kind)
+    )
+    config = ServeConfig(allowed_lateness_s=lateness)
+
+    in_order, in_summary = stream_run(dataset, registrations + trace, config)
+    shuffled, out_summary = stream_run(dataset, registrations + jittered, config)
+    assert verdict_records(shuffled) == verdict_records(in_order)
+    assert out_summary.summary() == in_summary.summary()

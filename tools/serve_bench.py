@@ -1,0 +1,102 @@
+"""Serving-bench driver: sustained ingest throughput and latency.
+
+Runs one complete serving session over a generated Primary study and
+prints one JSON record to stdout; ``benchmarks/test_serving.py`` (and
+anyone reproducing ``BENCH_serving.json`` by hand) composes runs from
+fresh invocations::
+
+    PYTHONPATH=src python tools/serve_bench.py --scale 0.15 --workers 1
+    PYTHONPATH=src python tools/serve_bench.py --scale 0.15 --workers 4
+
+The event stream is materialised before the clock starts, so the
+numbers measure the service (settlement scans, kernel calls, lane
+hand-off), not the generator.  Latency is what the *caller* of
+``ingest()`` observes per event: at ``--workers 1`` that includes any
+settlement work the event triggers; at higher worker counts ingest is
+an enqueue and the work overlaps, which is exactly the serving story
+the bench records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def percentile(sorted_values, fraction: float) -> float:
+    """Nearest-rank percentile of an ascending list."""
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run(args: argparse.Namespace) -> dict:
+    from repro.serve import ServeConfig, ValidationService
+    from repro.synth import generate_dataset, primary_config, replay_events
+
+    dataset = generate_dataset(primary_config().scaled(args.scale))
+    events = list(replay_events(dataset))
+    n_checkins = sum(1 for e in events if e.kind == "checkin")
+    n_gps = sum(1 for e in events if e.kind == "gps")
+
+    verdicts = 0
+
+    def sink(verdict):
+        nonlocal verdicts
+        verdicts += 1
+
+    service = ValidationService(
+        dataset.pois,
+        ServeConfig(),
+        name=dataset.name,
+        workers=args.workers,
+        sink=sink,
+    )
+    latencies = []
+    start = time.perf_counter()
+    for event in events:
+        t0 = time.perf_counter()
+        service.ingest(event)
+        latencies.append(time.perf_counter() - t0)
+    ingest_wall = time.perf_counter() - start
+    summary = service.finish()
+    total_wall = time.perf_counter() - start
+
+    latencies.sort()
+    return {
+        "scale": args.scale,
+        "workers": service.workers,
+        "users": summary.n_users,
+        "events": summary.n_events,
+        "checkins": n_checkins,
+        "gps": n_gps,
+        "verdicts": summary.n_verdicts,
+        "chunks": summary.n_chunks,
+        "ingest_wall_s": ingest_wall,
+        "total_wall_s": total_wall,
+        "events_per_s": summary.n_events / total_wall if total_wall else 0.0,
+        "checkins_per_s": n_checkins / total_wall if total_wall else 0.0,
+        "p50_ingest_ms": percentile(latencies, 0.50) * 1000.0,
+        "p99_ingest_ms": percentile(latencies, 0.99) * 1000.0,
+        "max_ingest_ms": percentile(latencies, 1.0) * 1000.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.15,
+                        help="Primary study population scale (default 0.15)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="ingest lanes (default 1 = inline)")
+    args = parser.parse_args(argv)
+    record = run(args)
+    json.dump(record, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
