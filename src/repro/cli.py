@@ -705,7 +705,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             events = list(events)
             print(f"wrote events: {write_events(args.dump_events, events)}")
 
-        verdict_file = open(args.verdicts, "w") if args.verdicts else None
+        # On --resume append: verdicts settled before the crash are
+        # already in the file, and the restored service only re-emits
+        # ones settled after the snapshot.  Truncating here would lose
+        # the pre-snapshot prefix permanently; consumers deduplicate by
+        # (user_id, seq), so appending keeps the stream exactly-once.
+        verdict_mode = "a" if args.resume else "w"
+        verdict_file = (
+            open(args.verdicts, verdict_mode) if args.verdicts else None
+        )
         sink = None
         if verdict_file is not None:
             def sink(verdict):

@@ -240,14 +240,18 @@ class StreamEngine:
             return []
         # Boundaries are monotone: if a later gap is sealed, every
         # earlier one is too, so the cutoff is the last sealed boundary.
+        # Under force everything seals — gaps included — so the cutoff
+        # is the final event time and no gate survives; the chunking
+        # below still splits the settled region at every gap.
         cutoff: Optional[float] = times[-1] if force else None
         next_gate = math.inf
-        for i in range(len(times) - 1):
-            if times[i + 1] - times[i] > horizon:
-                if force or watermark > times[i] + horizon:
-                    cutoff = times[i]
-                else:
-                    next_gate = min(next_gate, times[i] + horizon)
+        if not force:
+            for i in range(len(times) - 1):
+                if times[i + 1] - times[i] > horizon:
+                    if watermark > times[i] + horizon:
+                        cutoff = times[i]
+                    else:
+                        next_gate = min(next_gate, times[i] + horizon)
         state.gate_t = next_gate
         if cutoff is None:
             return []

@@ -62,9 +62,11 @@ def load_pickle_record(path: Path) -> Optional[Dict[str, Any]]:
         AttributeError,
         ImportError,
         IndexError,
-        MemoryError,
         ValueError,
     ):
+        # MemoryError is deliberately NOT swallowed: running out of
+        # memory while reading a snapshot is a resource problem, not a
+        # torn file, and silently recomputing from scratch would mask it.
         return None
     if not isinstance(record, dict):
         return None

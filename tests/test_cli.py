@@ -69,6 +69,30 @@ def test_recover_subcommand(capsys):
     assert "events_per_day" in out
 
 
+def test_serve_resume_appends_verdicts(tmp_path, capsys):
+    """--resume must append to --verdicts, never truncate: verdicts
+    settled before the snapshot exist only in the old file, and the
+    resumed service re-emits post-snapshot verdicts with identical
+    (user_id, seq), so dedup reconstructs the exact clean stream."""
+    ckpt = tmp_path / "ckpt"
+    verdicts = tmp_path / "verdicts.jsonl"
+    argv = ["serve", "--scale", "0.02", "--checkpoint-dir", str(ckpt),
+            "--checkpoint-every", "50", "--verdicts", str(verdicts)]
+    assert main(argv) == 0
+    capsys.readouterr()
+    first = verdicts.read_text(encoding="utf-8")
+    clean = {(v["user_id"], v["seq"]): v
+             for v in map(json.loads, first.splitlines())}
+    assert clean
+    assert main(argv + ["--resume"]) == 0
+    assert "resumed from snapshot" in capsys.readouterr().out
+    combined = verdicts.read_text(encoding="utf-8")
+    assert combined.startswith(first)
+    merged = {(v["user_id"], v["seq"]): v
+              for v in map(json.loads, combined.splitlines())}
+    assert merged == clean
+
+
 class TestObservabilityFlags:
     """--trace / --manifest / --no-obs / inspect, end to end on golden data."""
 

@@ -206,6 +206,34 @@ class TestLateness:
         with pytest.raises(ValueError, match="late"):
             service.ingest(gps_event("u0", 900.0, 0.0, 0.0))
 
+    def test_finalize_settles_tail_after_gap_under_large_lateness(self):
+        """Regression: with a lateness bound so large the watermark
+        never seals the gap before end of stream, finalize (force) must
+        still settle everything *after* the last gap.  The force path
+        once stopped the cutoff at the last gap boundary, silently
+        dropping all tail verdicts and leaving events pending forever."""
+        gap = 50_000.0
+        gps = (
+            stationary_gps(0.0, 0.0, 0.0, 600.0)
+            + stationary_gps(0.0, 0.0, gap, gap + 600.0)
+        )
+        checkins = [
+            make_checkin("c0", t=300.0, x=0.0, y=0.0),
+            make_checkin("c1", t=gap + 300.0, x=0.0, y=0.0),
+        ]
+        dataset = make_dataset(
+            [make_user("u0", gps=gps, checkins=checkins)], [make_poi()]
+        )
+        config = ServeConfig(allowed_lateness_s=100_000.0)
+        report, _, service, summary, _ = both_paths(dataset, config)
+        assert batch_labels_of(report) == {"c0": "honest", "c1": "honest"}
+        assert labels_of(service) == batch_labels_of(report)
+        assert summary.summary() == report.summary()
+        # Two chunks (split at the gap), and nothing left pending.
+        assert summary.n_chunks == 2
+        for state in service._states.values():
+            assert state.pending_count() == 0
+
     def test_out_of_order_within_bound_matches_batch(self):
         """A checkin arriving after later GPS (within the lateness
         bound) produces the same verdicts as the sorted batch trace."""
