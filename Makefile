@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test coverage faults bench bench-quick bench-scaling bench-scale bench-serving
+.PHONY: test coverage faults bench bench-quick bench-scaling bench-scale bench-serving bench-manet
 
 test:            ## tier-1 suite (fast; what CI gates on)
 	$(PYTHON) -m pytest -x -q
@@ -34,3 +34,6 @@ bench-scale:     ## out-of-core RSS record, quick + 100k tiers (BENCH_scale.json
 
 bench-serving:   ## streaming ingest throughput + p99 record (BENCH_serving.json)
 	$(PYTHON) -m pytest benchmarks/test_serving.py -q
+
+bench-manet:     ## MANET engine parity + throughput record (manet section of BENCH_runtime_scaling.json)
+	$(PYTHON) -m pytest benchmarks/test_manet_engines.py -q -s -m "not slow"

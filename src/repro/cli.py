@@ -58,6 +58,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from dataclasses import replace as dc_replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -99,7 +100,7 @@ from .experiments import (
     table2,
 )
 from .io import load_dataset, load_dataset_into_store, save_dataset
-from .manet import bench_config, paper_config
+from .manet import ENGINES as MANET_ENGINES, bench_config, paper_config
 from .store import DEFAULT_SEGMENT_USERS, StudyStore
 from .synth import (
     baseline_config,
@@ -456,6 +457,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--full",
         action="store_true",
         help="use the paper's 200-node, 100 km configuration (slow)",
+    )
+    man.add_argument(
+        "--engine",
+        choices=MANET_ENGINES,
+        default="auto",
+        help="MANET simulation engine (results are identical; scalar is "
+             "the slow parity reference)",
     )
     _add_workers_flag(man)
     _add_kernel_flag(man)
@@ -834,6 +842,7 @@ def _cmd_manet(args: argparse.Namespace) -> int:
         return err
     artifacts = _study_artifacts(args, ctx)
     config = paper_config() if args.full else bench_config()
+    config = dc_replace(config, engine=args.engine)
     with activate(ctx):
         result = figure8.run(artifacts, config)
     print(result.format_report())

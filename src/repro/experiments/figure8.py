@@ -83,12 +83,18 @@ class Figure8Result:
 
 
 def run(
-    artifacts: StudyArtifacts, config: Optional[ManetConfig] = None
+    artifacts: StudyArtifacts,
+    config: Optional[ManetConfig] = None,
+    engine: Optional[str] = None,
 ) -> Figure8Result:
-    """Fit the three models and simulate the MANET under each."""
+    """Fit the three models and simulate the MANET under each.
+
+    ``engine`` optionally overrides the simulation engine (results are
+    identical across engines; the knob exists for parity runs).
+    """
     config = config or bench_config()
     models = fit_three_models(
         artifacts.primary, artifacts.primary_report.matching.honest_checkins
     )
-    results = run_three_models(list(models), config)
+    results = run_three_models(list(models), config, engine=engine)
     return Figure8Result(results={r.name: r for r in results})

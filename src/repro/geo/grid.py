@@ -11,6 +11,15 @@ Two representations coexist: mutable per-cell Python buckets (inserts,
 NumPy coordinate arrays grouped cell by cell — that powers the batched
 :meth:`GridIndex.within_many`, which amortises per-query overhead when a
 caller needs candidates for many query points at once.
+
+Either representation can come first.  :meth:`GridIndex.from_columns`
+bulk-loads coordinate arrays straight into the columnar snapshot (one
+vectorised cell-sort, no per-point Python work) and defers building the
+Python buckets until a bucket API (``within``/``nearest``/iteration/
+mutation) is actually used — the MANET engine rebuilds an index from
+node positions every tick and only ever queries it through
+``within_many``, so the snapshot is loaded once and reused for all of
+the tick's queries.
 """
 
 from __future__ import annotations
@@ -53,13 +62,33 @@ class GridIndex(Generic[T]):
         self._gx_max = self._gy_max = -math.inf
         # Columnar snapshot for within_many; rebuilt lazily after writes.
         self._columns: "_Columns[T] | None" = None
+        # True after from_columns: buckets lag the snapshot and are
+        # materialised on first use of a bucket API.
+        self._cells_stale = False
 
     def __len__(self) -> int:
         return self._count
 
     def __iter__(self) -> Iterator[Tuple[float, float, T]]:
+        self._ensure_cells()
+        return self._iter_cells()
+
+    def _iter_cells(self) -> Iterator[Tuple[float, float, T]]:
         for bucket in self._cells.values():
             yield from bucket
+
+    def _ensure_cells(self) -> None:
+        """Materialise Python buckets from a columns-first bulk load."""
+        if not self._cells_stale:
+            return
+        cols = self._columns
+        assert cols is not None
+        spans = cols.spans  # may sort cols.x/y/items in place; read it first
+        xs = cols.x.tolist()
+        ys = cols.y.tolist()
+        for cell, (lo, hi) in spans.items():
+            self._cells[cell].extend(zip(xs[lo:hi], ys[lo:hi], cols.items[lo:hi]))
+        self._cells_stale = False
 
     def _cell_of(self, x: float, y: float) -> _Cell:
         return (math.floor(x / self.cell_size), math.floor(y / self.cell_size))
@@ -76,6 +105,7 @@ class GridIndex(Generic[T]):
 
     def insert(self, x: float, y: float, item: T) -> None:
         """Insert ``item`` at planar position (x, y) metres."""
+        self._ensure_cells()
         cell = self._cell_of(x, y)
         self._cells[cell].append((x, y, item))
         self._count += 1
@@ -88,6 +118,7 @@ class GridIndex(Generic[T]):
         Bulk path: cell coordinates are computed in one vectorised pass
         and buckets are extended per cell, not per point.
         """
+        self._ensure_cells()
         triples = points if isinstance(points, list) else list(points)
         if not triples:
             return
@@ -113,6 +144,7 @@ class GridIndex(Generic[T]):
         self._gx_min = self._gy_min = math.inf
         self._gx_max = self._gy_max = -math.inf
         self._columns = None
+        self._cells_stale = False
 
     def within(self, x: float, y: float, radius: float) -> List[Tuple[float, T]]:
         """All items within ``radius`` metres of (x, y), as (distance, item).
@@ -122,6 +154,7 @@ class GridIndex(Generic[T]):
         """
         if radius < 0:
             raise ValueError(f"radius must be non-negative, got {radius!r}")
+        self._ensure_cells()
         reach = math.ceil(radius / self.cell_size)
         cx, cy = self._cell_of(x, y)
         r2 = radius * radius
@@ -210,6 +243,7 @@ class GridIndex(Generic[T]):
         """
         if self._count == 0:
             return None
+        self._ensure_cells()
         cx, cy = self._cell_of(x, y)
         best: Tuple[float, T] | None = None
         ring = 0
@@ -251,23 +285,99 @@ class GridIndex(Generic[T]):
         index.extend(points)
         return index
 
+    @classmethod
+    def from_columns(
+        cls,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        items: Sequence[T],
+        cell_size: float,
+    ) -> "GridIndex[T]":
+        """Bulk-load an index from coordinate arrays.
+
+        Builds the columnar :meth:`within_many` snapshot directly — one
+        vectorised cell computation, no per-point Python work — and
+        defers materialising the per-cell Python buckets until a bucket
+        API (``within``, ``nearest``, iteration, or a mutation) is used.
+        Even the cell sort is deferred: the sub-:data:`_BRUTE_FORCE_MAX`
+        batched path scans every point regardless of grouping, so a
+        bulk-loaded index pays for sorting only if the span table or the
+        buckets are actually needed.
+        """
+        index: GridIndex[T] = cls(cell_size)
+        qx = np.asarray(xs, dtype=np.float64)
+        qy = np.asarray(ys, dtype=np.float64)
+        if qx.shape != qy.shape or qx.ndim != 1:
+            raise ValueError("from_columns takes two equal-length 1-d coordinate arrays")
+        n = qx.size
+        if len(items) != n:
+            raise ValueError(f"expected {n} items, got {len(items)}")
+        if n == 0:
+            return index
+        gx = np.floor(qx / index.cell_size).astype(np.int64)
+        gy = np.floor(qy / index.cell_size).astype(np.int64)
+        index._columns = _Columns(qx, qy, list(items), cells_xy=(gx, gy))
+        index._count = n
+        index._grow_bbox(int(gx.min()), int(gy.min()))
+        index._grow_bbox(int(gx.max()), int(gy.max()))
+        index._cells_stale = True
+        return index
+
 
 class _Columns(Generic[T]):
-    """Flat columnar snapshot of a grid: coordinates + items, cell-grouped."""
+    """Flat columnar snapshot of a grid: coordinates + items.
 
-    __slots__ = ("x", "y", "items", "spans")
+    Built from buckets the rows arrive cell-grouped with an eager span
+    table.  Built from a bulk :meth:`GridIndex.from_columns` load the
+    rows stay in caller order with their cell coordinates on the side;
+    the first :attr:`spans` access sorts rows by cell in place and
+    derives the span table then — the brute-force ``within_many`` path
+    reads only ``x``/``y``/``items`` and never triggers the sort.
+    """
+
+    __slots__ = ("x", "y", "items", "_spans", "_cells_xy")
 
     def __init__(
         self,
         x: np.ndarray,
         y: np.ndarray,
         items: List[T],
-        spans: Dict[_Cell, Tuple[int, int]],
+        spans: "Dict[_Cell, Tuple[int, int]] | None" = None,
+        cells_xy: "Tuple[np.ndarray, np.ndarray] | None" = None,
     ) -> None:
         self.x = x
         self.y = y
         self.items = items
-        self.spans = spans
+        self._spans = spans
+        self._cells_xy = cells_xy
+
+    @property
+    def spans(self) -> Dict[_Cell, Tuple[int, int]]:
+        """Cell -> (start, end) row range, sorting rows by cell on demand."""
+        if self._spans is None:
+            gx, gy = self._cells_xy
+            order = np.lexsort((gy, gx))
+            self.x = self.x[order]
+            self.y = self.y[order]
+            items = self.items
+            self.items = [items[i] for i in order.tolist()]
+            sgx = gx[order]
+            sgy = gy[order]
+            n = sgx.size
+            cut = np.flatnonzero((np.diff(sgx) != 0) | (np.diff(sgy) != 0)) + 1
+            starts = np.concatenate(([0], cut))
+            ends = np.concatenate((cut, [n]))
+            self._cells_xy = None
+            self._spans = {
+                (cx, cy): (lo, hi)
+                for cx, cy, lo, hi in zip(
+                    sgx[starts].tolist(),
+                    sgy[starts].tolist(),
+                    starts.tolist(),
+                    ends.tolist(),
+                )
+            }
+        return self._spans
 
     @classmethod
     def build(
@@ -287,4 +397,4 @@ class _Columns(Generic[T]):
                 pos += 1
             if pos > start:
                 spans[cell] = (start, pos)
-        return cls(x, y, items, spans)
+        return cls(x, y, items, spans=spans)

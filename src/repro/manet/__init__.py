@@ -1,7 +1,14 @@
 """Mobile ad hoc network simulator with AODV routing."""
 
 from .aodv import AodvNode, Outgoing
-from .config import ManetConfig, bench_config, paper_config
+from .config import (
+    ENGINES,
+    ManetConfig,
+    bench_config,
+    paper_config,
+    resolved_engine,
+    scaled_config,
+)
 from .engine import Simulator, make_cbr_pairs
 from .metrics import FlowStats, ManetResults, MetricsCollector
 from .packets import DataPacket, Rerr, Rrep, Rreq
@@ -11,6 +18,7 @@ from .runner import run_model, run_three_models
 __all__ = [
     "AodvNode",
     "DataPacket",
+    "ENGINES",
     "FlowStats",
     "ManetConfig",
     "ManetResults",
@@ -25,6 +33,8 @@ __all__ = [
     "bench_config",
     "make_cbr_pairs",
     "paper_config",
+    "resolved_engine",
     "run_model",
     "run_three_models",
+    "scaled_config",
 ]

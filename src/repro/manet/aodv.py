@@ -66,6 +66,27 @@ class AodvNode:
         self._pending: Dict[int, _PendingDiscovery] = {}
         self.outbox: List[Outgoing] = []
 
+    # -- engine interface ------------------------------------------------------
+
+    @property
+    def has_work(self) -> bool:
+        """True when :meth:`tick` housekeeping has any state to examine.
+
+        With no duplicate-RREQ memory and no pending discoveries a tick
+        is a no-op; the vectorized engine uses this to skip the call.
+        """
+        return bool(self._seen_rreqs or self._pending)
+
+    def drain_outbox(self) -> List[Outgoing]:
+        """Hand the queued transmissions to the engine and reset the box.
+
+        The engine drains every node once per tick; swapping the list
+        out (instead of copying and clearing) keeps the batch path
+        allocation-light.
+        """
+        out, self.outbox = self.outbox, []
+        return out
+
     # -- helpers -------------------------------------------------------------
 
     def _note_neighbor(self, neighbor: int, now: float) -> None:
@@ -108,7 +129,7 @@ class AodvNode:
             )
             self._pending[packet.dst] = pending
             pending.last_ttl = self._initial_ttl()
-            self._send_rreq(packet.dst, pending.pair_id, pending.last_ttl)
+            self._send_rreq(packet.dst, pending.pair_id, pending.last_ttl, now)
         if len(pending.packets) >= self.config.buffer_limit:
             self.metrics.data_dropped(packet.flow_id)
             return
@@ -134,7 +155,9 @@ class AodvNode:
             return min(self.config.rreq_ttl, max(last_ttl * 2, last_ttl + 2))
         return self.config.rreq_ttl
 
-    def _send_rreq(self, dest: int, pair_id: Optional[int], ttl: Optional[int] = None) -> None:
+    def _send_rreq(
+        self, dest: int, pair_id: Optional[int], ttl: Optional[int], now: float
+    ) -> None:
         self.seq += 1
         self._rreq_id += 1
         known = self.table.get(dest)
@@ -148,7 +171,12 @@ class AodvNode:
             ttl=self.config.rreq_ttl if ttl is None else ttl,
             pair_id=pair_id,
         )
-        self._seen_rreqs[rreq.key()] = 0.0  # suppress our own flood echo
+        # Suppress our own flood echo.  Recorded at the real send time:
+        # a timestamp of 0.0 would be purged once now > rreq_seen_ttl_s,
+        # after which the originator would re-process its own returning
+        # RREQ — rebroadcasting it and installing a bogus reverse route
+        # to itself.
+        self._seen_rreqs[rreq.key()] = now
         self._broadcast(rreq)
 
     def tick(self, now: float) -> None:
@@ -172,7 +200,7 @@ class AodvNode:
                     2**pending.retries
                 )
                 pending.last_ttl = self._next_ttl(pending.last_ttl)
-                self._send_rreq(dest, pending.pair_id, pending.last_ttl)
+                self._send_rreq(dest, pending.pair_id, pending.last_ttl, now)
             else:
                 for packet in pending.packets:
                     self.metrics.data_dropped(packet.flow_id)

@@ -11,9 +11,13 @@ numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, replace
 
 from ..geo import units
+
+#: Recognised simulation engines (``auto`` resolves to ``vectorized``).
+ENGINES = ("auto", "vectorized", "scalar")
 
 
 @dataclass(frozen=True)
@@ -53,6 +57,11 @@ class ManetConfig:
     ring_start_ttl: int = 2
     #: RNG seed for node placement and pair selection.
     seed: int = 1
+    #: Simulation engine: ``auto`` | ``vectorized`` | ``scalar``.  The
+    #: engines produce byte-identical results; the knob exists for
+    #: parity testing, benchmarking and fallback (mirroring
+    #: ``VisitConfig.kernel``).  ``auto`` picks the vectorized engine.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         if self.n_nodes < 2:
@@ -65,11 +74,20 @@ class ManetConfig:
             raise ValueError("time parameters must be positive")
         if self.radio_range_m <= 0 or self.arena_m <= 0:
             raise ValueError("geometry parameters must be positive")
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose one of {', '.join(ENGINES)}"
+            )
 
     @property
     def n_ticks(self) -> int:
         """Total simulation ticks."""
         return int(round(self.duration_s / self.dt_s))
+
+
+def resolved_engine(config: ManetConfig) -> str:
+    """The concrete engine ``config`` selects (``auto`` → vectorized)."""
+    return "scalar" if config.engine == "scalar" else "vectorized"
 
 
 def paper_config(seed: int = 1) -> ManetConfig:
@@ -88,4 +106,22 @@ def bench_config(seed: int = 1) -> ManetConfig:
         dt_s=1.0,
         cbr_interval_s=5.0,
         seed=seed,
+    )
+
+
+def scaled_config(n_nodes: int, seed: int = 1) -> ManetConfig:
+    """Bench-density configuration scaled to ``n_nodes``.
+
+    The arena edge grows as sqrt(n) (constant node density, so hop
+    counts and contention stay comparable) and the CBR pair count grows
+    linearly (constant per-node traffic load).  Used by the large-N
+    Figure 8 bench variants.
+    """
+    base = bench_config(seed)
+    factor = n_nodes / base.n_nodes
+    return replace(
+        base,
+        n_nodes=n_nodes,
+        arena_m=base.arena_m * math.sqrt(factor),
+        n_pairs=max(1, round(base.n_pairs * factor)),
     )

@@ -7,11 +7,31 @@ moved out of range, (3) runs per-node housekeeping, (4) lets CBR flows
 emit packets, (5) drains node outboxes into the next tick's air, and
 (6) samples every flow's route state for the availability and
 route-change metrics.
+
+Two engines implement the same tick, selected by ``ManetConfig.engine``
+(mirroring the ``VisitConfig.kernel`` convention):
+
+``scalar``
+    The reference implementation: per-node ``position_at`` calls, one
+    ``GridIndex.within`` query per broadcast, one ``_in_range`` check
+    per unicast.  Kept as the parity baseline.
+
+``vectorized`` (the ``auto`` default)
+    Columnar per-tick phases: node positions are interpolated in blocks
+    of ticks (one ``positions_at`` call per node per block), the grid
+    index is bulk-loaded from coordinate arrays on ticks whose air
+    contains broadcasts (:meth:`GridIndex.from_columns`, no per-point
+    Python work), all of a tick's broadcast neighbourhoods come from
+    one ``within_many`` batch, all unicast range checks from one NumPy
+    distance pass, and housekeeping/outbox draining only touch nodes
+    with protocol state.  Per-message delivery still walks the air in
+    order, so per-node receive sequences — and therefore results — are
+    byte-identical to the scalar engine.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -19,15 +39,32 @@ from ..geo import GridIndex
 from ..levy import NodeTrace
 from ..obs import current as obs_current
 from .aodv import AodvNode, Outgoing
-from .config import ManetConfig
+from .config import ManetConfig, resolved_engine
 from .metrics import ManetResults, MetricsCollector
 from .packets import DataPacket, Rerr, Rrep, Rreq
+
+#: Ticks of node positions interpolated per vectorized block.  Bounds
+#: the position buffer at ``2 * 8 * n_nodes * _POSITION_BLOCK_TICKS``
+#: bytes (8 MB at 1000 nodes) while amortising interpolation overhead.
+_POSITION_BLOCK_TICKS = 512
 
 
 def make_cbr_pairs(
     n_nodes: int, n_pairs: int, rng: np.random.Generator
 ) -> Dict[int, Tuple[int, int]]:
-    """Random distinct (src, dst) pairs, keyed by flow id."""
+    """Random distinct (src, dst) pairs, keyed by flow id.
+
+    Raises ``ValueError`` when more pairs are requested than distinct
+    ordered (src, dst) combinations exist — the rejection-sampling loop
+    below could never terminate otherwise.
+    """
+    if n_nodes < 2:
+        raise ValueError(f"need at least 2 nodes to form pairs, got {n_nodes}")
+    if n_pairs > n_nodes * (n_nodes - 1):
+        raise ValueError(
+            f"{n_pairs} pairs requested but only {n_nodes * (n_nodes - 1)} "
+            f"distinct (src, dst) combinations exist for {n_nodes} nodes"
+        )
     pairs: Dict[int, Tuple[int, int]] = {}
     used = set()
     flow_id = 0
@@ -69,10 +106,11 @@ class Simulator:
         ]
         self._air: List[Outgoing] = []
         self._positions = np.zeros((config.n_nodes, 2))
+        self._node_ids = list(range(config.n_nodes))
         self._last_route: Dict[int, Optional[tuple]] = {f: None for f in self.pairs}
         self._data_seq: Dict[int, int] = {f: 0 for f in self.pairs}
 
-    # -- per-tick phases ---------------------------------------------------
+    # -- per-tick phases (scalar reference) --------------------------------
 
     def _update_positions(self, now: float) -> GridIndex:
         index: GridIndex = GridIndex(cell_size=self.config.radio_range_m)
@@ -115,26 +153,28 @@ class Simulator:
             # Stagger flows so discoveries do not synchronise artificially.
             if (tick + flow_id) % period_ticks != 0:
                 continue
-            self._data_seq[flow_id] += 1
-            packet = DataPacket(
-                flow_id=flow_id,
-                src=src,
-                dst=dst,
-                seq=self._data_seq[flow_id],
-                created_tick=tick,
-            )
-            self.metrics.data_sent(flow_id)
-            self.nodes[src].originate_data(packet, now)
+            self._emit_packet(flow_id, src, dst, tick, now)
+
+    def _emit_packet(self, flow_id: int, src: int, dst: int, tick: int, now: float) -> None:
+        self._data_seq[flow_id] += 1
+        packet = DataPacket(
+            flow_id=flow_id,
+            src=src,
+            dst=dst,
+            seq=self._data_seq[flow_id],
+            created_tick=tick,
+        )
+        self.metrics.data_sent(flow_id)
+        self.nodes[src].originate_data(packet, now)
 
     def _drain_outboxes(self) -> None:
         for node in self.nodes:
             if not node.outbox:
                 continue
-            for message in node.outbox:
+            for message in node.drain_outbox():
                 if isinstance(message.payload, (Rreq, Rrep, Rerr)):
                     self.metrics.count_control(message.payload.pair_id)
                 self._air.append(message)
-            node.outbox.clear()
 
     def _sample_routes(self, now: float) -> None:
         for flow_id, (src, dst) in self.pairs.items():
@@ -144,11 +184,175 @@ class Simulator:
             self._last_route[flow_id] = route
             self.metrics.sample_route(flow_id, available=route is not None, changed=changed)
 
+    # -- per-tick phases (vectorized) --------------------------------------
+
+    def _deliver_vectorized(
+        self, xs: np.ndarray, ys: np.ndarray, now: float, touched: Set[int]
+    ) -> None:
+        """Batched delivery: precompute all neighbourhoods and range
+        checks for the tick's air, then dispatch in air order.
+
+        The in-order dispatch is what preserves parity: a node receiving
+        from message *k* and then message *k + 1* sees the same sequence
+        as under the scalar engine, so its outbox (and the next tick's
+        air) is identical.  The spatial index is built here, and only on
+        ticks whose air actually contains broadcasts — unicast checks
+        read the coordinate arrays directly, and in sparse networks most
+        ticks carry no traffic at all.
+        """
+        air, self._air = self._air, []
+        if not air:
+            return
+        nodes = self.nodes
+        broadcast_idx = [k for k, m in enumerate(air) if m.to is None]
+        unicast_idx = [k for k, m in enumerate(air) if m.to is not None]
+        neighbor_hits: Dict[int, List[Tuple[float, int]]] = {}
+        if broadcast_idx:
+            index: GridIndex = GridIndex.from_columns(
+                xs, ys, self._node_ids, cell_size=self.config.radio_range_m
+            )
+            senders = np.fromiter(
+                (air[k].sender for k in broadcast_idx),
+                dtype=np.intp,
+                count=len(broadcast_idx),
+            )
+            hits = index.within_many(
+                xs[senders], ys[senders], self.config.radio_range_m
+            )
+            neighbor_hits = dict(zip(broadcast_idx, hits))
+        in_range: Dict[int, bool] = {}
+        if unicast_idx:
+            sidx = np.fromiter(
+                (air[k].sender for k in unicast_idx),
+                dtype=np.intp,
+                count=len(unicast_idx),
+            )
+            tidx = np.fromiter(
+                (air[k].to for k in unicast_idx),
+                dtype=np.intp,
+                count=len(unicast_idx),
+            )
+            dx = xs[sidx] - xs[tidx]
+            dy = ys[sidx] - ys[tidx]
+            ok = (dx * dx + dy * dy) <= self.config.radio_range_m**2
+            in_range = dict(zip(unicast_idx, ok.tolist()))
+        for k, message in enumerate(air):
+            sender = message.sender
+            if message.to is None:
+                for _, node_id in neighbor_hits[k]:
+                    if node_id != sender:
+                        nodes[node_id].receive(message.payload, sender, now)
+                        touched.add(node_id)
+            elif in_range[k]:
+                nodes[message.to].receive(message.payload, sender, now)
+                touched.add(message.to)
+            else:
+                nodes[sender].on_unicast_failed(message.payload, message.to, now)
+                touched.add(sender)
+
+    def _drain_touched(self, touched: Set[int]) -> None:
+        """Drain outboxes of the tick's active nodes, in node-id order.
+
+        Every outbox-filling path (delivery, failed-unicast feedback,
+        housekeeping retries, traffic origination) records the node in
+        ``touched``, and the previous tick left all outboxes empty — so
+        the sorted walk visits exactly the nodes the scalar full scan
+        would find non-empty, in the same order.
+        """
+        metrics = self.metrics
+        air = self._air
+        for node_id in sorted(touched):
+            node = self.nodes[node_id]
+            if not node.outbox:
+                continue
+            for message in node.drain_outbox():
+                if isinstance(message.payload, (Rreq, Rrep, Rerr)):
+                    metrics.count_control(message.payload.pair_id)
+                air.append(message)
+
+    def _run_vectorized(self) -> None:
+        config = self.config
+        n_nodes = config.n_nodes
+        dt = config.dt_s
+        nodes = self.nodes
+        period_ticks = max(1, int(round(config.cbr_interval_s / dt)))
+        # Flows bucketed by firing phase: tick t emits exactly the flows
+        # with (t + flow_id) % period == 0 — i.e. those whose phase
+        # (-flow_id) % period equals t % period — in pairs order.
+        schedule: List[List[Tuple[int, int, int]]] = [[] for _ in range(period_ticks)]
+        for flow_id, (src, dst) in self.pairs.items():
+            schedule[(-flow_id) % period_ticks].append((flow_id, src, dst))
+        flow_items = [(f, s, d) for f, (s, d) in self.pairs.items()]
+        last_route = self._last_route
+        sample_route = self.metrics.sample_route
+        # Nodes that may have housekeeping state (pending discoveries or
+        # duplicate-RREQ memory).  Protocol state only appears through
+        # engine-visible events — a receive, a failed unicast, or a
+        # traffic origination — so the set grows exactly at those points
+        # and a node drops out once its state drains.  Everyone else's
+        # tick() is a no-op the scalar engine performs and this one skips.
+        busy: Set[int] = set()
+        block_x = block_y = None
+        block_start = block_end = 0
+        for tick in range(config.n_ticks):
+            now = tick * dt
+            # (1) Columnar position update: one positions_at call per
+            # node per block of ticks, sliced per tick.
+            if tick >= block_end:
+                block_start = tick
+                block_end = min(tick + _POSITION_BLOCK_TICKS, config.n_ticks)
+                ts = np.arange(block_start, block_end, dtype=np.float64) * dt
+                block_x = np.empty((block_end - block_start, n_nodes))
+                block_y = np.empty_like(block_x)
+                for i, trace in enumerate(self.traces):
+                    block_x[:, i], block_y[:, i] = trace.positions_at(ts)
+            row = tick - block_start
+            xs = block_x[row]
+            ys = block_y[row]
+            touched: Set[int] = set()
+            # (2)+(3) Batched delivery over the tick's air.
+            self._deliver_vectorized(xs, ys, now, touched)
+            # Housekeeping over nodes that may hold protocol state, in
+            # node-id order like the scalar full scan.
+            busy |= touched
+            for node_id in sorted(busy):
+                node = nodes[node_id]
+                if node.has_work:
+                    node.tick(now)
+                    touched.add(node_id)
+                else:
+                    busy.discard(node_id)
+            # (4) Traffic emission straight from the phase schedule.
+            for flow_id, src, dst in schedule[tick % period_ticks]:
+                self._emit_packet(flow_id, src, dst, tick, now)
+                touched.add(src)
+                busy.add(src)
+            self._drain_touched(touched)
+            # (5) Route sampling: one pass over the prebuilt flow list.
+            for flow_id, src, dst in flow_items:
+                route = nodes[src].has_route(dst, now)
+                changed = route != last_route[flow_id]
+                last_route[flow_id] = route
+                sample_route(flow_id, available=route is not None, changed=changed)
+
+    def _run_scalar(self) -> None:
+        config = self.config
+        for tick in range(config.n_ticks):
+            now = tick * config.dt_s
+            index = self._update_positions(now)
+            self._deliver(index, now)
+            for node in self.nodes:
+                node.tick(now)
+            self._emit_traffic(tick, now)
+            self._drain_outboxes()
+            self._sample_routes(now)
+
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> ManetResults:
         """Run the simulation to completion and return per-flow metrics."""
         config = self.config
+        engine = resolved_engine(config)
         obs = obs_current()
         with obs.span(
             "manet.run",
@@ -156,16 +360,12 @@ class Simulator:
             nodes=config.n_nodes,
             pairs=len(self.pairs),
             ticks=config.n_ticks,
+            engine=engine,
         ):
-            for tick in range(config.n_ticks):
-                now = tick * config.dt_s
-                index = self._update_positions(now)
-                self._deliver(index, now)
-                for node in self.nodes:
-                    node.tick(now)
-                self._emit_traffic(tick, now)
-                self._drain_outboxes()
-                self._sample_routes(now)
+            if engine == "vectorized":
+                self._run_vectorized()
+            else:
+                self._run_scalar()
         obs.count("manet.runs_total", 1)
         obs.count("manet.ticks_total", config.n_ticks)
         obs.count("manet.control_packets_total", self.metrics.total_control)

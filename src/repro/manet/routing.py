@@ -68,7 +68,14 @@ class RoutingTable:
         """Install or improve a route (RFC 3561 §6.2 update rules).
 
         A new route wins when its sequence number is fresher, or equal
-        with a shorter hop count, or when the existing entry is unusable.
+        with a shorter hop count, or when the existing entry is unusable
+        and the advert is at least as fresh as the entry's (possibly
+        invalidation-bumped) sequence number.  An advert *older* than an
+        invalidated entry's sequence must not resurrect it: the bump
+        exists precisely to fence off pre-breakage state, and accepting
+        the stale next hop under the newer number enables routing loops.
+        Accepted adverts are recorded under their own sequence number —
+        never a higher one the route was not learned under.
         Returns True when the table changed.
         """
         entry = self._entries.get(dest)
@@ -85,13 +92,13 @@ class RoutingTable:
         better = (
             dest_seq > entry.dest_seq
             or (dest_seq == entry.dest_seq and hop_count < entry.hop_count)
-            or not entry.is_usable(now)
+            or (not entry.is_usable(now) and dest_seq >= entry.dest_seq)
         )
         if not better:
             return False
         entry.next_hop = next_hop
         entry.hop_count = hop_count
-        entry.dest_seq = max(entry.dest_seq, dest_seq)
+        entry.dest_seq = dest_seq
         entry.expires_at = expires
         entry.valid = True
         return True

@@ -7,6 +7,7 @@ GPS-, honest-checkin- and all-checkin-trained mobility.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -22,8 +23,16 @@ def run_model(
     config: ManetConfig,
     seed: Optional[int] = None,
     pairs: Optional[Dict[int, Tuple[int, int]]] = None,
+    engine: Optional[str] = None,
 ) -> ManetResults:
-    """Generate mobility from ``model`` and simulate AODV over it."""
+    """Generate mobility from ``model`` and simulate AODV over it.
+
+    ``engine`` overrides ``config.engine`` when given; both engines
+    produce identical results, so the knob only matters for parity
+    testing and benchmarks.
+    """
+    if engine is not None:
+        config = replace(config, engine=engine)
     rng = np.random.default_rng(config.seed if seed is None else seed)
     traces = generate_fleet(
         model, config.n_nodes, config.arena_m, config.duration_s, rng
@@ -36,6 +45,7 @@ def run_three_models(
     models: Sequence[LevyWalkModel],
     config: ManetConfig,
     seed: Optional[int] = None,
+    engine: Optional[str] = None,
 ) -> List[ManetResults]:
     """Simulate several mobility models under identical traffic.
 
@@ -45,6 +55,12 @@ def run_three_models(
     rng = np.random.default_rng(config.seed if seed is None else seed)
     pairs = make_cbr_pairs(config.n_nodes, config.n_pairs, rng)
     return [
-        run_model(model, config, seed=(config.seed if seed is None else seed) + i, pairs=pairs)
+        run_model(
+            model,
+            config,
+            seed=(config.seed if seed is None else seed) + i,
+            pairs=pairs,
+            engine=engine,
+        )
         for i, model in enumerate(models)
     ]

@@ -10,6 +10,7 @@ import pytest
 
 from repro.experiments import figure8
 from repro.manet import bench_config
+from repro.obs import fidelity
 
 
 @pytest.fixture(scope="module")
@@ -57,6 +58,24 @@ def test_flows_carried_traffic(result):
     for manet in result.results.values():
         delivered = sum(f.data_delivered for f in manet.flows)
         assert delivered > 0
+
+
+def test_headline_within_fidelity_bands(result):
+    """Post-fix Figure 8 ratios stay inside the paper's registry bands.
+
+    Pins the simulation's qualitative behaviour after the AODV protocol
+    fixes (own-RREQ suppression timestamp, stale-sequence resurrection):
+    the headline ratios must not drift past the registry's fail
+    tolerances, whichever engine produced them.
+    """
+    stats = result.headline()
+    assert stats, "headline produced no figure8 statistics"
+    card = fidelity.evaluate(stats)
+    for name in stats:
+        entry = card.entry(name)
+        assert entry.status in ("pass", "warn"), (
+            f"{name}: reproduced={entry.reproduced} status={entry.status}"
+        )
 
 
 def test_format(result):

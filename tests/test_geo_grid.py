@@ -204,3 +204,75 @@ def test_nearest_ring_bound_after_spread_inserts():
     index.clear()
     index.insert(7, 7, "only")
     assert index.nearest(500, 500)[1] == "only"
+
+
+class TestFromColumns:
+    """Bulk columnar load: same answers as the bucket-first path."""
+
+    def test_matches_from_points(self, rng):
+        points = rng.uniform(-800, 800, size=(300, 2))
+        triples = [(float(x), float(y), i) for i, (x, y) in enumerate(points)]
+        bucket = GridIndex.from_points(triples, cell_size=90.0)
+        columnar = GridIndex.from_columns(
+            points[:, 0], points[:, 1], list(range(300)), cell_size=90.0
+        )
+        assert len(columnar) == len(bucket) == 300
+        qx = [float(v) for v in rng.uniform(-900, 900, size=20)]
+        qy = [float(v) for v in rng.uniform(-900, 900, size=20)]
+        for a, b in zip(
+            columnar.within_many(qx, qy, 200.0), bucket.within_many(qx, qy, 200.0)
+        ):
+            assert sorted(a) == sorted(b)
+        for x, y in zip(qx, qy):
+            assert sorted(columnar.within(x, y, 200.0)) == sorted(
+                bucket.within(x, y, 200.0)
+            )
+            assert columnar.nearest(x, y) == bucket.nearest(x, y)
+
+    def test_iteration_after_bulk_load(self):
+        index = GridIndex.from_columns(
+            [0.0, 10.0, 20.0], [0.0, 0.0, 0.0], ["a", "b", "c"], cell_size=5.0
+        )
+        assert sorted(item for _, _, item in index) == ["a", "b", "c"]
+
+    def test_mutation_after_bulk_load(self):
+        index = GridIndex.from_columns([0.0], [0.0], ["a"], cell_size=50.0)
+        index.insert(10.0, 0.0, "b")
+        assert len(index) == 2
+        found = {i for q in index.within_many([0.0], [0.0], 50.0) for _, i in q}
+        assert found == {"a", "b"}
+        index.clear()
+        assert len(index) == 0
+        assert index.within_many([0.0], [0.0], 50.0) == [[]]
+
+    def test_empty_and_invalid_inputs(self):
+        index = GridIndex.from_columns([], [], [], cell_size=10.0)
+        assert len(index) == 0
+        assert index.within_many([0.0], [0.0], 5.0) == [[]]
+        assert index.nearest(0.0, 0.0) is None
+        with pytest.raises(ValueError, match="equal-length"):
+            GridIndex.from_columns([0.0, 1.0], [0.0], [1, 2], cell_size=10.0)
+        with pytest.raises(ValueError, match="items"):
+            GridIndex.from_columns([0.0, 1.0], [0.0, 1.0], [1], cell_size=10.0)
+
+    def test_cell_gather_path_after_bulk_load(self, rng):
+        # Above the brute-force cutoff the lazily built span table backs
+        # the batched query; answers must match per-query within().
+        from repro.geo.grid import _BRUTE_FORCE_MAX
+
+        n = _BRUTE_FORCE_MAX + 50
+        points = rng.uniform(0, 5000, size=(n, 2))
+        index = GridIndex.from_columns(
+            points[:, 0], points[:, 1], list(range(n)), cell_size=150.0
+        )
+        qx = [float(v) for v in rng.uniform(0, 5000, size=6)]
+        qy = [float(v) for v in rng.uniform(0, 5000, size=6)]
+        for x, y, got in zip(qx, qy, index.within_many(qx, qy, 350.0)):
+            assert sorted(got) == sorted(index.within(x, y, 350.0))
+
+    def test_nearest_ring_bound_after_bulk_load(self):
+        index = GridIndex.from_columns(
+            [-2000.0, 1000.0], [-2000.0, 500.0], ["sw", "e"], cell_size=10.0
+        )
+        assert index.nearest(0, 0)[1] == "e"
+        assert index.nearest(-1990, -1990)[1] == "sw"

@@ -91,6 +91,38 @@ class TestRouteDiscovery:
         node.receive(rreq, sender=0, now=0.0)
         assert not [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
 
+    def test_own_rreq_echo_suppressed_after_seen_ttl_epoch(self, config, metrics):
+        """A node must not re-process the echo of its own flood.
+
+        Regression: ``_send_rreq`` used to record the suppression entry
+        with timestamp 0.0, so any RREQ sent after ``rreq_seen_ttl_s``
+        of simulated time had its entry purged on the next ``tick()``
+        housekeeping pass — the originator then re-broadcast its own
+        returning RREQ and installed a bogus reverse route to itself.
+        """
+        node = make_node(0, config, metrics)
+        late = config.rreq_seen_ttl_s + 70.0  # well past the seen TTL
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.originate_data(packet, now=late)
+        [sent] = [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+        node.outbox.clear()
+        node.tick(now=late + 1.0)  # housekeeping must keep the fresh entry
+        node.outbox.clear()
+        # The flood's echo returns two hops later via neighbor 1.
+        node.receive(sent.forwarded().forwarded(), sender=1, now=late + 2.0)
+        assert not [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+        assert node.table.get(0) is None  # no reverse route to ourselves
+
+    def test_own_rreq_suppression_expires_with_real_timestamp(self, config, metrics):
+        node = make_node(0, config, metrics)
+        packet = DataPacket(flow_id=0, src=0, dst=4, seq=1, created_tick=0)
+        node.originate_data(packet, now=5.0)
+        [sent] = [p for p in outbox_payloads(node) if isinstance(p, Rreq)]
+        assert sent.key() in node._seen_rreqs
+        assert node._seen_rreqs[sent.key()] == 5.0
+        node.tick(now=5.0 + config.rreq_seen_ttl_s + 1.5)
+        assert sent.key() not in node._seen_rreqs
+
     def test_intermediate_with_fresh_route_replies(self, config, metrics):
         node = make_node(2, config, metrics)
         node.table.update(4, next_hop=3, hop_count=1, dest_seq=7, now=0.0)

@@ -1,6 +1,8 @@
 """MANET engine + AODV integration on controlled topologies."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.levy import NodeTrace, Waypoint
 from repro.manet import ManetConfig, Simulator, make_cbr_pairs
@@ -128,6 +130,47 @@ class TestEngineValidation:
         assert len(set(pairs.values())) == 20
         for src, dst in pairs.values():
             assert src != dst
+
+    def test_make_cbr_pairs_rejects_impossible_request(self):
+        """Regression: the rejection-sampling loop used to never return."""
+        with pytest.raises(ValueError, match="combinations"):
+            make_cbr_pairs(3, 7, np.random.default_rng(0))
+        with pytest.raises(ValueError, match="2 nodes"):
+            make_cbr_pairs(1, 1, np.random.default_rng(0))
+
+    def test_make_cbr_pairs_exhaustive_request_terminates(self):
+        # Exactly every ordered pair: the hardest satisfiable case.
+        pairs = make_cbr_pairs(4, 12, np.random.default_rng(7))
+        assert sorted(pairs.values()) == sorted(
+            (s, d) for s in range(4) for d in range(4) if s != d
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        n_nodes=st.integers(min_value=2, max_value=6),
+        n_pairs=st.integers(min_value=1, max_value=40),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    def test_make_cbr_pairs_terminates_or_raises(self, n_nodes, n_pairs, seed):
+        """Every (n_nodes, n_pairs) request either satisfies or raises."""
+        rng = np.random.default_rng(seed)
+        limit = n_nodes * (n_nodes - 1)
+        if n_pairs > limit:
+            with pytest.raises(ValueError):
+                make_cbr_pairs(n_nodes, n_pairs, rng)
+            return
+        pairs = make_cbr_pairs(n_nodes, n_pairs, rng)
+        assert len(pairs) == n_pairs
+        assert len(set(pairs.values())) == n_pairs
+        assert sorted(pairs) == list(range(n_pairs))
+        for src, dst in pairs.values():
+            assert 0 <= src < n_nodes and 0 <= dst < n_nodes and src != dst
+
+    def test_config_validates_pair_bound(self):
+        with pytest.raises(ValueError, match="combinations"):
+            ManetConfig(n_nodes=3, n_pairs=7)
+        # The boundary itself is legal.
+        ManetConfig(n_nodes=3, n_pairs=6)
 
     def test_config_validation(self):
         with pytest.raises(ValueError):

@@ -58,11 +58,61 @@ def test_equal_seq_longer_path_rejected(table):
     assert not table.update(5, 2, 4, 3, now=0.0)
 
 
-def test_unusable_entry_always_replaceable(table):
+def test_unusable_entry_replaceable_by_equal_or_fresher_seq(table):
     table.update(5, 1, 2, 10, now=0.0)
-    table.invalidate(5)
-    assert table.update(5, 2, 3, 4, now=1.0)  # lower seq but old route invalid
+    table.invalidate(5)  # bumps dest_seq to 11
+    assert table.update(5, 2, 3, 11, now=1.0)  # matches the bumped seq
     assert table.usable(5, now=1.0) is not None
+    assert table.get(5).next_hop == 2
+
+
+def test_invalidated_entry_rejects_stale_sequence(table):
+    """RFC 3561 §6.2: an invalidation-bumped seq fences off older adverts.
+
+    Before the fix, any advert overrode an unusable entry and ``max()``
+    re-labelled the stale next hop with the newer sequence number —
+    resurrecting pre-breakage state under a fresh seq (a loop enabler).
+    """
+    table.update(5, 1, 2, 10, now=0.0)
+    table.invalidate(5)  # dest_seq -> 11
+    assert not table.update(5, 2, 3, 4, now=1.0)  # stale advert: rejected
+    assert table.usable(5, now=1.0) is None
+    entry = table.get(5)
+    assert entry.next_hop == 1  # untouched
+    assert entry.dest_seq == 11  # bump preserved, not re-labelled
+
+
+def test_invalidate_then_stale_rrep_not_resurrected(table):
+    """The invalidate-then-stale-RREP sequence that motivated the fix."""
+    table.update(7, 3, 2, 8, now=0.0)
+    table.invalidate(7)  # link broke; seq bumped to 9
+    # A delayed RREP carrying the pre-breakage seq arrives via the old
+    # next hop: it must not re-validate the broken route.
+    assert not table.update(7, 3, 2, 8, now=2.0)
+    assert table.usable(7, now=2.0) is None
+    # A genuinely fresh RREP does win, and is recorded under its own seq.
+    assert table.update(7, 4, 3, 9, now=3.0)
+    entry = table.usable(7, now=3.0)
+    assert entry is not None
+    assert entry.next_hop == 4
+    assert entry.dest_seq == 9
+
+
+def test_expired_entry_replaceable_at_same_seq(table):
+    table.update(5, 1, 2, 3, now=0.0)
+    assert table.usable(5, now=200.0) is None  # expired, still valid
+    assert table.update(5, 2, 4, 3, now=200.0)  # same seq revives it
+    assert table.usable(5, now=200.0).next_hop == 2
+
+
+def test_update_never_advertises_unlearned_seq(table):
+    """The stored seq is the advert's own, not max(old, new)."""
+    table.update(5, 1, 2, 10, now=0.0)
+    table.invalidate(5)  # 11
+    table.update(5, 2, 1, 11, now=1.0)
+    assert table.get(5).dest_seq == 11
+    table.update(5, 3, 1, 15, now=2.0)
+    assert table.get(5).dest_seq == 15
 
 
 def test_invalidate_bumps_sequence(table):
