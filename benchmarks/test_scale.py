@@ -10,10 +10,14 @@ Quick tier (CI): a 10k-user scalegen study.  Asserts the disk and
 in-memory paths produce identical matching totals, that the disk path's
 peak RSS stays within a fixed allowance (interpreter + numpy baseline)
 plus a small multiple of one segment's GPS payload, and that it
-undercuts the in-memory peak outright.  Slow tier: the 100k-user study
-from the acceptance criteria, disk path only at full trace length.
-Both tiers persist their numbers into ``BENCH_scale.json`` at the repo
-root so later PRs inherit the trajectory.
+undercuts the in-memory peak outright.  The pipelined phase
+(``--inflight-segments``) must match the serial totals, stay within the
+serial bound plus its in-flight window, and — on hosts with enough
+CPUs — beat serial wall-clock.  Slow tier: the 100k-user study from
+the acceptance criteria, serial and pipelined, disk path only at full
+trace length.  Both tiers persist their numbers into
+``BENCH_scale.json`` at the repo root so later PRs inherit the
+trajectory.
 """
 
 from __future__ import annotations
@@ -25,6 +29,8 @@ import sys
 from pathlib import Path
 
 import pytest
+
+from repro.runtime import available_workers
 
 REPO = Path(__file__).resolve().parents[1]
 DRIVER = REPO / "tools" / "scale_bench.py"
@@ -41,6 +47,14 @@ RSS_SEGMENT_MULTIPLE = 8
 
 QUICK = dict(users=10_000, segment_users=500, points_per_user=144)
 SLOW = dict(users=100_000, segment_users=1_000, points_per_user=288)
+
+#: Pipelined-phase knobs (quick tier) and its speedup floor (ISSUE 9).
+QUICK_PIPE = dict(workers=2, inflight_segments=3)
+QUICK_MIN_SPEEDUP = 1.3
+
+#: Slow-tier pipelined knobs and the acceptance floor vs same-run serial.
+SLOW_PIPE = dict(workers=4, inflight_segments=5)
+SLOW_MIN_SPEEDUP = 2.5
 
 
 def run_phase(mode: str, store_dir: Path, **flags) -> dict:
@@ -82,25 +96,31 @@ class TestQuickScale:
         store_dir = tmp_path_factory.mktemp("scale") / "store"
         generate = run_phase("generate", store_dir, **QUICK)
         disk = run_phase("validate-disk", store_dir)
+        pipelined = run_phase("validate-disk", store_dir, **QUICK_PIPE)
         memory = run_phase("validate-memory", store_dir)
         merge_bench({
             "quick": {
                 "params": QUICK,
                 "generate": generate,
                 "validate_disk": disk,
+                "validate_disk_pipelined": {
+                    "knobs": QUICK_PIPE,
+                    "host_cpus": available_workers(),
+                    **pipelined,
+                },
                 "validate_memory": memory,
             }
         })
-        return generate, disk, memory
+        return generate, disk, pipelined, memory
 
     def test_disk_and_memory_agree(self, runs):
-        _, disk, memory = runs
+        _, disk, _, memory = runs
         assert matching_totals(disk) == matching_totals(memory)
         assert disk["users"] == QUICK["users"]
         assert disk["segments"] == QUICK["users"] // QUICK["segment_users"]
 
     def test_disk_rss_is_bounded_by_segment_size(self, runs):
-        _, disk, _ = runs
+        _, disk, _, _ = runs
         bound = BASELINE_KB + RSS_SEGMENT_MULTIPLE * segment_payload_kb(QUICK)
         assert disk["peak_rss_kb"] < bound, (
             f"disk-store peak RSS {disk['peak_rss_kb']} KiB exceeds "
@@ -108,15 +128,56 @@ class TestQuickScale:
         )
 
     def test_disk_rss_undercuts_in_memory(self, runs):
-        _, disk, memory = runs
+        _, disk, _, memory = runs
         # At 10k users the in-memory dataset alone dwarfs a segment;
         # 0.75 absorbs host-to-host baseline jitter (measured ~0.31).
         assert disk["peak_rss_kb"] < 0.75 * memory["peak_rss_kb"]
 
     def test_generation_rss_is_bounded_too(self, runs):
-        generate, _, _ = runs
+        generate, _, _, _ = runs
         bound = BASELINE_KB + RSS_SEGMENT_MULTIPLE * segment_payload_kb(QUICK)
         assert generate["peak_rss_kb"] < bound
+
+    def test_pipelined_matches_serial_totals(self, runs):
+        _, disk, pipelined, _ = runs
+        assert matching_totals(pipelined) == matching_totals(disk)
+        assert pipelined["segments"] == disk["segments"]
+
+    def test_pipelined_rss_bounded_by_inflight_window(self, runs):
+        _, _, pipelined, _ = runs
+        # Serial allowance plus the in-flight window: each in-flight
+        # segment pins its mmap pages and, transiently, a pickled copy
+        # of its shard payloads in the executor queues — hence 2x per
+        # window slot.  Still O(inflight x segment), never the study.
+        multiple = RSS_SEGMENT_MULTIPLE + 2 * QUICK_PIPE["inflight_segments"]
+        bound = BASELINE_KB + multiple * segment_payload_kb(QUICK)
+        assert pipelined["peak_rss_kb"] < bound, (
+            f"pipelined peak RSS {pipelined['peak_rss_kb']} KiB exceeds "
+            f"{bound} KiB (baseline + {multiple}x segment)"
+        )
+
+    def test_pipelined_beats_serial_wall_clock(self, runs):
+        _, disk, pipelined, _ = runs
+        speedup = (
+            disk["wall_s"] / pipelined["wall_s"]
+            if pipelined["wall_s"] > 0 else 0.0
+        )
+        print(
+            f"\nquick disk serial {disk['wall_s']:.2f}s, pipelined "
+            f"{pipelined['wall_s']:.2f}s ({speedup:.2f}x on "
+            f"{available_workers()} CPU(s))"
+        )
+        if available_workers() >= QUICK_PIPE["workers"]:
+            assert speedup >= QUICK_MIN_SPEEDUP, (
+                f"expected >= {QUICK_MIN_SPEEDUP}x pipelined speedup at "
+                f"{QUICK_PIPE['workers']} workers on "
+                f"{available_workers()} CPUs, measured {speedup:.2f}x"
+            )
+        else:
+            print(
+                f"speedup assertion skipped: {available_workers()} usable "
+                f"CPU(s) < {QUICK_PIPE['workers']} workers"
+            )
 
 
 @pytest.mark.slow
@@ -128,11 +189,17 @@ class TestHundredKScale:
         generate = run_phase("generate", store_dir, **SLOW)
         assert generate["users"] == SLOW["users"]
         disk = run_phase("validate-disk", store_dir)
+        pipelined = run_phase("validate-disk", store_dir, **SLOW_PIPE)
         merge_bench({
             "slow_100k": {
                 "params": SLOW,
                 "generate": generate,
                 "validate_disk": disk,
+                "validate_disk_pipelined": {
+                    "knobs": SLOW_PIPE,
+                    "host_cpus": available_workers(),
+                    **pipelined,
+                },
             }
         })
         assert disk["users"] == SLOW["users"]
@@ -142,3 +209,35 @@ class TestHundredKScale:
             f"100k-user disk validate peaked at {disk['peak_rss_kb']} KiB; "
             f"bound is {bound} KiB — RSS is growing with the study again"
         )
+        # Pipelined acceptance: identical totals, bounded by the serial
+        # allowance plus the in-flight window (2x per slot: mmap pages
+        # plus the transient pickled shard copy in executor queues),
+        # and (with enough CPUs) the wall-clock floor over the
+        # same-run serial pass.
+        assert matching_totals(pipelined) == matching_totals(disk)
+        multiple = RSS_SEGMENT_MULTIPLE + 2 * SLOW_PIPE["inflight_segments"]
+        pipe_bound = BASELINE_KB + multiple * segment_payload_kb(SLOW)
+        assert pipelined["peak_rss_kb"] < pipe_bound, (
+            f"pipelined 100k validate peaked at {pipelined['peak_rss_kb']} "
+            f"KiB; bound is {pipe_bound} KiB (baseline + {multiple}x segment)"
+        )
+        speedup = (
+            disk["wall_s"] / pipelined["wall_s"]
+            if pipelined["wall_s"] > 0 else 0.0
+        )
+        print(
+            f"\n100k disk serial {disk['wall_s']:.2f}s, pipelined "
+            f"{pipelined['wall_s']:.2f}s ({speedup:.2f}x on "
+            f"{available_workers()} CPU(s))"
+        )
+        if available_workers() >= SLOW_PIPE["workers"]:
+            assert speedup >= SLOW_MIN_SPEEDUP, (
+                f"expected >= {SLOW_MIN_SPEEDUP}x pipelined speedup at "
+                f"{SLOW_PIPE['workers']} workers on "
+                f"{available_workers()} CPUs, measured {speedup:.2f}x"
+            )
+        else:
+            print(
+                f"speedup assertion skipped: {available_workers()} usable "
+                f"CPU(s) < {SLOW_PIPE['workers']} workers"
+            )

@@ -171,6 +171,33 @@ def _lateness_seconds(value: str) -> float:
     return seconds
 
 
+def _inflight_segments(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def _positive_int(value: str) -> int:
+    count = int(value)
+    if count < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {count}")
+    return count
+
+
+def _add_inflight_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--inflight-segments",
+        type=_inflight_segments,
+        default=None,
+        metavar="N",
+        help="pipeline up to N segments concurrently (prefetch + parallel "
+             "compute + in-order reduce; memory grows by N × segment). "
+             "Default: 1 for serial runs, sized from --workers otherwise. "
+             "Output is byte-identical at any value",
+    )
+
+
 def _add_store_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--store",
@@ -179,6 +206,7 @@ def _add_store_flags(parser: argparse.ArgumentParser) -> None:
         help="disk: stream the study through an on-disk segment store, "
              "one segment at a time — bounded memory, byte-identical output",
     )
+    _add_inflight_flag(parser)
     parser.add_argument(
         "--segment-users",
         type=_segment_users,
@@ -393,6 +421,8 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=f"users per segment with --store disk (default {DEFAULT_SEGMENT_USERS})",
     )
+    _add_workers_flag(gen)
+    _add_inflight_flag(gen)
 
     val = sub.add_parser("validate", help="run the checkin-validity pipeline")
     val.add_argument("--data", help="dataset directory written by 'generate'")
@@ -400,6 +430,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="generate a Primary dataset at this scale instead")
     val.add_argument("--timings", action="store_true",
                      help="print the per-stage runtime breakdown")
+    val.add_argument("--quiet", action="store_true",
+                     help="suppress the live segment progress line "
+                          "(--store disk; it is TTY-only regardless)")
     _add_workers_flag(val)
     _add_kernel_flag(val)
     _add_store_flags(val)
@@ -464,6 +497,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="MANET simulation engine (results are identical; scalar is "
              "the slow parity reference)",
+    )
+    man.add_argument(
+        "--seeds",
+        type=_positive_int,
+        default=1,
+        help="repeat the simulation under N consecutive MANET seeds and "
+             "report mean ± band for each Figure 8 ratio (default: 1)",
     )
     _add_workers_flag(man)
     _add_kernel_flag(man)
@@ -536,12 +576,17 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.store != "disk" and args.inflight_segments is not None:
+        print("--inflight-segments pipelines store segments; it needs "
+              "--store disk", file=sys.stderr)
+        return 2
     preset = primary_config if args.dataset == "primary" else baseline_config
     config = preset() if args.seed is None else preset(seed=args.seed)
     config = config.scaled(args.scale)
     if args.store == "disk":
         store = generate_study_store(
-            config, args.out, segment_users=args.segment_users
+            config, args.out, segment_users=args.segment_users,
+            workers=args.workers, inflight_segments=args.inflight_segments,
         )
         print(
             f"wrote {store.name} store: {store.n_users} users, "
@@ -602,10 +647,19 @@ def _cmd_validate_disk(args, ctx, resilience, fault_plan) -> int:
                 extra = {"scale": args.scale}
             extra["extract.kernel"] = resolved_kernel(visit_config)
             extra["store"] = {"mode": "disk", **store.segment_summary()}
+            # Progress is cosmetic and stderr-only: suppressed when the
+            # stream is not a terminal (logs, CI) or under --quiet.
+            progress = (
+                sys.stderr
+                if sys.stderr.isatty() and not args.quiet
+                else None
+            )
             summary = validate_store(
                 store, visit_config=visit_config, workers=args.workers,
                 resilience=resilience, fault_plan=fault_plan,
                 checkpoints=args.checkpoint_dir,
+                inflight_segments=args.inflight_segments,
+                progress=progress,
             )
         print(summary.summary())
         if summary.health.recovered or summary.health.degraded:
@@ -636,6 +690,10 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         return err
     if args.store == "disk":
         return _cmd_validate_disk(args, ctx, resilience, fault_plan)
+    if args.inflight_segments is not None:
+        print("--inflight-segments pipelines store segments; it needs "
+              "--store disk", file=sys.stderr)
+        return 2
     seeds = {}
     visit_config = _visit_config(args)
     with activate(ctx):
@@ -844,7 +902,10 @@ def _cmd_manet(args: argparse.Namespace) -> int:
     config = paper_config() if args.full else bench_config()
     config = dc_replace(config, engine=args.engine)
     with activate(ctx):
-        result = figure8.run(artifacts, config)
+        if args.seeds > 1:
+            result = figure8.run_multi(artifacts, config, seeds=args.seeds)
+        else:
+            result = figure8.run(artifacts, config)
     print(result.format_report())
     _write_study_artifacts(
         args, ctx, "manet", artifacts,

@@ -14,21 +14,28 @@ in-memory path.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional, Sequence, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, TextIO, Tuple, Union
 
 from ..model import CheckinType, Dataset, UserData
-from ..obs import activate, config_hash
+from ..obs import ObsContext, activate, config_hash, thread_activate
 from ..obs import current as obs_current
 from ..runtime import (
+    DegradedResult,
+    ResilienceConfig,
     RunHealth,
     RuntimeTimings,
     StreamMerger,
+    available_workers,
     resolve_executor,
+    run_pipelined,
     shard_count,
     shard_segment,
 )
+from ..runtime.errors import RuntimeConfigError
+from ..runtime.faults import inject
 from ..store import CheckpointStore, SegmentEntry, StudyStore
 from .classify import ClassificationResult, ClassifyConfig, classify_dataset
 from .matching import MatchConfig, MatchingResult, match_dataset
@@ -338,6 +345,241 @@ def _segment_results(
     return matching, classification
 
 
+class _SegmentProgress:
+    """Rate-limited segment progress line for long out-of-core runs.
+
+    Rendered with a carriage return so the line updates in place;
+    :meth:`close` finishes it with a newline.  Purely cosmetic — it
+    writes to the given stream (normally stderr) and never touches the
+    run's results or metrics.
+    """
+
+    #: Minimum seconds between renders (the last segment always renders).
+    INTERVAL_S = 0.5
+
+    def __init__(self, stream: TextIO, n_segments: int, n_users: int) -> None:
+        self.stream = stream
+        self.n_segments = n_segments
+        self.n_users = n_users
+        self.done_segments = 0
+        self.done_users = 0
+        self.reused = 0
+        self._t0 = time.monotonic()
+        self._last_render = 0.0
+        self._wrote = False
+
+    def update(self, n_users: int, reused: bool) -> None:
+        """Record one finished segment; render when the interval elapsed."""
+        self.done_segments += 1
+        self.done_users += n_users
+        if reused:
+            self.reused += 1
+        now = time.monotonic()
+        if (
+            now - self._last_render >= self.INTERVAL_S
+            or self.done_segments == self.n_segments
+        ):
+            self._last_render = now
+            self._render(now)
+
+    @staticmethod
+    def _eta(seconds: float) -> str:
+        minutes, secs = divmod(int(seconds), 60)
+        hours, minutes = divmod(minutes, 60)
+        if hours:
+            return f"{hours}:{minutes:02d}:{secs:02d}"
+        return f"{minutes}:{secs:02d}"
+
+    def _render(self, now: float) -> None:
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.done_users / elapsed
+        remaining = max(self.n_users - self.done_users, 0)
+        eta_s = remaining / rate if rate > 0 else 0.0
+        line = (
+            f"segments {self.done_segments}/{self.n_segments}"
+            f"  users {self.done_users}/{self.n_users}"
+            f"  {rate:,.0f} users/s"
+            f"  ETA {self._eta(eta_s)}"
+            f"  reused {self.reused}"
+        )
+        self.stream.write("\r" + line.ljust(79))
+        self.stream.flush()
+        self._wrote = True
+
+    def close(self) -> None:
+        """Terminate the in-place line (no-op if nothing was rendered)."""
+        if self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+def _resolve_inflight(
+    inflight_segments: Optional[int],
+    workers: Optional[int],
+    executor,
+    n_segments: int,
+) -> int:
+    """How many segments may be in flight (loaded or computing) at once.
+
+    ``1`` is the serial streaming loop.  The default sizes the window
+    from the worker count — enough segments to hide load latency and
+    stage-boundary pool idling, capped so memory stays a small multiple
+    of one segment.  An explicit ``executor`` cannot be shared across
+    concurrent segments (the resilience layer rebuilds pools on crash,
+    which would cancel sibling segments' shards), so it forces the
+    serial loop unless the caller explicitly asks for more.
+    """
+    if inflight_segments is not None:
+        if inflight_segments < 1:
+            raise ValueError(
+                f"inflight_segments must be >= 1, got {inflight_segments}"
+            )
+        if executor is not None and inflight_segments > 1:
+            raise RuntimeConfigError(
+                "an explicit executor cannot be shared across in-flight "
+                "segments; pass workers= instead"
+            )
+        return min(inflight_segments, max(n_segments, 1))
+    if executor is not None or workers is None or workers == 1:
+        return 1
+    effective = workers if workers > 0 else available_workers()
+    return max(1, min(n_segments, min(effective, 4) + 1))
+
+
+def _load_segment_resilient(
+    store: StudyStore,
+    entry: SegmentEntry,
+    pois,
+    resilience: Optional[ResilienceConfig],
+    fault_plan,
+) -> Tuple[Optional[Dataset], int, Optional[DegradedResult]]:
+    """Load one segment as a segment-granular resilient work unit.
+
+    Faults scripted at stage ``"segment.load"`` (with ``shard_id`` as
+    the segment id) fire here, before the actual read.  With
+    ``resilience`` armed, failed loads retry with the same deterministic
+    backoff as shards; a load that keeps failing follows the policy —
+    ``skip_and_report`` returns a :class:`DegradedResult` covering the
+    whole segment instead of raising.  Returns
+    ``(dataset_or_None, retries, degraded_or_None)``.
+    """
+    attempt = 1
+    max_attempts = resilience.max_attempts if resilience is not None else 1
+    while True:
+        try:
+            fault = (
+                fault_plan.lookup("segment.load", entry.segment_id, attempt)
+                if fault_plan is not None
+                else None
+            )
+            if fault is not None:
+                inject(fault, allow_exit=False)
+            return store.load_segment(entry, pois=pois), attempt - 1, None
+        except Exception as exc:
+            if resilience is None or resilience.on_failure == "fail_fast":
+                raise
+            if attempt < max_attempts:
+                backoff = resilience.backoff_s(attempt)
+                if backoff:
+                    time.sleep(backoff)
+                attempt += 1
+                continue
+            if resilience.on_failure == "skip_and_report":
+                return None, attempt - 1, DegradedResult(
+                    stage="segment.load",
+                    shard_id=entry.segment_id,
+                    user_ids=entry.user_ids,
+                    attempts=attempt,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            raise
+
+
+class _StoreAggregate:
+    """Reduce-side accumulator shared by the serial and pipelined paths.
+
+    Segments are always folded in manifest order, so both paths build
+    identical aggregates — and the summary, fingerprint, and report
+    derived from them are byte-identical.
+    """
+
+    def __init__(self, keep_results: bool) -> None:
+        self.keep_results = keep_results
+        self.n_honest = 0
+        self.n_extraneous = 0
+        self.n_missing = 0
+        self.segments_reused = 0
+        self.type_counts: Dict[CheckinType, int] = {kind: 0 for kind in CheckinType}
+        self.visit_counts: Dict[str, int] = {}
+        self.merger: StreamMerger = StreamMerger()
+        self.labels: Dict[str, CheckinType] = {}
+        self.checkins: Dict = {}
+        self.users: Dict[str, UserData] = {}
+
+    def add_segment(
+        self,
+        entry: SegmentEntry,
+        per_user_matching: Dict,
+        seg_labels: Dict,
+        seg_checkins: Dict,
+        seg_visits: Dict,
+        seg_users: Optional[Dict[str, UserData]],
+    ) -> None:
+        for user_matching in per_user_matching.values():
+            self.n_honest += len(user_matching.matches)
+            self.n_extraneous += len(user_matching.extraneous)
+            self.n_missing += len(user_matching.missing)
+        for label in seg_labels.values():
+            self.type_counts[label] += 1
+        for user_id in entry.user_ids:
+            visits = seg_visits.get(user_id)
+            self.visit_counts[user_id] = -1 if visits is None else len(visits)
+        if self.keep_results:
+            self.merger.absorb(per_user_matching)
+            self.labels.update(seg_labels)
+            self.checkins.update(seg_checkins)
+            if seg_users is not None:
+                self.users.update(seg_users)
+
+    @property
+    def n_checkins(self) -> int:
+        return self.n_honest + self.n_extraneous
+
+    @property
+    def n_visits(self) -> int:
+        return self.n_honest + self.n_missing
+
+    def set_headline_gauges(self, ctx, health: RunHealth) -> None:
+        """Same gauges as `validate`, from the same integers: the
+        divisions see identical operands, so the floats match."""
+        ctx.set_gauge(
+            "matching.extraneous_fraction",
+            self.n_extraneous / self.n_checkins if self.n_checkins else 0.0,
+        )
+        ctx.set_gauge(
+            "matching.missing_fraction",
+            1.0 - (self.n_honest / self.n_visits if self.n_visits else 0.0),
+        )
+        if health.degraded:
+            ctx.set_gauge("pipeline.degraded", 1.0)
+
+
+def _checkpoint_payload(
+    per_user_matching: Dict,
+    seg_labels: Dict,
+    seg_checkins: Dict,
+    seg_visits: Dict,
+    deltas: Dict[str, int],
+) -> Dict[str, Any]:
+    return {
+        "matching": per_user_matching,
+        "labels": seg_labels,
+        "checkins": seg_checkins,
+        "visits": seg_visits,
+        "counters": deltas,
+    }
+
+
 def validate_store(
     store: StudyStore,
     visit_config: Optional[VisitConfig] = None,
@@ -351,27 +593,50 @@ def validate_store(
     health: Optional[RunHealth] = None,
     checkpoints: Optional[Union[CheckpointStore, str, Path]] = None,
     keep_results: bool = False,
+    inflight_segments: Optional[int] = None,
+    progress: Optional[TextIO] = None,
 ) -> Union[ValidationSummary, ValidationReport]:
-    """Run the validation pipeline over a study store, one segment at a time.
+    """Run the validation pipeline over a study store, segment by segment.
 
     Each segment is loaded (GPS traces as mmap-backed views), pushed
     through extraction → matching → classification with the usual
     executor/resilience machinery, reduced into running aggregates, and
-    dropped before the next segment loads — peak memory is bounded by
-    the largest segment regardless of study size.
+    dropped — peak memory is bounded by segments in flight, not study
+    size.
 
-    Per-user computation is deterministic and segments partition the
-    user set in dataset order, so the aggregates — and therefore the
-    summary text, the semantic counters and gauges, and the dataset
-    fingerprint built from ``visit_counts`` — are byte-identical to
-    ``validate(store.load_dataset())`` at any worker count.
+    ``inflight_segments`` > 1 turns on the **pipelined scheduler**
+    (:func:`repro.runtime.run_pipelined`): a prefetch thread loads and
+    checkpoint-probes up to that many segments ahead while lane threads
+    run the three stages of different segments concurrently, each lane
+    on its own executor, and the reducer folds results strictly in
+    manifest order.  The default is ``1`` (the serial streaming loop)
+    for serial runs, or sized from ``workers`` for parallel ones.  Peak
+    RSS is bounded by ``baseline + inflight × largest segment``.
+
+    Per-user computation is deterministic, segments partition the user
+    set in dataset order, and reduction happens in manifest order at any
+    ``inflight_segments``/worker count — so the summary text, semantic
+    counters and gauges, dataset fingerprint, and checkpoint files are
+    byte-identical to ``validate(store.load_dataset())`` and to the
+    serial streaming loop.
 
     ``checkpoints`` (a :class:`repro.store.CheckpointStore` or a
     directory path) arms per-segment crash recovery: finished segments
     persist their results keyed by the pipeline config hash and the
     segment's content fingerprints, and a restarted run replays them
     (including their counter deltas, when observability was on) instead
-    of recomputing.
+    of recomputing.  Checkpoint writes stay atomic under concurrency.
+
+    ``resilience`` additionally covers the segment *load* as its own
+    work unit: failed loads retry with deterministic backoff, and under
+    ``skip_and_report`` a segment whose load keeps failing is recorded
+    on ``health`` (its users surface as skipped) instead of aborting.
+    :class:`repro.runtime.FaultSpec` entries may target stage
+    ``"segment.load"`` (``shard_id`` = segment id) and may scope any
+    fault to one segment via their ``segment`` field.
+
+    ``progress`` (a text stream, normally stderr) renders a rate-limited
+    segments/users/ETA line after each reduced segment.
 
     ``keep_results=False`` (the default, the out-of-core mode) returns a
     :class:`ValidationSummary`; ``keep_results=True`` materialises every
@@ -383,22 +648,37 @@ def validate_store(
     match_config = match_config or MatchConfig()
     classify_config = classify_config or ClassifyConfig()
     ctx = obs if obs is not None else obs_current()
-    exec_, owned = resolve_executor(executor, workers)
-    timings = RuntimeTimings()
     if health is None:
         health = RunHealth()
     if checkpoints is not None and not isinstance(checkpoints, CheckpointStore):
         checkpoints = CheckpointStore(checkpoints)
     checkpoint_key = config_hash(visit_config, match_config, classify_config)
+    inflight = _resolve_inflight(
+        inflight_segments, workers, executor, len(store.segments)
+    )
+    # With a fault plan but no explicit resilience config, segment loads
+    # run under the default policy — mirroring run_stage's convention.
+    load_resilience = resilience
+    if load_resilience is None and fault_plan is not None:
+        load_resilience = ResilienceConfig()
 
-    n_honest = n_extraneous = n_missing = segments_reused = 0
-    type_counts: Dict[CheckinType, int] = {kind: 0 for kind in CheckinType}
-    visit_counts: Dict[str, int] = {}
-    matching_merger: StreamMerger = StreamMerger()
-    all_labels: Dict[str, CheckinType] = {}
-    all_checkins: Dict = {}
-    all_users: Dict[str, UserData] = {}
+    agg = _StoreAggregate(keep_results)
+    timings = RuntimeTimings()
+    prog = (
+        _SegmentProgress(progress, len(store.segments), store.n_users)
+        if progress is not None
+        else None
+    )
 
+    if inflight > 1:
+        return _validate_store_pipelined(
+            store, visit_config, match_config, classify_config, workers,
+            ctx, resilience, load_resilience, fault_plan, health,
+            checkpoints, checkpoint_key, keep_results, inflight, agg,
+            timings, prog,
+        )
+
+    exec_, owned = resolve_executor(executor, workers)
     try:
         with activate(ctx), ctx.span(
             "pipeline.validate",
@@ -407,11 +687,17 @@ def validate_store(
             workers=exec_.workers,
             segments=len(store.segments),
         ):
+            ctx.set_gauge("store.inflight_segments", float(inflight))
             pois = store.load_pois()
             for entry in store.segments:
                 payload = (
                     checkpoints.load(entry, checkpoint_key)
                     if checkpoints is not None
+                    else None
+                )
+                seg_plan = (
+                    fault_plan.for_segment(entry.segment_id)
+                    if fault_plan is not None
                     else None
                 )
                 with ctx.span(
@@ -421,7 +707,7 @@ def validate_store(
                     reused=payload is not None,
                 ):
                     if payload is not None:
-                        segments_reused += 1
+                        agg.segments_reused += 1
                         ctx.count("store.segments_reused", 1)
                         for name, delta in payload["counters"].items():
                             ctx.count(name, delta)
@@ -435,16 +721,41 @@ def validate_store(
                             for user_id, data in seg_dataset.users.items():
                                 data.visits = seg_visits[user_id]
                     else:
+                        # Load first: load-level retry/skip counters must
+                        # land *before* the checkpoint-delta snapshot so
+                        # recovery noise never pollutes checkpoint bytes.
+                        seg_dataset, load_retries, degraded = (
+                            _load_segment_resilient(
+                                store, entry, pois, load_resilience, seg_plan
+                            )
+                        )
+                        if load_retries:
+                            health.retries += load_retries
+                            ctx.count("runtime.shard_retries", load_retries)
+                        if degraded is not None:
+                            health.skipped.append(degraded)
+                            ctx.count("runtime.shards_skipped", 1)
+                            per_user_matching = {}
+                            seg_labels = {}
+                            seg_checkins = {}
+                            seg_visits = {}
+                            ctx.count("store.segments_total", 1)
+                            agg.add_segment(
+                                entry, per_user_matching, seg_labels,
+                                seg_checkins, seg_visits, None,
+                            )
+                            if prog is not None:
+                                prog.update(entry.n_users, reused=False)
+                            continue
                         before = (
                             dict(ctx.metrics.snapshot()["counters"])
                             if ctx.enabled
                             else {}
                         )
-                        seg_dataset = store.load_segment(entry, pois=pois)
                         matching, classification = _segment_results(
                             entry, seg_dataset, visit_config, match_config,
                             classify_config, exec_, timings, resilience,
-                            fault_plan, health,
+                            seg_plan, health,
                         )
                         per_user_matching = matching.per_user
                         seg_labels = classification.labels
@@ -470,57 +781,288 @@ def validate_store(
                             checkpoints.save(
                                 entry,
                                 checkpoint_key,
-                                {
-                                    "matching": per_user_matching,
-                                    "labels": seg_labels,
-                                    "checkins": seg_checkins,
-                                    "visits": seg_visits,
-                                    "counters": deltas,
-                                },
+                                _checkpoint_payload(
+                                    per_user_matching, seg_labels,
+                                    seg_checkins, seg_visits, deltas,
+                                ),
                             )
                     ctx.count("store.segments_total", 1)
                 # Reduce this segment into the running aggregates; the
                 # segment's data is dropped before the next one loads.
-                for user_matching in per_user_matching.values():
-                    n_honest += len(user_matching.matches)
-                    n_extraneous += len(user_matching.extraneous)
-                    n_missing += len(user_matching.missing)
-                for label in seg_labels.values():
-                    type_counts[label] += 1
-                for user_id in entry.user_ids:
-                    visits = seg_visits.get(user_id)
-                    visit_counts[user_id] = -1 if visits is None else len(visits)
-                if keep_results:
-                    matching_merger.absorb(per_user_matching)
-                    all_labels.update(seg_labels)
-                    all_checkins.update(seg_checkins)
-                    all_users.update(seg_dataset.users)
+                agg.add_segment(
+                    entry, per_user_matching, seg_labels, seg_checkins,
+                    seg_visits,
+                    seg_dataset.users if seg_dataset is not None else None,
+                )
+                if prog is not None:
+                    prog.update(entry.n_users, reused=payload is not None)
             ctx.count("pipeline.runs_total", 1)
-            # Same gauges as `validate`, from the same integers: the
-            # divisions see identical operands, so the floats match.
-            n_checkins = n_honest + n_extraneous
-            n_visits = n_honest + n_missing
-            ctx.set_gauge(
-                "matching.extraneous_fraction",
-                n_extraneous / n_checkins if n_checkins else 0.0,
-            )
-            ctx.set_gauge(
-                "matching.missing_fraction",
-                1.0 - (n_honest / n_visits if n_visits else 0.0),
-            )
-            if health.degraded:
-                ctx.set_gauge("pipeline.degraded", 1.0)
+            agg.set_headline_gauges(ctx, health)
     finally:
         if owned:
             exec_.close()
+        if prog is not None:
+            prog.close()
+    return _store_result(
+        store, agg, match_config, classify_config, timings, health,
+        keep_results,
+    )
+
+
+def _validate_store_pipelined(
+    store: StudyStore,
+    visit_config: VisitConfig,
+    match_config: MatchConfig,
+    classify_config: ClassifyConfig,
+    workers: Optional[int],
+    ctx,
+    resilience,
+    load_resilience,
+    fault_plan,
+    health: RunHealth,
+    checkpoints: Optional[CheckpointStore],
+    checkpoint_key: str,
+    keep_results: bool,
+    inflight: int,
+    agg: _StoreAggregate,
+    timings: RuntimeTimings,
+    prog: Optional[_SegmentProgress],
+) -> Union[ValidationSummary, ValidationReport]:
+    """The pipelined scheduler behind ``validate_store(inflight > 1)``.
+
+    Prefetch thread: checkpoint probe + mmap load, up to ``inflight``
+    segments ahead.  Lane threads: the three pipeline stages, each lane
+    on its own executor (full requested width, so shard layout — and
+    therefore every per-segment counter — matches the serial loop
+    exactly) under a private obs context activated thread-locally.
+    Reducer (this thread): folds outcomes in manifest order — absorbs
+    the segment's obs delta, writes its checkpoint, merges health and
+    timings, updates aggregates — so everything downstream is
+    byte-identical to the serial loop.
+    """
+    # Two lanes hide one segment's stage-boundary pool idling behind the
+    # other's compute; more lanes add process pressure, not throughput.
+    lanes = max(1, min(2, inflight, len(store.segments)))
+    lane_execs = [resolve_executor(None, workers)[0] for _ in range(lanes)]
+    pois = store.load_pois()
+
+    def seg_plan_for(entry: SegmentEntry):
+        return (
+            fault_plan.for_segment(entry.segment_id)
+            if fault_plan is not None
+            else None
+        )
+
+    def load(index: int, entry: SegmentEntry):
+        payload = (
+            checkpoints.load(entry, checkpoint_key)
+            if checkpoints is not None
+            else None
+        )
+        if payload is not None:
+            seg_dataset = None
+            if keep_results:
+                seg_dataset = store.load_segment(entry, pois=pois)
+                for user_id, data in seg_dataset.users.items():
+                    data.visits = payload["visits"][user_id]
+            return ("reused", payload, seg_dataset)
+        seg_dataset, load_retries, degraded = _load_segment_resilient(
+            store, entry, pois, load_resilience, seg_plan_for(entry)
+        )
+        return ("fresh", seg_dataset, load_retries, degraded)
+
+    def compute(index: int, entry: SegmentEntry, loaded, lane_id: int):
+        if loaded[0] == "reused":
+            return {"reused": True, "payload": loaded[1], "dataset": loaded[2]}
+        _, seg_dataset, load_retries, degraded = loaded
+        outcome: Dict[str, Any] = {
+            "reused": False,
+            "load_retries": load_retries,
+            "degraded_load": degraded,
+            "delta": None,
+            "base_s": 0.0,
+        }
+        if degraded is not None:
+            outcome.update(
+                matching={}, labels={}, checkins={}, visits={}, users=None,
+                timings=RuntimeTimings(), health=RunHealth(),
+            )
+            return outcome
+        seg_timings = RuntimeTimings()
+        seg_health = RunHealth()
+        outcome["timings"] = seg_timings
+        outcome["health"] = seg_health
+        exec_ = lane_execs[lane_id]
+        seg_plan = seg_plan_for(entry)
+
+        def run_stages():
+            return _segment_results(
+                entry, seg_dataset, visit_config, match_config,
+                classify_config, exec_, seg_timings, resilience,
+                seg_plan, seg_health,
+            )
+
+        if ctx.enabled:
+            # A private context per segment: the parent context is not
+            # thread-safe, and a fresh one gives the reducer a clean
+            # counter delta — exactly what the serial loop measures
+            # between its before/after snapshots.
+            seg_ctx = ObsContext(profile=ctx.profile_enabled)
+            outcome["base_s"] = ctx.clock()
+            with thread_activate(seg_ctx), seg_ctx.span(
+                "store.segment",
+                segment=entry.segment_id,
+                users=entry.n_users,
+                reused=False,
+            ):
+                matching, classification = run_stages()
+            outcome["delta"] = seg_ctx.delta()
+        else:
+            matching, classification = run_stages()
+        outcome["matching"] = matching.per_user
+        outcome["labels"] = classification.labels
+        outcome["checkins"] = classification.checkins
+        outcome["visits"] = {
+            user_id: data.visits for user_id, data in seg_dataset.users.items()
+        }
+        outcome["users"] = seg_dataset.users if keep_results else None
+        return outcome
+
+    try:
+        with activate(ctx), ctx.span(
+            "pipeline.validate",
+            dataset=store.name,
+            users=store.n_users,
+            workers=lane_execs[0].workers,
+            segments=len(store.segments),
+        ) as pipeline_span:
+            ctx.set_gauge("store.inflight_segments", float(inflight))
+
+            def reduce(index: int, entry: SegmentEntry, outcome) -> None:
+                if outcome["reused"]:
+                    with ctx.span(
+                        "store.segment",
+                        segment=entry.segment_id,
+                        users=entry.n_users,
+                        reused=True,
+                    ):
+                        agg.segments_reused += 1
+                        ctx.count("store.segments_reused", 1)
+                        for name, delta in outcome["payload"]["counters"].items():
+                            ctx.count(name, delta)
+                        ctx.count("store.segments_total", 1)
+                    payload = outcome["payload"]
+                    seg_users = (
+                        outcome["dataset"].users
+                        if outcome["dataset"] is not None
+                        else None
+                    )
+                    agg.add_segment(
+                        entry, payload["matching"], payload["labels"],
+                        payload["checkins"], payload["visits"], seg_users,
+                    )
+                else:
+                    # Load-level recovery lands before the checkpoint
+                    # snapshot, same as the serial loop.
+                    if outcome["load_retries"]:
+                        health.retries += outcome["load_retries"]
+                        ctx.count(
+                            "runtime.shard_retries", outcome["load_retries"]
+                        )
+                    degraded = outcome["degraded_load"]
+                    if degraded is not None:
+                        health.skipped.append(degraded)
+                        ctx.count("runtime.shards_skipped", 1)
+                    seg_health = outcome["health"]
+                    health.retries += seg_health.retries
+                    health.timeouts += seg_health.timeouts
+                    health.pool_rebuilds += seg_health.pool_rebuilds
+                    health.serial_fallbacks += seg_health.serial_fallbacks
+                    health.skipped.extend(seg_health.skipped)
+                    timings.stages.extend(outcome["timings"].stages)
+                    save = checkpoints is not None and degraded is None
+                    before = (
+                        dict(ctx.metrics.snapshot()["counters"])
+                        if ctx.enabled and save
+                        else {}
+                    )
+                    if save:
+                        seg_counters = (
+                            outcome["delta"]["metrics"]["counters"]
+                            if outcome["delta"] is not None
+                            else {}
+                        )
+                        # Identical bytes to the serial loop's
+                        # before/after rule: a segment counter survives
+                        # if it is new or changed the cumulative value.
+                        deltas = {
+                            name: value
+                            for name, value in seg_counters.items()
+                            if name not in before or value != 0
+                        }
+                        checkpoints.save(
+                            entry,
+                            checkpoint_key,
+                            _checkpoint_payload(
+                                outcome["matching"], outcome["labels"],
+                                outcome["checkins"], outcome["visits"],
+                                deltas,
+                            ),
+                        )
+                    if outcome["delta"] is not None:
+                        ctx.absorb(
+                            outcome["delta"],
+                            parent_id=pipeline_span.span_id,
+                            base_s=outcome["base_s"],
+                        )
+                    ctx.count("store.segments_total", 1)
+                    agg.add_segment(
+                        entry, outcome["matching"], outcome["labels"],
+                        outcome["checkins"], outcome["visits"],
+                        outcome["users"],
+                    )
+                if prog is not None:
+                    prog.update(entry.n_users, reused=outcome["reused"])
+
+            stats = run_pipelined(
+                store.segments, load, compute, reduce,
+                inflight=inflight, lanes=lanes,
+            )
+            ctx.count("store.prefetch_overlap_total", stats["overlap"])
+            ctx.count("store.prefetch_stalls_total", stats["stalls"])
+            ctx.count("pipeline.runs_total", 1)
+            agg.set_headline_gauges(ctx, health)
+    finally:
+        for exec_ in lane_execs:
+            exec_.close()
+        if prog is not None:
+            prog.close()
+    return _store_result(
+        store, agg, match_config, classify_config, timings, health,
+        keep_results,
+    )
+
+
+def _store_result(
+    store: StudyStore,
+    agg: _StoreAggregate,
+    match_config: MatchConfig,
+    classify_config: ClassifyConfig,
+    timings: RuntimeTimings,
+    health: RunHealth,
+    keep_results: bool,
+) -> Union[ValidationSummary, ValidationReport]:
+    """Materialise the run's return value from the reduce-side state."""
     if keep_results:
         return ValidationReport(
-            dataset=Dataset(name=store.name, pois=pois, users=all_users),
+            dataset=Dataset(
+                name=store.name, pois=store.load_pois(), users=agg.users
+            ),
             matching=MatchingResult(
-                config=match_config, per_user=matching_merger.merged
+                config=match_config, per_user=agg.merger.merged
             ),
             classification=ClassificationResult(
-                config=classify_config, labels=all_labels, checkins=all_checkins
+                config=classify_config, labels=agg.labels, checkins=agg.checkins
             ),
             timings=timings,
             health=health,
@@ -529,12 +1071,12 @@ def validate_store(
         name=store.name,
         n_users=store.n_users,
         n_segments=len(store.segments),
-        n_honest=n_honest,
-        n_extraneous=n_extraneous,
-        n_missing=n_missing,
-        type_counts=type_counts,
-        visit_counts=visit_counts,
+        n_honest=agg.n_honest,
+        n_extraneous=agg.n_extraneous,
+        n_missing=agg.n_missing,
+        type_counts=agg.type_counts,
+        visit_counts=agg.visit_counts,
         timings=timings,
         health=health,
-        segments_reused=segments_reused,
+        segments_reused=agg.segments_reused,
     )

@@ -49,6 +49,7 @@ from .context import (
     SpanRecord,
     activate,
     current,
+    thread_activate,
 )
 from .diff import DiffEntry, ManifestDiff, diff_manifests, diff_traces
 from .export import read_trace, trace_records, write_trace
@@ -106,6 +107,7 @@ __all__ = [
     "read_trace",
     "report_statistics",
     "scorecard_for_manifest",
+    "thread_activate",
     "top_functions",
     "trace_records",
     "write_trace",

@@ -25,6 +25,7 @@ deterministically.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -313,9 +314,18 @@ NULL_OBS = NullObs()
 
 _current: Any = NULL_OBS
 
+#: Thread-local override used by in-process scheduler lanes.  A lane
+#: thread that activates its own context via :class:`thread_activate`
+#: sees that context from :func:`current`; every other thread keeps
+#: seeing the process-global one set by :class:`activate`.
+_tls = threading.local()
+
 
 def current() -> Any:
     """The ambient observation context (``NULL_OBS`` when none active)."""
+    override = getattr(_tls, "ctx", None)
+    if override is not None:
+        return override
     return _current
 
 
@@ -341,3 +351,28 @@ class activate:
     def __exit__(self, *exc_info: Any) -> None:
         global _current
         _current = self._previous
+
+
+class thread_activate:
+    """Make ``ctx`` the ambient context *for this thread only* (re-entrant).
+
+    Scheduler lane threads (see :mod:`repro.runtime.schedule`) each run a
+    segment under a private :class:`ObsContext`; the thread-local override
+    keeps their spans and counters from interleaving with the parent
+    context, which is not thread-safe.  Other threads — including the main
+    thread that owns the parent context — are unaffected.
+    """
+
+    __slots__ = ("ctx", "_previous")
+
+    def __init__(self, ctx: Any) -> None:
+        self.ctx = ctx
+        self._previous: Any = None
+
+    def __enter__(self) -> Any:
+        self._previous = getattr(_tls, "ctx", None)
+        _tls.ctx = self.ctx
+        return self.ctx
+
+    def __exit__(self, *exc_info: Any) -> None:
+        _tls.ctx = self._previous

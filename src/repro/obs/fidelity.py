@@ -347,6 +347,19 @@ DEFAULT_REGISTRY: Tuple[ReferenceCheck, ...] = (
         fail_tolerance=0.15,
         description="honest-checkin model shows higher route availability",
     ),
+    ReferenceCheck(
+        name="figure8.honest_gps_availability_ratio_band",
+        source="Figure 8 (multi-seed stability; manet --seeds)",
+        # Half-spread of the availability ratio across MANET seeds.  The
+        # paper's ordering claim is only meaningful if it is stable
+        # under re-seeding; a nonzero reference anchors the relative
+        # tolerances (0.05 -> pass up to 0.10, warn up to 0.25).
+        reference=0.05,
+        kind="max",
+        warn_tolerance=1.0,
+        fail_tolerance=4.0,
+        description="seed-to-seed half-spread of the availability ratio",
+    ),
 )
 
 

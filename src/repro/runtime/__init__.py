@@ -23,6 +23,10 @@ and merges results back deterministically:
 * :mod:`repro.runtime.ingest` — FIFO thread lanes for the streaming
   validation service (per-user single-writer ordering at any lane
   count);
+* :mod:`repro.runtime.schedule` — the pipelined segment scheduler
+  (:func:`run_pipelined`): bounded prefetch + lane threads + in-order
+  reducer, used by the out-of-core ``validate_store`` and parallel
+  ``generate --store disk``;
 * :mod:`repro.runtime.errors` — shard-scoped failure reporting.
 
 Quickstart::
@@ -66,6 +70,7 @@ from .resilience import (
     run_shards_resilient,
 )
 from .ingest import IngestPool
+from .schedule import run_pipelined
 from .sharding import (
     GPS_SAMPLES_PER_VISIT,
     Shard,
@@ -105,6 +110,7 @@ __all__ = [
     "merge_user_maps",
     "pre_extraction_weight",
     "resolve_executor",
+    "run_pipelined",
     "run_shards_resilient",
     "run_stage",
     "shard_count",

@@ -72,6 +72,11 @@ class FaultSpec:
     kind: str
     #: Sleep length for ``delay`` faults, seconds.
     delay_s: float = 0.0
+    #: Restrict the fault to one store segment (``None`` = every segment).
+    #: Shard ids restart at 0 in each segment of an out-of-core run, so an
+    #: unscoped spec fires once per segment; a scoped one fires only where
+    #: ``segment`` matches (see :meth:`FaultPlan.for_segment`).
+    segment: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -84,11 +89,13 @@ class FaultSpec:
             raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
         if self.kind == "delay" and self.delay_s == 0:
             raise ValueError("delay faults need delay_s > 0")
+        if self.segment is not None and self.segment < 0:
+            raise ValueError(f"segment must be >= 0, got {self.segment}")
 
     @property
-    def key(self) -> Tuple[str, int, int]:
-        """The ``(stage, shard_id, attempt)`` coordinate this fault fires at."""
-        return (self.stage, self.shard_id, self.attempt)
+    def key(self) -> Tuple[str, int, int, Optional[int]]:
+        """The ``(stage, shard_id, attempt, segment)`` coordinate of this fault."""
+        return (self.stage, self.shard_id, self.attempt, self.segment)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe record (the plan-file entry shape)."""
@@ -100,6 +107,8 @@ class FaultSpec:
         }
         if self.kind == "delay":
             out["delay_s"] = self.delay_s
+        if self.segment is not None:
+            out["segment"] = self.segment
         return out
 
 
@@ -115,7 +124,7 @@ class FaultPlan:
     faults: Tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
-        seen: Dict[Tuple[str, int, int], FaultSpec] = {}
+        seen: Dict[Tuple[str, int, int, Optional[int]], FaultSpec] = {}
         for fault in self.faults:
             if fault.key in seen:
                 raise ValueError(f"duplicate fault at {fault.key}")
@@ -125,11 +134,34 @@ class FaultPlan:
         return len(self.faults)
 
     def lookup(self, stage: str, shard_id: int, attempt: int) -> Optional[FaultSpec]:
-        """The fault scripted at ``(stage, shard_id, attempt)``, if any."""
+        """The fault scripted at ``(stage, shard_id, attempt)``, if any.
+
+        Segment scoping is resolved *before* lookup: the out-of-core
+        pipeline hands each segment a :meth:`for_segment` view, so by the
+        time a work unit asks, every remaining spec applies.
+        """
         for fault in self.faults:
-            if fault.key == (stage, shard_id, attempt):
+            if (fault.stage, fault.shard_id, fault.attempt) == (
+                stage,
+                shard_id,
+                attempt,
+            ):
                 return fault
         return None
+
+    def for_segment(self, segment_id: int) -> "FaultPlan":
+        """The subset of this plan that applies inside segment ``segment_id``.
+
+        Specs scoped to this segment come first (so they shadow an
+        unscoped spec at the same ``(stage, shard_id, attempt)``), then
+        unscoped specs, which fire in every segment — preserving the
+        pre-scoping drill behaviour where one spec crashes each segment.
+        """
+        if all(fault.segment is None for fault in self.faults):
+            return self
+        exact = tuple(f for f in self.faults if f.segment == segment_id)
+        unscoped = tuple(f for f in self.faults if f.segment is None)
+        return FaultPlan(faults=exact + unscoped)
 
     # -- JSON round-trip ----------------------------------------------------
 
@@ -153,6 +185,11 @@ class FaultPlan:
                         attempt=int(entry.get("attempt", 1)),
                         kind=entry["kind"],
                         delay_s=float(entry.get("delay_s", 0.0)),
+                        segment=(
+                            int(entry["segment"])
+                            if entry.get("segment") is not None
+                            else None
+                        ),
                     )
                 )
             except KeyError as exc:

@@ -17,8 +17,10 @@ checkpoint files are treated as absent, never trusted.
 
 from __future__ import annotations
 
+import itertools
 import os
 import pickle
+import threading
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -27,21 +29,37 @@ from .study import SegmentEntry
 #: Checkpoint payload format version.
 CHECKPOINT_FORMAT = 1
 
+#: Process-wide counter making concurrent tmp names collision-free.
+_TMP_COUNTER = itertools.count()
+
 
 def atomic_pickle_dump(path: Path, record: Any) -> Path:
     """Write ``record`` as a pickle that is either fully there or absent.
 
     tmp file + flush + fsync + ``os.replace``: a crash mid-write leaves
     the destination untouched (or holding its previous complete
-    contents), never a torn file.  Shared by the per-segment checkpoint
-    store and the serving state snapshots (:mod:`repro.serve.snapshot`).
+    contents), never a torn file.  The tmp name embeds the pid, thread
+    id, and a process-wide counter so concurrent writers (scheduler
+    lanes, overlapping runs) never tread on each other's staging file —
+    while still matching the ``*.tmp`` glob that crash drills use to
+    assert no staging debris survives.  Shared by the per-segment
+    checkpoint store and the serving state snapshots
+    (:mod:`repro.serve.snapshot`).
     """
-    tmp = path.with_name(path.name + ".tmp")
-    with tmp.open("wb") as handle:
-        pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+    tag = f"{os.getpid()}-{threading.get_ident()}-{next(_TMP_COUNTER)}"
+    tmp = path.with_name(f"{path.name}.{tag}.tmp")
+    try:
+        with tmp.open("wb") as handle:
+            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     return path
 
 

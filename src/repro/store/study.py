@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
@@ -280,6 +281,7 @@ class StudyStore:
         self.n_pois = n_pois
         self.segments = segments
         self._pois: Optional[Dict[str, Poi]] = None
+        self._pois_lock = threading.Lock()
 
     @classmethod
     def open(cls, directory: Union[str, Path]) -> "StudyStore":
@@ -374,23 +376,38 @@ class StudyStore:
 
     # -- data loading ------------------------------------------------------
 
+    def max_segment_nbytes(self) -> int:
+        """The largest segment's GPS column payload, bytes.
+
+        The pipelined scheduler's memory bound is
+        ``baseline + inflight × max_segment_nbytes()`` — at most
+        ``inflight`` segments are mapped (loaded or awaiting reduce) at
+        any instant.
+        """
+        return max((entry.nbytes for entry in self.segments), default=0)
+
     def load_pois(self) -> Dict[str, Poi]:
-        """The shared POI universe (cached after the first call)."""
-        if self._pois is None:
-            path = self.directory / "pois.jsonl"
-            pois: Dict[str, Poi] = {}
-            with path.open("r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if line:
-                        poi = decode_poi(json.loads(line))
-                        pois[poi.poi_id] = poi
-            if len(pois) != self.n_pois:
-                raise StoreFormatError(
-                    f"{path}: {len(pois)} POIs, manifest says {self.n_pois}"
-                )
-            self._pois = pois
-        return self._pois
+        """The shared POI universe (cached after the first call).
+
+        Thread-safe: the prefetch thread and the caller may race here;
+        the lock makes one of them load and the rest reuse the cache.
+        """
+        with self._pois_lock:
+            if self._pois is None:
+                path = self.directory / "pois.jsonl"
+                pois: Dict[str, Poi] = {}
+                with path.open("r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if line:
+                            poi = decode_poi(json.loads(line))
+                            pois[poi.poi_id] = poi
+                if len(pois) != self.n_pois:
+                    raise StoreFormatError(
+                        f"{path}: {len(pois)} POIs, manifest says {self.n_pois}"
+                    )
+                self._pois = pois
+            return self._pois
 
     def load_segment(
         self, entry: Union[SegmentEntry, int], pois: Optional[Dict[str, Poi]] = None
@@ -399,6 +416,12 @@ class StudyStore:
 
         The returned dataset shares the store's POI dict; its users are
         exactly the segment's, in segment order, with ``visits`` unset.
+
+        Safe to call from a prefetch thread: each call builds its own
+        :class:`SegmentReader`, and the mmap pages are released as soon
+        as the last trace view is dropped — consumers should release the
+        dataset eagerly once results are extracted, so in-flight memory
+        stays bounded by the scheduler's window, not the run length.
         """
         if isinstance(entry, int):
             entry = self.segments[entry]

@@ -19,12 +19,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
 from ..model import Dataset, Poi, UserData
 from ..obs import current as obs_current
+from ..runtime import ParallelExecutor, available_workers, run_pipelined
+from ..runtime.executor import _Instrumented
 from ..store import DEFAULT_SEGMENT_USERS, StudyStore, StudyStoreWriter
 from .checkins import generate_checkins
 from .config import StudyConfig, baseline_config, primary_config
@@ -149,10 +151,100 @@ def generate_dataset(config: StudyConfig, with_ground_truth_visits: bool = False
     return Dataset(name=config.name, pois=plan.world.pois, users=users)
 
 
+def _generate_chunk(payload: Tuple) -> List[UserData]:
+    """Process-pool work unit: generate one segment-sized chunk of users.
+
+    The payload carries a subset :class:`StudyPlan` (full world, but only
+    the chunk's homes/ids/seeds); per-user RNG comes entirely from the
+    spawned seeds, so chunks generate identical users in any process.
+    """
+    config, world, homes, user_ids, user_seeds = payload
+    plan = StudyPlan(
+        config=config, world=world, homes=homes, user_ids=user_ids, user_seeds=user_seeds
+    )
+    return list(iter_study_users(plan))
+
+
+def _generate_store_parallel(
+    plan: StudyPlan,
+    writer: StudyStoreWriter,
+    segment_users: int,
+    workers: int,
+    inflight_segments: Optional[int],
+    obs: "object",
+    span: "object",
+) -> None:
+    """Fan segment-sized chunks over a process pool, write in plan order.
+
+    Chunk size equals ``segment_users`` so segment boundaries — and the
+    store fingerprint — match serial generation exactly.  The reducer
+    runs on the calling thread in chunk order, so user records land in
+    the writer and obs deltas are absorbed exactly as the serial stream
+    would produce them.
+    """
+    step = segment_users
+    chunks = [
+        (
+            plan.user_ids[start : start + step],
+            plan.user_seeds[start : start + step],
+        )
+        for start in range(0, len(plan.user_ids), step)
+    ]
+    effective = workers if workers > 0 else available_workers()
+    if inflight_segments is not None:
+        if inflight_segments < 1:
+            raise ValueError(
+                f"inflight_segments must be >= 1, got {inflight_segments}"
+            )
+        inflight = min(inflight_segments, max(len(chunks), 1))
+    else:
+        inflight = max(1, min(len(chunks), min(effective, 4) + 1))
+    executor = ParallelExecutor(workers=workers if workers > 0 else None)
+    # Warm the pool from this thread: lane threads may otherwise race
+    # the lazy first-submit pool construction.
+    executor._ensure_pool()
+    observe = bool(getattr(obs, "enabled", False))
+    task = _Instrumented(
+        _generate_chunk,
+        observe=observe,
+        profile=bool(getattr(obs, "profile_enabled", False)),
+    )
+
+    def load(index: int, chunk: Tuple) -> Tuple:
+        user_ids, user_seeds = chunk
+        homes = {user_id: plan.homes[user_id] for user_id in user_ids}
+        return (plan.config, plan.world, homes, user_ids, user_seeds)
+
+    def compute(index: int, chunk: Tuple, payload: Tuple, lane_id: int) -> Tuple:
+        base_s = obs.clock() if observe else 0.0
+        wall_s, delta, users = executor.submit(task, payload).result()
+        return base_s, delta, users
+
+    def reduce(index: int, chunk: Tuple, outcome: Tuple) -> None:
+        base_s, delta, users = outcome
+        if delta is not None:
+            obs.absorb(
+                delta,
+                parent_id=span.span_id,
+                base_s=base_s,
+                attrs={"chunk": index},
+            )
+        for data in users:
+            writer.add_user(data)
+
+    try:
+        lanes = max(1, min(effective, inflight, len(chunks) or 1))
+        run_pipelined(chunks, load, compute, reduce, inflight=inflight, lanes=lanes)
+    finally:
+        executor.close()
+
+
 def generate_study_store(
     config: StudyConfig,
     directory: Union[str, Path],
     segment_users: int = DEFAULT_SEGMENT_USERS,
+    workers: Optional[int] = None,
+    inflight_segments: Optional[int] = None,
 ) -> StudyStore:
     """Generate a study straight into an on-disk segment store.
 
@@ -160,6 +252,13 @@ def generate_study_store(
     :class:`repro.store.StudyStoreWriter`, so peak memory is one
     segment's worth of users regardless of ``config.n_users`` — and the
     stored study is record-identical to ``generate_dataset(config)``.
+
+    ``workers`` > 1 (or 0 for all CPUs) generates segment-sized chunks
+    of users on a process pool, pipelined up to ``inflight_segments``
+    ahead of the in-order writer; because every user's randomness comes
+    from their own spawned seed and chunks align with segment
+    boundaries, the resulting store fingerprint is identical to serial
+    generation.
     """
     obs = obs_current()
     with obs.span(
@@ -168,11 +267,16 @@ def generate_study_store(
         users=config.n_users,
         seed=config.seed,
         segment_users=segment_users,
-    ):
+    ) as span:
         plan = plan_study(config)
         writer = StudyStoreWriter(directory, config.name, segment_users=segment_users)
         writer.write_pois(plan.world.pois)
-        writer.add_users(iter_study_users(plan))
+        if workers is None or workers == 1:
+            writer.add_users(iter_study_users(plan))
+        else:
+            _generate_store_parallel(
+                plan, writer, segment_users, workers, inflight_segments, obs, span
+            )
         return writer.finalize()
 
 

@@ -326,3 +326,65 @@ def test_manet_subcommand(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "Figure 8" in out
     assert "Honest-Checkin" in out
+
+
+def test_manet_multi_seed(monkeypatch, capsys):
+    from repro.manet import ManetConfig
+    import repro.cli as cli
+
+    tiny = ManetConfig(
+        n_nodes=12, arena_m=3000.0, radio_range_m=1200.0, n_pairs=3,
+        duration_s=180.0, seed=4,
+    )
+    monkeypatch.setattr(cli, "bench_config", lambda: tiny)
+    assert main(["manet", "--scale", "0.05", "--seeds", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "across 2 seeds" in out
+    assert "±" in out  # mean ± band summary lines
+    assert "seed 4:" in out and "seed 5:" in out
+
+
+def test_manet_rejects_nonpositive_seeds(capsys):
+    with pytest.raises(SystemExit):
+        main(["manet", "--scale", "0.05", "--seeds", "0"])
+    assert "must be >= 1" in capsys.readouterr().err
+
+
+class TestPipelinedCliFlags:
+    """--inflight-segments / --quiet / parallel disk generate."""
+
+    def test_validate_disk_pipelined_matches_serial_output(self, capsys):
+        base = ["validate", "--data", str(GOLDEN_DIR), "--store", "disk",
+                "--segment-users", "1"]
+        assert main(base + ["--inflight-segments", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--workers", "2", "--inflight-segments", "3",
+                            "--quiet"]) == 0
+        pipelined = capsys.readouterr().out
+        assert serial == pipelined
+        assert "extraneous breakdown" in serial
+
+    def test_generate_disk_parallel_fingerprint_matches_serial(
+            self, tmp_path, capsys):
+        from repro.store import StudyStore
+
+        args = ["generate", "--dataset", "primary", "--scale", "0.02",
+                "--store", "disk", "--segment-users", "4"]
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / "parallel"
+        assert main(args + ["--out", str(serial_dir)]) == 0
+        assert main(args + ["--out", str(parallel_dir), "--workers", "2",
+                            "--inflight-segments", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("wrote Primary store:") == 2
+        serial = StudyStore.open(serial_dir)
+        parallel = StudyStore.open(parallel_dir)
+        assert parallel.fingerprint() == serial.fingerprint()
+        assert parallel.n_users == serial.n_users > 0
+
+    def test_generate_jsonl_rejects_inflight(self, tmp_path, capsys):
+        code = main(["generate", "--dataset", "primary", "--scale", "0.02",
+                     "--out", str(tmp_path / "ds"),
+                     "--inflight-segments", "2"])
+        assert code == 2
+        assert "--store disk" in capsys.readouterr().err

@@ -82,3 +82,58 @@ def test_format(result):
     text = result.format_report()
     assert "Figure 8" in text
     assert "Honest-Checkin" in text
+
+
+class TestMultiSeed:
+    """``run_multi``: seed sweep statistics for the --seeds CLI knob."""
+
+    # A short arena keeps the 2x3 extra simulations cheap; the multi
+    # driver's statistics are seed bookkeeping, not MANET physics.
+    CHEAP = dict(duration_s=300.0, radio_range_m=1600.0)
+
+    @pytest.fixture(scope="class")
+    def multi(self, study):
+        config = replace(bench_config(), **self.CHEAP)
+        return figure8.run_multi(study, config, seeds=2)
+
+    def test_runs_consecutive_seeds(self, multi):
+        base = bench_config().seed
+        assert multi.seeds == [base, base + 1]
+        assert len(multi.runs) == 2
+        for run in multi.runs:
+            assert set(run.results) == {"GPS", "All-Checkin", "Honest-Checkin"}
+
+    def test_headline_means_per_seed_ratios(self, multi):
+        stats = multi.headline()
+        for key in (
+            "figure8.honest_gps_route_change_ratio",
+            "figure8.honest_gps_overhead_ratio",
+            "figure8.honest_gps_availability_ratio",
+        ):
+            series = multi.ratio_series(key)
+            assert len(series) == 2
+            assert stats[key] == pytest.approx(sum(series) / len(series))
+
+    def test_headline_reports_stability_band(self, multi):
+        stats = multi.headline()
+        series = multi.ratio_series("figure8.honest_gps_availability_ratio")
+        band = stats["figure8.honest_gps_availability_ratio_band"]
+        assert band == pytest.approx((max(series) - min(series)) / 2.0)
+        assert band >= 0.0
+
+    def test_single_seed_reproduces_run(self, study):
+        config = replace(bench_config(), **self.CHEAP)
+        single = figure8.run_multi(study, config, seeds=1)
+        reference = figure8.run(study, config)
+        assert single.runs[0].headline() == reference.headline()
+        assert "_band" not in "".join(single.headline())
+
+    def test_format_report(self, multi):
+        text = multi.format_report()
+        assert "across 2 seeds" in text
+        assert "±" in text
+        assert "paper orderings" in text
+
+    def test_rejects_nonpositive_seeds(self, study):
+        with pytest.raises(ValueError, match="seeds"):
+            figure8.run_multi(study, seeds=0)

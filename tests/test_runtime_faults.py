@@ -560,6 +560,229 @@ class TestStoreStreamFaultDrill:
         assert "DEGRADED RUN" in summary.summary()
 
 
+class TestPipelinedFaultDrill:
+    """Crash/resume drills with segments pipelined across threads.
+
+    With ``inflight_segments > 1`` a failure lands while *other*
+    segments are mid-load or mid-compute on their own lanes.  The
+    reducer must still checkpoint exactly the finished manifest prefix,
+    a resumed run must replay only those, and recovery noise (retries,
+    skips, torn checkpoints) must never leak into results.
+    """
+
+    SEGMENT_USERS = 3
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        return generate_study_store(
+            primary_config().scaled(STUDY_SCALE),
+            tmp_path_factory.mktemp("pipedrill") / "store",
+            segment_users=self.SEGMENT_USERS,
+        )
+
+    @pytest.fixture(scope="class")
+    def clean_summary(self, store):
+        return validate_store(store)
+
+    def test_crash_in_every_segment_recovers_byte_identical(
+        self, store, clean_summary
+    ):
+        health = RunHealth()
+        summary = validate_store(
+            store,
+            workers=2,
+            inflight_segments=3,
+            resilience=ResilienceConfig(**FAST),
+            fault_plan=plan_of(FaultSpec("extract", 0, 1, "crash")),
+            health=health,
+        )
+        assert summary.summary() == clean_summary.summary()
+        assert summary.visit_counts == clean_summary.visit_counts
+        assert not health.degraded
+        assert health.retries >= len(store.segments)
+
+    def test_segment_scoped_fault_fires_only_there(self, store, clean_summary):
+        """A FaultSpec with ``segment=`` set leaves other segments alone."""
+        health = RunHealth()
+        summary = validate_store(
+            store,
+            workers=2,
+            inflight_segments=3,
+            resilience=ResilienceConfig(**FAST),
+            fault_plan=plan_of(
+                FaultSpec("extract", 0, 1, "exception", segment=1)
+            ),
+            health=health,
+        )
+        assert summary.summary() == clean_summary.summary()
+        assert health.retries == 1  # one segment's shard 0, nobody else's
+
+    def test_segment_load_fault_retries_and_recovers(
+        self, store, clean_summary
+    ):
+        health = RunHealth()
+        summary = validate_store(
+            store,
+            inflight_segments=2,
+            resilience=ResilienceConfig(**FAST),
+            fault_plan=plan_of(
+                FaultSpec("segment.load", 1, 1, "exception", segment=1)
+            ),
+            health=health,
+        )
+        assert summary.summary() == clean_summary.summary()
+        assert health.retries == 1
+        assert not health.degraded
+
+    def test_segment_load_exhaustion_skips_and_reports(self, store):
+        plan = plan_of(
+            *(
+                FaultSpec("segment.load", 1, a, "exception", segment=1)
+                for a in range(1, 6)
+            )
+        )
+        health = RunHealth()
+        summary = validate_store(
+            store,
+            inflight_segments=2,
+            resilience=ResilienceConfig(
+                max_retries=1, on_failure="skip_and_report", **FAST
+            ),
+            fault_plan=plan,
+            health=health,
+        )
+        assert health.degraded
+        assert len(health.skipped) == 1
+        assert health.skipped[0].stage == "segment.load"
+        skipped_users = set(store.segments[1].user_ids)
+        assert set(health.skipped_user_ids()) == skipped_users
+        for user_id in skipped_users:
+            assert summary.visit_counts[user_id] == -1
+        assert "DEGRADED RUN" in summary.summary()
+
+    def test_midflight_kill_resumes_finished_prefix_only(
+        self, store, clean_summary, tmp_path, monkeypatch
+    ):
+        """Die while later segments are mid-load/mid-compute on lanes.
+
+        The prefetch thread is segments ahead of the reducer, so when
+        segment 2's load explodes, segments 0 and 1 are in different
+        stages (reduced / computing).  Only finished segments may leave
+        checkpoints; the resumed run replays exactly those and never
+        double-counts one.
+        """
+        ckpt = tmp_path / "ckpt"
+        real = store.load_segment
+        loaded = []
+
+        def load_or_die(entry, pois=None):
+            loaded.append(entry.segment_id)
+            if entry.segment_id == 2:
+                raise RuntimeError("simulated crash mid-flight")
+            return real(entry, pois=pois)
+
+        monkeypatch.setattr(store, "load_segment", load_or_die)
+        # Observed run: checkpoints must carry counter deltas so the
+        # resumed run's replay can be audited for double counting.
+        with activate(ObsContext()):
+            with pytest.raises(RuntimeError, match="mid-flight"):
+                validate_store(
+                    store, inflight_segments=3, workers=2, checkpoints=ckpt
+                )
+        # Loads ran ahead of the reducer, but only segments 0 and 1 —
+        # the finished prefix — left checkpoints behind.
+        assert loaded[:3] == [0, 1, 2]
+        names = sorted(p.name for p in ckpt.glob("ckpt-*.pkl"))
+        assert [n.split("-")[1] for n in names] == ["00000", "00001"]
+        assert list(ckpt.glob("*.tmp")) == []
+
+        monkeypatch.setattr(store, "load_segment", real)
+        ctx = ObsContext()
+        with activate(ctx):
+            resumed = validate_store(
+                store, inflight_segments=3, workers=2, checkpoints=ckpt
+            )
+        assert resumed.segments_reused == 2
+        assert resumed.summary() == clean_summary.summary()
+        assert resumed.visit_counts == clean_summary.visit_counts
+        # No double counting: users tally exactly once across replayed
+        # and recomputed segments.
+        counters = ctx.metrics.snapshot()["counters"]
+        assert counters["matching.users_total"] == store.n_users
+        assert counters["store.segments_reused"] == 2
+        assert counters["store.segments_total"] == len(store.segments)
+
+    def test_torn_concurrent_checkpoints_recompute(
+        self, store, clean_summary, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        validate_store(store, inflight_segments=3, workers=2, checkpoints=ckpt)
+        victims = sorted(ckpt.glob("ckpt-*.pkl"))[:2]
+        for victim in victims:
+            victim.write_bytes(victim.read_bytes()[:7])  # torn mid-write
+        rerun = validate_store(
+            store, inflight_segments=3, workers=2, checkpoints=ckpt
+        )
+        assert rerun.segments_reused == len(store.segments) - len(victims)
+        assert rerun.summary() == clean_summary.summary()
+
+    def test_degraded_segment_leaves_no_checkpoint(self, store, tmp_path):
+        """A skip-and-reported load must recompute next run, not replay."""
+        ckpt = tmp_path / "ckpt"
+        plan = plan_of(
+            *(
+                FaultSpec("segment.load", 0, a, "exception", segment=0)
+                for a in range(1, 6)
+            )
+        )
+        validate_store(
+            store,
+            inflight_segments=2,
+            resilience=ResilienceConfig(
+                max_retries=1, on_failure="skip_and_report", **FAST
+            ),
+            fault_plan=plan,
+            checkpoints=ckpt,
+        )
+        names = sorted(p.name for p in ckpt.glob("ckpt-*.pkl"))
+        assert len(names) == len(store.segments) - 1
+        assert all(not n.startswith("ckpt-00000-") for n in names)
+
+
+class TestSegmentScopedFaultPlan:
+    """``FaultSpec.segment`` scoping and the ``for_segment`` view."""
+
+    def test_for_segment_resolves_scoping(self):
+        everywhere = FaultSpec("extract", 0, 1, "exception")
+        only_two = FaultSpec("match", 0, 1, "crash", segment=2)
+        plan = plan_of(everywhere, only_two)
+        view = plan.for_segment(2)
+        assert view.lookup("extract", 0, 1) is everywhere
+        assert view.lookup("match", 0, 1) is only_two
+        elsewhere = plan.for_segment(0)
+        assert elsewhere.lookup("match", 0, 1) is None
+        assert elsewhere.lookup("extract", 0, 1) is everywhere
+
+    def test_unscoped_plan_returns_self(self):
+        plan = plan_of(FaultSpec("extract", 0, 1, "exception"))
+        assert plan.for_segment(5) is plan
+
+    def test_segment_field_round_trips_json(self, tmp_path):
+        plan = plan_of(
+            FaultSpec("segment.load", 1, 1, "exception", segment=1),
+            FaultSpec("extract", 0, 1, "crash"),
+        )
+        path = plan.write(tmp_path / "plan.json")
+        loaded = FaultPlan.load(path)
+        assert loaded == plan
+        assert loaded.faults[0].segment == 1
+        assert loaded.faults[1].segment is None
+
+    def test_rejects_negative_segment(self):
+        with pytest.raises(ValueError, match="segment"):
+            FaultSpec("extract", 0, 1, "exception", segment=-1)
+
+
 # ---------------------------------------------------------------------------
 # Serving drills: kill the streaming service, resume from snapshots
 # ---------------------------------------------------------------------------

@@ -39,7 +39,14 @@ def semantic_metrics(manifest: RunManifest):
         for name, value in manifest.metrics.get("counters", {}).items()
         if name.startswith(SEMANTIC_PREFIXES)
     }
-    return counters, manifest.metrics.get("gauges", {})
+    # Gauges likewise, minus runtime mechanics (``store.*`` — e.g. the
+    # in-flight window size, which memory runs don't have).
+    gauges = {
+        name: value
+        for name, value in manifest.metrics.get("gauges", {}).items()
+        if not name.startswith("store.")
+    }
+    return counters, gauges
 
 
 def run_cli(tmp_path, tag, *extra):
@@ -176,3 +183,110 @@ class TestApiParity:
         rerun = validate_store(store, visit_config=VisitConfig(kernel="scalar"),
                                checkpoints=ckpt)
         assert rerun.segments_reused == 0
+
+
+class TestPipelinedParity:
+    """``--inflight-segments > 1`` must change wall-clock, nothing else.
+
+    The pipelined scheduler overlaps segment loads and stage compute
+    across threads; everything observable — summary, per-user results,
+    semantic counters, manifest fingerprint, scorecard, and the
+    checkpoint files' literal bytes — must be identical to the serial
+    streaming loop at any worker count and any in-flight window.
+    """
+
+    @pytest.fixture(scope="class")
+    def store(self, tmp_path_factory):
+        store_dir = tmp_path_factory.mktemp("pipelined") / "store"
+        return load_dataset_into_store(GOLDEN_DIR, store_dir,
+                                       segment_users=SEGMENT_USERS)
+
+    def test_cli_parallel_disk_parity_smoke(self, tmp_path, capsys):
+        """The CI smoke: inflight 3 at 4 workers == serial, byte-for-byte."""
+        base = ["--store", "disk", "--segment-users", str(SEGMENT_USERS)]
+        serial = run_cli(tmp_path, "serial", *base,
+                         "--inflight-segments", "1")
+        serial_out = capsys.readouterr().out
+        pipelined = run_cli(tmp_path, "pipelined", *base, "--workers", "4",
+                            "--inflight-segments", "3")
+        pipelined_out = capsys.readouterr().out
+
+        assert result_lines(pipelined_out) == result_lines(serial_out)
+        assert pipelined.dataset == serial.dataset
+        assert pipelined.config_hash == serial.config_hash
+        assert pipelined.scorecard == serial.scorecard
+        assert semantic_metrics(pipelined) == semantic_metrics(serial)
+
+    @pytest.mark.parametrize("workers,inflight", [(1, 3), (4, 2), (4, 8)])
+    def test_summary_parity(self, store, workers, inflight):
+        serial = validate_store(store, inflight_segments=1)
+        pipelined = validate_store(store, workers=workers,
+                                   inflight_segments=inflight)
+        assert pipelined.summary() == serial.summary()
+        assert pipelined.visit_counts == serial.visit_counts
+        assert pipelined.type_counts == serial.type_counts
+
+    def test_full_report_parity(self, store):
+        reference = validate_store(store, keep_results=True)
+        report = validate_store(store, workers=2, inflight_segments=3,
+                                keep_results=True)
+        assert report.summary() == reference.summary()
+        assert list(report.matching.per_user) == list(reference.matching.per_user)
+        assert report.matching.per_user == reference.matching.per_user
+        assert report.classification.labels == reference.classification.labels
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_checkpoints_byte_identical(self, store, tmp_path, workers):
+        serial_dir = tmp_path / f"serial-{workers}"
+        pipe_dir = tmp_path / f"pipe-{workers}"
+        validate_store(store, workers=workers, inflight_segments=1,
+                       checkpoints=serial_dir)
+        validate_store(store, workers=workers, inflight_segments=3,
+                       checkpoints=pipe_dir)
+        serial_files = sorted(p.name for p in serial_dir.glob("*.pkl"))
+        pipe_files = sorted(p.name for p in pipe_dir.glob("*.pkl"))
+        assert serial_files == pipe_files and serial_files
+        for name in serial_files:
+            assert (pipe_dir / name).read_bytes() == \
+                (serial_dir / name).read_bytes(), name
+
+    def test_pipelined_resumes_serial_checkpoints(self, store, tmp_path):
+        """Checkpoint interop: either loop replays the other's files."""
+        ckpt = tmp_path / "ckpt"
+        cold = validate_store(store, checkpoints=ckpt)
+        warm = validate_store(store, workers=2, inflight_segments=3,
+                              checkpoints=ckpt)
+        assert warm.segments_reused == len(store.segments)
+        assert warm.summary() == cold.summary()
+
+    def test_semantic_counters_identical(self, store):
+        def counters(**kwargs):
+            ctx = ObsContext()
+            with activate(ctx):
+                validate_store(store, **kwargs)
+            return {
+                name: value
+                for name, value in ctx.metrics.snapshot()["counters"].items()
+                if name.startswith(SEMANTIC_PREFIXES)
+            }
+
+        assert counters(workers=2, inflight_segments=3) == \
+            counters(workers=2, inflight_segments=1)
+
+    def test_pipeline_stats_surface_on_manifest(self, store):
+        ctx = ObsContext()
+        with activate(ctx):
+            validate_store(store, workers=2, inflight_segments=3)
+        snapshot = ctx.metrics.snapshot()
+        counters = snapshot["counters"]
+        assert counters["store.prefetch_overlap_total"] \
+            + counters["store.prefetch_stalls_total"] == len(store.segments)
+        assert snapshot["gauges"]["store.inflight_segments"] == 3.0
+
+    def test_explicit_executor_rejects_pipelining(self, store):
+        from repro.runtime import SerialExecutor
+        from repro.runtime.errors import RuntimeConfigError
+
+        with pytest.raises(RuntimeConfigError, match="in-flight"):
+            validate_store(store, executor=SerialExecutor(),
+                           inflight_segments=2)

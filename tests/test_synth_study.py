@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.model import CheckinType, PoiCategory
-from repro.synth import generate_dataset, primary_config
+from repro.store import StudyStore
+from repro.synth import generate_dataset, generate_study_store, primary_config
 
 
 @pytest.fixture(scope="module")
@@ -80,3 +81,48 @@ def test_different_seeds_differ():
 
 def test_dataset_name(small):
     assert small.name == "Primary"
+
+
+class TestParallelStoreGeneration:
+    """``generate_study_store(workers=...)``: chunks fan out to worker
+    processes but land in the writer in plan order, so the store is
+    bit-for-bit the one the serial path writes."""
+
+    CONFIG_ARGS = dict(seed=77, scale=0.04, segment_users=3)
+
+    def build(self, directory, **kwargs):
+        config = primary_config(seed=self.CONFIG_ARGS["seed"])
+        return generate_study_store(
+            config.scaled(self.CONFIG_ARGS["scale"]), directory,
+            segment_users=self.CONFIG_ARGS["segment_users"], **kwargs,
+        )
+
+    def test_parallel_fingerprint_matches_serial(self, tmp_path):
+        serial = self.build(tmp_path / "serial")
+        parallel = self.build(
+            tmp_path / "parallel", workers=2, inflight_segments=3
+        )
+        assert parallel.fingerprint() == serial.fingerprint()
+        assert parallel.n_users == serial.n_users
+        assert len(parallel.segments) == len(serial.segments)
+
+    def test_single_chunk_study_still_parallel_safe(self, tmp_path):
+        config = primary_config(seed=77).scaled(0.04)
+        serial = generate_study_store(
+            config, tmp_path / "serial", segment_users=64
+        )
+        parallel = generate_study_store(
+            config, tmp_path / "parallel", segment_users=64, workers=2
+        )
+        assert len(serial.segments) == 1
+        assert parallel.fingerprint() == serial.fingerprint()
+
+    def test_parallel_store_reopens_and_verifies(self, tmp_path):
+        self.build(tmp_path / "store", workers=2, inflight_segments=2)
+        store = StudyStore.open(tmp_path / "store")
+        store.verify()
+        assert store.n_users == 10
+
+    def test_invalid_inflight_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="inflight"):
+            self.build(tmp_path / "bad", workers=2, inflight_segments=0)

@@ -62,12 +62,19 @@ def cmd_validate_disk(args: argparse.Namespace) -> dict:
     from repro.core import validate_store
 
     store = open_store(args)
+    segment_kb = store.max_segment_nbytes() // 1024
     start = time.perf_counter()
-    summary = validate_store(store, workers=args.workers)
+    summary = validate_store(
+        store,
+        workers=args.workers,
+        inflight_segments=args.inflight_segments,
+    )
     return {
         "wall_s": time.perf_counter() - start,
         "users": summary.n_users,
         "segments": summary.n_segments,
+        "inflight_segments": args.inflight_segments,
+        "max_segment_kb": segment_kb,
         "n_honest": summary.n_honest,
         "n_extraneous": summary.n_extraneous,
         "n_missing": summary.n_missing,
@@ -107,6 +114,12 @@ def main(argv=None) -> int:
         val = sub.add_parser(mode, help=f"{mode} over an existing store")
         val.add_argument("--dir", required=True)
         val.add_argument("--workers", type=int, default=None)
+        if mode == "validate-disk":
+            val.add_argument(
+                "--inflight-segments", type=int, default=None,
+                help="pipeline up to N segments concurrently "
+                     "(default: 1 serial, sized from --workers otherwise)",
+            )
         val.set_defaults(run=run)
 
     args = parser.parse_args(argv)
