@@ -1,10 +1,13 @@
 """Bench OBS — instrumentation and profiling overhead on the pipeline.
 
-Validates the golden fixture repeatedly in three obs modes — disabled
-(``NULL_OBS``), enabled (spans + metrics), and enabled with ``--profile``
-(cProfile + tracemalloc per shard) — asserts all three produce identical
-reports, and records best-of-N wall times plus the derived overhead
-ratios into ``BENCH_obs_overhead.json`` at the repo root.
+Validates the golden fixture repeatedly in four obs modes — disabled
+(``NULL_OBS``), enabled (spans + metrics), enabled with a live
+:class:`~repro.obs.TelemetrySampler` ticking in the background (status
+file + registry collector, the ``--telemetry`` path), and enabled with
+``--profile`` (cProfile + tracemalloc per shard) — asserts all four
+produce identical reports, and records best-of-N wall times plus the
+derived overhead ratios into ``BENCH_obs_overhead.json`` at the repo
+root.
 
 The budget assertion is the observability layer's perf contract: plain
 instrumentation must stay within ``MAX_OBS_OVERHEAD`` of the no-obs
@@ -17,12 +20,13 @@ diagnostics, not an always-on path.
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from pathlib import Path
 
 from repro.core import validate
 from repro.io import load_dataset
-from repro.obs import ObsContext
+from repro.obs import ObsContext, TelemetrySampler, registry_collector
 
 GOLDEN_DIR = Path(__file__).resolve().parents[1] / "tests" / "data" / "golden_study"
 BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_obs_overhead.json"
@@ -53,15 +57,34 @@ def test_obs_overhead_budget():
 
     wall_off, plain = best_of(lambda: validate(dataset))
     wall_obs, observed = best_of(lambda: validate(dataset, obs=ObsContext()))
+
+    # The CLI's --telemetry wiring: a background sampler ticking over the
+    # run's registry and rewriting live.json while validate runs.  The
+    # sampler's lifetime spans the whole command in real use, so its
+    # start/stop cost stays outside the timed region — the budget bounds
+    # the *steady-state* sampling tax on the hot path.
+    ctx_tel = ObsContext()
+    with tempfile.TemporaryDirectory() as tmp:
+        with TelemetrySampler(
+            collectors=[registry_collector(ctx_tel.metrics)],
+            interval_s=0.05,
+            status_path=tmp,
+            command="bench",
+        ):
+            wall_tel, telemetered = best_of(
+                lambda: validate(dataset, obs=ctx_tel)
+            )
     wall_prof, profiled = best_of(
         lambda: validate(dataset, obs=ObsContext(profile=True))
     )
 
     # Observe, never steer: every mode yields the same report.
     assert observed.summary() == plain.summary()
+    assert telemetered.summary() == plain.summary()
     assert profiled.summary() == plain.summary()
 
     obs_overhead = wall_obs / wall_off
+    telemetry_overhead = wall_tel / wall_off
     profile_overhead = wall_prof / wall_off
     merge_bench({
         "golden_validate": {
@@ -69,8 +92,10 @@ def test_obs_overhead_budget():
             "repeats": REPEATS,
             "wall_s_no_obs": wall_off,
             "wall_s_obs": wall_obs,
+            "wall_s_obs_telemetry": wall_tel,
             "wall_s_obs_profile": wall_prof,
             "obs_overhead_ratio": obs_overhead,
+            "telemetry_overhead_ratio": telemetry_overhead,
             "profile_overhead_ratio": profile_overhead,
             "budget_obs_overhead": MAX_OBS_OVERHEAD,
             "budget_profile_overhead": MAX_PROFILE_OVERHEAD,
@@ -80,6 +105,11 @@ def test_obs_overhead_budget():
     assert obs_overhead <= MAX_OBS_OVERHEAD, (
         f"enabled-obs validate took {obs_overhead:.2f}x the no-obs wall time "
         f"(budget {MAX_OBS_OVERHEAD}x)"
+    )
+    assert telemetry_overhead <= MAX_OBS_OVERHEAD, (
+        f"telemetered validate took {telemetry_overhead:.2f}x the no-obs "
+        f"wall time (budget {MAX_OBS_OVERHEAD}x) — the sampler is leaking "
+        f"cost into the hot path"
     )
     assert profile_overhead <= MAX_PROFILE_OVERHEAD, (
         f"profiled validate took {profile_overhead:.2f}x the no-obs wall time "

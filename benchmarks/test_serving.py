@@ -13,8 +13,13 @@ lanes.  Asserts conservative floors — sustained checkins/sec and
 events/sec well under the measured numbers, a p99 ingest latency
 bound with generous cross-host headroom — and that both lane counts
 produce identical verdict totals (the bench doubles as a cheap parity
-smoke).  Slow tier: the full-scale Primary replay, single lane.
-Both tiers persist into ``BENCH_serving.json`` at the repo root.
+smoke).  A third 4-lane phase runs with ``--telemetry``: per-lane
+queue-depth quantiles plus GC-pause attribution of the worst ingest
+call — the instrumentation that pinned the historical ~165 ms
+``max_ingest_ms`` spike on gen-2 GC pauses over the unbounded lane
+queues (see ``max_ingest_spike_finding`` in the bench file and
+EXPERIMENTS.md).  Slow tier: the full-scale Primary replay, single
+lane.  Both tiers persist into ``BENCH_serving.json`` at the repo root.
 """
 
 from __future__ import annotations
@@ -47,7 +52,11 @@ def run_phase(**flags) -> dict:
     """One driver run in a fresh subprocess; returns its JSON record."""
     argv = [sys.executable, str(DRIVER)]
     for name, value in flags.items():
-        argv += [f"--{name.replace('_', '-')}", str(value)]
+        flag = f"--{name.replace('_', '-')}"
+        if value is True:
+            argv.append(flag)
+        else:
+            argv += [flag, str(value)]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
@@ -67,39 +76,77 @@ def merge_bench(sections: dict) -> None:
     BENCH_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 
+#: What the telemetry phase established about the 4-lane max_ingest_ms
+#: spike (persisted verbatim into BENCH_serving.json for readers of the
+#: numbers; the full story is in EXPERIMENTS.md).
+SPIKE_FINDING = (
+    "max_ingest_ms spike at 4 lanes is a gen-2 GC pause, not lane "
+    "contention: the worst ingest call sits inside exactly one collection "
+    "whose pause accounts for ~100% of the stall, while the unbounded "
+    "lane queues hold hundreds-to-thousands of pending closures each "
+    "(p50 depth ~600-800/lane, maxima near 5000) that both trigger and "
+    "inflate the collection; at 1 lane ingest is inline, queues are "
+    "empty, and total GC pause over the replay is ~100x smaller"
+)
+
+
 class TestQuickServing:
     @pytest.fixture(scope="class")
     def runs(self):
         single = run_phase(workers=1, **QUICK)
         quad = run_phase(workers=4, **QUICK)
+        diag = run_phase(workers=4, telemetry=True, **QUICK)
         merge_bench({
             "quick": {
                 "params": QUICK,
                 "workers_1": single,
                 "workers_4": quad,
+                "workers_4_telemetry": diag,
+                "max_ingest_spike_finding": SPIKE_FINDING,
             }
         })
-        return single, quad
+        return single, quad, diag
 
     def test_sustained_throughput(self, runs):
-        single, _ = runs
+        single = runs[0]
         assert single["events_per_s"] > MIN_EVENTS_PER_S, (
             f"ingest sustained only {single['events_per_s']:.0f} events/s"
         )
         assert single["checkins_per_s"] > MIN_CHECKINS_PER_S
 
     def test_p99_ingest_latency(self, runs):
-        for record in runs:
+        for record in runs[:2]:
             assert record["p99_ingest_ms"] < MAX_P99_INGEST_MS, (
                 f"p99 ingest latency {record['p99_ingest_ms']:.3f} ms at "
                 f"{record['workers']} workers — settlement is stalling ingest"
             )
 
     def test_lane_counts_agree(self, runs):
-        single, quad = runs
+        single, quad, diag = runs
         for key in ("users", "events", "checkins", "verdicts", "chunks"):
             assert single[key] == quad[key], key
+            # The telemetered run is the same session with instruments on:
+            # identical totals pin that telemetry never changes results.
+            assert quad[key] == diag[key], key
         assert single["verdicts"] > 0
+
+    def test_spike_diagnosis_recorded(self, runs):
+        """The telemetry phase captures what the spike investigation needs:
+        per-lane queue-depth quantiles and GC-pause attribution for the
+        worst ingest call."""
+        diag = runs[2]
+        telemetry = diag["telemetry"]
+        depths = telemetry["lane_queue_depth_samples"]
+        assert len(depths) == diag["workers"]
+        for summary in depths.values():
+            assert summary["count"] > 0
+            assert summary["max"] >= summary["p50"] >= 0
+        worst = telemetry["max_latency_event"]
+        assert worst["latency_ms"] == pytest.approx(
+            diag["max_ingest_ms"], rel=1e-6
+        )
+        assert len(worst["queue_depths"]) == diag["workers"]
+        assert telemetry["gc_collections"] > 0
 
 
 @pytest.mark.slow

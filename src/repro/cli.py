@@ -8,6 +8,7 @@ Subcommands::
     repro-study manet --scale 0.15 [--full]
     repro-study bench --quick
     repro-study inspect run.manifest.json
+    repro-study monitor rundir            # or http://127.0.0.1:PORT
     repro-study audit run.manifest.json [--json] [--strict]
     repro-study diff a.manifest.json b.manifest.json
 
@@ -41,6 +42,15 @@ backoff, poison-shard serial fallback); ``validate --inject-faults
 plan.json`` additionally replays a deterministic fault plan for
 operator drills (see ``repro.runtime.faults``).
 
+Live telemetry: ``validate`` and ``serve`` accept ``--telemetry DIR``
+(a background sampler atomically rewrites ``DIR/live.json`` every
+``--telemetry-interval`` seconds) and ``--metrics-port PORT`` (an
+OpenMetrics endpoint at ``http://127.0.0.1:PORT/metrics``, ``0`` picks
+an ephemeral port).  ``monitor <dir|url>`` tails either into a
+rate-computing TTY dashboard (lanes, events/s, watermark lag, RSS,
+ETA); both are strictly no-op when the flags are absent and never
+change the run's output bytes.
+
 Auditing: every manifest embeds a paper-fidelity scorecard;
 ``audit <manifest>`` re-evaluates and prints it (exit 1 on any failing
 check; ``--strict`` also fails on warnings, ``--json`` emits the
@@ -58,9 +68,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from dataclasses import replace as dc_replace
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, TextIO
 
 from .core import (
     KERNELS,
@@ -75,12 +86,16 @@ from .obs import (
     NULL_OBS,
     ObsContext,
     RunManifest,
+    TelemetrySampler,
     activate,
     build_manifest,
     diff_manifests,
     diff_traces,
+    format_dashboard,
     profile_summary,
+    read_status,
     read_trace,
+    registry_collector,
     scorecard_for_manifest,
     write_trace,
 )
@@ -347,6 +362,132 @@ def _obs_context(args: argparse.Namespace):
     return ObsContext(profile=args.profile), None
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        help="sample live run telemetry (metrics, RSS, watermarks) into "
+             "DIR/live.json — atomically rewritten, tail it from another "
+             "terminal with 'repro-study monitor DIR'",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve OpenMetrics text format at "
+             "http://127.0.0.1:PORT/metrics and the JSON status at /live "
+             "(0 = pick an ephemeral port; implies telemetry on)",
+    )
+    parser.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="S",
+        help="seconds between telemetry samples (default 1.0)",
+    )
+
+
+def _telemetry_armed(args: argparse.Namespace) -> bool:
+    return args.telemetry is not None or args.metrics_port is not None
+
+
+def _start_telemetry(args: argparse.Namespace, command: str, collectors):
+    """Build and start the command's :class:`TelemetrySampler`.
+
+    Returns ``(sampler | None, error_exit_code | None)``.  Endpoint and
+    status-file locations go to *stderr*: stdout carries the run's
+    summary, which must stay byte-identical with telemetry on or off.
+    """
+    if not _telemetry_armed(args):
+        return None, None
+    try:
+        sampler = TelemetrySampler(
+            collectors=collectors,
+            interval_s=args.telemetry_interval,
+            status_path=args.telemetry,
+            port=args.metrics_port,
+            command=command,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"invalid telemetry flags: {exc}", file=sys.stderr)
+        return None, 2
+    try:
+        sampler.start()
+    except OSError as exc:
+        print(f"cannot start telemetry endpoint: {exc}", file=sys.stderr)
+        return None, 2
+    if sampler.port is not None:
+        print(
+            f"telemetry: http://127.0.0.1:{sampler.port}/metrics",
+            file=sys.stderr,
+        )
+    if sampler.status_path is not None:
+        print(f"telemetry: {sampler.status_path}", file=sys.stderr)
+    return sampler, None
+
+
+class _EventProgress:
+    """Rate-limited event progress line for serve replays.
+
+    The serve twin of the batch loop's segment progress line: stderr,
+    carriage-return updates, events/s and (when the stream length is
+    known) an ETA.  The clock is only consulted every ``CHECK_EVERY``
+    events so the per-event cost stays a counter increment.
+    """
+
+    #: Minimum seconds between renders.
+    INTERVAL_S = 0.5
+    #: Events between clock checks (kept a power of two for cheap modulo).
+    CHECK_EVERY = 1024
+
+    def __init__(self, stream: TextIO, total: Optional[int] = None) -> None:
+        self.stream = stream
+        self.total = total
+        self.done = 0
+        self._t0 = time.monotonic()
+        self._last_render = 0.0
+        self._wrote = False
+
+    def update(self) -> None:
+        """Record one ingested event; render when the interval elapsed."""
+        self.done += 1
+        if self.done % self.CHECK_EVERY:
+            return
+        now = time.monotonic()
+        if now - self._last_render >= self.INTERVAL_S:
+            self._last_render = now
+            self._render(now)
+
+    @staticmethod
+    def _eta(seconds: float) -> str:
+        minutes, secs = divmod(int(max(seconds, 0)), 60)
+        hours, minutes = divmod(minutes, 60)
+        if hours:
+            return f"{hours}:{minutes:02d}:{secs:02d}"
+        return f"{minutes}:{secs:02d}"
+
+    def _render(self, now: float) -> None:
+        elapsed = max(now - self._t0, 1e-9)
+        rate = self.done / elapsed
+        line = f"events {self.done:,}"
+        if self.total:
+            line += f"/{self.total:,}"
+        line += f"  {rate:,.0f} events/s"
+        if self.total and rate > 0 and self.total > self.done:
+            line += f"  ETA {self._eta((self.total - self.done) / rate)}"
+        self.stream.write("\r" + line.ljust(79))
+        self.stream.flush()
+        self._wrote = True
+
+    def close(self) -> None:
+        """Render a final frame and terminate the in-place line."""
+        if self._wrote:
+            self._render(time.monotonic())
+            self.stream.write("\n")
+            self.stream.flush()
+
+
 def _write_obs_artifacts(
     args: argparse.Namespace,
     ctx,
@@ -438,6 +579,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_store_flags(val)
     _add_resilience_flags(val, inject=True)
     _add_obs_flags(val)
+    _add_telemetry_flags(val)
 
     srv = sub.add_parser(
         "serve",
@@ -469,9 +611,13 @@ def _build_parser() -> argparse.ArgumentParser:
                           "before ingesting")
     srv.add_argument("--verdicts", metavar="PATH",
                      help="write the verdict stream as JSON lines")
+    srv.add_argument("--quiet", action="store_true",
+                     help="suppress the live event progress line "
+                          "(it is TTY-only regardless)")
     _add_workers_flag(srv)
     _add_kernel_flag(srv)
     _add_obs_flags(srv)
+    _add_telemetry_flags(srv)
 
     rep = sub.add_parser("report", help="regenerate the paper's tables and figures")
     rep.add_argument("--scale", type=float, default=0.15)
@@ -532,6 +678,25 @@ def _build_parser() -> argparse.ArgumentParser:
     ins = sub.add_parser("inspect", help="pretty-print a run manifest")
     ins.add_argument("manifest_path", metavar="MANIFEST",
                      help="path to a manifest written via --trace/--manifest")
+
+    mon = sub.add_parser(
+        "monitor",
+        help="tail a running (or finished) command's live telemetry as a "
+             "TTY dashboard",
+    )
+    mon.add_argument(
+        "target", metavar="RUN",
+        help="what to tail: a --telemetry directory, a live.json path, or "
+             "an http://127.0.0.1:PORT endpoint from --metrics-port",
+    )
+    mon.add_argument(
+        "--once", action="store_true",
+        help="render one dashboard frame and exit",
+    )
+    mon.add_argument(
+        "--interval", type=float, default=2.0, metavar="S",
+        help="seconds between refreshes (default 2.0)",
+    )
 
     aud = sub.add_parser(
         "audit",
@@ -654,13 +819,24 @@ def _cmd_validate_disk(args, ctx, resilience, fault_plan) -> int:
                 if sys.stderr.isatty() and not args.quiet
                 else None
             )
-            summary = validate_store(
-                store, visit_config=visit_config, workers=args.workers,
-                resilience=resilience, fault_plan=fault_plan,
-                checkpoints=args.checkpoint_dir,
-                inflight_segments=args.inflight_segments,
-                progress=progress,
-            )
+            collectors = [registry_collector(ctx.metrics)] if ctx.enabled else []
+            sampler, err = _start_telemetry(args, "validate", collectors)
+            if err is not None:
+                return err
+            finished = False
+            try:
+                summary = validate_store(
+                    store, visit_config=visit_config, workers=args.workers,
+                    resilience=resilience, fault_plan=fault_plan,
+                    checkpoints=args.checkpoint_dir,
+                    inflight_segments=args.inflight_segments,
+                    progress=progress,
+                    telemetry=sampler,
+                )
+                finished = True
+            finally:
+                if sampler is not None:
+                    sampler.close(finished=finished)
         print(summary.summary())
         if summary.health.recovered or summary.health.degraded:
             print(summary.health.format_report())
@@ -706,10 +882,20 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             dataset = generate_dataset(config.scaled(args.scale))
             extra = {"scale": args.scale}
         extra["extract.kernel"] = resolved_kernel(visit_config)
-        report = validate(
-            dataset, visit_config=visit_config, workers=args.workers,
-            resilience=resilience, fault_plan=fault_plan,
-        )
+        collectors = [registry_collector(ctx.metrics)] if ctx.enabled else []
+        sampler, err = _start_telemetry(args, "validate", collectors)
+        if err is not None:
+            return err
+        finished = False
+        try:
+            report = validate(
+                dataset, visit_config=visit_config, workers=args.workers,
+                resilience=resilience, fault_plan=fault_plan,
+            )
+            finished = True
+        finally:
+            if sampler is not None:
+                sampler.close(finished=finished)
     print(report.summary())
     if report.health.recovered or report.health.degraded:
         print(report.health.format_report())
@@ -762,13 +948,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             dataset = generate_dataset(config.scaled(args.scale))
             extra = {"scale": args.scale}
         extra["extract.kernel"] = resolved_kernel(visit_config)
+        total_events: Optional[int] = None
         if args.events:
+            # Stays a generator — captured streams can be huge, and the
+            # progress line copes with an unknown total.
             events = read_events(args.events)
             extra["events"] = args.events
         else:
             events = replay_events(dataset)
+            stats = dataset.stats()
+            # One registration per user, then every GPS fix and checkin.
+            total_events = stats.n_users + stats.n_gps_points + stats.n_checkins
         if args.dump_events:
             events = list(events)
+            total_events = len(events)
             print(f"wrote events: {write_events(args.dump_events, events)}")
 
         # On --resume append: verdicts settled before the crash are
@@ -784,6 +977,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if verdict_file is not None:
             def sink(verdict):
                 verdict_file.write(json.dumps(verdict.as_dict()) + "\n")
+        # The progress line is cosmetic and stderr-only: suppressed when
+        # stderr is not a terminal (logs, CI) or under --quiet.
+        prog = (
+            _EventProgress(sys.stderr, total=total_events)
+            if sys.stderr.isatty() and not args.quiet
+            else None
+        )
+        sampler = None
+        finished = False
         try:
             service = ValidationService(
                 dataset.pois,
@@ -795,7 +997,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     args.checkpoint_every if args.checkpoint_dir else None
                 ),
                 sink=sink,
+                telemetry=_telemetry_armed(args),
             )
+            if service.telemetry is not None:
+                collectors = [service.telemetry.collect]
+                if ctx.enabled:
+                    collectors.append(registry_collector(ctx.metrics))
+                sampler, err = _start_telemetry(args, "serve", collectors)
+                if err is not None:
+                    return err
             skip = service.restore() if args.resume else 0
             fed = 0
             for i, event in enumerate(events):
@@ -803,8 +1013,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     continue
                 service.ingest(event)
                 fed += 1
+                if prog is not None:
+                    prog.update()
             summary = service.finish()
+            finished = True
         finally:
+            if prog is not None:
+                prog.close()
+            if sampler is not None:
+                sampler.close(finished=finished)
             if verdict_file is not None:
                 verdict_file.close()
         if skip:
@@ -952,6 +1169,48 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """``repro-study monitor``: tail a run's live telemetry.
+
+    ``RUN`` is whatever the producing command advertised: the
+    ``--telemetry`` directory (its atomically-rewritten ``live.json``),
+    the status file itself, or the ``--metrics-port`` HTTP endpoint.
+    Renders the dashboard every ``--interval`` seconds until the run
+    flags itself finished; ``--once`` renders a single frame.  Exit 2
+    when the target is unreachable, 1 when it becomes unreachable
+    mid-tail.
+    """
+    if args.interval <= 0:
+        print(f"--interval must be > 0, got {args.interval}", file=sys.stderr)
+        return 2
+    try:
+        sample = read_status(args.target)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry from {args.target}: {exc}",
+              file=sys.stderr)
+        return 2
+    redraw = sys.stdout.isatty() and not args.once
+    print(format_dashboard(sample))
+    if args.once or sample.get("finished"):
+        return 0
+    previous = sample
+    while True:
+        time.sleep(args.interval)
+        try:
+            sample = read_status(args.target)
+        except (OSError, ValueError) as exc:
+            print(f"lost telemetry from {args.target}: {exc}", file=sys.stderr)
+            return 1
+        if redraw:
+            # Home + clear-to-end keeps the dashboard in place without
+            # flashing a full screen erase between frames.
+            sys.stdout.write("\x1b[H\x1b[J")
+        print(format_dashboard(sample, previous))
+        if sample.get("finished"):
+            return 0
+        previous = sample
+
+
 def _cmd_audit(args: argparse.Namespace) -> int:
     """Re-evaluate a manifest's fidelity scorecard; exit 1 on failure."""
     try:
@@ -1023,6 +1282,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "recover": _cmd_recover,
         "bench": _cmd_bench,
         "inspect": _cmd_inspect,
+        "monitor": _cmd_monitor,
         "audit": _cmd_audit,
         "diff": _cmd_diff,
     }

@@ -595,6 +595,7 @@ def validate_store(
     keep_results: bool = False,
     inflight_segments: Optional[int] = None,
     progress: Optional[TextIO] = None,
+    telemetry=None,
 ) -> Union[ValidationSummary, ValidationReport]:
     """Run the validation pipeline over a study store, segment by segment.
 
@@ -638,6 +639,15 @@ def validate_store(
     ``progress`` (a text stream, normally stderr) renders a rate-limited
     segments/users/ETA line after each reduced segment.
 
+    ``telemetry`` (a :class:`repro.obs.TelemetrySampler`) publishes live
+    progress — ``store.segments_done``, ``store.users_done`` (+ the
+    ``store.users_done_total`` counter the monitor rates), the planned
+    totals, and the pipelined scheduler's in-flight/overlap/stall
+    figures — into the sampler's own :class:`~repro.obs.LiveMetrics`
+    bag.  The run's :class:`~repro.obs.MetricsRegistry` is never
+    touched, so manifests and parity suites stay byte-identical with
+    telemetry on or off.
+
     ``keep_results=False`` (the default, the out-of-core mode) returns a
     :class:`ValidationSummary`; ``keep_results=True`` materialises every
     segment's users and per-checkin results into a full
@@ -669,14 +679,34 @@ def validate_store(
         if progress is not None
         else None
     )
+    live = telemetry.live if telemetry is not None else None
+    if live is not None:
+        live.set_gauge("store.segments_planned", float(len(store.segments)))
+        live.set_gauge("store.users_planned", float(store.n_users))
+        live.set_gauge("store.segments_done", 0.0)
+        live.set_gauge("store.users_done", 0.0)
+        live.set_gauge("store.inflight_segments", float(inflight))
 
     if inflight > 1:
         return _validate_store_pipelined(
             store, visit_config, match_config, classify_config, workers,
             ctx, resilience, load_resilience, fault_plan, health,
             checkpoints, checkpoint_key, keep_results, inflight, agg,
-            timings, prog,
+            timings, prog, live,
         )
+
+    done_segments = 0
+    done_users = 0
+
+    def live_segment(n_users: int) -> None:
+        nonlocal done_segments, done_users
+        if live is None:
+            return
+        done_segments += 1
+        done_users += n_users
+        live.set_gauge("store.segments_done", float(done_segments))
+        live.set_gauge("store.users_done", float(done_users))
+        live.inc("store.users_done_total", n_users)
 
     exec_, owned = resolve_executor(executor, workers)
     try:
@@ -746,6 +776,7 @@ def validate_store(
                             )
                             if prog is not None:
                                 prog.update(entry.n_users, reused=False)
+                            live_segment(entry.n_users)
                             continue
                         before = (
                             dict(ctx.metrics.snapshot()["counters"])
@@ -796,6 +827,7 @@ def validate_store(
                 )
                 if prog is not None:
                     prog.update(entry.n_users, reused=payload is not None)
+                live_segment(entry.n_users)
             ctx.count("pipeline.runs_total", 1)
             agg.set_headline_gauges(ctx, health)
     finally:
@@ -827,6 +859,7 @@ def _validate_store_pipelined(
     agg: _StoreAggregate,
     timings: RuntimeTimings,
     prog: Optional[_SegmentProgress],
+    live=None,
 ) -> Union[ValidationSummary, ValidationReport]:
     """The pipelined scheduler behind ``validate_store(inflight > 1)``.
 
@@ -1023,10 +1056,29 @@ def _validate_store_pipelined(
                     )
                 if prog is not None:
                     prog.update(entry.n_users, reused=outcome["reused"])
+                if live is not None:
+                    done["segments"] += 1
+                    done["users"] += entry.n_users
+                    live.set_gauge(
+                        "store.segments_done", float(done["segments"])
+                    )
+                    live.set_gauge("store.users_done", float(done["users"]))
+                    live.inc("store.users_done_total", entry.n_users)
+
+            done = {"segments": 0, "users": 0}
+
+            def on_progress(snap: Dict[str, Any]) -> None:
+                # Reducer-thread callback from run_pipelined: publish the
+                # scheduler's live efficiency figures to the sampler bag.
+                live.set_gauge("store.inflight_segments", float(snap["inflight"]))
+                live.set_gauge("store.prefetch_overlap", float(snap["overlap"]))
+                live.set_gauge("store.prefetch_stalls", float(snap["stalls"]))
+                live.set_gauge("store.reduce_wait_s", snap["reduce_wait_s"])
 
             stats = run_pipelined(
                 store.segments, load, compute, reduce,
                 inflight=inflight, lanes=lanes,
+                on_progress=on_progress if live is not None else None,
             )
             ctx.count("store.prefetch_overlap_total", stats["overlap"])
             ctx.count("store.prefetch_stalls_total", stats["stalls"])

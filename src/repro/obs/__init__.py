@@ -1,6 +1,6 @@
 """Observability layer: tracing spans, metrics, manifests, and audits.
 
-Six pieces, all process-local and dependency-free:
+Seven pieces, all process-local and dependency-free:
 
 * :mod:`repro.obs.context` — hierarchical spans with monotonic timings,
   point events, and the ambient-context machinery (:func:`current` /
@@ -22,6 +22,11 @@ Six pieces, all process-local and dependency-free:
 * :mod:`repro.obs.profile` — opt-in cProfile/tracemalloc hooks per
   shard (the CLI's ``--profile`` flag), shipped worker→parent with the
   metric deltas.
+* :mod:`repro.obs.telemetry` — the *live* surface: a background
+  :class:`TelemetrySampler` snapshotting metrics + process stats into a
+  ring buffer, an atomically-rewritten ``live.json`` status file, and
+  an opt-in OpenMetrics HTTP endpoint; tailed by ``repro-study
+  monitor``.  Strictly no-op unless armed.
 
 Quickstart::
 
@@ -73,6 +78,16 @@ from .manifest import (
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .profile import profile_call, profile_summary, top_functions
+from .telemetry import (
+    LiveMetrics,
+    TelemetrySampler,
+    format_dashboard,
+    parse_openmetrics,
+    process_stats,
+    read_status,
+    registry_collector,
+    render_openmetrics,
+)
 
 __all__ = [
     "DEFAULT_REGISTRY",
@@ -83,6 +98,7 @@ __all__ = [
     "EventRecord",
     "Gauge",
     "Histogram",
+    "LiveMetrics",
     "ManifestDiff",
     "MetricsRegistry",
     "NullObs",
@@ -92,6 +108,7 @@ __all__ = [
     "Scorecard",
     "ScorecardEntry",
     "SpanRecord",
+    "TelemetrySampler",
     "activate",
     "build_manifest",
     "config_hash",
@@ -101,10 +118,16 @@ __all__ = [
     "diff_traces",
     "evaluate",
     "fingerprint_from_counts",
+    "format_dashboard",
     "manifest_statistics",
+    "parse_openmetrics",
+    "process_stats",
     "profile_call",
     "profile_summary",
+    "read_status",
     "read_trace",
+    "registry_collector",
+    "render_openmetrics",
     "report_statistics",
     "scorecard_for_manifest",
     "thread_activate",

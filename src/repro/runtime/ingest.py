@@ -94,6 +94,15 @@ class IngestPool:
             raise RuntimeError("IngestPool is closed")
         self._queues[lane % self.lanes].put(fn)
 
+    def depths(self) -> List[int]:
+        """Approximate queued-thunk count per lane (telemetry only).
+
+        ``SimpleQueue.qsize`` races the lane threads, so the figures are
+        instantaneous estimates — exactly what a backpressure gauge
+        wants, never something to synchronise on.
+        """
+        return [q.qsize() for q in self._queues]
+
     def drain(self) -> None:
         """Block until every lane has executed all work posted so far.
 

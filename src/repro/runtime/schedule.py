@@ -44,7 +44,7 @@ _STOP = object()
 class _State:
     """Shared scheduler state: completed-result slots + failure flag."""
 
-    __slots__ = ("cond", "results", "stop", "prefetch_stall_s")
+    __slots__ = ("cond", "results", "stop", "prefetch_stall_s", "loaded")
 
     def __init__(self) -> None:
         self.cond = threading.Condition()
@@ -54,6 +54,9 @@ class _State:
         # Seconds the prefetch thread spent blocked on the inflight
         # window; written by the prefetch thread only, read after join.
         self.prefetch_stall_s = 0.0
+        # Items the prefetch thread has taken a slot for (telemetry:
+        # ``loaded - reduced`` is the live in-flight count).
+        self.loaded = 0
 
     def post(self, index: int, outcome: Tuple[str, Any]) -> None:
         with self.cond:
@@ -89,6 +92,7 @@ def _prefetch(
             if state.stop.is_set():
                 slots.release()
                 break
+            state.loaded += 1
             try:
                 loaded = load(index, item)
             except BaseException as exc:  # noqa: BLE001 - shipped to reducer
@@ -134,6 +138,7 @@ def run_pipelined(
     reduce: Callable[[int, Any, Any], None],
     inflight: int,
     lanes: int = 1,
+    on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
 ) -> Dict[str, Any]:
     """Run ``load → compute → reduce`` over ``items`` with overlap.
 
@@ -143,6 +148,12 @@ def run_pipelined(
     ``reduce(index, item, result)`` runs on the calling thread, strictly
     in index order.  The first failing item's exception propagates after
     every earlier item has been reduced; later items are discarded.
+
+    ``on_progress``, if given, is called on the calling thread after each
+    successful ``reduce`` with a live snapshot of the stats dict plus
+    ``done`` (items reduced so far, 1-based) and ``inflight`` (items past
+    ``load`` but not yet reduced).  Exceptions it raises are swallowed —
+    progress reporting must never change pipeline semantics.
 
     Returns pipeline-efficiency stats: ``overlap`` items whose result
     was already waiting when the reducer got to them, ``stalls`` items
@@ -194,6 +205,14 @@ def run_pipelined(
                 reduce(index, item, value)
             finally:
                 slots.release()
+            if on_progress is not None:
+                snapshot = dict(stats)
+                snapshot["done"] = index + 1
+                snapshot["inflight"] = max(0, state.loaded - (index + 1))
+                try:
+                    on_progress(snapshot)
+                except Exception:  # noqa: BLE001 - progress is best-effort
+                    pass
     finally:
         state.stop.set()
         # Unblock a prefetch thread parked on the semaphore, then drain.

@@ -43,7 +43,7 @@ from .events import (
     verdict_labels,
     write_events,
 )
-from .service import ServeSummary, ValidationService
+from .service import ServeSummary, ServeTelemetry, ValidationService
 from .snapshot import SERVE_SNAPSHOT_FORMAT, ServeStateStore
 
 __all__ = [
@@ -53,6 +53,7 @@ __all__ = [
     "ServeConfig",
     "ServeStateStore",
     "ServeSummary",
+    "ServeTelemetry",
     "StreamEngine",
     "StreamEvent",
     "UserStreamState",

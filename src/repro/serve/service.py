@@ -27,7 +27,9 @@ summary text and dataset fingerprint, byte for byte.
 
 from __future__ import annotations
 
+import math
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
@@ -35,10 +37,113 @@ from ..core import build_poi_index, format_summary
 from ..model import EXTRANEOUS_TYPES, CheckinType, Poi
 from ..obs import config_hash, fingerprint_from_counts
 from ..obs import current as obs_current
+from ..obs.metrics import Histogram
 from ..runtime import IngestPool, available_workers
 from .engine import ServeConfig, StreamEngine, UserStreamState
 from .events import StreamEvent, Verdict
 from .snapshot import ServeStateStore
+
+
+class ServeTelemetry:
+    """Live serving instruments: per-lane watermarks, queue depth and
+    settlement backlog, plus ingest/verdict throughput counters.
+
+    Built for single-writer slots so the ingest hot path takes no lock:
+    the caller thread owns :attr:`events` and :attr:`watermark` (updated
+    at post time), each lane thread owns its :attr:`processed` and
+    :attr:`backlog` slot, and :attr:`verdicts` rides under the service's
+    existing emit lock.  :meth:`collect` (the sampler's collector
+    protocol) reads everything racily — instantaneous estimates are
+    exactly what backpressure gauges want.
+
+    Event-time semantics (DESIGN §12): a lane's **watermark** is the
+    highest event time it has been fed.  ``serve.watermark_s`` is the
+    *minimum* over active lanes — the service's overall event-time
+    progress, since nothing older can still be pending everywhere.
+    ``serve.lane_watermark_lag_s`` is each lane's distance behind the
+    most advanced lane (skew ⇒ uneven user pinning), and
+    ``serve.watermark_wall_lag_s`` is wall-clock ``now`` minus the
+    watermark — how far behind reality the service's view is, meaningful
+    when events carry epoch timestamps (a replay of a synthetic timeline
+    reports its distance from the epoch instead).
+    """
+
+    def __init__(
+        self, lanes: int, depths: Optional[Callable[[], List[int]]] = None
+    ) -> None:
+        self.lanes = lanes
+        self._depths = depths
+        self.events = [0] * lanes
+        self.processed = [0] * lanes
+        self.backlog = [0] * lanes
+        self.watermark = [-math.inf] * lanes
+        self.verdicts = 0
+        #: Queue-depth observations per lane, appended once per sampler
+        #: tick (sampler thread is the single writer).
+        self.depth_samples = [
+            Histogram(f"serve.lane_queue_depth_samples{{lane={i}}}")
+            for i in range(lanes)
+        ]
+
+    # -- hot-path hooks (single writer per slot, no locks) -----------------
+
+    def note_event(self, lane: int, t: Optional[float]) -> None:
+        """Caller thread: one trace event posted to ``lane`` at time ``t``."""
+        self.events[lane] += 1
+        if t is not None and t > self.watermark[lane]:
+            self.watermark[lane] = t
+
+    def note_processed(self, lane: int, pending_delta: int) -> None:
+        """Lane thread: one event processed; backlog moved by ``delta``."""
+        self.processed[lane] += 1
+        self.backlog[lane] += pending_delta
+
+    def note_drained(self, lane: int, pending_delta: int) -> None:
+        """Lane thread: finalize drained ``delta`` pending events."""
+        self.backlog[lane] += pending_delta
+
+    # -- sampler collector -------------------------------------------------
+
+    def collect(self) -> Dict[str, Any]:
+        """Metrics-shaped snapshot (the collector protocol of
+        :class:`repro.obs.TelemetrySampler`)."""
+        counters: Dict[str, float] = {
+            "serve.events_ingested_total": float(sum(self.events)),
+            "serve.events_processed_total": float(sum(self.processed)),
+            "serve.verdicts_emitted_total": float(self.verdicts),
+        }
+        gauges: Dict[str, float] = {}
+        histograms: Dict[str, Any] = {}
+        depths = self._depths() if self._depths is not None else [0] * self.lanes
+        marks = list(self.watermark)
+        active = [m for m in marks if m != -math.inf]
+        max_mark = max(active) if active else None
+        total_backlog = 0
+        for lane in range(self.lanes):
+            label = f"{{lane={lane}}}"
+            counters[f"serve.lane_events_total{label}"] = float(self.events[lane])
+            counters[f"serve.lane_processed_total{label}"] = float(
+                self.processed[lane]
+            )
+            depth = depths[lane] if lane < len(depths) else 0
+            gauges[f"serve.lane_queue_depth{label}"] = float(depth)
+            hist = self.depth_samples[lane]
+            hist.observe(float(depth))
+            histograms[hist.name] = hist.summary()
+            backlog = max(self.backlog[lane], 0)
+            total_backlog += backlog
+            gauges[f"serve.lane_backlog_events{label}"] = float(backlog)
+            if marks[lane] != -math.inf:
+                gauges[f"serve.lane_watermark_s{label}"] = marks[lane]
+                gauges[f"serve.lane_watermark_lag_s{label}"] = (
+                    max_mark - marks[lane]
+                )
+        gauges["serve.backlog_events"] = float(total_backlog)
+        if active:
+            watermark = min(active)
+            gauges["serve.watermark_s"] = watermark
+            gauges["serve.watermark_wall_lag_s"] = time.time() - watermark
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
 @dataclass
@@ -111,6 +216,7 @@ class ValidationService:
         checkpoint_every: Optional[int] = None,
         sink: Optional[Callable[[Verdict], None]] = None,
         obs=None,
+        telemetry: bool = False,
     ) -> None:
         self.config = config or ServeConfig()
         self.name = name
@@ -125,6 +231,16 @@ class ValidationService:
         self.workers = workers
         self._pool: Optional[IngestPool] = (
             IngestPool(workers, name="serve") if workers > 1 else None
+        )
+        # Disabled telemetry is strictly no hook object at all: the
+        # ingest hot path branches on `is None` and allocates nothing.
+        self._telemetry: Optional[ServeTelemetry] = (
+            ServeTelemetry(
+                workers,
+                depths=self._pool.depths if self._pool is not None else None,
+            )
+            if telemetry
+            else None
         )
         self._states: Dict[str, UserStreamState] = {}
         self._lanes: Dict[str, int] = {}
@@ -162,13 +278,30 @@ class ValidationService:
                     f"user {event.user_id!r} not registered; send a register "
                     "event before trace events"
                 ) from None
+            tel = self._telemetry
             if self._pool is None:
-                self._emit(self._engine.ingest(state, event))
+                if tel is None:
+                    self._emit(self._engine.ingest(state, event))
+                else:
+                    tel.note_event(0, event.t)
+                    self._ingest_traced(0, state, event)
             else:
-                self._pool.post(
-                    self._lanes[event.user_id],
-                    lambda s=state, e=event: self._emit(self._engine.ingest(s, e)),
-                )
+                lane = self._lanes[event.user_id]
+                if tel is None:
+                    self._pool.post(
+                        lane,
+                        lambda s=state, e=event: self._emit(
+                            self._engine.ingest(s, e)
+                        ),
+                    )
+                else:
+                    tel.note_event(lane, event.t)
+                    self._pool.post(
+                        lane,
+                        lambda l=lane, s=state, e=event: self._ingest_traced(
+                            l, s, e
+                        ),
+                    )
         if (
             self._store is not None
             and self.checkpoint_every
@@ -183,10 +316,32 @@ class ValidationService:
         self._lanes[user_id] = len(self._states) % self.workers
         self._states[user_id] = self._engine.new_state(user_id)
 
+    def _ingest_traced(
+        self, lane: int, state: UserStreamState, event: StreamEvent
+    ) -> None:
+        """Lane-side ingest with backlog accounting (telemetry armed).
+
+        The pending-count delta around the engine call is this event's
+        exact contribution to the settlement backlog: +1 while it waits
+        for its chunk to seal, minus everything a settle scan drained.
+        """
+        before = state.pending_count()
+        verdicts = self._engine.ingest(state, event)
+        self._telemetry.note_processed(lane, state.pending_count() - before)
+        self._emit(verdicts)
+
+    def _finalize_traced(self, lane: int, state: UserStreamState) -> None:
+        before = state.pending_count()
+        verdicts = self._engine.finalize(state)
+        self._telemetry.note_drained(lane, state.pending_count() - before)
+        self._emit(verdicts)
+
     def _emit(self, verdicts: List[Verdict]) -> None:
         if not verdicts:
             return
         with self._lock:
+            if self._telemetry is not None:
+                self._telemetry.verdicts += len(verdicts)
             for verdict in verdicts:
                 self._verdicts_total += 1
                 if self._sink is not None:
@@ -198,6 +353,22 @@ class ValidationService:
     def cursor(self) -> int:
         """Events ingested so far (including before a restore)."""
         return self._cursor
+
+    @property
+    def telemetry(self) -> Optional[ServeTelemetry]:
+        """The live instruments (``None`` unless ``telemetry=True``).
+
+        Pass ``service.telemetry.collect`` to a
+        :class:`repro.obs.TelemetrySampler` to expose the serve
+        watermark/backpressure families via ``live.json`` / ``/metrics``.
+        """
+        return self._telemetry
+
+    def queue_depths(self) -> List[int]:
+        """Instantaneous queued-event estimate per lane (telemetry only)."""
+        if self._pool is None:
+            return [0] * self.workers
+        return self._pool.depths()
 
     @property
     def verdicts_emitted(self) -> int:
@@ -267,16 +438,27 @@ class ValidationService:
         if self._finished:
             raise RuntimeError("service is already finished")
         self._finished = True
+        tel = self._telemetry
         if self._pool is not None:
             for user_id, state in self._states.items():
-                self._pool.post(
-                    self._lanes[user_id],
-                    lambda s=state: self._emit(self._engine.finalize(s)),
-                )
+                lane = self._lanes[user_id]
+                if tel is None:
+                    self._pool.post(
+                        lane,
+                        lambda s=state: self._emit(self._engine.finalize(s)),
+                    )
+                else:
+                    self._pool.post(
+                        lane,
+                        lambda l=lane, s=state: self._finalize_traced(l, s),
+                    )
             self._pool.close()
         else:
             for state in self._states.values():
-                self._emit(self._engine.finalize(state))
+                if tel is None:
+                    self._emit(self._engine.finalize(state))
+                else:
+                    self._finalize_traced(0, state)
         return self._fold()
 
     def _fold(self) -> ServeSummary:

@@ -197,3 +197,51 @@ def test_stats_account_every_item():
     assert stats["overlap"] + stats["stalls"] == n
     assert stats["reduce_wait_s"] >= 0.0
     assert stats["prefetch_stall_s"] >= 0.0
+
+
+def test_on_progress_called_per_reduce_with_done_and_inflight():
+    n = 6
+    snapshots = []
+    caller = threading.get_ident()
+    threads = set()
+
+    def on_progress(snapshot):
+        snapshots.append(snapshot)
+        threads.add(threading.get_ident())
+
+    run_pipelined(
+        list(range(n)),
+        load=lambda i, item: item,
+        compute=lambda i, item, loaded, lane: loaded,
+        reduce=lambda i, item, result: None,
+        inflight=2,
+        lanes=2,
+        on_progress=on_progress,
+    )
+    assert [s["done"] for s in snapshots] == list(range(1, n + 1))
+    assert threads == {caller}
+    for snapshot in snapshots:
+        # In-flight = loaded but not yet reduced; never negative, never
+        # beyond the configured window.
+        assert 0 <= snapshot["inflight"] <= 2
+        assert snapshot["overlap"] + snapshot["stalls"] == snapshot["done"]
+    assert snapshots[-1]["inflight"] == 0
+
+
+def test_on_progress_exceptions_are_swallowed():
+    reduced = []
+
+    def on_progress(snapshot):
+        raise RuntimeError("observer bug must not sink the run")
+
+    stats = run_pipelined(
+        list(range(4)),
+        load=lambda i, item: item,
+        compute=lambda i, item, loaded, lane: loaded,
+        reduce=lambda i, item, result: reduced.append(i),
+        inflight=2,
+        lanes=2,
+        on_progress=on_progress,
+    )
+    assert reduced == [0, 1, 2, 3]
+    assert stats["overlap"] + stats["stalls"] == 4

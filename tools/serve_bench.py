@@ -15,11 +15,19 @@ hand-off), not the generator.  Latency is what the *caller* of
 settlement work the event triggers; at higher worker counts ingest is
 an enqueue and the work overlaps, which is exactly the serving story
 the bench records.
+
+``--telemetry`` arms the service's :class:`~repro.serve.ServeTelemetry`
+hooks plus a GC-pause tracker and attributes the worst ingest stall:
+per-lane queue-depth quantiles, the queue depth and cumulative GC pause
+time *at the max-latency event*, and whether that event landed inside a
+garbage collection.  This is the instrumentation that diagnosed the
+4-lane ``max_ingest_ms`` spike (see EXPERIMENTS.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import sys
 import time
@@ -54,19 +62,66 @@ def run(args: argparse.Namespace) -> dict:
         name=dataset.name,
         workers=args.workers,
         sink=sink,
+        telemetry=args.telemetry,
     )
+
+    # GC-pause tracker: attributes ingest stalls to collections.  The
+    # callback pair brackets every collection on whichever thread runs
+    # it — under the GIL that pause is felt by the ingest caller too.
+    gc_stats = {"t0": 0.0, "count": 0, "total_s": 0.0, "max_s": 0.0}
+
+    def gc_callback(phase, info):
+        if phase == "start":
+            gc_stats["t0"] = time.perf_counter()
+        else:
+            pause = time.perf_counter() - gc_stats["t0"]
+            gc_stats["count"] += 1
+            gc_stats["total_s"] += pause
+            gc_stats["max_s"] = max(gc_stats["max_s"], pause)
+
+    worst = {"latency_ms": 0.0}
+    tel = service.telemetry
+    if args.telemetry:
+        gc.callbacks.append(gc_callback)
+
     latencies = []
     start = time.perf_counter()
-    for event in events:
-        t0 = time.perf_counter()
-        service.ingest(event)
-        latencies.append(time.perf_counter() - t0)
-    ingest_wall = time.perf_counter() - start
-    summary = service.finish()
-    total_wall = time.perf_counter() - start
+    try:
+        if args.telemetry:
+            for i, event in enumerate(events):
+                gc_count = gc_stats["count"]
+                gc_s = gc_stats["total_s"]
+                t0 = time.perf_counter()
+                service.ingest(event)
+                dt = time.perf_counter() - t0
+                latencies.append(dt)
+                if dt * 1000.0 > worst["latency_ms"]:
+                    worst = {
+                        "index": i,
+                        "kind": event.kind,
+                        "latency_ms": dt * 1000.0,
+                        "gc_collections_during": gc_stats["count"] - gc_count,
+                        "gc_pause_ms_during": (
+                            (gc_stats["total_s"] - gc_s) * 1000.0
+                        ),
+                        "queue_depths": service.queue_depths(),
+                    }
+                if i % 1024 == 0 and tel is not None:
+                    tel.collect()  # one depth-quantile observation
+        else:
+            for event in events:
+                t0 = time.perf_counter()
+                service.ingest(event)
+                latencies.append(time.perf_counter() - t0)
+        ingest_wall = time.perf_counter() - start
+        summary = service.finish()
+        total_wall = time.perf_counter() - start
+    finally:
+        if args.telemetry:
+            gc.callbacks.remove(gc_callback)
 
     latencies.sort()
-    return {
+    record = {
         "scale": args.scale,
         "workers": service.workers,
         "users": summary.n_users,
@@ -83,6 +138,19 @@ def run(args: argparse.Namespace) -> dict:
         "p99_ingest_ms": percentile(latencies, 0.99) * 1000.0,
         "max_ingest_ms": percentile(latencies, 1.0) * 1000.0,
     }
+    if args.telemetry:
+        lane_depths = {}
+        if tel is not None:
+            for name, hist_summary in tel.collect()["histograms"].items():
+                lane_depths[name] = hist_summary
+        record["telemetry"] = {
+            "gc_collections": gc_stats["count"],
+            "gc_pause_total_ms": gc_stats["total_s"] * 1000.0,
+            "gc_pause_max_ms": gc_stats["max_s"] * 1000.0,
+            "max_latency_event": worst,
+            "lane_queue_depth_samples": lane_depths,
+        }
+    return record
 
 
 def main(argv=None) -> int:
@@ -91,6 +159,10 @@ def main(argv=None) -> int:
                         help="Primary study population scale (default 0.15)")
     parser.add_argument("--workers", type=int, default=1,
                         help="ingest lanes (default 1 = inline)")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="arm ServeTelemetry + GC-pause attribution and "
+                             "record per-lane queue-depth stats (diagnosis "
+                             "mode; adds per-event bookkeeping overhead)")
     args = parser.parse_args(argv)
     record = run(args)
     json.dump(record, sys.stdout)
